@@ -1,0 +1,31 @@
+# Developer entry points.
+
+.PHONY: install test bench examples verify all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+verify:
+	python -m repro.cli verify
+
+examples:
+	python examples/quickstart.py
+	python examples/latency_exploration.py
+	python examples/design_space_exploration.py
+	python examples/batch_transcription.py
+	python examples/schedule_gallery.py
+	python examples/quantization_study.py
+	python examples/retargetability.py
+	python examples/hls_pragma_study.py
+	python examples/streaming_asr.py
+
+all: test bench

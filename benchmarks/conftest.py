@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every file in this directory regenerates one table or figure of the
+paper's evaluation (see DESIGN.md's experiment index).  Each benchmark
+times the simulator run with pytest-benchmark and prints a
+paper-vs-measured table; assertions pin the reproduction tolerances
+recorded in EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.hw.controller import LatencyModel
+from repro.model.params import init_transformer_params
+
+
+@pytest.fixture(scope="session")
+def latency_model() -> LatencyModel:
+    """The calibrated full-size (12 enc / 6 dec) cycle model."""
+    return LatencyModel()
+
+
+@pytest.fixture(scope="session")
+def paper_params():
+    """Random fp32 weights at the paper's full dimensions."""
+    return init_transformer_params(seed=2023)
+
+
+def emit(title: str, headers, rows, float_fmt: str = "{:.2f}") -> None:
+    """Print a captioned ASCII table into the benchmark log."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows, float_fmt=float_fmt))

@@ -1,0 +1,65 @@
+"""Ablation (paper §6.2 future work) — fixed-precision models.
+
+The paper's closing claim: fixed precision "offers lower resource
+utilization, addressing our primary constraint of LUT resources [and]
+will enable the development of accelerators with lower latency."  This
+bench quantifies that with the precision design-space sweep: load time,
+Fig 5.2 crossover, LUT pressure, the widest feasible PSA unroll, and
+the resulting latency — plus the accuracy cost on the logits.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.quant.analysis import accuracy_study, precision_sweep
+from repro.quant.schemes import FP16, INT8
+
+
+def test_ablation_precision(benchmark):
+    points = benchmark.pedantic(precision_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            p.precision.name,
+            p.encoder_load_ms,
+            p.crossover_s,
+            f"{p.lut_utilization_base:.0%}",
+            p.latency_ms_base,
+            p.best_psa_rows,
+            p.latency_ms_best,
+        ]
+        for p in points
+    ]
+    emit(
+        "Precision ablation: loads, crossover, LUTs, feasible unroll, latency",
+        ["precision", "enc load ms", "crossover s", "LUT util",
+         "ms @2-row", "best rows", "ms @best"],
+        rows,
+    )
+    acc_rows = []
+    for precision in (FP16, INT8):
+        report = accuracy_study(precision)
+        acc_rows.append(
+            [
+                precision.name,
+                report.max_abs_logit_error,
+                report.mean_abs_logit_error,
+                f"{report.top1_agreement:.0%}",
+                report.weight_bytes_ratio,
+            ]
+        )
+    emit(
+        "Accuracy cost (fake-quantized vs fp32 logits, 2-enc/1-dec model)",
+        ["precision", "max |d logit|", "mean |d logit|", "top-1 agree", "bytes ratio"],
+        acc_rows,
+        float_fmt="{:.4f}",
+    )
+
+    by_name = {p.precision.name: p for p in points}
+    # The future-work claims, asserted:
+    assert by_name["int8"].lut_utilization_base < 0.5  # LUT pressure relieved
+    assert by_name["int8"].best_psa_rows >= 8  # wider unroll feasible
+    assert (
+        by_name["int8"].latency_ms_best < by_name["fp32"].latency_ms_best / 2
+    )  # lower latency realized
+    assert by_name["int8"].crossover_s < by_name["fp32"].crossover_s
+    assert accuracy_study(INT8).top1_agreement == pytest.approx(1.0)

@@ -1,0 +1,32 @@
+"""Fig 5.2 — load vs compute time of one MHA + FFN block across s;
+the paper's crossover sits at s > 18."""
+
+from benchmarks.conftest import emit
+
+
+def sweep(latency_model):
+    return {
+        s: latency_model.mha_ffn_load_compute(s) for s in range(2, 41, 2)
+    }
+
+
+def test_fig_5_2(benchmark, latency_model):
+    series = benchmark(sweep, latency_model)
+    rows = [
+        [s, load, compute, "compute" if compute > load else "load"]
+        for s, (load, compute) in sorted(series.items())
+    ]
+    emit(
+        "Fig 5.2: load vs compute time (ms) of one MHA + FFN block",
+        ["s", "load ms", "compute ms", "bound by"],
+        rows,
+    )
+    # Load is flat; compute rises monotonically.
+    loads = [v[0] for v in series.values()]
+    computes = [series[s][1] for s in sorted(series)]
+    assert max(loads) - min(loads) < 1e-9
+    assert computes == sorted(computes)
+    # Paper: compute exceeds load for s > 18.
+    crossover = latency_model.crossover_sequence_length()
+    print(f"crossover: compute > load from s = {crossover} (paper: s > 18)")
+    assert crossover == 19

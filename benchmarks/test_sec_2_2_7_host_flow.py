@@ -1,0 +1,34 @@
+"""Section 2.2.7 — the OpenCL host process flow.
+
+Runs the staged host flow (context, program, weight upload, per-
+inference DMA + kernel + readback) on the simulated runtime and checks
+it agrees with the cycle model's latency report — the two views of the
+machine must coincide.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.host.flow import run_inference_flow
+
+
+def test_sec_2_2_7_host_flow(benchmark, latency_model):
+    report = benchmark(run_inference_flow, latency_model, 32, "A3", 4)
+    emit(
+        "Host flow account (4 back-to-back inferences at s = 32)",
+        ["stage", "value"],
+        [
+            ["context + program build (s)", report.setup_s],
+            ["one-time weight upload (s)", report.weight_upload_s],
+            ["first inference (ms)", report.first_inference_s * 1e3],
+            ["steady spacing (ms)", report.steady_spacing_s * 1e3],
+            ["device memory allocated (MB)", report.allocated_bytes / 1e6],
+        ],
+        float_fmt="{:.3f}",
+    )
+    cycle_ms = latency_model.latency_report(32, "A3").latency_ms
+    assert report.first_inference_s * 1e3 == pytest.approx(cycle_ms, rel=0.02)
+    # Weights upload once (252 MB over PCIe), not per inference.
+    assert report.weight_upload_s == pytest.approx(0.021, rel=0.05)
+    assert report.steady_spacing_s <= report.first_inference_s * 1.01
+    report.timeline.validate_no_engine_overlap()

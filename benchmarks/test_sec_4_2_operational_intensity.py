@@ -1,0 +1,41 @@
+"""Section 4.2 — operational intensity (~0.25 ops/B) and the 4 GFLOP
+per-sequence workload, with the roofline context."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.baselines.roofline import accelerator_roofline, model_intensity_profile
+from repro.config import ModelConfig
+
+
+def test_operational_intensity(benchmark):
+    profile = benchmark(model_intensity_profile, ModelConfig(), (1, 4, 8, 16, 32))
+    rows = [
+        [
+            r["s"],
+            r["gflops"],
+            r["weight_mb"],
+            r["intensity_macs_per_byte"],
+            r["intensity_flops_per_byte"],
+        ]
+        for r in profile
+    ]
+    emit(
+        "Section 4.2: FLOPs, weight traffic and operational intensity",
+        ["s", "GFLOP", "weights (MB)", "MAC/B", "FLOP/B"],
+        rows,
+        float_fmt="{:.3f}",
+    )
+    by_s = {r["s"]: r for r in profile}
+    # Paper: ~0.25 ops/B (short-sequence limit, one MAC per weight).
+    assert by_s[1]["intensity_macs_per_byte"] == pytest.approx(0.25, rel=0.01)
+    # Paper: ~4 GFLOP per sequence at the deployed length.
+    assert by_s[32]["gflops"] == pytest.approx(4.0, rel=0.05)
+
+    roof = accelerator_roofline()
+    print(
+        f"roofline: peak {roof.peak_gflops:.1f} GFLOPs/s, "
+        f"bandwidth {roof.bandwidth_gbps:.1f} GB/s, "
+        f"ridge {roof.ridge_point:.2f} FLOP/B -> memory-bound at 0.25"
+    )
+    assert roof.is_memory_bound(0.25)

@@ -1,0 +1,122 @@
+"""Section 5.1.1 — WER of the E2E system (paper: ~9.5% on LibriSpeech).
+
+LibriSpeech and the ESPnet-trained model are unavailable here, so the
+experiment is reproduced in spirit (DESIGN.md substitutions): a
+scaled-down Transformer with the identical architecture (plus learned
+positional embeddings standing in for the conv front-end's positional
+information) is trained from scratch on the synthetic
+grapheme-acoustics corpus and evaluated with the same greedy decoding +
+WER scoring the full pipeline uses.  Held-out utterances use *unseen
+noise realizations* of lexicon words, the analog of evaluating on a
+held-out same-distribution set.
+
+Acceptance criterion (shape): training drives held-out WER from the
+untrained >80% down into the low band (<25%) the paper's system
+occupies.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.asr.dataset import LibriSpeechLikeDataset, Utterance
+from repro.config import ModelConfig
+from repro.decoding.vocab import CharVocabulary
+from repro.frontend.features import FrontendConfig, LogMelFrontend
+from repro.train.layers import TrainableTransformer
+from repro.train.trainer import Trainer, TrainingConfig
+
+VOCAB = CharVocabulary()
+TOY = ModelConfig(
+    d_model=32,
+    num_heads=2,
+    d_ff=64,
+    num_encoders=1,
+    num_decoders=1,
+    vocab_size=len(VOCAB),
+    feature_dim=20,
+)
+LEXICON = ("the", "cat", "sat", "on", "a", "mat", "dog", "ran")
+
+
+def make_feature_fn(pool: int = 2, seed: int = 0):
+    """20-dim log-mel, mean-pooled in time, projected to d_model."""
+    frontend = LogMelFrontend(FrontendConfig(num_mel_filters=TOY.feature_dim))
+    rng = np.random.default_rng(seed)
+    proj = rng.standard_normal((TOY.feature_dim, TOY.d_model)) / np.sqrt(
+        TOY.feature_dim
+    )
+
+    def feature_fn(waveform):
+        feats = frontend(waveform)
+        pooled = feats[: feats.shape[0] // pool * pool].reshape(
+            -1, pool, TOY.feature_dim
+        ).mean(axis=1)
+        return pooled @ proj
+
+    return feature_fn
+
+
+def run_wer_study():
+    dataset = LibriSpeechLikeDataset(seed=7, lexicon=LEXICON)
+    train = dataset.generate(60, min_words=1, max_words=2)
+    # Held-out: every lexicon word under noise seeds never trained on.
+    test = [
+        Utterance(f"test-{i}", 0, w, dataset.synthesize(w, utterance_seed=10_000 + i))
+        for i, w in enumerate(LEXICON)
+    ]
+    model = TrainableTransformer(TOY, seed=1, use_positional=True)
+    trainer = Trainer(
+        model,
+        VOCAB,
+        make_feature_fn(),
+        # 4e-3 decayed to ~3e-4 over 300 epochs; without the decay the
+        # per-utterance Adam updates oscillate and never settle.
+        TrainingConfig(
+            epochs=300, learning_rate=4e-3, lr_decay=0.9914, label_smoothing=0.0
+        ),
+    )
+    untrained_wer = trainer.evaluate_wer(test)
+    history = trainer.train(train)
+    train_wer = trainer.evaluate_wer(train)
+    test_wer = trainer.evaluate_wer(test)
+
+    # Post-training int8 quantization of every trained weight — the
+    # paper's Section 6.2 hope is fixed precision "with no loss of
+    # accuracy"; we measure the WER after fake-quantizing in place.
+    from repro.quant.schemes import INT8, fake_quantize
+
+    for p in model.parameters():
+        p.data = fake_quantize(p.data, INT8)
+    quantized_test_wer = trainer.evaluate_wer(test)
+    return {
+        "untrained_wer": untrained_wer,
+        "train_wer": train_wer,
+        "test_wer": test_wer,
+        "int8_test_wer": quantized_test_wer,
+        "first_loss": history[0],
+        "final_loss": history[-1],
+    }
+
+
+def test_sec_5_1_1_wer(benchmark):
+    result = benchmark.pedantic(run_wer_study, rounds=1, iterations=1)
+    emit(
+        "Section 5.1.1: WER study (synthetic substitution; paper: 9.5% "
+        "on LibriSpeech with the full-size ESPnet model)",
+        ["metric", "value"],
+        [
+            ["untrained held-out WER", result["untrained_wer"]],
+            ["trained train WER", result["train_wer"]],
+            ["trained held-out WER", result["test_wer"]],
+            ["int8-quantized held-out WER", result["int8_test_wer"]],
+            ["first epoch loss", result["first_loss"]],
+            ["final epoch loss", result["final_loss"]],
+        ],
+        float_fmt="{:.3f}",
+    )
+    assert result["final_loss"] < result["first_loss"] / 10
+    assert result["untrained_wer"] > 0.8  # random model transcribes garbage
+    assert result["train_wer"] < 0.15
+    assert result["test_wer"] < 0.25
+    # Section 6.2: fixed precision with (essentially) no accuracy loss.
+    assert result["int8_test_wer"] <= result["test_wer"] + 0.15

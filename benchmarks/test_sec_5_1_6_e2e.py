@@ -1,0 +1,52 @@
+"""Section 5.1.6 — end-to-end numbers: 120.45 ms E2E latency at s=32,
+36.3 ms host preprocessing, 11.88 sequences/s accelerator throughput,
+1.38 GFLOPs/J vs the GPU's ~0.055 GFLOPs/J."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.asr.pipeline import HostTimingModel
+from repro.baselines.energy import fpga_energy_model, gpu_energy_model
+from repro.baselines.gpu import GPU_ANCHORS
+
+#: An s=32 sequence corresponds to ~1.36 s of audio through the
+#: 10 ms-hop frontend and 4x conv subsampling.
+AUDIO_SECONDS_FOR_S32 = 1.36
+
+
+def collect(latency_model):
+    accel_ms = latency_model.latency_report(32, "A3").latency_ms
+    host_ms = HostTimingModel().host_ms(AUDIO_SECONDS_FOR_S32)
+    fpga = fpga_energy_model()
+    gpu = gpu_energy_model()
+    return {
+        "host_ms": host_ms,
+        "accel_ms": accel_ms,
+        "e2e_ms": host_ms + accel_ms,
+        "throughput": 1e3 / accel_ms,
+        "fpga_gflops_j": fpga.gflops_per_joule(32, accel_ms / 1e3),
+        "gpu_gflops_j": gpu.gflops_per_joule(32, GPU_ANCHORS[32]),
+    }
+
+
+def test_sec_5_1_6(benchmark, latency_model):
+    r = benchmark(collect, latency_model)
+    emit(
+        "Section 5.1.6: end-to-end system numbers at s = 32",
+        ["metric", "paper", "ours"],
+        [
+            ["host preprocessing (ms)", 36.3, r["host_ms"]],
+            ["accelerator latency (ms)", 84.15, r["accel_ms"]],
+            ["E2E latency (ms)", 120.45, r["e2e_ms"]],
+            ["throughput (seq/s)", 11.88, r["throughput"]],
+            ["FPGA GFLOPs/J", 1.38, r["fpga_gflops_j"]],
+            ["GPU GFLOPs/J", 0.055, r["gpu_gflops_j"]],
+        ],
+        float_fmt="{:.3f}",
+    )
+    assert r["host_ms"] == pytest.approx(36.3, rel=0.02)
+    assert r["e2e_ms"] == pytest.approx(120.45, rel=0.05)
+    assert r["throughput"] == pytest.approx(11.88, rel=0.08)
+    assert r["fpga_gflops_j"] == pytest.approx(1.38, rel=0.10)
+    assert r["gpu_gflops_j"] == pytest.approx(0.055, rel=0.10)
+    assert r["fpga_gflops_j"] / r["gpu_gflops_j"] > 20

@@ -1,0 +1,33 @@
+"""Table 4.1 — weight matrices read for an encoder-decoder stack."""
+
+from benchmarks.conftest import emit
+from repro.analysis.inventory import weight_inventory
+from repro.config import ModelConfig
+
+#: (count, dims) exactly as printed in the paper's Table 4.1.
+PAPER = {
+    "W_Q/K/V": (576, "512 x 64"),
+    "B_Q/K/V": (576, "1 x 64"),
+    "W_A": (24, "512 x 512"),
+    "B_A": (24, "1 x 512"),
+    "L_N": (84, "1 x 512"),
+    "W_1F": (18, "512 x 2048"),
+    "B_1F": (18, "1 x 2048"),
+    "W_2F": (18, "2048 x 512"),
+    "B_2F": (18, "1 x 512"),
+}
+
+
+def test_table_4_1(benchmark):
+    rows = benchmark(weight_inventory, ModelConfig())
+    table = []
+    for row in rows:
+        paper_count, paper_dims = PAPER[row.name]
+        table.append([row.name, paper_count, row.count, paper_dims, row.dims])
+        assert row.count == paper_count
+        assert row.dims == paper_dims
+    emit(
+        "Table 4.1: weight matrices per encoder-decoder stack",
+        ["matrix", "paper count", "ours", "paper dims", "ours dims"],
+        table,
+    )

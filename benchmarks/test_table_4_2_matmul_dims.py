@@ -1,0 +1,30 @@
+"""Table 4.2 — dimensions of the matrix multiplications MM1..MM6."""
+
+from benchmarks.conftest import emit
+from repro.hw.kernels import matmul_dims
+
+#: Expected shapes at sequence length s, symbolically from the paper.
+def paper_dims(s: int):
+    return {
+        "MM1": ((s, 512), (512, 64), (s, 64)),
+        "MM2": ((s, 64), (64, s), (s, s)),
+        "MM3": ((s, s), (s, 64), (s, 64)),
+        "MM4": ((s, 512), (512, 512), (s, 512)),
+        "MM5": ((s, 512), (512, 2048), (s, 2048)),
+        "MM6": ((s, 2048), (2048, 512), (s, 512)),
+    }
+
+
+def test_table_4_2(benchmark):
+    s = 32
+    dims = benchmark(matmul_dims, s)
+    expected = paper_dims(s)
+    rows = []
+    for name, (in1, in2, out) in dims.items():
+        assert expected[name] == (in1, in2, out)
+        rows.append([name, f"{in1}", f"{in2}", f"{out}"])
+    emit(
+        f"Table 4.2: matmul dimensions at s={s} (matches paper symbolically)",
+        ["MatMul", "Input 1", "Input 2", "Output"],
+        rows,
+    )

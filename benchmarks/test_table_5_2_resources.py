@@ -1,0 +1,32 @@
+"""Table 5.2 — resource utilization for sequence length 32."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.hw.resources import estimate_resources
+
+PAPER_USED = {"BRAM_18K": 1202, "DSP": 1348, "FF": 1191892, "LUT": 765828}
+PAPER_AVAILABLE = {"BRAM_18K": 2688, "DSP": 5952, "FF": 1743360, "LUT": 871680}
+
+
+def test_table_5_2(benchmark):
+    est = benchmark(estimate_resources, None, 32)
+    ours = est.as_dict()
+    util = est.utilization()
+    rows = [
+        [name, PAPER_USED[name], ours[name], PAPER_AVAILABLE[name], f"{util[name]:.1%}"]
+        for name in PAPER_USED
+    ]
+    emit(
+        "Table 5.2: resource utilization at s = 32",
+        ["resource", "paper used", "ours", "available", "ours util"],
+        rows,
+    )
+    assert ours["DSP"] == pytest.approx(PAPER_USED["DSP"], rel=0.02)
+    assert ours["FF"] == pytest.approx(PAPER_USED["FF"], rel=0.02)
+    assert ours["LUT"] == pytest.approx(PAPER_USED["LUT"], rel=0.02)
+    assert ours["BRAM_18K"] == pytest.approx(PAPER_USED["BRAM_18K"], rel=0.05)
+    assert est.available == PAPER_AVAILABLE
+    # Section 5.1.3/5.1.4: LUT-bound, DSPs under-utilized.
+    assert est.binding_resource() == "LUT"
+    assert util["DSP"] < 0.25

@@ -1,0 +1,45 @@
+"""Table 5.4 — latency improvement over the Intel Xeon E5-2640 CPU.
+
+The hardware is synthesized for s = 32; shorter inputs are padded, so
+the accelerator-side latency is constant across input lengths
+(Section 5.1.5).  A real NumPy CPU measurement on this machine is
+printed alongside for grounding.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.baselines.cpu import CPU_ANCHORS, CpuLatencyModel, MeasuredCpuBaseline
+from repro.config import ModelConfig
+
+PAPER_IMPROVEMENT = {4: 4.75, 8: 13.1, 16: 36.8, 20: 40.5, 24: 45.2, 32: 53.5}
+
+
+def compute_speedups(latency_model):
+    cpu = CpuLatencyModel()
+    fpga_s = latency_model.latency_report(32, "A3").latency_ms / 1e3
+    return {s: cpu.speedup_over(s, fpga_s) for s in CPU_ANCHORS}, fpga_s
+
+
+def test_table_5_4(benchmark, latency_model):
+    (speedups, fpga_s) = benchmark(compute_speedups, latency_model)
+    # Ground with one real NumPy measurement (2-layer scaled depth to
+    # keep the benchmark quick; reported, not asserted).
+    measured = MeasuredCpuBaseline(
+        ModelConfig(num_encoders=2, num_decoders=1)
+    ).median_latency_s(32, repeats=1)
+    rows = [
+        [s, CPU_ANCHORS[s], PAPER_IMPROVEMENT[s], speedups[s]]
+        for s in sorted(CPU_ANCHORS)
+    ]
+    emit(
+        f"Table 5.4: CPU latency vs FPGA ({fpga_s * 1e3:.2f} ms simulated; "
+        f"local NumPy 2-enc/1-dec stack: {measured * 1e3:.0f} ms @ s=32)",
+        ["s", "CPU s (paper)", "paper speedup", "ours speedup"],
+        rows,
+    )
+    for s, paper in PAPER_IMPROVEMENT.items():
+        assert speedups[s] == pytest.approx(paper, rel=0.15)
+    average = sum(speedups.values()) / len(speedups)
+    print(f"average speedup: {average:.1f}x (paper: 32x)")
+    assert average == pytest.approx(32.0, rel=0.15)

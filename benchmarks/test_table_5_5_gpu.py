@@ -1,0 +1,32 @@
+"""Table 5.5 — latency improvement over the NVIDIA RTX 3080 Ti GPU."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.baselines.gpu import GPU_ANCHORS, GpuLatencyModel
+
+PAPER_IMPROVEMENT = {4: 4.01, 8: 5.4, 16: 6.3, 20: 9.39, 24: 12.1, 32: 15.5}
+
+
+def compute_speedups(latency_model):
+    gpu = GpuLatencyModel()
+    fpga_s = latency_model.latency_report(32, "A3").latency_ms / 1e3
+    return {s: gpu.speedup_over(s, fpga_s) for s in GPU_ANCHORS}
+
+
+def test_table_5_5(benchmark, latency_model):
+    speedups = benchmark(compute_speedups, latency_model)
+    rows = [
+        [s, GPU_ANCHORS[s], PAPER_IMPROVEMENT[s], speedups[s]]
+        for s in sorted(GPU_ANCHORS)
+    ]
+    emit(
+        "Table 5.5: GPU latency vs FPGA",
+        ["s", "GPU s (paper)", "paper speedup", "ours speedup"],
+        rows,
+    )
+    for s, paper in PAPER_IMPROVEMENT.items():
+        assert speedups[s] == pytest.approx(paper, rel=0.15)
+    average = sum(speedups.values()) / len(speedups)
+    print(f"average speedup: {average:.1f}x (paper: 8.8x)")
+    assert average == pytest.approx(8.8, rel=0.15)

@@ -1,0 +1,43 @@
+"""Table 5.6 — GFLOPs/s comparison with reference works."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.baselines.related import comparison_table
+
+PAPER = {
+    "HAT [34]": (0.52, 1.0),
+    "Qi et al. [29] GPU": (7.48, 14.38),
+    "Qi et al. [29] FPGA": (14.47, 27.82),
+    "This work": (47.23, 90.8),
+}
+
+
+def test_table_5_6(benchmark, latency_model):
+    table = benchmark(comparison_table, 32, latency_model)
+    paper_rows = list(PAPER.values())
+    rows = []
+    for entry, (paper_rate, paper_imp) in zip(table, paper_rows):
+        rows.append(
+            [
+                f"{entry['name']} ({entry['platform']})",
+                entry["gflops"],
+                entry["latency_s"],
+                paper_rate,
+                entry["gflops_per_s"],
+                paper_imp,
+                entry["improvement"],
+            ]
+        )
+    emit(
+        "Table 5.6: performance comparison (GFLOPs/s)",
+        ["work", "GFLOP", "latency s", "paper GF/s", "ours GF/s", "paper imp", "ours imp"],
+        rows,
+        float_fmt="{:.3f}",
+    )
+    ours = table[-1]
+    assert ours["gflops_per_s"] == pytest.approx(47.23, rel=0.10)
+    assert ours["improvement"] == pytest.approx(90.8, rel=0.10)
+    # Section 5.1.7: 6.31x over the GPU of [29], 3.26x over its FPGA.
+    assert ours["gflops_per_s"] / table[1]["gflops_per_s"] == pytest.approx(6.31, rel=0.10)
+    assert ours["gflops_per_s"] / table[2]["gflops_per_s"] == pytest.approx(3.26, rel=0.10)

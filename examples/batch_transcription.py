@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Batch transcription: throughput, speedups and energy (§5.1.5/5.1.6).
+
+    python examples/batch_transcription.py
+
+Transcribes a small batch of synthetic utterances on the simulated
+accelerator and reports the accelerator throughput, the CPU/GPU speedup
+columns of Tables 5.4/5.5 and the energy-efficiency comparison.
+"""
+
+from repro.analysis.report import format_table
+from repro.asr.dataset import LibriSpeechLikeDataset
+from repro.asr.pipeline import AsrPipeline
+from repro.baselines.cpu import CPU_ANCHORS, CpuLatencyModel
+from repro.baselines.energy import fpga_energy_model, gpu_energy_model
+from repro.baselines.gpu import GPU_ANCHORS, GpuLatencyModel
+from repro.model.params import init_transformer_params
+
+
+def main() -> None:
+    params = init_transformer_params(seed=7)
+    pipeline = AsrPipeline(params, hw_seq_len=32, architecture="A3")
+    batch = LibriSpeechLikeDataset(seed=11).generate(4, min_words=2, max_words=2)
+
+    print("batch transcription on the simulated accelerator:")
+    rows = []
+    for utt in batch:
+        result = pipeline.transcribe(utt.waveform)
+        rows.append([
+            utt.utterance_id,
+            f"{utt.duration_s:.2f}s",
+            result.sequence_length,
+            result.accelerator_ms,
+            result.e2e_ms,
+        ])
+    print(format_table(
+        ["utterance", "audio", "s", "accel ms", "e2e ms"], rows
+    ))
+
+    accel_s = pipeline.accelerator.latency_report().latency_ms / 1e3
+    print(f"\naccelerator throughput: {1 / accel_s:.2f} seq/s "
+          f"(paper: 11.88 seq/s)")
+
+    cpu, gpu = CpuLatencyModel(), GpuLatencyModel()
+    print("\nTables 5.4 / 5.5 — speedup over CPU and GPU "
+          "(fixed s=32 hardware, inputs padded):")
+    rows = [
+        [s, CPU_ANCHORS[s], cpu.speedup_over(s, accel_s),
+         GPU_ANCHORS[s], gpu.speedup_over(s, accel_s)]
+        for s in sorted(CPU_ANCHORS)
+    ]
+    print(format_table(
+        ["s", "CPU s", "CPU speedup", "GPU s", "GPU speedup"], rows
+    ))
+    cpu_avg = sum(cpu.speedup_over(s, accel_s) for s in CPU_ANCHORS) / 6
+    gpu_avg = sum(gpu.speedup_over(s, accel_s) for s in GPU_ANCHORS) / 6
+    print(f"averages: CPU {cpu_avg:.1f}x (paper 32x), "
+          f"GPU {gpu_avg:.1f}x (paper 8.8x)")
+
+    fpga_e = fpga_energy_model()
+    gpu_e = gpu_energy_model()
+    print(f"\nenergy efficiency at s=32: "
+          f"FPGA {fpga_e.gflops_per_joule(32, accel_s):.2f} GFLOPs/J "
+          f"(paper 1.38) vs GPU "
+          f"{gpu_e.gflops_per_joule(32, GPU_ANCHORS[32]):.3f} GFLOPs/J "
+          f"(paper ~0.055)")
+
+
+if __name__ == "__main__":
+    main()

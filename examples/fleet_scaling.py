@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Fleet scaling: data-parallel transcription over many U50 cards.
+
+    python examples/fleet_scaling.py
+
+Sequences are independent, so a transcription service scales by
+round-robining utterances over cards.  The model predicts aggregate
+throughput, and where the shared host PCIe link finally binds.
+"""
+
+from repro.analysis.report import format_table
+from repro.hw.controller import LatencyModel
+from repro.hw.multicard import saturation_point, scaling_sweep
+
+
+def main() -> None:
+    lm = LatencyModel()
+    print("data-parallel scaling at s = 32, architecture A3:")
+    sweep = scaling_sweep(card_counts=(1, 2, 4, 8, 16, 32, 64), latency_model=lm)
+    rows = [
+        [
+            p.num_cards,
+            p.throughput_seq_per_s,
+            f"{p.scaling_efficiency:.0%}",
+            "host PCIe" if p.pcie_bound else "cards",
+        ]
+        for p in sweep
+    ]
+    print(format_table(
+        ["cards", "seq/s", "scaling eff.", "bound by"], rows
+    ))
+    knee = saturation_point(lm, max_cards=10_000)
+    per_card = sweep[0].throughput_seq_per_s
+    print(f"\nEach card sustains {per_card:.2f} seq/s (paper: 11.88). "
+          f"With 12 GB/s of host DMA and 128 KB of activations per "
+          f"sequence, the host link only binds at ~{knee} cards — any "
+          f"realistic fleet scales linearly, because the design keeps "
+          f"the 252 MB weight stream *on the card* (HBM) and ships only "
+          f"activations over PCIe.")
+
+
+if __name__ == "__main__":
+    main()

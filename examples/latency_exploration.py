@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Latency exploration: Table 5.1 and Fig 5.2.
+
+    python examples/latency_exploration.py
+
+Sweeps the A1/A2/A3 load-compute overlap architectures over sequence
+lengths, prints the Table 5.1 reproduction, locates the Fig 5.2
+load/compute crossover, and draws ASCII Gantt charts of the three
+schedules (Figs 4.8-4.10).
+"""
+
+from repro.analysis.report import format_table
+from repro.hw.controller import LatencyModel
+from repro.hw.visualize import render_gantt
+
+PAPER = {
+    4: {"A1": 65.87, "A2": 53.45, "A3": 33.92},
+    8: {"A1": 75.57, "A2": 54.5, "A3": 39.9},
+    16: {"A1": 98.14, "A2": 56.27, "A3": 52.59},
+    32: {"A1": 122.8, "A2": 84.15, "A3": 84.15},
+}
+
+
+def main() -> None:
+    lm = LatencyModel()
+
+    print("Table 5.1 — architecture-wise latency (ms)")
+    rows = []
+    for s in sorted(PAPER):
+        for arch in ("A1", "A2", "A3"):
+            ours = lm.latency_ms(s, arch)
+            rows.append([s, arch, PAPER[s][arch], ours,
+                         f"{100 * (ours / PAPER[s][arch] - 1):+.1f}%"])
+    print(format_table(["s", "arch", "paper ms", "model ms", "err"], rows))
+
+    print("\nFig 5.2 — load vs compute of one MHA + FFN block (ms)")
+    rows = []
+    for s in range(2, 41, 4):
+        load, compute = lm.mha_ffn_load_compute(s)
+        rows.append([s, load, compute, "compute" if compute > load else "load"])
+    print(format_table(["s", "load", "compute", "bound by"], rows))
+    print(f"crossover: compute exceeds load from s = "
+          f"{lm.crossover_sequence_length()} (paper: s > 18)")
+
+    print("\nSchedule Gantt charts at s = 8 (load-bound regime), "
+          "'=' load / '#' compute:")
+    for arch in ("A1", "A2", "A3"):
+        result = lm.latency_report(8, arch).schedule
+        print(f"\n--- {arch}: {lm.latency_ms(8, arch):.2f} ms, "
+              f"stall {result.stall_cycles / 300e3:.2f} ms ---")
+        print(render_gantt(result.timeline, width=96))
+
+
+if __name__ == "__main__":
+    main()

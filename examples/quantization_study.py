@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Fixed-precision study — the paper's Section 6.2 future work,
+realized: quantify how fp16/int8 weights relieve the LUT bottleneck,
+move the load/compute crossover, and unlock lower-latency designs,
+and what the quantization costs in logit accuracy.
+
+    python examples/quantization_study.py
+"""
+
+from repro.analysis.report import format_table
+from repro.quant.analysis import accuracy_study, precision_sweep
+from repro.quant.schemes import FP16, INT8, INT16
+
+
+def main() -> None:
+    print("precision design-space sweep (A3, s = 32):")
+    points = precision_sweep()
+    rows = [
+        [
+            p.precision.name,
+            p.encoder_load_ms,
+            p.crossover_s,
+            f"{p.lut_utilization_base:.0%}",
+            p.latency_ms_base,
+            p.best_psa_rows,
+            p.latency_ms_best,
+        ]
+        for p in points
+    ]
+    print(format_table(
+        ["precision", "enc load ms", "crossover", "LUT util",
+         "latency @2-row", "widest rows", "latency @widest"],
+        rows,
+    ))
+    fp32 = points[0]
+    int8 = points[-1]
+    print(f"\nheadline: int8 frees the LUT budget "
+          f"({fp32.lut_utilization_base:.0%} -> {int8.lut_utilization_base:.0%}), "
+          f"allows {int8.best_psa_rows}-row PSAs, and cuts A3 latency "
+          f"{fp32.latency_ms_best:.1f} -> {int8.latency_ms_best:.1f} ms "
+          f"({fp32.latency_ms_best / int8.latency_ms_best:.1f}x) — the paper's "
+          f"future-work prediction, quantified.")
+
+    print("\naccuracy cost (fake-quantized vs fp32, 2-enc/1-dec model):")
+    rows = []
+    for precision in (FP16, INT16, INT8):
+        r = accuracy_study(precision)
+        rows.append([
+            precision.name,
+            f"{r.max_abs_logit_error:.4f}",
+            f"{r.mean_abs_logit_error:.5f}",
+            f"{r.top1_agreement:.0%}",
+            f"{r.weight_bytes_ratio:.2f}",
+        ])
+    print(format_table(
+        ["precision", "max |d logit|", "mean |d logit|", "top-1 agree", "bytes ratio"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Streaming transcription of a long utterance (real-time claim).
+
+    python examples/streaming_asr.py
+
+LibriSpeech utterances run up to 15 s but the hardware handles ~1.4 s
+of audio per pass (s = 32).  This example chunks a long synthetic
+utterance, runs every chunk through the simulated accelerator, and
+shows the real-time factor staying well below 1 — the abstract's
+"suitable for real-time applications" claim — plus the back-to-back
+throughput with the next sequence's weights prefetched ("LW+").
+"""
+
+from repro.analysis.report import format_table
+from repro.asr.dataset import LibriSpeechLikeDataset
+from repro.asr.pipeline import AsrPipeline
+from repro.asr.streaming import StreamingTranscriber
+from repro.model.params import init_transformer_params
+
+
+def main() -> None:
+    params = init_transformer_params(seed=3)
+    pipeline = AsrPipeline(params, hw_seq_len=32, architecture="A3")
+    transcriber = StreamingTranscriber(pipeline)
+
+    utterance = LibriSpeechLikeDataset(seed=8).generate(
+        1, min_words=14, max_words=14
+    )[0]
+    print(f"utterance: {utterance.duration_s:.1f} s of audio "
+          f"({utterance.transcript!r})")
+    print(f"chunk size: {transcriber.chunk_samples / 16000:.2f} s "
+          f"(fills the s = {pipeline.accelerator.hw_seq_len} hardware)")
+
+    result = transcriber.transcribe(utterance.waveform)
+    rows = [
+        [i, r.sequence_length, r.modeled_host_ms, r.accelerator_ms, r.e2e_ms]
+        for i, r in enumerate(result.chunk_results)
+    ]
+    print(format_table(
+        ["chunk", "s", "host ms", "accel ms", "e2e ms"], rows
+    ))
+    print(f"\ntotal processing: {result.total_e2e_ms:.1f} ms for "
+          f"{result.audio_seconds:.1f} s of audio")
+    print(f"real-time factor: {result.real_time_factor:.3f} "
+          f"(< 1 means the system keeps up with live speech)")
+
+    lm = pipeline.accelerator.latency_model
+    single = 1e3 / lm.latency_ms(32, "A3")
+    pipelined = lm.steady_state_throughput(32, "A3")
+    print(f"\nback-to-back chunks with 'LW+' prefetch: "
+          f"{pipelined:.2f} seq/s steady-state vs {single:.2f} seq/s "
+          f"single-shot (paper: 11.88 seq/s)")
+
+
+if __name__ == "__main__":
+    main()

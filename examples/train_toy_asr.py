@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Train a scaled-down E2E ASR Transformer on the synthetic corpus and
+measure WER (the Section 5.1.1 study, substituted per DESIGN.md), then
+deploy the trained weights onto the accelerator simulator.
+
+    python examples/train_toy_asr.py          (~2-3 minutes on a laptop)
+"""
+
+import numpy as np
+
+from repro.asr.dataset import LibriSpeechLikeDataset, Utterance
+from repro.config import ModelConfig
+from repro.decoding.vocab import CharVocabulary
+from repro.frontend.features import FrontendConfig, LogMelFrontend
+from repro.hw.accelerator import TransformerAccelerator
+from repro.train.layers import TrainableTransformer
+from repro.train.trainer import Trainer, TrainingConfig
+
+VOCAB = CharVocabulary()
+TOY = ModelConfig(
+    d_model=32, num_heads=2, d_ff=64, num_encoders=1, num_decoders=1,
+    vocab_size=len(VOCAB), feature_dim=20,
+)
+LEXICON = ("the", "cat", "sat", "on", "a", "mat", "dog", "ran")
+
+
+def make_feature_fn(pool: int = 2, seed: int = 0):
+    frontend = LogMelFrontend(FrontendConfig(num_mel_filters=TOY.feature_dim))
+    rng = np.random.default_rng(seed)
+    proj = rng.standard_normal((TOY.feature_dim, TOY.d_model)) / np.sqrt(
+        TOY.feature_dim
+    )
+
+    def feature_fn(waveform):
+        feats = frontend(waveform)
+        pooled = feats[: feats.shape[0] // pool * pool].reshape(
+            -1, pool, TOY.feature_dim
+        ).mean(axis=1)
+        return pooled @ proj
+
+    return feature_fn
+
+
+def main() -> None:
+    dataset = LibriSpeechLikeDataset(seed=7, lexicon=LEXICON)
+    train = dataset.generate(60, min_words=1, max_words=2)
+    test = [
+        Utterance(f"test-{i}", 0, w, dataset.synthesize(w, 10_000 + i))
+        for i, w in enumerate(LEXICON)
+    ]
+    print(f"corpus: {len(train)} training utterances, "
+          f"{len(test)} held-out words (unseen noise)")
+
+    model = TrainableTransformer(TOY, seed=1, use_positional=True)
+    trainer = Trainer(
+        model,
+        VOCAB,
+        make_feature_fn(),
+        TrainingConfig(
+            epochs=300, learning_rate=4e-3, lr_decay=0.9914,
+            label_smoothing=0.0, log_every=50,
+        ),
+    )
+    print(f"untrained held-out WER: {trainer.evaluate_wer(test):.1%}")
+    trainer.train(train)
+    print(f"trained train WER:      {trainer.evaluate_wer(train):.1%}")
+    print(f"trained held-out WER:   {trainer.evaluate_wer(test):.1%} "
+          f"(paper reports 9.5% for the full-size LibriSpeech model)")
+
+    print("\nheld-out transcriptions (trainable model):")
+    for utt in test:
+        hyp = trainer.greedy_transcribe(trainer.feature_fn(utt.waveform))
+        mark = "ok " if hyp == utt.transcript else "ERR"
+        print(f"  [{mark}] {utt.transcript!r:10} -> {hyp!r}")
+
+    # Deploy the trained weights onto the accelerator simulator.  The
+    # learned positional embeddings live outside the exported core, so
+    # fold them into the features / compare encoder-only behaviour.
+    params = model.export_params()
+    accel = TransformerAccelerator(params, hw_seq_len=32)
+    feats = make_feature_fn()(test[0].waveform)
+    projected = model.project_features(feats) + model.enc_pos.data[: feats.shape[0]]
+    out = accel.forward(projected.astype(np.float32), np.array([VOCAB.sos_id]))
+    print(f"\ntrained weights deployed on the accelerator simulator: "
+          f"encoder memory {out.memory.shape}, "
+          f"predicted latency {out.report.latency_ms:.2f} ms "
+          f"({out.report.architecture.value})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Hardware Accelerator for Transformer based
+End-to-End Automatic Speech Recognition System" (RAW 2023 / IIIT-H
+thesis, 2023) as a pure-Python functional + cycle-level simulator.
+
+Public API tour
+---------------
+
+* :mod:`repro.config` — model / hardware / calibration configuration.
+* :mod:`repro.frontend` — host-side audio feature pipeline.
+* :mod:`repro.model` — reference NumPy Transformer (golden model).
+* :mod:`repro.hw` — the accelerator simulator (systolic arrays, SLR
+  scheduling, A1/A2/A3 load-compute overlap, resource model).
+* :mod:`repro.decoding` — greedy/beam decoding and WER.
+* :mod:`repro.baselines` — calibrated CPU/GPU latency + energy models.
+* :mod:`repro.asr` — the end-to-end ASR pipeline gluing it together.
+* :mod:`repro.train` — NumPy autograd + trainer for the toy WER study.
+"""
+
+from repro.config import (
+    ALVEO_U50_RESOURCES,
+    CalibrationConfig,
+    HardwareConfig,
+    ModelConfig,
+    default_hardware_config,
+    default_model_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALVEO_U50_RESOURCES",
+    "CalibrationConfig",
+    "HardwareConfig",
+    "ModelConfig",
+    "default_hardware_config",
+    "default_model_config",
+    "__version__",
+]

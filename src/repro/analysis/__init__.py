@@ -1,0 +1,26 @@
+"""Static analyses and report formatting (Tables 4.1 / 4.2)."""
+
+from repro.analysis.bandwidth import (
+    UtilizationReport,
+    architecture_utilization_table,
+    utilization_report,
+)
+from repro.analysis.inventory import WeightMatrixClass, weight_inventory
+from repro.analysis.power import PowerTrace, inference_power_report, power_trace
+from repro.analysis.report import format_table
+from repro.analysis.retarget import RetargetPoint, TARGET_CONFIGS, retarget_study
+
+__all__ = [
+    "UtilizationReport",
+    "architecture_utilization_table",
+    "utilization_report",
+    "WeightMatrixClass",
+    "PowerTrace",
+    "inference_power_report",
+    "power_trace",
+    "weight_inventory",
+    "format_table",
+    "RetargetPoint",
+    "TARGET_CONFIGS",
+    "retarget_study",
+]

@@ -1,0 +1,82 @@
+"""Bandwidth and engine-utilization analysis of a scheduled run.
+
+Turns a scheduler timeline into the quantities architects actually
+argue about: how busy each HBM channel and the compute fabric were,
+the effective weight-streaming bandwidth achieved, and what fraction
+of the roofline-attainable rate the run sustained.  This is the
+quantitative backing for the paper's narrative that A3 exists to keep
+the compute fabric from starving (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+from repro.hw.controller import LatencyModel
+from repro.hw.scheduler import Architecture
+from repro.model.flops import transformer_flops, weight_bytes
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Engine utilization of one scheduled inference."""
+
+    architecture: Architecture
+    s: int
+    total_cycles: int
+    #: Busy fraction per engine ("hbm0", "hbm1", "compute").
+    busy_fraction: dict[str, float]
+    #: Fraction of the makespan the compute fabric sat stalled.
+    compute_stall_fraction: float
+    #: Weight bytes moved divided by wall time (GB/s).
+    effective_load_gbps: float
+    #: Sustained GFLOPs/s over the whole inference.
+    sustained_gflops: float
+
+    @property
+    def compute_busy_fraction(self) -> float:
+        return self.busy_fraction.get("compute", 0.0)
+
+
+def utilization_report(
+    latency_model: LatencyModel | None = None,
+    s: int = 32,
+    architecture: Architecture | str = Architecture.A3,
+) -> UtilizationReport:
+    """Analyze one scheduled inference."""
+    lm = latency_model or LatencyModel()
+    arch = Architecture(architecture)
+    report = lm.latency_report(s, arch)
+    schedule = report.schedule
+    timeline = schedule.timeline
+    makespan = timeline.makespan
+    if makespan <= 0:
+        raise ValueError("empty schedule")
+
+    busy = {
+        engine: timeline.busy_time(engine) / makespan
+        for engine in timeline.engines()
+    }
+    model: ModelConfig = lm.model
+    seconds = report.total_cycles / (lm.hardware.clock_mhz * 1e6)
+    bytes_moved = weight_bytes(model, lm.hardware.bytes_per_element)
+    return UtilizationReport(
+        architecture=arch,
+        s=s,
+        total_cycles=report.total_cycles,
+        busy_fraction=busy,
+        compute_stall_fraction=schedule.stall_cycles / makespan,
+        effective_load_gbps=bytes_moved / seconds / 1e9,
+        sustained_gflops=transformer_flops(s, model) / 1e9 / seconds,
+    )
+
+
+def architecture_utilization_table(
+    latency_model: LatencyModel | None = None, s: int = 32
+) -> list[UtilizationReport]:
+    """Compare engine utilization across A1/A2/A3."""
+    lm = latency_model or LatencyModel()
+    return [
+        utilization_report(lm, s, arch) for arch in ("A1", "A2", "A3")
+    ]

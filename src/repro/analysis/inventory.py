@@ -1,0 +1,58 @@
+"""Weight-matrix inventory (Table 4.1).
+
+For the full 12-encoder / 6-decoder stack the paper counts, per weight
+class, how many matrices are streamed and at what dimensions — e.g.
+576 W_{Q/K/V} matrices of 512 x 64 (12 encoders x 1 MHA x 3 projections
+x 8 heads + 6 decoders x 2 MHAs x 3 x 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class WeightMatrixClass:
+    """One row of Table 4.1."""
+
+    name: str
+    count: int
+    rows: int
+    cols: int
+
+    @property
+    def dims(self) -> str:
+        return f"{self.rows} x {self.cols}"
+
+    @property
+    def elements(self) -> int:
+        return self.count * self.rows * self.cols
+
+
+def weight_inventory(config: ModelConfig | None = None) -> list[WeightMatrixClass]:
+    """Compute Table 4.1 from the model configuration."""
+    cfg = config or ModelConfig()
+    num_mha = cfg.num_encoders + 2 * cfg.num_decoders  # MHA blocks total
+    qkv_count = num_mha * 3 * cfg.num_heads
+    #: Add-Norm layers: 2 per encoder, 3 per decoder; each has a weight
+    #: and a bias vector (hence the x2).
+    norm_layers = 2 * cfg.num_encoders + 3 * cfg.num_decoders
+    num_ffn = cfg.num_encoders + cfg.num_decoders
+    return [
+        WeightMatrixClass("W_Q/K/V", qkv_count, cfg.d_model, cfg.d_k),
+        WeightMatrixClass("B_Q/K/V", qkv_count, 1, cfg.d_k),
+        WeightMatrixClass("W_A", num_mha, cfg.d_model, cfg.d_model),
+        WeightMatrixClass("B_A", num_mha, 1, cfg.d_model),
+        WeightMatrixClass("L_N", 2 * norm_layers, 1, cfg.d_model),
+        WeightMatrixClass("W_1F", num_ffn, cfg.d_model, cfg.d_ff),
+        WeightMatrixClass("B_1F", num_ffn, 1, cfg.d_ff),
+        WeightMatrixClass("W_2F", num_ffn, cfg.d_ff, cfg.d_model),
+        WeightMatrixClass("B_2F", num_ffn, 1, cfg.d_model),
+    ]
+
+
+def total_weight_elements(config: ModelConfig | None = None) -> int:
+    """Total float elements across the inventory."""
+    return sum(row.elements for row in weight_inventory(config))

@@ -1,0 +1,83 @@
+"""Retargetability study (Section 1.1's flexibility claim).
+
+The paper: "It is possible to retarget the hardware accelerator to
+process different transformer networks with varying configurations,
+such as the number of encoders, decoders, and attention heads."  This
+module runs the cycle model over a portfolio of published transformer
+configurations — no re-synthesis, only different host schedules — and
+reports latency and sustained GFLOPs/s for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import HardwareConfig, ModelConfig
+from repro.hw.controller import LatencyModel
+from repro.hw.scheduler import Architecture
+from repro.model.flops import transformer_flops, weight_bytes
+
+#: Named transformer configurations from the paper and its related work.
+TARGET_CONFIGS: dict[str, ModelConfig] = {
+    # The deployed ESPnet transformer_base (Section 3.4).
+    "espnet_base (paper)": ModelConfig(),
+    # Qi et al. [29]: 2 encoders, 1 decoder, hidden 400, FFN 200, 4 heads.
+    "qi_2021 [29]": ModelConfig(
+        d_model=400, num_heads=4, d_ff=200, num_encoders=2, num_decoders=1
+    ),
+    # Vaswani et al. base (6 + 6, 512/2048/8).
+    "vaswani_base": ModelConfig(num_encoders=6, num_decoders=6),
+    # Vaswani et al. big (6 + 6, 1024/4096/16).
+    "vaswani_big": ModelConfig(
+        d_model=1024, num_heads=16, d_ff=4096, num_encoders=6, num_decoders=6
+    ),
+    # An encoder-only BERT-base-like stack (12 x 768/3072/12).
+    "bert_base_like": ModelConfig(
+        d_model=768, num_heads=12, d_ff=3072, num_encoders=12, num_decoders=0
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RetargetPoint:
+    """Predicted behaviour of one configuration on the same fabric."""
+
+    name: str
+    config: ModelConfig
+    latency_ms: float
+    gflops: float
+    weight_mb: float
+    crossover_s: int | None
+
+    @property
+    def gflops_per_second(self) -> float:
+        return self.gflops / (self.latency_ms / 1e3)
+
+
+def retarget_study(
+    s: int = 32,
+    hardware: HardwareConfig | None = None,
+    architecture: Architecture | str = Architecture.A3,
+    configs: dict[str, ModelConfig] | None = None,
+) -> list[RetargetPoint]:
+    """Run the cycle model over each configuration."""
+    configs = configs or TARGET_CONFIGS
+    hardware = hardware or HardwareConfig()
+    points = []
+    for name, cfg in configs.items():
+        lm = LatencyModel(model=cfg, hardware=hardware)
+        try:
+            crossover = lm.crossover_sequence_length()
+        except ValueError:
+            crossover = None
+        points.append(
+            RetargetPoint(
+                name=name,
+                config=cfg,
+                latency_ms=lm.latency_ms(s, architecture),
+                gflops=transformer_flops(s, cfg) / 1e9,
+                weight_mb=weight_bytes(cfg) / 1e6,
+                crossover_s=crossover,
+            )
+        )
+    return points

@@ -1,0 +1,24 @@
+"""End-to-end ASR system: synthetic corpus + host/accelerator pipeline."""
+
+from repro.asr.batch import BatchResult, BatchTranscriber
+from repro.asr.dataset import LibriSpeechLikeDataset, Utterance
+from repro.asr.pipeline import (
+    AsrPipeline,
+    HostPreprocessor,
+    HostTimingModel,
+    TranscriptionResult,
+)
+from repro.asr.streaming import StreamingResult, StreamingTranscriber
+
+__all__ = [
+    "BatchResult",
+    "BatchTranscriber",
+    "LibriSpeechLikeDataset",
+    "Utterance",
+    "AsrPipeline",
+    "HostPreprocessor",
+    "HostTimingModel",
+    "TranscriptionResult",
+    "StreamingResult",
+    "StreamingTranscriber",
+]

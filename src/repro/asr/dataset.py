@@ -1,0 +1,109 @@
+"""Synthetic LibriSpeech-like corpus.
+
+LibriSpeech is 1000 h of 16 kHz read English speech with per-utterance
+transcripts.  We cannot ship it, so this module generates a corpus with
+the same *shape*: utterances of a few words drawn from a fixed lexicon,
+rendered to waveforms by the deterministic formant synthesizer in
+:mod:`repro.frontend.audio`, with transcripts attached.  The
+grapheme-to-acoustics mapping is learnable, which is what the toy
+training study (Section 5.1.1's WER experiment) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoding.vocab import CharVocabulary
+from repro.frontend.audio import SynthesisConfig, synthesize_utterance
+
+#: A small read-speech-flavoured lexicon.
+DEFAULT_LEXICON: tuple[str, ...] = (
+    "the", "a", "and", "of", "to", "in", "he", "she", "it", "was",
+    "that", "his", "her", "with", "for", "as", "had", "you", "not", "be",
+    "at", "on", "by", "all", "this", "they", "from", "but", "we", "said",
+)
+
+
+@dataclass(frozen=True)
+class Utterance:
+    """One corpus item: id, speaker, transcript, waveform."""
+
+    utterance_id: str
+    speaker_id: int
+    transcript: str
+    waveform: np.ndarray
+
+    @property
+    def duration_s(self) -> float:
+        return self.waveform.size / 16_000.0
+
+
+class LibriSpeechLikeDataset:
+    """Deterministic synthetic corpus generator."""
+
+    def __init__(
+        self,
+        vocab: CharVocabulary | None = None,
+        lexicon: tuple[str, ...] = DEFAULT_LEXICON,
+        synthesis: SynthesisConfig | None = None,
+        num_speakers: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if not lexicon:
+            raise ValueError("lexicon must not be empty")
+        if num_speakers < 1:
+            raise ValueError("num_speakers must be >= 1")
+        self.vocab = vocab or CharVocabulary()
+        self.lexicon = lexicon
+        self.synthesis = synthesis or SynthesisConfig()
+        self.num_speakers = num_speakers
+        self._seed = seed
+
+    def make_transcript(
+        self, rng: np.random.Generator, min_words: int = 2, max_words: int = 5
+    ) -> str:
+        """A random short sentence from the lexicon."""
+        if not 1 <= min_words <= max_words:
+            raise ValueError("need 1 <= min_words <= max_words")
+        n = int(rng.integers(min_words, max_words + 1))
+        return " ".join(rng.choice(self.lexicon) for _ in range(n))
+
+    def synthesize(self, transcript: str, utterance_seed: int) -> np.ndarray:
+        """Render a transcript to a waveform (deterministic per seed)."""
+        char_ids = self.vocab.encode(transcript)
+        rng = np.random.default_rng(utterance_seed)
+        return synthesize_utterance(char_ids, self.synthesis, rng=rng)
+
+    def generate(
+        self, count: int, min_words: int = 2, max_words: int = 5
+    ) -> list[Utterance]:
+        """Generate ``count`` utterances (deterministic for a dataset)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        rng = np.random.default_rng(self._seed)
+        utterances = []
+        for i in range(count):
+            transcript = self.make_transcript(rng, min_words, max_words)
+            speaker = int(rng.integers(self.num_speakers))
+            waveform = self.synthesize(transcript, utterance_seed=self._seed + i + 1)
+            utterances.append(
+                Utterance(
+                    utterance_id=f"{speaker:04d}-{i:06d}",
+                    speaker_id=speaker,
+                    transcript=transcript,
+                    waveform=waveform,
+                )
+            )
+        return utterances
+
+    def train_test_split(
+        self, count: int, test_fraction: float = 0.2
+    ) -> tuple[list[Utterance], list[Utterance]]:
+        """Deterministic split into train and held-out utterances."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        utterances = self.generate(count)
+        n_test = max(int(round(count * test_fraction)), 1)
+        return utterances[:-n_test], utterances[-n_test:]

@@ -1,0 +1,42 @@
+"""Comparison baselines: calibrated CPU/GPU latency models, a real
+NumPy CPU runner, the roofline/energy models and the related-work table.
+"""
+
+from repro.baselines.cpu import CPU_ANCHORS, CpuLatencyModel, MeasuredCpuBaseline
+from repro.baselines.energy import (
+    EnergyModel,
+    GPU_EFFECTIVE_POWER_W,
+    fpga_energy_model,
+    gpu_energy_model,
+)
+from repro.baselines.gpu import GPU_ANCHORS, GpuLatencyModel
+from repro.baselines.related import (
+    REFERENCE_WORKS,
+    RelatedWorkEntry,
+    comparison_table,
+    our_entry,
+)
+from repro.baselines.roofline import (
+    RooflineModel,
+    accelerator_roofline,
+    model_intensity_profile,
+)
+
+__all__ = [
+    "CPU_ANCHORS",
+    "CpuLatencyModel",
+    "MeasuredCpuBaseline",
+    "EnergyModel",
+    "GPU_EFFECTIVE_POWER_W",
+    "fpga_energy_model",
+    "gpu_energy_model",
+    "GPU_ANCHORS",
+    "GpuLatencyModel",
+    "REFERENCE_WORKS",
+    "RelatedWorkEntry",
+    "comparison_table",
+    "our_entry",
+    "RooflineModel",
+    "accelerator_roofline",
+    "model_intensity_profile",
+]

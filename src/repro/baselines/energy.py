@@ -1,0 +1,59 @@
+"""Energy-efficiency model (Section 5.1.6).
+
+The paper reports 1.38 GFLOPs/J for the FPGA versus ~0.055 GFLOPs/J
+for the GPU.  Efficiency is GFLOPs-per-second divided by watts; the
+FPGA board power follows from the paper's own numbers
+(47.23 GFLOPs/s / 1.38 GFLOPs/J = 34.2 W), and the GPU's effective
+inference power likewise (3.03 GFLOPs/s / 0.055 = 55.1 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import HardwareConfig, ModelConfig
+from repro.model.flops import transformer_flops
+
+#: Effective power of the RTX 3080 Ti during the paper's inference runs,
+#: implied by its reported 0.055 GFLOPs/J.
+GPU_EFFECTIVE_POWER_W = 55.1
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """GFLOPs/s and GFLOPs/J for a device running the model."""
+
+    power_w: float
+    model: ModelConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0:
+            raise ValueError("power_w must be positive")
+        if self.model is None:
+            object.__setattr__(self, "model", ModelConfig())
+
+    def gflops_per_second(self, s: int, latency_s: float) -> float:
+        if latency_s <= 0:
+            raise ValueError("latency_s must be positive")
+        return transformer_flops(s, self.model) / 1e9 / latency_s
+
+    def gflops_per_joule(self, s: int, latency_s: float) -> float:
+        return self.gflops_per_second(s, latency_s) / self.power_w
+
+    def energy_joules(self, latency_s: float) -> float:
+        if latency_s <= 0:
+            raise ValueError("latency_s must be positive")
+        return self.power_w * latency_s
+
+
+def fpga_energy_model(
+    hardware: HardwareConfig | None = None, model: ModelConfig | None = None
+) -> EnergyModel:
+    """Energy model of the accelerator card (defaults to the U50)."""
+    hw = hardware or HardwareConfig()
+    return EnergyModel(power_w=hw.board_power_w, model=model or ModelConfig())
+
+
+def gpu_energy_model(model: ModelConfig | None = None) -> EnergyModel:
+    """Energy model of the paper's GPU baseline."""
+    return EnergyModel(power_w=GPU_EFFECTIVE_POWER_W, model=model or ModelConfig())

@@ -1,0 +1,25 @@
+"""GPU baseline (Table 5.5): calibrated NVIDIA GeForce RTX 3080 Ti
+latency model (PyTorch + CUDA 10.1 software stack), interpolating the
+paper's six published anchors.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu import _AnchoredLatencyModel
+
+#: Sequence length -> seconds, from Table 5.5 of the paper.
+GPU_ANCHORS: dict[int, float] = {
+    4: 0.34,
+    8: 0.46,
+    16: 0.55,
+    20: 0.79,
+    24: 1.03,
+    32: 1.32,
+}
+
+
+class GpuLatencyModel(_AnchoredLatencyModel):
+    """Calibrated RTX 3080 Ti latency model (Table 5.5)."""
+
+    def __init__(self, anchors: dict[int, float] | None = None) -> None:
+        super().__init__(anchors or GPU_ANCHORS, name="NVIDIA RTX 3080 Ti")

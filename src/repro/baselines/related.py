@@ -1,0 +1,82 @@
+"""Related-work comparison (Table 5.6).
+
+The paper compares GFLOPs-per-second against three published reference
+points: the HAT CPU measurement [34], and the GPU and FPGA results of
+Qi et al. [29] (a 2-encoder / 1-decoder pruned NLP transformer on an
+8x Quadro RTX 6000 node and an Alveo U200).  Their numbers are static
+literature values; our row is recomputed from the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+from repro.hw.controller import LatencyModel
+from repro.hw.scheduler import Architecture
+from repro.model.flops import transformer_flops
+
+
+@dataclass(frozen=True)
+class RelatedWorkEntry:
+    """One column of Table 5.6."""
+
+    name: str
+    platform: str
+    gflops: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.gflops <= 0 or self.latency_s <= 0:
+            raise ValueError("gflops and latency_s must be positive")
+
+    @property
+    def gflops_per_second(self) -> float:
+        return self.gflops / self.latency_s
+
+
+#: Published reference points, exactly as tabulated in the paper.
+REFERENCE_WORKS: tuple[RelatedWorkEntry, ...] = (
+    RelatedWorkEntry("HAT [34]", "ARM CPU", gflops=1.1, latency_s=2.1),
+    RelatedWorkEntry("Qi et al. [29]", "GPU (8x RTX 6000)", gflops=1.1, latency_s=0.147),
+    RelatedWorkEntry("Qi et al. [29]", "FPGA (Alveo U200)", gflops=0.114, latency_s=0.00785),
+)
+
+
+def our_entry(
+    s: int = 32,
+    latency_model: LatencyModel | None = None,
+    architecture: Architecture | str = Architecture.A3,
+    model: ModelConfig | None = None,
+) -> RelatedWorkEntry:
+    """Our work's column, computed from the simulator at length ``s``."""
+    model = model or ModelConfig()
+    lm = latency_model or LatencyModel(model=model)
+    latency_s = lm.latency_report(s, architecture).latency_ms / 1e3
+    gflops = transformer_flops(s, model) / 1e9
+    return RelatedWorkEntry(
+        "This work", "FPGA (Alveo U50, simulated)", gflops=gflops, latency_s=latency_s
+    )
+
+
+def comparison_table(
+    s: int = 32,
+    latency_model: LatencyModel | None = None,
+    architecture: Architecture | str = Architecture.A3,
+) -> list[dict[str, float | str]]:
+    """Table 5.6: GFLOPs, latency, GFLOPs/s and improvement vs [34]."""
+    entries = list(REFERENCE_WORKS) + [
+        our_entry(s=s, latency_model=latency_model, architecture=architecture)
+    ]
+    baseline = entries[0].gflops_per_second
+    return [
+        {
+            "name": e.name,
+            "platform": e.platform,
+            "gflops": e.gflops,
+            "latency_s": e.latency_s,
+            "gflops_per_s": e.gflops_per_second,
+            "improvement": e.gflops_per_second / baseline,
+        }
+        for e in entries
+    ]

@@ -1,0 +1,71 @@
+"""Roofline analysis backing the operational-intensity discussion
+(Section 4.2): with ~0.25 ops/byte the design is firmly memory-bound,
+which is why the paper invests everything in (a) streaming efficiency
+and (b) matmul throughput on what does arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import HardwareConfig, ModelConfig
+from repro.model.flops import operational_intensity, transformer_flops, weight_bytes
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Classic roofline: attainable = min(peak, bandwidth * intensity)."""
+
+    peak_gflops: float
+    bandwidth_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.bandwidth_gbps <= 0:
+            raise ValueError("peak and bandwidth must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity where the design turns compute-bound."""
+        return self.peak_gflops / self.bandwidth_gbps
+
+    def attainable_gflops(self, intensity: float) -> float:
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        return min(self.peak_gflops, self.bandwidth_gbps * intensity)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        return intensity < self.ridge_point
+
+
+def accelerator_roofline(hardware: HardwareConfig | None = None) -> RooflineModel:
+    """Roofline of the simulated accelerator.
+
+    Peak = PEs x 2 FLOP x clock; bandwidth = the calibrated effective
+    HBM streaming rate over all channels.
+    """
+    hw = hardware or HardwareConfig()
+    pes = hw.total_psas * hw.psa_rows * hw.psa_cols
+    peak = pes * 2 * hw.clock_mhz * 1e6 / 1e9
+    bandwidth = hw.num_slrs * hw.hbm_channels_per_slr * hw.hbm_channel_gbps
+    return RooflineModel(peak_gflops=peak, bandwidth_gbps=bandwidth)
+
+
+def model_intensity_profile(
+    model: ModelConfig | None = None, seq_lens: tuple[int, ...] = (1, 4, 8, 16, 32)
+) -> list[dict[str, float]]:
+    """Operational intensity and traffic per sequence length."""
+    model = model or ModelConfig()
+    rows = []
+    for s in seq_lens:
+        rows.append(
+            {
+                "s": s,
+                "gflops": transformer_flops(s, model) / 1e9,
+                "weight_mb": weight_bytes(model) / 1e6,
+                "intensity_flops_per_byte": operational_intensity(s, model),
+                "intensity_macs_per_byte": operational_intensity(
+                    s, model, count_macs=True
+                ),
+            }
+        )
+    return rows

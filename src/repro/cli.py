@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+    repro-asr latency   [--arch A3] [--seq 4 8 16 32]
+    repro-asr crossover
+    repro-asr resources [--seq 32] [--psa-rows 2]
+    repro-asr dse       [--seq 32]
+    repro-asr precision
+    repro-asr transcribe [--words N] [--seed N] [--beam K]
+    repro-asr inventory
+
+Each subcommand prints one of the paper's analyses from the simulator;
+``transcribe`` runs the full E2E pipeline on a synthetic utterance.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis.inventory import weight_inventory
+from repro.analysis.report import format_table
+from repro.config import HardwareConfig
+from repro.hw.controller import LatencyModel
+from repro.hw.dse import head_parallelism_sweep
+from repro.hw.resources import estimate_resources
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    lm = LatencyModel()
+    rows = []
+    for s in args.seq:
+        for arch in args.arch:
+            rows.append([s, arch, lm.latency_ms(s, arch)])
+    print(format_table(["s", "arch", "latency ms"], rows))
+    return 0
+
+
+def _cmd_crossover(args: argparse.Namespace) -> int:
+    del args
+    lm = LatencyModel()
+    rows = []
+    for s in range(2, 41, 2):
+        load, compute = lm.mha_ffn_load_compute(s)
+        rows.append([s, load, compute])
+    print(format_table(["s", "load ms", "compute ms"], rows))
+    print(f"compute exceeds load from s = {lm.crossover_sequence_length()}")
+    return 0
+
+
+def _cmd_resources(args: argparse.Namespace) -> int:
+    hw = HardwareConfig(psa_rows=args.psa_rows)
+    est = estimate_resources(hw, seq_len=args.seq)
+    util = est.utilization()
+    rows = [
+        [name, used, est.available[name], f"{util[name]:.1%}"]
+        for name, used in est.as_dict().items()
+    ]
+    print(format_table(["resource", "used", "available", "util"], rows))
+    print(f"binding resource: {est.binding_resource()}; "
+          f"{'fits' if est.fits() else 'DOES NOT FIT'} the device")
+    return 0 if est.fits() else 1
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    points = head_parallelism_sweep(s=args.seq)
+    rows = [
+        [p.parallel_heads, p.concurrent_psas_per_head, p.latency_ms]
+        for p in points
+    ]
+    print(format_table(["parallel heads", "PSAs/head", "latency ms"], rows))
+    return 0
+
+
+def _cmd_precision(args: argparse.Namespace) -> int:
+    del args
+    from repro.quant.analysis import precision_sweep
+
+    rows = [
+        [
+            p.precision.name,
+            p.encoder_load_ms,
+            p.crossover_s,
+            f"{p.lut_utilization_base:.0%}",
+            p.best_psa_rows,
+            p.latency_ms_best,
+        ]
+        for p in precision_sweep()
+    ]
+    print(format_table(
+        ["precision", "enc load ms", "crossover", "LUT", "best rows", "best ms"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_transcribe(args: argparse.Namespace) -> int:
+    from repro.asr.dataset import LibriSpeechLikeDataset
+    from repro.asr.pipeline import AsrPipeline
+    from repro.model.params import init_transformer_params
+
+    params = init_transformer_params(seed=args.seed)
+    pipeline = AsrPipeline(params, hw_seq_len=32)
+    utt = LibriSpeechLikeDataset(seed=args.seed).generate(
+        1, min_words=args.words, max_words=args.words
+    )[0]
+    result = pipeline.transcribe(
+        utt.waveform, beam_size=args.beam if args.beam > 1 else None
+    )
+    print(f"reference:  {utt.transcript!r}")
+    print(f"recognized: {result.text!r}   ({result.espnet_text})")
+    print(f"s={result.sequence_length}  host {result.modeled_host_ms:.1f} ms  "
+          f"accel {result.accelerator_ms:.1f} ms  e2e {result.e2e_ms:.1f} ms")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.hw.verification import verify_equivalence
+
+    results = verify_equivalence()
+    rows = [
+        [
+            r.case.name,
+            f"{r.max_abs_error:.2e}",
+            f"{r.max_rel_error:.2e}",
+            "PASS" if r.passed else "FAIL",
+        ]
+        for r in results
+    ]
+    print(format_table(["case", "max |err|", "max rel err", "status"], rows))
+    failed = [r for r in results if not r.passed]
+    print(f"{len(results) - len(failed)}/{len(results)} cases passed")
+    del args
+    return 1 if failed else 0
+
+
+def _cmd_utilization(args: argparse.Namespace) -> int:
+    from repro.analysis.bandwidth import architecture_utilization_table
+
+    rows = []
+    for r in architecture_utilization_table(s=args.seq):
+        rows.append([
+            r.architecture.value,
+            f"{r.compute_busy_fraction:.0%}",
+            f"{r.compute_stall_fraction:.0%}",
+            f"{r.effective_load_gbps:.2f}",
+            f"{r.sustained_gflops:.1f}",
+        ])
+    print(format_table(
+        ["arch", "compute busy", "compute stall", "load GB/s", "GFLOPs/s"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    del args
+    rows = [[r.name, r.count, r.dims] for r in weight_inventory()]
+    print(format_table(["matrix", "count", "dims"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-asr",
+        description="Transformer-ASR FPGA accelerator simulator (RAW 2023 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("latency", help="Table 5.1 latency sweep")
+    p.add_argument("--arch", nargs="+", default=["A1", "A2", "A3"],
+                   choices=["A1", "A2", "A3"])
+    p.add_argument("--seq", nargs="+", type=int, default=[4, 8, 16, 32])
+    p.set_defaults(func=_cmd_latency)
+
+    p = sub.add_parser("crossover", help="Fig 5.2 load/compute crossover")
+    p.set_defaults(func=_cmd_crossover)
+
+    p = sub.add_parser("resources", help="Table 5.2 resource estimate")
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--psa-rows", type=int, default=2)
+    p.set_defaults(func=_cmd_resources)
+
+    p = sub.add_parser("dse", help="Table 5.3 head-parallelism DSE")
+    p.add_argument("--seq", type=int, default=32)
+    p.set_defaults(func=_cmd_dse)
+
+    p = sub.add_parser("precision", help="fixed-precision sweep (§6.2)")
+    p.set_defaults(func=_cmd_precision)
+
+    p = sub.add_parser("transcribe", help="E2E demo on a synthetic utterance")
+    p.add_argument("--words", type=int, default=3)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--beam", type=int, default=1)
+    p.set_defaults(func=_cmd_transcribe)
+
+    p = sub.add_parser("inventory", help="Table 4.1 weight inventory")
+    p.set_defaults(func=_cmd_inventory)
+
+    p = sub.add_parser("verify", help="accelerator vs golden-model battery")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("utilization", help="engine utilization per architecture")
+    p.add_argument("--seq", type=int, default=32)
+    p.set_defaults(func=_cmd_utilization)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Character-level decoding: vocabulary, greedy/beam search, WER."""
+
+from repro.decoding.alignment import (
+    AlignmentResult,
+    EditOp,
+    align,
+    align_words,
+)
+from repro.decoding.beam import BeamHypothesis, beam_search
+from repro.decoding.greedy import greedy_decode
+from repro.decoding.vocab import CharVocabulary
+from repro.decoding.wer import (
+    character_error_rate,
+    corpus_word_error_rate,
+    edit_distance,
+    word_error_rate,
+)
+
+__all__ = [
+    "AlignmentResult",
+    "EditOp",
+    "align",
+    "align_words",
+    "BeamHypothesis",
+    "beam_search",
+    "greedy_decode",
+    "CharVocabulary",
+    "character_error_rate",
+    "corpus_word_error_rate",
+    "edit_distance",
+    "word_error_rate",
+]

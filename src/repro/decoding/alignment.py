@@ -1,0 +1,133 @@
+"""Word-level alignment between reference and hypothesis transcripts.
+
+WER alone says *how much* went wrong; an alignment says *what*:
+substitutions, insertions, deletions, in order.  This is the standard
+sclite-style error breakdown ASR papers tabulate alongside WER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+
+class EditOp(str, Enum):
+    MATCH = "match"
+    SUBSTITUTE = "sub"
+    INSERT = "ins"
+    DELETE = "del"
+
+
+@dataclass(frozen=True)
+class AlignedPair:
+    """One step of the alignment path."""
+
+    op: EditOp
+    reference: str | None  # None for insertions
+    hypothesis: str | None  # None for deletions
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Full alignment plus the error breakdown."""
+
+    pairs: tuple[AlignedPair, ...]
+
+    @property
+    def substitutions(self) -> int:
+        return sum(p.op is EditOp.SUBSTITUTE for p in self.pairs)
+
+    @property
+    def insertions(self) -> int:
+        return sum(p.op is EditOp.INSERT for p in self.pairs)
+
+    @property
+    def deletions(self) -> int:
+        return sum(p.op is EditOp.DELETE for p in self.pairs)
+
+    @property
+    def matches(self) -> int:
+        return sum(p.op is EditOp.MATCH for p in self.pairs)
+
+    @property
+    def errors(self) -> int:
+        return self.substitutions + self.insertions + self.deletions
+
+    @property
+    def reference_length(self) -> int:
+        return self.matches + self.substitutions + self.deletions
+
+    @property
+    def wer(self) -> float:
+        if self.reference_length == 0:
+            raise ValueError("empty reference")
+        return self.errors / self.reference_length
+
+    def pretty(self) -> str:
+        """Three-line sclite-style rendering (REF / HYP / ops)."""
+        ref_row, hyp_row, op_row = [], [], []
+        marks = {
+            EditOp.MATCH: " ",
+            EditOp.SUBSTITUTE: "S",
+            EditOp.INSERT: "I",
+            EditOp.DELETE: "D",
+        }
+        for p in self.pairs:
+            ref = p.reference if p.reference is not None else "***"
+            hyp = p.hypothesis if p.hypothesis is not None else "***"
+            width = max(len(ref), len(hyp), 1)
+            ref_row.append(ref.ljust(width))
+            hyp_row.append(hyp.ljust(width))
+            op_row.append(marks[p.op].ljust(width))
+        return (
+            "REF: " + " ".join(ref_row) + "\n"
+            "HYP: " + " ".join(hyp_row) + "\n"
+            "     " + " ".join(op_row)
+        )
+
+
+def align(reference: Sequence[str], hypothesis: Sequence[str]) -> AlignmentResult:
+    """Levenshtein alignment with backtrace (uniform costs)."""
+    ref = list(reference)
+    hyp = list(hypothesis)
+    n, m = len(ref), len(hyp)
+    # dp[i][j] = distance between ref[:i] and hyp[:j].
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = 0 if ref[i - 1] == hyp[j - 1] else 1
+            dp[i][j] = min(
+                dp[i - 1][j] + 1,  # deletion
+                dp[i][j - 1] + 1,  # insertion
+                dp[i - 1][j - 1] + cost,
+            )
+    # Backtrace, preferring diagonal moves for stable alignments.
+    pairs: list[AlignedPair] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if ref[i - 1] == hyp[j - 1] else 1
+            if dp[i][j] == dp[i - 1][j - 1] + cost:
+                op = EditOp.MATCH if cost == 0 else EditOp.SUBSTITUTE
+                pairs.append(AlignedPair(op, ref[i - 1], hyp[j - 1]))
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and dp[i][j] == dp[i - 1][j] + 1:
+            pairs.append(AlignedPair(EditOp.DELETE, ref[i - 1], None))
+            i -= 1
+            continue
+        pairs.append(AlignedPair(EditOp.INSERT, None, hyp[j - 1]))
+        j -= 1
+    pairs.reverse()
+    return AlignmentResult(pairs=tuple(pairs))
+
+
+def align_words(reference: str, hypothesis: str) -> AlignmentResult:
+    """Word-level alignment of two transcripts."""
+    return align(reference.split(), hypothesis.split())

@@ -1,0 +1,87 @@
+"""Beam-search decoding over a step function."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.decoding.greedy import StepFn
+
+
+@dataclass(order=True)
+class BeamHypothesis:
+    """A partial hypothesis ordered by total log-probability."""
+
+    score: float
+    tokens: list[int] = field(compare=False)
+    finished: bool = field(default=False, compare=False)
+
+    def normalized_score(self, length_penalty: float = 0.0) -> float:
+        """Score divided by length**penalty (0 disables normalization)."""
+        n = max(len(self.tokens) - 1, 1)  # exclude sos
+        return self.score / (n**length_penalty) if length_penalty else self.score
+
+
+def beam_search(
+    step_fn: StepFn,
+    sos_id: int,
+    eos_id: int,
+    max_len: int,
+    beam_size: int = 4,
+    length_penalty: float = 0.0,
+) -> list[BeamHypothesis]:
+    """Standard beam search; returns finished hypotheses, best first.
+
+    Hypothesis tokens include the leading sos but not the eos.  If no
+    hypothesis finishes within ``max_len`` steps, the live beams are
+    returned instead.
+    """
+    if beam_size <= 0:
+        raise ValueError("beam_size must be positive")
+    if max_len <= 0:
+        raise ValueError("max_len must be positive")
+
+    live = [BeamHypothesis(score=0.0, tokens=[sos_id])]
+    finished: list[BeamHypothesis] = []
+
+    for _ in range(max_len):
+        candidates: list[BeamHypothesis] = []
+        for hyp in live:
+            log_probs = np.asarray(
+                step_fn(np.asarray(hyp.tokens, dtype=np.int64))
+            )
+            top = np.argsort(log_probs)[::-1][:beam_size]
+            for tok in top:
+                tok = int(tok)
+                score = hyp.score + float(log_probs[tok])
+                if tok == eos_id:
+                    candidates.append(
+                        BeamHypothesis(score=score, tokens=list(hyp.tokens), finished=True)
+                    )
+                else:
+                    candidates.append(
+                        BeamHypothesis(score=score, tokens=hyp.tokens + [tok])
+                    )
+        candidates.sort(key=lambda h: h.score, reverse=True)
+        live = []
+        for cand in candidates:
+            if cand.finished:
+                finished.append(cand)
+            else:
+                live.append(cand)
+            if len(live) >= beam_size:
+                break
+        if not live:
+            break
+        if len(finished) >= beam_size:
+            best_finished = max(
+                h.normalized_score(length_penalty) for h in finished
+            )
+            best_live = max(h.score for h in live)
+            if best_live < best_finished:
+                break
+
+    result = finished if finished else live
+    result.sort(key=lambda h: h.normalized_score(length_penalty), reverse=True)
+    return result

@@ -1,0 +1,37 @@
+"""Greedy autoregressive decoding."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: A step function maps the current token prefix (1-D int array,
+#: starting with sos) to log-probabilities over the vocabulary for the
+#: next position (1-D float array).  Both the reference Transformer and
+#: the accelerator facade provide one.
+StepFn = Callable[[np.ndarray], np.ndarray]
+
+
+def greedy_decode(
+    step_fn: StepFn,
+    sos_id: int,
+    eos_id: int,
+    max_len: int,
+) -> np.ndarray:
+    """Repeatedly pick the argmax token until eos or ``max_len``.
+
+    Returns the generated ids *excluding* sos and eos.
+    """
+    if max_len <= 0:
+        raise ValueError("max_len must be positive")
+    tokens = [sos_id]
+    for _ in range(max_len):
+        log_probs = np.asarray(step_fn(np.asarray(tokens, dtype=np.int64)))
+        if log_probs.ndim != 1:
+            raise ValueError("step_fn must return a 1-D log-prob vector")
+        next_id = int(np.argmax(log_probs))
+        if next_id == eos_id:
+            break
+        tokens.append(next_id)
+    return np.asarray(tokens[1:], dtype=np.int64)

@@ -1,0 +1,75 @@
+"""Character-level vocabulary for the E2E ASR model.
+
+The ESPnet recipe used in the paper is character-level ("The
+character-level-based E2E speech processing...", Section 3.1) and its
+output, shown in Fig 5.1, uses ``_`` as the word separator.  The default
+vocabulary is: sos, eos, unk, space, apostrophe, a..z = 31 tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_CHARACTERS = " '" + "abcdefghijklmnopqrstuvwxyz"
+
+
+class CharVocabulary:
+    """Bidirectional character <-> index mapping with specials."""
+
+    SOS = "<sos>"
+    EOS = "<eos>"
+    UNK = "<unk>"
+
+    def __init__(self, characters: str = DEFAULT_CHARACTERS) -> None:
+        if len(set(characters)) != len(characters):
+            raise ValueError("characters must be unique")
+        for special_like in "<>":
+            if special_like in characters:
+                raise ValueError("'<' and '>' are reserved for special tokens")
+        self._specials = (self.SOS, self.EOS, self.UNK)
+        self._tokens = list(self._specials) + list(characters)
+        self._index = {tok: i for i, tok in enumerate(self._tokens)}
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def sos_id(self) -> int:
+        return self._index[self.SOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._index[self.EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self._index[self.UNK]
+
+    @property
+    def tokens(self) -> list[str]:
+        return list(self._tokens)
+
+    def encode(self, text: str, add_sos: bool = False, add_eos: bool = False) -> np.ndarray:
+        """Map text to token indices; unknown characters become UNK."""
+        ids = [self._index.get(ch.lower(), self.unk_id) for ch in text]
+        if add_sos:
+            ids.insert(0, self.sos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: np.ndarray | list[int], stop_at_eos: bool = True) -> str:
+        """Map token indices back to text, skipping special tokens."""
+        chars: list[str] = []
+        for i in np.asarray(ids, dtype=np.int64):
+            tok = self._tokens[int(i)]
+            if tok == self.EOS and stop_at_eos:
+                break
+            if tok in self._specials:
+                continue
+            chars.append(tok)
+        return "".join(chars)
+
+    def decode_espnet_style(self, ids: np.ndarray | list[int]) -> str:
+        """Decode with '_' word separators, as in the Fig 5.1 output."""
+        return self.decode(ids).upper().replace(" ", "_")

@@ -1,0 +1,64 @@
+"""Word / character error rate (Section 5.1.1 reports WER ~9.5%)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def edit_distance(reference: Sequence, hypothesis: Sequence) -> int:
+    """Levenshtein distance (substitutions/insertions/deletions = 1)."""
+    ref = list(reference)
+    hyp = list(hypothesis)
+    if not ref:
+        return len(hyp)
+    if not hyp:
+        return len(ref)
+    # Single rolling row keeps memory at O(len(hyp)).
+    prev = np.arange(len(hyp) + 1, dtype=np.int64)
+    curr = np.empty_like(prev)
+    for i, r in enumerate(ref, start=1):
+        curr[0] = i
+        for j, h in enumerate(hyp, start=1):
+            cost = 0 if r == h else 1
+            curr[j] = min(prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost)
+        prev, curr = curr, prev
+    return int(prev[len(hyp)])
+
+
+def word_error_rate(reference: str, hypothesis: str) -> float:
+    """WER = edit_distance(words) / len(reference words).
+
+    Raises on an empty reference — WER is undefined there.
+    """
+    ref_words = reference.split()
+    if not ref_words:
+        raise ValueError("reference transcript is empty")
+    return edit_distance(ref_words, hypothesis.split()) / len(ref_words)
+
+
+def character_error_rate(reference: str, hypothesis: str) -> float:
+    """CER over raw characters (whitespace included)."""
+    if not reference:
+        raise ValueError("reference transcript is empty")
+    return edit_distance(reference, hypothesis) / len(reference)
+
+
+def corpus_word_error_rate(
+    references: Sequence[str], hypotheses: Sequence[str]
+) -> float:
+    """Corpus-level WER: total edits / total reference words."""
+    if len(references) != len(hypotheses):
+        raise ValueError("references and hypotheses must align")
+    if not references:
+        raise ValueError("empty corpus")
+    edits = 0
+    words = 0
+    for ref, hyp in zip(references, hypotheses):
+        ref_words = ref.split()
+        if not ref_words:
+            raise ValueError("reference transcript is empty")
+        edits += edit_distance(ref_words, hyp.split())
+        words += len(ref_words)
+    return edits / words

@@ -1,0 +1,46 @@
+"""Host-side audio frontend.
+
+The paper runs data preparation and feature extraction on the host CPU
+(Section 3.1): pre-emphasis, 25 ms framing with a window function, STFT,
+an 80-dimensional triangular mel filterbank, then a 2D convolutional
+subsampling block feeding the Transformer encoder.  This package
+implements that pipeline plus a synthetic utterance synthesizer standing
+in for LibriSpeech audio (see DESIGN.md, substitutions).
+"""
+
+from repro.frontend.audio import (
+    SynthesisConfig,
+    pcm16_decode,
+    pcm16_encode,
+    synthesize_utterance,
+)
+from repro.frontend.cmvn import CmvnStats, apply_cmvn, compute_cmvn
+from repro.frontend.features import FrontendConfig, LogMelFrontend
+from repro.frontend.framing import frame_signal, hamming_window, hann_window
+from repro.frontend.mel import hz_to_mel, mel_filterbank, mel_to_hz
+from repro.frontend.preemphasis import preemphasis
+from repro.frontend.stft import magnitude_spectrogram, power_spectrogram, stft
+from repro.frontend.subsampling import Conv2dSubsampling
+
+__all__ = [
+    "SynthesisConfig",
+    "pcm16_decode",
+    "pcm16_encode",
+    "synthesize_utterance",
+    "CmvnStats",
+    "apply_cmvn",
+    "compute_cmvn",
+    "FrontendConfig",
+    "LogMelFrontend",
+    "frame_signal",
+    "hamming_window",
+    "hann_window",
+    "hz_to_mel",
+    "mel_filterbank",
+    "mel_to_hz",
+    "preemphasis",
+    "magnitude_spectrogram",
+    "power_spectrogram",
+    "stft",
+    "Conv2dSubsampling",
+]

@@ -1,0 +1,71 @@
+"""Cepstral mean and variance normalization.
+
+ESPnet applies global CMVN (computed over the training corpus, stored as
+``cmvn.ark``) to the log-mel features before the encoder; the Fig 5.1
+decode log in the paper shows the same ``dump.sh ... cmvn.ark`` step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CmvnStats:
+    """Per-dimension mean and standard deviation of a feature corpus."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def __post_init__(self) -> None:
+        mean = np.asarray(self.mean, dtype=np.float64)
+        std = np.asarray(self.std, dtype=np.float64)
+        if mean.ndim != 1 or std.ndim != 1:
+            raise ValueError("mean and std must be 1-D")
+        if mean.shape != std.shape:
+            raise ValueError("mean and std must have equal shape")
+        if np.any(std <= 0):
+            raise ValueError("std must be strictly positive")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "std", std)
+
+    @property
+    def dim(self) -> int:
+        return self.mean.shape[0]
+
+
+def compute_cmvn(
+    feature_matrices: list[np.ndarray], std_floor: float = 1e-8
+) -> CmvnStats:
+    """Accumulate global CMVN statistics over a list of (T, D) matrices."""
+    if not feature_matrices:
+        raise ValueError("need at least one feature matrix")
+    dim = np.asarray(feature_matrices[0]).shape[1]
+    count = 0
+    total = np.zeros(dim, dtype=np.float64)
+    total_sq = np.zeros(dim, dtype=np.float64)
+    for feats in feature_matrices:
+        f = np.asarray(feats, dtype=np.float64)
+        if f.ndim != 2 or f.shape[1] != dim:
+            raise ValueError("all feature matrices must be (T, D) with equal D")
+        count += f.shape[0]
+        total += f.sum(axis=0)
+        total_sq += (f * f).sum(axis=0)
+    if count == 0:
+        raise ValueError("feature matrices contain no frames")
+    mean = total / count
+    var = np.maximum(total_sq / count - mean * mean, 0.0)
+    std = np.sqrt(var)
+    return CmvnStats(mean=mean, std=np.maximum(std, std_floor))
+
+
+def apply_cmvn(features: np.ndarray, stats: CmvnStats) -> np.ndarray:
+    """Normalize (T, D) features to zero mean / unit variance per dim."""
+    f = np.asarray(features, dtype=np.float64)
+    if f.ndim != 2 or f.shape[1] != stats.dim:
+        raise ValueError(
+            f"features must be (T, {stats.dim}); got shape {f.shape}"
+        )
+    return (f - stats.mean) / stats.std

@@ -1,0 +1,89 @@
+"""End-to-end log-mel feature pipeline (the host-side "Feature
+Generation" stage of Fig 5.1).
+
+Combines pre-emphasis, 25 ms / 10 ms framing with a window, STFT,
+80-dim triangular mel filterbank and log compression into one callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frontend.framing import hamming_window, ms_to_samples
+from repro.frontend.mel import apply_filterbank, log_energies, mel_filterbank
+from repro.frontend.preemphasis import DEFAULT_PREEMPHASIS, preemphasis
+from repro.frontend.stft import next_power_of_two, power_spectrogram
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Parameters of the log-mel frontend (paper Section 3.1 defaults)."""
+
+    sample_rate: int = 16_000
+    frame_length_ms: float = 25.0
+    frame_shift_ms: float = 10.0
+    num_mel_filters: int = 80
+    preemphasis_alpha: float = DEFAULT_PREEMPHASIS
+    low_freq: float = 20.0
+    high_freq: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        if self.frame_length_ms <= 0 or self.frame_shift_ms <= 0:
+            raise ValueError("frame timings must be positive")
+        if self.frame_shift_ms > self.frame_length_ms:
+            raise ValueError("frame_shift_ms must not exceed frame_length_ms")
+        if self.num_mel_filters <= 0:
+            raise ValueError("num_mel_filters must be positive")
+
+    @property
+    def frame_length(self) -> int:
+        return ms_to_samples(self.frame_length_ms, self.sample_rate)
+
+    @property
+    def frame_shift(self) -> int:
+        return ms_to_samples(self.frame_shift_ms, self.sample_rate)
+
+    @property
+    def n_fft(self) -> int:
+        return next_power_of_two(self.frame_length)
+
+
+class LogMelFrontend:
+    """Waveform -> (num_frames, num_mel_filters) log-mel features."""
+
+    def __init__(self, config: FrontendConfig | None = None) -> None:
+        self.config = config or FrontendConfig()
+        cfg = self.config
+        self._window = hamming_window(cfg.frame_length)
+        self._bank = mel_filterbank(
+            cfg.num_mel_filters,
+            cfg.n_fft,
+            cfg.sample_rate,
+            low_freq=cfg.low_freq,
+            high_freq=cfg.high_freq,
+        )
+
+    @property
+    def filterbank(self) -> np.ndarray:
+        """The (num_filters, bins) triangular filterbank matrix (copy)."""
+        return self._bank.copy()
+
+    def __call__(self, waveform: np.ndarray) -> np.ndarray:
+        """Extract log-mel features from a [-1, 1] float waveform."""
+        cfg = self.config
+        x = preemphasis(waveform, cfg.preemphasis_alpha)
+        power = power_spectrogram(
+            x, cfg.frame_length, cfg.frame_shift, self._window, cfg.n_fft
+        )
+        return log_energies(apply_filterbank(power, self._bank))
+
+    def num_output_frames(self, num_samples: int) -> int:
+        """Frames produced from a waveform of ``num_samples`` samples."""
+        cfg = self.config
+        if num_samples < cfg.frame_length:
+            return 0
+        return 1 + (num_samples - cfg.frame_length) // cfg.frame_shift

@@ -1,0 +1,78 @@
+"""Short-time framing and analysis windows.
+
+The paper splits the pre-emphasized signal into 25 ms frames with a
+10 ms hop and applies a window function before the STFT.  Framing is
+implemented with a stride trick (a view, not a copy) per the
+scientific-Python guidance on avoiding needless array copies; the window
+multiply then materializes the frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_FRAME_LENGTH_MS = 25.0
+DEFAULT_FRAME_SHIFT_MS = 10.0
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Periodic Hann window of the given length."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * np.arange(length) / length)
+
+
+def hamming_window(length: int) -> np.ndarray:
+    """Periodic Hamming window of the given length."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * np.arange(length) / length)
+
+
+def num_frames(num_samples: int, frame_length: int, frame_shift: int) -> int:
+    """Number of complete frames obtainable from ``num_samples``."""
+    if frame_length <= 0 or frame_shift <= 0:
+        raise ValueError("frame_length and frame_shift must be positive")
+    if num_samples < frame_length:
+        return 0
+    return 1 + (num_samples - frame_length) // frame_shift
+
+
+def frame_signal(
+    signal: np.ndarray,
+    frame_length: int,
+    frame_shift: int,
+    window: np.ndarray | None = None,
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping windowed frames.
+
+    Returns an array of shape ``(num_frames, frame_length)``.  Without a
+    window the result is a read-only strided view of the input; with a
+    window a new array is returned.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    n = num_frames(x.size, frame_length, frame_shift)
+    if n == 0:
+        return np.zeros((0, frame_length), dtype=np.float64)
+    frames = np.lib.stride_tricks.sliding_window_view(x, frame_length)[
+        ::frame_shift
+    ][:n]
+    if window is None:
+        return frames
+    w = np.asarray(window, dtype=np.float64)
+    if w.shape != (frame_length,):
+        raise ValueError(
+            f"window shape {w.shape} does not match frame_length {frame_length}"
+        )
+    return frames * w
+
+
+def ms_to_samples(duration_ms: float, sample_rate: int) -> int:
+    """Convert a duration in milliseconds to a sample count."""
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+    return int(round(duration_ms * sample_rate / 1000.0))

@@ -1,0 +1,91 @@
+"""Triangular mel filterbanks (80 dimensions in the paper).
+
+Triangular filters on the mel scale approximate the frequency response
+of the human auditory system; the paper applies 80 of them to the STFT
+power spectrum to form the encoder input features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hz_to_mel(hz: np.ndarray | float) -> np.ndarray | float:
+    """Convert Hz to mels using the HTK formula."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray | float) -> np.ndarray | float:
+    """Inverse of :func:`hz_to_mel`."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int,
+    n_fft: int,
+    sample_rate: int,
+    low_freq: float = 20.0,
+    high_freq: float | None = None,
+) -> np.ndarray:
+    """Build a bank of triangular mel filters.
+
+    Returns a matrix of shape ``(num_filters, n_fft // 2 + 1)`` whose
+    rows are the triangular filter responses over FFT bins.  Multiplying
+    a power spectrogram of shape ``(frames, n_fft // 2 + 1)`` by the
+    transpose of this matrix yields the filterbank energies.
+    """
+    if num_filters <= 0:
+        raise ValueError("num_filters must be positive")
+    if n_fft <= 0:
+        raise ValueError("n_fft must be positive")
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+    nyquist = sample_rate / 2.0
+    if high_freq is None:
+        high_freq = nyquist
+    if not 0 <= low_freq < high_freq <= nyquist:
+        raise ValueError(
+            f"need 0 <= low_freq < high_freq <= Nyquist; got "
+            f"low={low_freq}, high={high_freq}, nyquist={nyquist}"
+        )
+
+    num_bins = n_fft // 2 + 1
+    # Filter corner points, equally spaced on the mel scale.
+    mel_points = np.linspace(
+        hz_to_mel(low_freq), hz_to_mel(high_freq), num_filters + 2
+    )
+    hz_points = np.asarray(mel_to_hz(mel_points))
+    bin_freqs = np.arange(num_bins, dtype=np.float64) * sample_rate / n_fft
+
+    left = hz_points[:-2, None]
+    center = hz_points[1:-1, None]
+    right = hz_points[2:, None]
+    up = (bin_freqs[None, :] - left) / np.maximum(center - left, 1e-12)
+    down = (right - bin_freqs[None, :]) / np.maximum(right - center, 1e-12)
+    bank = np.maximum(0.0, np.minimum(up, down))
+    return bank
+
+
+def apply_filterbank(power_spec: np.ndarray, bank: np.ndarray) -> np.ndarray:
+    """Project a power spectrogram through a filterbank.
+
+    ``power_spec`` has shape ``(frames, bins)``; ``bank`` has shape
+    ``(num_filters, bins)``.  Returns ``(frames, num_filters)``.
+    """
+    p = np.asarray(power_spec, dtype=np.float64)
+    b = np.asarray(bank, dtype=np.float64)
+    if p.ndim != 2 or b.ndim != 2:
+        raise ValueError("power_spec and bank must be 2-D")
+    if p.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"bin mismatch: spectrogram has {p.shape[1]} bins, "
+            f"bank has {b.shape[1]}"
+        )
+    return p @ b.T
+
+
+def log_energies(fbank_energies: np.ndarray, floor: float = 1e-10) -> np.ndarray:
+    """Natural log of filterbank energies with a numerical floor."""
+    if floor <= 0:
+        raise ValueError("floor must be positive")
+    return np.log(np.maximum(np.asarray(fbank_energies, dtype=np.float64), floor))

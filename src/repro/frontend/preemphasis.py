@@ -1,0 +1,47 @@
+"""Pre-emphasis filtering (Section 3.1 of the paper).
+
+The signal is passed through a first-order high-pass FIR filter
+``y[n] = x[n] - alpha * x[n-1]`` which boosts the high-frequency content
+lost during recording and improves the effective SNR of the mel features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Conventional pre-emphasis coefficient used by Kaldi/ESPnet fbank.
+DEFAULT_PREEMPHASIS = 0.97
+
+
+def preemphasis(signal: np.ndarray, alpha: float = DEFAULT_PREEMPHASIS) -> np.ndarray:
+    """Apply the pre-emphasis filter ``y[n] = x[n] - alpha x[n-1]``.
+
+    The first sample is passed through unchanged (``y[0] = x[0]``),
+    matching the common speech-toolkit convention.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError("alpha must be in [0, 1)")
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    if x.size == 0:
+        return x.copy()
+    y = np.empty_like(x)
+    y[0] = x[0]
+    np.subtract(x[1:], alpha * x[:-1], out=y[1:])
+    return y
+
+
+def deemphasis(signal: np.ndarray, alpha: float = DEFAULT_PREEMPHASIS) -> np.ndarray:
+    """Invert :func:`preemphasis` (useful for round-trip testing)."""
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError("alpha must be in [0, 1)")
+    y = np.asarray(signal, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    x = np.empty_like(y)
+    acc = 0.0
+    for n in range(y.size):  # IIR recurrence; sequential by nature.
+        acc = y[n] + alpha * acc
+        x[n] = acc
+    return x

@@ -1,0 +1,64 @@
+"""Short-Time Fourier Transform on framed signals.
+
+The paper performs an STFT on 25 ms frames: each row of the resulting
+complex matrix is a time frame, each column a frequency bin, and the
+magnitude of each entry is the amplitude of that band at that time
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.framing import frame_signal
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (FFT size convention)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return 1 << (n - 1).bit_length()
+
+
+def stft(
+    signal: np.ndarray,
+    frame_length: int,
+    frame_shift: int,
+    window: np.ndarray | None = None,
+    n_fft: int | None = None,
+) -> np.ndarray:
+    """Complex STFT of shape ``(num_frames, n_fft // 2 + 1)``.
+
+    ``n_fft`` defaults to the next power of two above ``frame_length``.
+    Only the non-negative-frequency half is returned (the input is real).
+    """
+    frames = frame_signal(signal, frame_length, frame_shift, window=window)
+    if n_fft is None:
+        n_fft = next_power_of_two(frame_length)
+    if n_fft < frame_length:
+        raise ValueError("n_fft must be >= frame_length")
+    return np.fft.rfft(frames, n=n_fft, axis=1)
+
+
+def magnitude_spectrogram(
+    signal: np.ndarray,
+    frame_length: int,
+    frame_shift: int,
+    window: np.ndarray | None = None,
+    n_fft: int | None = None,
+) -> np.ndarray:
+    """Magnitude of the STFT: ``|STFT|``."""
+    return np.abs(stft(signal, frame_length, frame_shift, window, n_fft))
+
+
+def power_spectrogram(
+    signal: np.ndarray,
+    frame_length: int,
+    frame_shift: int,
+    window: np.ndarray | None = None,
+    n_fft: int | None = None,
+) -> np.ndarray:
+    """Power spectrum ``|STFT|^2 / n_fft`` (Kaldi-style normalization)."""
+    spec = stft(signal, frame_length, frame_shift, window, n_fft)
+    n = 2 * (spec.shape[1] - 1) if spec.shape[1] > 1 else 1
+    return (spec.real**2 + spec.imag**2) / float(n)

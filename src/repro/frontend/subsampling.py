@@ -1,0 +1,152 @@
+"""Convolutional subsampling front block.
+
+The paper passes the 80-dim log-mel features through a 2D convolutional
+layer followed by a max-pool layer before the Transformer encoder
+(Section 3.1).  We implement the standard two-stage form used by ESPnet:
+two (conv 3x3 + ReLU + max-pool 2x2) stages, which reduce the time axis
+by 4x, followed by a linear projection onto ``d_model``.  The time
+reduction is what turns a multi-second utterance into the short
+"sequence length" (s = 4..32) the accelerator operates on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv2d(
+    image: np.ndarray, kernels: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Valid-mode multi-channel 2-D convolution (cross-correlation).
+
+    ``image`` has shape ``(C_in, H, W)``; ``kernels`` has shape
+    ``(C_out, C_in, kH, kW)``.  Returns ``(C_out, H-kH+1, W-kW+1)``.
+    Implemented with a sliding-window view + one einsum so the hot loop
+    is a single BLAS-backed contraction.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    ker = np.asarray(kernels, dtype=np.float64)
+    if img.ndim != 3 or ker.ndim != 4:
+        raise ValueError("image must be (C,H,W) and kernels (O,C,kH,kW)")
+    c_out, c_in, kh, kw = ker.shape
+    if img.shape[0] != c_in:
+        raise ValueError(
+            f"channel mismatch: image has {img.shape[0]}, kernels expect {c_in}"
+        )
+    if img.shape[1] < kh or img.shape[2] < kw:
+        raise ValueError("image smaller than kernel")
+    windows = np.lib.stride_tricks.sliding_window_view(img, (kh, kw), axis=(1, 2))
+    # windows: (C_in, H', W', kH, kW)
+    out = np.einsum("chwij,ocij->ohw", windows, ker, optimize=True)
+    if bias is not None:
+        b = np.asarray(bias, dtype=np.float64)
+        if b.shape != (c_out,):
+            raise ValueError(f"bias must have shape ({c_out},)")
+        out = out + b[:, None, None]
+    return out
+
+
+def max_pool2d(image: np.ndarray, pool: int = 2) -> np.ndarray:
+    """Non-overlapping max pooling over the trailing two axes.
+
+    Trailing rows/columns that do not fill a complete pool window are
+    dropped (floor semantics), matching the hardware-friendly layout.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 3:
+        raise ValueError("image must be (C, H, W)")
+    if pool <= 0:
+        raise ValueError("pool must be positive")
+    c, h, w = img.shape
+    h2, w2 = h // pool, w // pool
+    if h2 == 0 or w2 == 0:
+        raise ValueError("image too small for pool size")
+    trimmed = img[:, : h2 * pool, : w2 * pool]
+    return trimmed.reshape(c, h2, pool, w2, pool).max(axis=(2, 4))
+
+
+class Conv2dSubsampling:
+    """Two-stage conv/pool subsampler projecting features to d_model.
+
+    Stage k: conv 3x3 (valid) -> ReLU -> max-pool 2x2.  After two stages
+    the time axis has shrunk by ~4x; the flattened channel x frequency
+    planes of each remaining frame are linearly projected to ``d_model``.
+    """
+
+    KERNEL = 3
+    POOL = 2
+
+    def __init__(
+        self,
+        feature_dim: int,
+        d_model: int,
+        channels: int = 16,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if feature_dim <= 0 or d_model <= 0 or channels <= 0:
+            raise ValueError("feature_dim, d_model and channels must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.feature_dim = feature_dim
+        self.d_model = d_model
+        self.channels = channels
+
+        k = self.KERNEL
+        scale1 = 1.0 / np.sqrt(k * k)
+        scale2 = 1.0 / np.sqrt(channels * k * k)
+        self.conv1_w = scale1 * rng.standard_normal((channels, 1, k, k))
+        self.conv1_b = np.zeros(channels)
+        self.conv2_w = scale2 * rng.standard_normal((channels, channels, k, k))
+        self.conv2_b = np.zeros(channels)
+
+        freq_after = self.output_freq_dim(feature_dim)
+        if freq_after <= 0:
+            raise ValueError(
+                f"feature_dim {feature_dim} too small for two conv/pool stages"
+            )
+        flat = channels * freq_after
+        self.proj_w = rng.standard_normal((flat, d_model)) / np.sqrt(flat)
+        self.proj_b = np.zeros(d_model)
+
+    @classmethod
+    def _stage_len(cls, n: int) -> int:
+        """Length of one axis after conv 3x3 valid + max-pool 2x2."""
+        return max((n - (cls.KERNEL - 1)) // cls.POOL, 0)
+
+    @classmethod
+    def output_time_dim(cls, num_frames: int) -> int:
+        """Sequence length produced from ``num_frames`` input frames."""
+        return cls._stage_len(cls._stage_len(num_frames))
+
+    @classmethod
+    def output_freq_dim(cls, feature_dim: int) -> int:
+        return cls._stage_len(cls._stage_len(feature_dim))
+
+    @classmethod
+    def min_input_frames(cls) -> int:
+        """Fewest input frames that yield a non-empty output sequence."""
+        # Invert output_time_dim(n) >= 1 analytically for k=3, pool=2.
+        n = 1
+        while cls.output_time_dim(n) < 1:
+            n += 1
+        return n
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        """Map (T, feature_dim) log-mel features to (s, d_model)."""
+        f = np.asarray(features, dtype=np.float64)
+        if f.ndim != 2 or f.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"features must be (T, {self.feature_dim}); got {f.shape}"
+            )
+        if self.output_time_dim(f.shape[0]) < 1:
+            raise ValueError(
+                f"need at least {self.min_input_frames()} frames; got {f.shape[0]}"
+            )
+        x = f[None, :, :]  # (1, T, F) single input channel
+        x = np.maximum(conv2d(x, self.conv1_w, self.conv1_b), 0.0)
+        x = max_pool2d(x, self.POOL)
+        x = np.maximum(conv2d(x, self.conv2_w, self.conv2_b), 0.0)
+        x = max_pool2d(x, self.POOL)
+        # (C, s, F') -> (s, C*F') -> (s, d_model)
+        c, s, freq = x.shape
+        flat = x.transpose(1, 0, 2).reshape(s, c * freq)
+        return flat @ self.proj_w + self.proj_b

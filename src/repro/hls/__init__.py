@@ -1,0 +1,29 @@
+"""A miniature Vitis-HLS scheduling model (paper Sections 2.2.5-2.2.6).
+
+The paper's accelerator is written in C++/OpenCL and shaped by HLS
+pragmas — PIPELINE, UNROLL, ARRAY_PARTITION, DATAFLOW.  This package
+models what the HLS scheduler does with them: a loop-nest IR whose
+latency, initiation interval and resource usage are derived from trip
+counts, operation latencies, unroll replication and memory-port
+contention.  ``repro.hls.designs`` expresses Algorithm 1 (the partially
+unrolled systolic array) in the IR and recovers the same cycle/resource
+behaviour the rest of the simulator assumes — including the paper's
+"~16x latency for a big resource saving" partial-unroll trade-off.
+"""
+
+from repro.hls.ir import Array, Loop, Op, Partition, Region
+from repro.hls.designs import matmul_nest, psa_design_report
+from repro.hls.schedule import ResourceUsage, ScheduleReport, schedule_region
+
+__all__ = [
+    "Array",
+    "Loop",
+    "Op",
+    "Partition",
+    "Region",
+    "matmul_nest",
+    "psa_design_report",
+    "ResourceUsage",
+    "ScheduleReport",
+    "schedule_region",
+]

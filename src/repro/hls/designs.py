@@ -1,0 +1,130 @@
+"""Algorithm 1 (the partially unrolled systolic array) in the HLS IR.
+
+The paper's Algorithm 1 is a matmul loop nest with the ``i`` loop
+partially unrolled (factor 2 in the deployed design) and the ``j`` loop
+fully unrolled over the 64 array columns, pipelined along the shared
+``k`` dimension with the operand/accumulator arrays partitioned so the
+pipeline achieves II = 1.  ``matmul_nest`` builds exactly that design
+point; ``psa_design_report`` sweeps the row unroll to recover the
+"~16x latency for the resource savings" trade-off of Section 4.4 and
+shows why ARRAY_PARTITION is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.ir import Array, Loop, Op, Partition, Region
+from repro.hls.schedule import ScheduleReport, schedule_region
+from repro.hw.systolic import SystolicArray, ceil_div
+
+#: fp32 MAC: one DSP48 multiplier + LUT-fabric accumulate (matching the
+#: fitted per-PE costs of repro.hw.resources).
+MAC_OP_DSP = 1.0
+MAC_OP_FF = 880
+MAC_OP_LUT = 640
+#: fp32 multiply-add pipeline depth.
+MAC_LATENCY = 8
+
+
+def matmul_nest(
+    l: int,
+    m: int,
+    n: int,
+    row_unroll: int = 2,
+    col_unroll: int = 64,
+    partitioned: bool = True,
+) -> Region:
+    """Algorithm 1 as an HLS region for an (l x m) @ (m x n) product.
+
+    The outer loop walks the ``ceil(l/R) * ceil(n/C)`` output tiles;
+    the inner ``k`` loop streams the shared dimension (plus the systolic
+    skew fill of R + C) with a PIPELINE pragma; the MAC grid is the
+    spatially replicated body.  ``partitioned=False`` drops the
+    ARRAY_PARTITION pragmas, exposing the port-pressure trap.
+    """
+    if min(l, m, n) <= 0:
+        raise ValueError("matrix dims must be positive")
+    if row_unroll < 1 or col_unroll < 1:
+        raise ValueError("unroll factors must be >= 1")
+    grid = row_unroll * col_unroll
+    style = Partition.COMPLETE if partitioned else Partition.NONE
+    factor = 1
+    arrays = (
+        Array("a_regs", depth=max(grid, 2), partition=style, factor=factor),
+        Array("b_regs", depth=max(grid, 2), partition=style, factor=factor),
+        Array("c_accum", depth=max(grid, 2), partition=style, factor=factor),
+    )
+    mac = Op(
+        "mac",
+        latency=MAC_LATENCY,
+        dsp=MAC_OP_DSP,
+        ff=MAC_OP_FF,
+        lut=MAC_OP_LUT,
+        reads=("a_regs", "b_regs", "c_accum"),
+        writes=("c_accum",),
+        copies=grid,
+    )
+    k_loop = Loop(
+        name="k_stream",
+        trip=m + row_unroll + col_unroll,  # stream + skew fill/drain
+        body_ops=(mac,),
+        pipeline_ii=1,
+    )
+    tiles = ceil_div(l, row_unroll) * ceil_div(n, col_unroll)
+    tile_loop = Loop(name="output_tiles", trip=tiles, children=(k_loop,))
+    return Region(
+        name=f"psa_{row_unroll}x{col_unroll}", arrays=arrays, loops=(tile_loop,)
+    )
+
+
+@dataclass(frozen=True)
+class PsaDesignPoint:
+    """One Algorithm-1 unroll choice, scheduled."""
+
+    row_unroll: int
+    col_unroll: int
+    report: ScheduleReport
+    #: The analytic cycle count the rest of the simulator uses.
+    analytic_cycles: int
+
+    @property
+    def latency(self) -> int:
+        return self.report.latency
+
+    @property
+    def dsp(self) -> float:
+        return self.report.resources.dsp
+
+    @property
+    def lut(self) -> int:
+        return self.report.resources.lut
+
+
+def psa_design_report(
+    l: int = 32,
+    m: int = 64,
+    n: int = 64,
+    row_options: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    col_unroll: int = 64,
+) -> list[PsaDesignPoint]:
+    """Schedule Algorithm 1 across row-unroll factors.
+
+    The analytic column comes from :class:`SystolicArray.pass_cycles`;
+    the HLS schedule should agree up to the per-tile loop overhead —
+    the two models of the same hardware must tell the same story.
+    """
+    points = []
+    for rows in row_options:
+        region = matmul_nest(l, m, n, row_unroll=rows, col_unroll=col_unroll)
+        report = schedule_region(region)
+        analytic = SystolicArray(rows=rows, cols=col_unroll).pass_cycles(l, m, n)
+        points.append(
+            PsaDesignPoint(
+                row_unroll=rows,
+                col_unroll=col_unroll,
+                report=report,
+                analytic_cycles=analytic,
+            )
+        )
+    return points

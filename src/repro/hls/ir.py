@@ -1,0 +1,146 @@
+"""Loop-nest intermediate representation with HLS pragmas.
+
+A :class:`Region` contains loops executed sequentially (or concurrently
+under DATAFLOW); a :class:`Loop` has a trip count, optional PIPELINE /
+UNROLL pragmas, child loops and leaf :class:`Op` s; an :class:`Op`
+reads/writes :class:`Array` s (whose ARRAY_PARTITION pragma sets the
+available memory ports) and carries a latency plus resource cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Partition(str, Enum):
+    """ARRAY_PARTITION styles (Section 2.2.6)."""
+
+    NONE = "none"  # one BRAM, two ports
+    CYCLIC = "cyclic"
+    BLOCK = "block"
+    COMPLETE = "complete"  # registers: unlimited ports
+
+
+@dataclass(frozen=True)
+class Array:
+    """An on-chip buffer with a banking (partition) pragma."""
+
+    name: str
+    depth: int
+    partition: Partition = Partition.NONE
+    #: Banks produced by a cyclic/block partition.
+    factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise ValueError("depth must be positive")
+        if self.factor < 1:
+            raise ValueError("factor must be >= 1")
+        if self.partition in (Partition.NONE,) and self.factor != 1:
+            raise ValueError("unpartitioned arrays have factor 1")
+
+    @property
+    def ports(self) -> int:
+        """Concurrent accesses per cycle the banking supports."""
+        if self.partition is Partition.COMPLETE:
+            # Fully registered: every element has its own flops, so
+            # any number of concurrent accesses is fine.
+            return 1 << 30
+        # Dual-port BRAM per bank.
+        return 2 * self.factor
+
+
+@dataclass(frozen=True)
+class Op:
+    """A leaf operation: latency, resources, array accesses.
+
+    ``copies`` models spatial replication (e.g. the rows x cols MAC
+    grid of a systolic array): the copies run in parallel, so they
+    multiply resources and memory accesses but not the critical path.
+    """
+
+    name: str
+    latency: int = 1
+    dsp: float = 0.0
+    ff: int = 0
+    lut: int = 0
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError("latency must be >= 1")
+        if self.dsp < 0 or self.ff < 0 or self.lut < 0:
+            raise ValueError("resources must be non-negative")
+        if self.copies < 1:
+            raise ValueError("copies must be >= 1")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop with optional PIPELINE / UNROLL pragmas."""
+
+    name: str
+    trip: int
+    body_ops: tuple[Op, ...] = ()
+    children: tuple["Loop", ...] = ()
+    #: PIPELINE pragma: target initiation interval (None = not pipelined).
+    pipeline_ii: int | None = None
+    #: UNROLL pragma: replication factor (1 = rolled).
+    unroll: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trip < 1:
+            raise ValueError("trip count must be >= 1")
+        if self.unroll < 1:
+            raise ValueError("unroll factor must be >= 1")
+        if self.pipeline_ii is not None and self.pipeline_ii < 1:
+            raise ValueError("pipeline II must be >= 1")
+        if self.pipeline_ii is not None and self.children:
+            # Vitis fully unrolls loops under a pipelined loop; we ask
+            # the designer to do that explicitly.
+            raise ValueError(
+                f"loop '{self.name}': pipelined loops cannot contain "
+                "child loops (unroll them first)"
+            )
+        if not self.body_ops and not self.children:
+            raise ValueError(f"loop '{self.name}' has an empty body")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A function body: arrays + top-level loops.
+
+    With ``dataflow=True`` the loops run as concurrent processes
+    (latency = max); otherwise sequentially (latency = sum).
+    """
+
+    name: str
+    arrays: tuple[Array, ...] = ()
+    loops: tuple[Loop, ...] = ()
+    dataflow: bool = False
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise ValueError("array names must be unique")
+        if not self.loops:
+            raise ValueError(f"region '{self.name}' has no loops")
+
+    def array(self, name: str) -> Array:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(f"no array named '{name}' in region '{self.name}'")
+
+
+def flatten_ops(loop: Loop) -> list[tuple[Op, int]]:
+    """All (op, executions-per-outer-iteration) pairs under a loop."""
+    result = [(op, loop.trip) for op in loop.body_ops]
+    for child in loop.children:
+        result.extend(
+            (op, count * loop.trip) for op, count in flatten_ops(child)
+        )
+    return result

@@ -1,0 +1,161 @@
+"""The HLS scheduler: derive latency / II / resources from the IR.
+
+Scheduling rules (a faithful simplification of what Vitis HLS reports):
+
+* **Pipelined loop**: ``latency = depth + II_eff * (trip/unroll - 1)``
+  where depth is the body's critical path and the achieved II is the
+  max of the requested II and every array's port-pressure bound
+  ``ceil(accesses_per_iteration / ports)``.
+* **Rolled loop**: ``latency = trip/unroll * body_latency`` (+1 cycle
+  loop overhead per iteration).
+* **UNROLL**: replicates the body resources ``factor`` times and cuts
+  the trip count; accesses per cycle multiply, so unrolling without
+  partitioning the arrays *worsens* the port bound — the classic HLS
+  trap the ARRAY_PARTITION pragma exists to fix.
+* **Sequential region**: latencies add; **DATAFLOW region**: the
+  processes overlap, latency = max (Section 2.2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.ir import Array, Loop, Op, Region, flatten_ops
+from repro.hw.systolic import ceil_div
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Accumulated fabric resources of a scheduled design."""
+
+    dsp: float = 0.0
+    ff: int = 0
+    lut: int = 0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            dsp=self.dsp + other.dsp,
+            ff=self.ff + other.ff,
+            lut=self.lut + other.lut,
+        )
+
+    def scaled(self, factor: int) -> "ResourceUsage":
+        return ResourceUsage(
+            dsp=self.dsp * factor, ff=self.ff * factor, lut=self.lut * factor
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """What the scheduler derived for one loop or region."""
+
+    name: str
+    latency: int
+    achieved_ii: int | None
+    resources: ResourceUsage
+    #: Arrays whose port pressure limited the II, with their bound.
+    port_bounds: dict[str, int] = field(default_factory=dict)
+
+
+def _body_resources(loop: Loop) -> ResourceUsage:
+    total = ResourceUsage()
+    for op in loop.body_ops:
+        total = total + ResourceUsage(
+            dsp=op.dsp, ff=op.ff, lut=op.lut
+        ).scaled(op.copies)
+    for child in loop.children:
+        total = total + _body_resources(child).scaled(child.unroll)
+    return total
+
+
+def _body_depth(loop: Loop, arrays: dict[str, Array]) -> int:
+    """Critical path of one iteration (ops chain sequentially)."""
+    depth = sum(op.latency for op in loop.body_ops)
+    for child in loop.children:
+        depth += _schedule_loop(child, arrays).latency
+    return max(depth, 1)
+
+
+def _port_bound(loop: Loop, arrays: dict[str, Array]) -> dict[str, int]:
+    """Per-array II lower bound from memory-port contention.
+
+    Counts accesses issued per pipelined iteration *after* unrolling.
+    """
+    access_counts: dict[str, int] = {}
+    for op, _count in flatten_ops(loop):
+        for name in list(op.reads) + list(op.writes):
+            access_counts[name] = (
+                access_counts.get(name, 0) + loop.unroll * op.copies
+            )
+    bounds = {}
+    for name, accesses in access_counts.items():
+        if name not in arrays:
+            continue
+        ports = arrays[name].ports
+        bound = ceil_div(accesses, ports)
+        if bound > 1:
+            bounds[name] = bound
+    return bounds
+
+
+def _schedule_loop(loop: Loop, arrays: dict[str, Array]) -> ScheduleReport:
+    effective_trip = ceil_div(loop.trip, loop.unroll)
+    resources = _body_resources(loop).scaled(loop.unroll)
+
+    if loop.pipeline_ii is not None:
+        depth = _body_depth(loop, arrays)
+        bounds = _port_bound(loop, arrays)
+        achieved = max([loop.pipeline_ii] + list(bounds.values()))
+        latency = depth + achieved * (effective_trip - 1)
+        return ScheduleReport(
+            name=loop.name,
+            latency=latency,
+            achieved_ii=achieved,
+            resources=resources,
+            port_bounds=bounds,
+        )
+
+    # Rolled (or partially unrolled) loop: iterations serialize, one
+    # cycle of loop-control overhead each.
+    body_latency = _body_depth(loop, arrays)
+    latency = effective_trip * (body_latency + 1)
+    child_bounds: dict[str, int] = {}
+    for child in loop.children:
+        for name, bound in _schedule_loop(child, arrays).port_bounds.items():
+            child_bounds[name] = max(child_bounds.get(name, 0), bound)
+    return ScheduleReport(
+        name=loop.name,
+        latency=latency,
+        achieved_ii=None,
+        resources=resources,
+        port_bounds=child_bounds,
+    )
+
+
+def schedule_loop(loop: Loop, arrays: tuple[Array, ...] = ()) -> ScheduleReport:
+    """Schedule a single loop nest against the given arrays."""
+    return _schedule_loop(loop, {a.name: a for a in arrays})
+
+
+def schedule_region(region: Region) -> ScheduleReport:
+    """Schedule a full region (sequential or DATAFLOW)."""
+    arrays = {a.name: a for a in region.arrays}
+    reports = [_schedule_loop(loop, arrays) for loop in region.loops]
+    resources = ResourceUsage()
+    for r in reports:
+        resources = resources + r.resources
+    if region.dataflow:
+        latency = max(r.latency for r in reports)
+    else:
+        latency = sum(r.latency for r in reports)
+    port_bounds: dict[str, int] = {}
+    for r in reports:
+        for name, bound in r.port_bounds.items():
+            port_bounds[name] = max(port_bounds.get(name, 0), bound)
+    return ScheduleReport(
+        name=region.name,
+        latency=latency,
+        achieved_ii=None,
+        resources=resources,
+        port_bounds=port_bounds,
+    )

@@ -1,0 +1,33 @@
+"""Host-side process flow (paper Section 2.2.7).
+
+The paper's host orchestrates the accelerator through OpenCL: create a
+context for the card, build the program (one kernel per SLR), allocate
+device buffers, DMA the inputs over PCIe, enqueue kernels with event
+dependencies, and read results back.  This package models that runtime
+— in-order command queues, events, device-memory accounting — and
+re-expresses the end-to-end inference as an OpenCL command graph whose
+makespan agrees with the cycle model's latency report.
+"""
+
+from repro.host.flow import HostFlowReport, run_inference_flow
+from repro.host.opencl import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Device,
+    Event,
+    Kernel,
+    Program,
+)
+
+__all__ = [
+    "HostFlowReport",
+    "run_inference_flow",
+    "Buffer",
+    "CommandQueue",
+    "Context",
+    "Device",
+    "Event",
+    "Kernel",
+    "Program",
+]

@@ -1,0 +1,139 @@
+"""The Section 2.2.7 host process flow as an OpenCL command graph.
+
+Stages, exactly as the paper lists them:
+
+1. initialize the platform, create the context, build the program
+   (one kernel per SLR);
+2. allocate device buffers and DMA the model weights into HBM once;
+3. per inference: DMA the input features, launch the kernels (whose
+   duration is the cycle model's scheduled load/compute chain), DMA
+   the result back — with the next input's transfer overlapping the
+   current kernel on a second queue.
+
+The per-inference makespan must agree with
+:class:`repro.hw.controller.LatencyReport` — the host model and the
+cycle model are two views of the same machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+from repro.hw.controller import LatencyModel
+from repro.hw.scheduler import Architecture
+from repro.hw.trace import Timeline
+from repro.model.flops import weight_bytes
+from repro.host.opencl import CommandQueue, Context, Device, Kernel, Program
+
+#: Modeled one-time host overheads (seconds): OpenCL platform/context
+#: initialization and xclbin download/program build.
+CONTEXT_SETUP_S = 0.050
+PROGRAM_BUILD_S = 0.400
+
+
+@dataclass(frozen=True)
+class HostFlowReport:
+    """Timing account of the full host flow."""
+
+    setup_s: float
+    weight_upload_s: float
+    #: Per-inference spans [(start, end)] in seconds after setup.
+    inference_spans: tuple[tuple[float, float], ...]
+    timeline: Timeline
+    allocated_bytes: int
+
+    @property
+    def num_inferences(self) -> int:
+        return len(self.inference_spans)
+
+    @property
+    def first_inference_s(self) -> float:
+        start, end = self.inference_spans[0]
+        return end - start
+
+    @property
+    def steady_spacing_s(self) -> float:
+        """Spacing between consecutive inference completions."""
+        if self.num_inferences < 2:
+            raise ValueError("need >= 2 inferences for a spacing")
+        ends = [end for _, end in self.inference_spans]
+        return (ends[-1] - ends[0]) / (len(ends) - 1)
+
+    @property
+    def total_s(self) -> float:
+        return self.timeline.makespan
+
+
+def run_inference_flow(
+    latency_model: LatencyModel | None = None,
+    s: int = 32,
+    architecture: Architecture | str = Architecture.A3,
+    num_inferences: int = 1,
+    device: Device | None = None,
+) -> HostFlowReport:
+    """Execute the host flow against the simulated runtime."""
+    if s <= 0:
+        raise ValueError("s must be positive")
+    if num_inferences < 1:
+        raise ValueError("num_inferences must be >= 1")
+    lm = latency_model or LatencyModel()
+    model: ModelConfig = lm.model
+    device = device or Device(hardware=lm.hardware)
+    context = Context(device)
+
+    # --- stage 1: platform / context / program.
+    setup_queue = CommandQueue(context, "host")
+    setup_queue.enqueue_marker("create_context", CONTEXT_SETUP_S)
+    setup_queue.enqueue_marker("build_program", PROGRAM_BUILD_S)
+    program = Program(
+        kernels=tuple(
+            Kernel(f"transformer_slr{i}", slr=i)
+            for i in range(device.hardware.num_slrs)
+        )
+    )
+
+    # --- stage 2: buffers + one-time weight upload.
+    bpe = device.hardware.bytes_per_element
+    weights = context.alloc(weight_bytes(model, bpe), "weights")
+    io_bytes = s * model.d_model * bpe
+    inputs = [
+        context.alloc(io_bytes, f"input{i}") for i in range(num_inferences)
+    ]
+    outputs = [
+        context.alloc(io_bytes, f"output{i}") for i in range(num_inferences)
+    ]
+    # Separate host->device and device->host DMA queues (PCIe is full
+    # duplex) so the next input's upload overlaps the current kernel.
+    dma_in = CommandQueue(context, "dma_h2d")
+    dma_out = CommandQueue(context, "dma_d2h")
+    compute = CommandQueue(context, "compute")
+    setup_done = setup_queue.events[-1]
+    weights_ev = dma_in.enqueue_write_buffer(weights, wait_for=[setup_done])
+
+    # --- stage 3: inferences, input DMA overlapping the prior kernel.
+    report = lm.latency_report(s, architecture)
+    kernel = program.kernel("transformer_slr0")
+    spans = []
+    prev_kernel = None
+    for i in range(num_inferences):
+        deps = [weights_ev]
+        write_ev = dma_in.enqueue_write_buffer(inputs[i], wait_for=deps)
+        kdeps = [write_ev] + ([prev_kernel] if prev_kernel else [])
+        kernel_ev = compute.enqueue_kernel(
+            kernel, report.schedule_cycles, wait_for=kdeps
+        )
+        read_ev = dma_out.enqueue_read_buffer(outputs[i], wait_for=[kernel_ev])
+        spans.append((write_ev.start_s, read_ev.end_s))
+        prev_kernel = kernel_ev
+
+    dma_in.finish()
+    dma_out.finish()
+    compute.finish()
+    return HostFlowReport(
+        setup_s=setup_done.end_s,
+        weight_upload_s=weights_ev.duration_s,
+        inference_spans=tuple(spans),
+        timeline=context.timeline,
+        allocated_bytes=context.allocated_bytes,
+    )

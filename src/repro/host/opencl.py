@@ -1,0 +1,234 @@
+"""A simulated OpenCL-style runtime: devices, contexts, buffers,
+in-order command queues and events.
+
+Times are in seconds of simulated wall-clock.  Transfers are priced by
+the PCIe model; kernel durations are supplied by the caller (the cycle
+model).  Command queues are in-order (the OpenCL default the paper's
+host code uses); dependencies across queues go through event wait
+lists, exactly like ``clEnqueueNDRangeKernel`` with ``event_wait_list``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.config import HardwareConfig
+from repro.hw.memory import PcieModel
+from repro.hw.trace import Timeline
+
+#: Alveo U50 device global memory (8 GB HBM2).
+DEFAULT_GLOBAL_MEMORY_BYTES = 8 * 1024**3
+
+
+@dataclass(frozen=True)
+class Device:
+    """One accelerator card."""
+
+    name: str = "xilinx_u50_gen3x16_xdma"
+    hardware: HardwareConfig = field(default_factory=HardwareConfig)
+    global_memory_bytes: int = DEFAULT_GLOBAL_MEMORY_BYTES
+
+    def __post_init__(self) -> None:
+        if self.global_memory_bytes <= 0:
+            raise ValueError("global_memory_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class Event:
+    """Completion handle of one enqueued command."""
+
+    event_id: int
+    label: str
+    queue_name: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("event ends before it starts")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Context:
+    """Owns device memory and the event clock (one device)."""
+
+    def __init__(self, device: Device | None = None) -> None:
+        self.device = device or Device()
+        self._allocated = 0
+        self._event_counter = itertools.count()
+        self._pcie = PcieModel(self.device.hardware)
+        self.timeline = Timeline()
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    def alloc(self, size: int, name: str) -> "Buffer":
+        if size <= 0:
+            raise ValueError("buffer size must be positive")
+        if self._allocated + size > self.device.global_memory_bytes:
+            raise MemoryError(
+                f"device memory exhausted allocating '{name}': "
+                f"{self._allocated + size} > {self.device.global_memory_bytes}"
+            )
+        self._allocated += size
+        return Buffer(context=self, name=name, size=size)
+
+    def free(self, buffer: "Buffer") -> None:
+        if buffer.released:
+            raise ValueError(f"buffer '{buffer.name}' already released")
+        self._allocated -= buffer.size
+        buffer.released = True
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        return self._pcie.transfer_seconds(num_bytes)
+
+    def next_event_id(self) -> int:
+        return next(self._event_counter)
+
+
+@dataclass
+class Buffer:
+    """A device global-memory allocation."""
+
+    context: Context
+    name: str
+    size: int
+    released: bool = False
+
+
+@dataclass(frozen=True)
+class Program:
+    """A compiled xclbin: kernels pinned to SLRs."""
+
+    kernels: tuple["Kernel", ...]
+
+    def kernel(self, name: str) -> "Kernel":
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(f"no kernel named '{name}'")
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One compute kernel, placed on one SLR."""
+
+    name: str
+    slr: int
+
+    def __post_init__(self) -> None:
+        if self.slr < 0:
+            raise ValueError("slr must be non-negative")
+
+
+class CommandQueue:
+    """An in-order command queue bound to a context."""
+
+    def __init__(self, context: Context, name: str) -> None:
+        self.context = context
+        self.name = name
+        self._ready_s = 0.0
+        self.events: list[Event] = []
+
+    def _enqueue(
+        self,
+        label: str,
+        duration_s: float,
+        wait_for: list[Event] | None,
+        kind: str,
+    ) -> Event:
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        start = self._ready_s
+        for ev in wait_for or ():
+            start = max(start, ev.end_s)
+        end = start + duration_s
+        event = Event(
+            event_id=self.context.next_event_id(),
+            label=label,
+            queue_name=self.name,
+            start_s=start,
+            end_s=end,
+        )
+        self._ready_s = end
+        self.events.append(event)
+        self.context.timeline.add(
+            self.name, label, start, end, kind=kind
+        )
+        return event
+
+    def enqueue_marker(
+        self,
+        label: str,
+        duration_s: float,
+        wait_for: list[Event] | None = None,
+    ) -> Event:
+        """A host-side operation of known duration (setup, build)."""
+        return self._enqueue(label, duration_s, wait_for, kind="overhead")
+
+    def enqueue_write_buffer(
+        self,
+        buffer: Buffer,
+        num_bytes: int | None = None,
+        wait_for: list[Event] | None = None,
+    ) -> Event:
+        """DMA host -> device over PCIe."""
+        self._check_buffer(buffer)
+        size = buffer.size if num_bytes is None else num_bytes
+        if not 0 < size <= buffer.size:
+            raise ValueError("write size must be in (0, buffer.size]")
+        return self._enqueue(
+            f"write:{buffer.name}",
+            self.context.transfer_seconds(size),
+            wait_for,
+            kind="load",
+        )
+
+    def enqueue_read_buffer(
+        self,
+        buffer: Buffer,
+        num_bytes: int | None = None,
+        wait_for: list[Event] | None = None,
+    ) -> Event:
+        """DMA device -> host over PCIe."""
+        self._check_buffer(buffer)
+        size = buffer.size if num_bytes is None else num_bytes
+        if not 0 < size <= buffer.size:
+            raise ValueError("read size must be in (0, buffer.size]")
+        return self._enqueue(
+            f"read:{buffer.name}",
+            self.context.transfer_seconds(size),
+            wait_for,
+            kind="store",
+        )
+
+    def enqueue_kernel(
+        self,
+        kernel: Kernel,
+        duration_cycles: float,
+        wait_for: list[Event] | None = None,
+    ) -> Event:
+        """Launch a kernel whose duration the cycle model supplies."""
+        if duration_cycles < 0:
+            raise ValueError("duration_cycles must be non-negative")
+        seconds = duration_cycles / (
+            self.context.device.hardware.clock_mhz * 1e6
+        )
+        return self._enqueue(
+            f"kernel:{kernel.name}", seconds, wait_for, kind="compute"
+        )
+
+    def finish(self) -> float:
+        """Block until the queue drains; returns the drain time."""
+        return self._ready_s
+
+    def _check_buffer(self, buffer: Buffer) -> None:
+        if buffer.context is not self.context:
+            raise ValueError("buffer belongs to a different context")
+        if buffer.released:
+            raise ValueError(f"buffer '{buffer.name}' was released")

@@ -1,0 +1,95 @@
+"""The accelerator simulator — the paper's primary contribution.
+
+Layers (bottom-up):
+
+* :mod:`repro.hw.systolic` / :mod:`repro.hw.adder` /
+  :mod:`repro.hw.nonlinear` — the hardware primitives.
+* :mod:`repro.hw.memory` — HBM / PCIe / BRAM models and weight sizing.
+* :mod:`repro.hw.kernels` — the MM1..MM6 stripe schedules.
+* :mod:`repro.hw.blocks` — attention-head / MHA / FFN / encoder /
+  decoder execution per Fig 4.13.
+* :mod:`repro.hw.scheduler` — the A1/A2/A3 load-compute overlap
+  architectures.
+* :mod:`repro.hw.controller` — the top-level controller + cycle model.
+* :mod:`repro.hw.accelerator` — the host-facing facade.
+* :mod:`repro.hw.resources` / :mod:`repro.hw.dse` — resource model and
+  design-space exploration.
+"""
+
+from repro.hw.accelerator import AcceleratorOutput, TransformerAccelerator
+from repro.hw.adder import VectorAdder
+from repro.hw.block_trace import trace_attention_head, trace_encoder_block
+from repro.hw.faults import FaultSpec, inject_faults, measure_impact
+from repro.hw.multicard import multicard_throughput, saturation_point, scaling_sweep
+from repro.hw.verification import verify_case, verify_equivalence
+from repro.hw.controller import (
+    AcceleratorController,
+    ControllerRun,
+    LatencyModel,
+    LatencyReport,
+)
+from repro.hw.dse import (
+    DesignPoint,
+    head_parallelism_sweep,
+    pareto_frontier,
+    psa_dimension_sweep,
+    psa_grid_sweep,
+)
+from repro.hw.kernels import Fabric, KernelResult, matmul_dims
+from repro.hw.resources import ResourceEstimate, check_synthesizable, estimate_resources
+from repro.hw.scheduler import (
+    Architecture,
+    BlockWork,
+    ScheduleResult,
+    schedule,
+    schedule_a1,
+    schedule_a2,
+    schedule_a3,
+)
+from repro.hw.systolic import SystolicArray
+from repro.hw.trace import Timeline, TraceEvent
+from repro.hw.visualize import render_comparison, render_gantt, render_platform_diagram
+
+__all__ = [
+    "AcceleratorOutput",
+    "TransformerAccelerator",
+    "VectorAdder",
+    "trace_attention_head",
+    "trace_encoder_block",
+    "FaultSpec",
+    "inject_faults",
+    "measure_impact",
+    "multicard_throughput",
+    "saturation_point",
+    "scaling_sweep",
+    "verify_case",
+    "verify_equivalence",
+    "AcceleratorController",
+    "ControllerRun",
+    "LatencyModel",
+    "LatencyReport",
+    "DesignPoint",
+    "head_parallelism_sweep",
+    "pareto_frontier",
+    "psa_dimension_sweep",
+    "psa_grid_sweep",
+    "Fabric",
+    "KernelResult",
+    "matmul_dims",
+    "ResourceEstimate",
+    "check_synthesizable",
+    "estimate_resources",
+    "Architecture",
+    "BlockWork",
+    "ScheduleResult",
+    "schedule",
+    "schedule_a1",
+    "schedule_a2",
+    "schedule_a3",
+    "SystolicArray",
+    "Timeline",
+    "TraceEvent",
+    "render_comparison",
+    "render_gantt",
+    "render_platform_diagram",
+]

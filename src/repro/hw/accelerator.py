@@ -1,0 +1,205 @@
+"""Public facade of the accelerator: padding, masking, embedding, and
+the host-visible run/transcribe API (the role of the OpenCL host code
+in Section 2.2.7).
+
+The synthesized hardware handles a *fixed* sequence length ``s``;
+shorter inputs are zero-padded up to ``s`` and masked (Section 5.1.5).
+The facade owns that padding, the look-ahead/padding masks, the decoder
+token embedding and the final output projection + softmax, then hands
+(s x d_model) matrices to the :class:`AcceleratorController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CalibrationConfig, HardwareConfig
+from repro.hw.controller import (
+    AcceleratorController,
+    ControllerRun,
+    LatencyModel,
+    LatencyReport,
+)
+from repro.hw.scheduler import Architecture
+from repro.model.masks import causal_mask, combine_masks
+from repro.model.ops import MODEL_DTYPE, linear, log_softmax
+from repro.model.params import TransformerParams
+
+
+@dataclass(frozen=True)
+class AcceleratorOutput:
+    """Result of one accelerated forward pass."""
+
+    logits: np.ndarray
+    memory: np.ndarray
+    report: LatencyReport
+
+
+class TransformerAccelerator:
+    """Host-side view of the FPGA accelerator.
+
+    Parameters
+    ----------
+    params:
+        Trained (or randomly initialized) Transformer weights.
+    hw_seq_len:
+        The fixed sequence length the hardware was "synthesized" for
+        (the paper evaluates 4, 8, 16 and 32).  Inputs longer than this
+        are rejected; shorter inputs are padded and masked.
+    architecture:
+        Default load/compute overlap architecture (A1, A2 or A3).
+    parallel_heads:
+        Attention heads processed concurrently (Table 5.3); default all.
+    """
+
+    def __init__(
+        self,
+        params: TransformerParams,
+        hw_seq_len: int = 32,
+        architecture: Architecture | str = Architecture.A3,
+        hardware: HardwareConfig | None = None,
+        calibration: CalibrationConfig | None = None,
+        parallel_heads: int | None = None,
+    ) -> None:
+        if hw_seq_len <= 0:
+            raise ValueError("hw_seq_len must be positive")
+        self.params = params
+        self.hw_seq_len = hw_seq_len
+        self.architecture = Architecture(architecture)
+        self.controller = AcceleratorController(
+            params,
+            hardware=hardware,
+            calibration=calibration,
+            parallel_heads=parallel_heads,
+        )
+
+    @property
+    def config(self):
+        return self.params.config
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self.controller.latency_model
+
+    # -------------------------------------------------------- plumbing
+    def _pad_rows(self, x: np.ndarray) -> np.ndarray:
+        """Zero-pad an (n, d_model) matrix to (hw_seq_len, d_model)."""
+        x = np.asarray(x, dtype=MODEL_DTYPE)
+        if x.ndim != 2 or x.shape[1] != self.config.d_model:
+            raise ValueError(
+                f"input must be (n, {self.config.d_model}); got {x.shape}"
+            )
+        n = x.shape[0]
+        if n > self.hw_seq_len:
+            raise ValueError(
+                f"sequence length {n} exceeds the hardware length "
+                f"{self.hw_seq_len}"
+            )
+        if n == self.hw_seq_len:
+            return x
+        padded = np.zeros((self.hw_seq_len, x.shape[1]), dtype=MODEL_DTYPE)
+        padded[:n] = x
+        return padded
+
+    def _key_mask(self, valid: int) -> np.ndarray:
+        """(1, S) broadcastable key-padding mask."""
+        return (np.arange(self.hw_seq_len) < valid)[None, :]
+
+    def embed_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        """Decoder-input embedding lookup, scaled by sqrt(d_model)."""
+        t = np.asarray(tokens, dtype=np.int64)
+        if t.ndim != 1:
+            raise ValueError("tokens must be a 1-D index array")
+        if t.size == 0:
+            raise ValueError("tokens must be non-empty")
+        if t.min() < 0 or t.max() >= self.config.vocab_size:
+            raise ValueError("token index out of vocabulary range")
+        emb = self.params.embedding[t] * np.sqrt(
+            MODEL_DTYPE(self.config.d_model)
+        )
+        return emb.astype(MODEL_DTYPE)
+
+    def output_logits(self, decoder_out: np.ndarray) -> np.ndarray:
+        """Final fully-connected projection to vocabulary logits."""
+        return linear(decoder_out, self.params.output_w, self.params.output_b)
+
+    # ------------------------------------------------------------- run
+    def forward(
+        self,
+        features: np.ndarray,
+        tokens: np.ndarray,
+        architecture: Architecture | str | None = None,
+    ) -> AcceleratorOutput:
+        """Teacher-forced pass on the accelerator.
+
+        ``features`` is the (n, d_model) encoder input (n <= hw_seq_len)
+        and ``tokens`` the decoder prefix.  Returns vocabulary logits
+        for each real decoder position, the un-padded encoder memory and
+        the latency report.
+        """
+        arch = Architecture(architecture) if architecture else self.architecture
+        s_valid = np.asarray(features).shape[0]
+        dec_embed = self.embed_tokens(tokens)
+        t_valid = dec_embed.shape[0]
+
+        enc_in = self._pad_rows(features)
+        dec_in = self._pad_rows(dec_embed)
+        enc_mask = self._key_mask(s_valid)
+        dec_self_mask = combine_masks(
+            causal_mask(self.hw_seq_len), self._key_mask(t_valid)
+        )
+        run: ControllerRun = self.controller.run(
+            enc_in,
+            dec_in,
+            enc_mask=enc_mask,
+            dec_self_mask=dec_self_mask,
+            dec_memory_mask=self._key_mask(s_valid),
+            architecture=arch,
+        )
+        logits = self.output_logits(run.decoder_output[:t_valid])
+        return AcceleratorOutput(
+            logits=logits,
+            memory=run.encoder_output[:s_valid],
+            report=run.report,
+        )
+
+    def log_probs(self, features: np.ndarray, tokens: np.ndarray) -> np.ndarray:
+        """Log posterior over the vocabulary at each decoder position."""
+        return log_softmax(self.forward(features, tokens).logits, axis=-1)
+
+    def step_fn(self, features: np.ndarray):
+        """Build a decoding step function (see :mod:`repro.decoding`).
+
+        The encoder memory is computed once and reused; each step runs
+        the decoder stack over the current prefix.
+        """
+        features = np.asarray(features, dtype=MODEL_DTYPE)
+        s_valid = features.shape[0]
+        enc_in = self._pad_rows(features)
+        enc_mask = self._key_mask(s_valid)
+        memory, _ = self.controller.run_encoder_stack(enc_in, mask=enc_mask)
+        memory_mask = self._key_mask(s_valid)
+
+        def step(tokens: np.ndarray) -> np.ndarray:
+            dec_embed = self.embed_tokens(tokens)
+            t_valid = dec_embed.shape[0]
+            dec_in = self._pad_rows(dec_embed)
+            self_mask = combine_masks(
+                causal_mask(self.hw_seq_len), self._key_mask(t_valid)
+            )
+            dec_out, _ = self.controller.run_decoder_stack(
+                dec_in, memory, self_mask=self_mask, memory_mask=memory_mask
+            )
+            logits = self.output_logits(dec_out[t_valid - 1])
+            return log_softmax(logits, axis=-1)
+
+        return step
+
+    def latency_report(
+        self, s: int | None = None, architecture: Architecture | str | None = None
+    ) -> LatencyReport:
+        """Predicted latency at sequence length ``s`` (default: hw len)."""
+        arch = Architecture(architecture) if architecture else self.architecture
+        return self.latency_model.latency_report(s or self.hw_seq_len, arch)

@@ -1,0 +1,362 @@
+"""Block-level execution: attention heads, MHA, FFN, encoder, decoder.
+
+Implements the block-wise scheduling of Fig 4.13:
+
+* The eight attention heads run concurrently, four per SLR (or in
+  ``8 / parallel_heads`` sequential waves for the Table 5.3 design
+  points).
+* Within a head the three MM1s share one PSA group sequentially;
+  ``B(K)`` overlaps ``MM1(Q)``; the scale + softmax of the attention
+  scores overlap ``MM1(V)`` (their combined latency is below one MM1).
+* MM4/MM5/MM6 are spread across all eight PSAs of both SLRs.
+* Add-Norm splits the residual add over both SLRs, then normalizes.
+
+Each function returns the functional output (fp32, hardware dataflow)
+and the block's compute-cycle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.kernels import (
+    Fabric,
+    mm1,
+    mm1_cycles,
+    mm2,
+    mm2_cycles,
+    mm3,
+    mm3_cycles,
+    mm4,
+    mm4_cycles,
+    mm5,
+    mm5_cycles,
+    mm6,
+    mm6_cycles,
+)
+from repro.hw.nonlinear import (
+    add_norm_unit,
+    bias_unit,
+    relu_unit,
+    scale_scores,
+    softmax_unit,
+)
+from repro.hw.systolic import ceil_div
+from repro.model.params import (
+    AttentionParams,
+    DecoderLayerParams,
+    EncoderLayerParams,
+    FeedForwardParams,
+)
+
+
+@dataclass(frozen=True)
+class BlockResult:
+    """Functional output and compute cycles of one block."""
+
+    output: np.ndarray
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")
+
+
+# --------------------------------------------------------------- cycles
+# Pure cycle estimators sharing the kernel formulas; the functional
+# blocks below delegate to these so data-free latency sweeps (Table 5.1,
+# Fig 5.2) agree exactly with the functional simulation.
+def attention_head_cycles(
+    fabric: Fabric,
+    s_q: int,
+    s_k: int,
+    d_model: int,
+    d_k: int,
+    concurrent_psas: int = 1,
+) -> int:
+    """Latency of one attention head per the Fig 4.13 schedule."""
+    units = fabric.units
+    t_mm1_q = mm1_cycles(fabric, s_q, d_model, d_k, concurrent_psas)
+    t_mm1_kv = mm1_cycles(fabric, s_k, d_model, d_k, concurrent_psas)
+    sc_sm = units.scale_cycles(s_q, s_k) + units.softmax_cycles(s_q, s_k)
+    return (
+        t_mm1_kv  # MM1(K)
+        + max(units.bias_cycles(s_k, d_k), t_mm1_q)  # B(K) || MM1(Q)
+        + units.bias_cycles(s_q, d_k)  # B(Q)
+        + mm2_cycles(fabric, s_q, s_k, d_k)
+        + max(sc_sm, t_mm1_kv)  # Sc+Sm || MM1(V)
+        + units.bias_cycles(s_k, d_k)  # B(V)
+        + mm3_cycles(fabric, s_q, s_k, d_k)
+    )
+
+
+def mha_cycles(
+    fabric: Fabric,
+    s_q: int,
+    s_k: int,
+    num_heads: int,
+    d_model: int,
+    parallel_heads: int | None = None,
+) -> int:
+    """Latency of a full MHA block: head waves + MM4 + B_A."""
+    total_psas = fabric.hardware.total_psas
+    if parallel_heads is None:
+        parallel_heads = min(num_heads, total_psas)
+    if parallel_heads < 1 or parallel_heads > total_psas:
+        raise ValueError(
+            f"parallel_heads must be in [1, {total_psas}]; got {parallel_heads}"
+        )
+    concurrent_psas = max(total_psas // parallel_heads, 1)
+    waves = ceil_div(num_heads, parallel_heads)
+    d_k = d_model // num_heads
+    head = attention_head_cycles(fabric, s_q, s_k, d_model, d_k, concurrent_psas)
+    return (
+        waves * head
+        + mm4_cycles(fabric, s_q, num_heads, d_k, d_model)
+        + fabric.units.bias_cycles(s_q, d_model)
+    )
+
+
+def ffn_cycles(fabric: Fabric, s: int, d_model: int, d_ff: int) -> int:
+    """Latency of the FFN block (MM5 + bias/ReLU + MM6 + bias)."""
+    units = fabric.units
+    return (
+        mm5_cycles(fabric, s, d_model, d_ff)
+        + units.bias_cycles(s, d_ff)
+        + units.relu_cycles(s, d_ff)
+        + mm6_cycles(fabric, s, d_ff, d_model)
+        + units.bias_cycles(s, d_model)
+    )
+
+
+def add_norm_cycles(fabric: Fabric, s: int, d_model: int) -> int:
+    """Latency of the split-Add + Norm block."""
+    add = fabric.units.bias_cycles(s, d_model // fabric.hardware.num_slrs)
+    return add + fabric.units.add_norm_cycles(s, d_model)
+
+
+def encoder_cycles(
+    fabric: Fabric,
+    s: int,
+    num_heads: int,
+    d_model: int,
+    d_ff: int,
+    parallel_heads: int | None = None,
+) -> int:
+    """Compute latency of one encoder layer."""
+    return (
+        mha_cycles(fabric, s, s, num_heads, d_model, parallel_heads)
+        + add_norm_cycles(fabric, s, d_model)
+        + ffn_cycles(fabric, s, d_model, d_ff)
+        + add_norm_cycles(fabric, s, d_model)
+    )
+
+
+def decoder_cycles(
+    fabric: Fabric,
+    t: int,
+    s: int,
+    num_heads: int,
+    d_model: int,
+    d_ff: int,
+    parallel_heads: int | None = None,
+) -> tuple[int, int]:
+    """Compute latency of one decoder layer as (mha_part, ffn_part).
+
+    The split matches the Fig 4.11 load schedule: the M-MHA + cross MHA
+    (with their Add-Norms) form the m-part; the FFN and its Add-Norm
+    form the f-part.
+    """
+    mha_part = (
+        mha_cycles(fabric, t, t, num_heads, d_model, parallel_heads)
+        + add_norm_cycles(fabric, t, d_model)
+        + mha_cycles(fabric, t, s, num_heads, d_model, parallel_heads)
+        + add_norm_cycles(fabric, t, d_model)
+    )
+    ffn_part = ffn_cycles(fabric, t, d_model, d_ff) + add_norm_cycles(
+        fabric, t, d_model
+    )
+    return mha_part, ffn_part
+
+
+def attention_head_block(
+    fabric: Fabric,
+    x_q: np.ndarray,
+    x_kv: np.ndarray,
+    params: AttentionParams,
+    head: int,
+    mask: np.ndarray | None = None,
+    concurrent_psas: int = 1,
+) -> BlockResult:
+    """One attention head on one PSA group, scheduled per Fig 4.13.
+
+    Sequence: MM1(K); B(K) || MM1(Q); B(Q); MM2; Sc+Sm || MM1(V); B(V);
+    MM3.  Overlapped stages contribute ``max`` of their latencies.
+    """
+    if not 0 <= head < params.num_heads:
+        raise ValueError(f"head must be in [0, {params.num_heads})")
+    s_q = x_q.shape[0]
+    s_k = x_kv.shape[0]
+    d_k = params.d_k
+
+    k_res = mm1(fabric, x_kv, params.wk[head], concurrent_psas)
+    k = bias_unit(k_res.output, params.bk[head])
+    q_res = mm1(fabric, x_q, params.wq[head], concurrent_psas)
+    q = bias_unit(q_res.output, params.bq[head])
+    scores_res = mm2(fabric, q, k)
+    scaled = scale_scores(scores_res.output, d_k)
+    weights = softmax_unit(scaled, mask=mask)
+    v_res = mm1(fabric, x_kv, params.wv[head], concurrent_psas)
+    v = bias_unit(v_res.output, params.bv[head])
+    out_res = mm3(fabric, weights, v)
+
+    cycles = attention_head_cycles(
+        fabric, s_q, s_k, params.d_model, d_k, concurrent_psas
+    )
+    return BlockResult(output=out_res.output, cycles=cycles)
+
+
+def mha_block(
+    fabric: Fabric,
+    x_q: np.ndarray,
+    x_kv: np.ndarray,
+    params: AttentionParams,
+    mask: np.ndarray | None = None,
+    parallel_heads: int | None = None,
+) -> BlockResult:
+    """Full MHA: heads in parallel waves, concat, MM4 + B_A.
+
+    ``parallel_heads`` defaults to all PSAs hosting one head each
+    (8 in the paper's primary design); smaller values give each head
+    ``total_psas / parallel_heads`` concurrent PSAs for its MM1s and run
+    the heads in waves (Table 5.3 design points).
+    """
+    total_psas = fabric.hardware.total_psas
+    if parallel_heads is None:
+        parallel_heads = min(params.num_heads, total_psas)
+    if parallel_heads < 1 or parallel_heads > total_psas:
+        raise ValueError(
+            f"parallel_heads must be in [1, {total_psas}]; got {parallel_heads}"
+        )
+    concurrent_psas = max(total_psas // parallel_heads, 1)
+    waves = ceil_div(params.num_heads, parallel_heads)
+
+    head_results = [
+        attention_head_block(
+            fabric, x_q, x_kv, params, h, mask=mask, concurrent_psas=concurrent_psas
+        )
+        for h in range(params.num_heads)
+    ]
+    out_res = mm4(fabric, [r.output for r in head_results], params.wo)
+    out = bias_unit(out_res.output, params.bo)
+    cycles = mha_cycles(
+        fabric,
+        x_q.shape[0],
+        x_kv.shape[0],
+        params.num_heads,
+        params.d_model,
+        parallel_heads,
+    )
+    return BlockResult(output=out, cycles=cycles)
+
+
+def ffn_block(
+    fabric: Fabric, x: np.ndarray, params: FeedForwardParams
+) -> BlockResult:
+    """FFN: MM5 + B_1F + ReLU (streamed) + MM6 + B_2F."""
+    s = x.shape[0]
+    h_res = mm5(fabric, x, params.w1)
+    hidden = relu_unit(bias_unit(h_res.output, params.b1))
+    out_res = mm6(fabric, hidden, params.w2)
+    out = bias_unit(out_res.output, params.b2)
+    cycles = ffn_cycles(fabric, s, params.d_model, params.d_ff)
+    return BlockResult(output=out, cycles=cycles)
+
+
+def add_norm_block(
+    fabric: Fabric,
+    sublayer_out: np.ndarray,
+    residual: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+) -> BlockResult:
+    """Add-Norm: residual add split over both SLRs, then Norm."""
+    out = add_norm_unit(sublayer_out, residual, weight, bias)
+    s, d = sublayer_out.shape
+    return BlockResult(output=out, cycles=add_norm_cycles(fabric, s, d))
+
+
+def encoder_block(
+    fabric: Fabric,
+    x: np.ndarray,
+    params: EncoderLayerParams,
+    mask: np.ndarray | None = None,
+    parallel_heads: int | None = None,
+) -> BlockResult:
+    """One encoder layer on the fabric: MHA, Add-Norm, FFN, Add-Norm."""
+    mha = mha_block(fabric, x, x, params.mha, mask=mask, parallel_heads=parallel_heads)
+    norm1 = add_norm_block(
+        fabric, mha.output, x, params.norm1.weight, params.norm1.bias
+    )
+    ffn = ffn_block(fabric, norm1.output, params.ffn)
+    norm2 = add_norm_block(
+        fabric, ffn.output, norm1.output, params.norm2.weight, params.norm2.bias
+    )
+    cycles = mha.cycles + norm1.cycles + ffn.cycles + norm2.cycles
+    return BlockResult(output=norm2.output, cycles=cycles)
+
+
+@dataclass(frozen=True)
+class DecoderBlockResult:
+    """Decoder output with the MHA-part / FFN-part cycle split needed
+    by the A3 decoder schedule (Fig 4.11)."""
+
+    output: np.ndarray
+    mha_cycles: int
+    ffn_cycles: int
+
+    @property
+    def cycles(self) -> int:
+        return self.mha_cycles + self.ffn_cycles
+
+
+def decoder_block(
+    fabric: Fabric,
+    x: np.ndarray,
+    memory: np.ndarray,
+    params: DecoderLayerParams,
+    self_mask: np.ndarray | None = None,
+    memory_mask: np.ndarray | None = None,
+    parallel_heads: int | None = None,
+) -> DecoderBlockResult:
+    """One decoder layer: M-MHA, Add-Norm, cross MHA, Add-Norm, FFN,
+    Add-Norm.  ``self_mask`` must already include the look-ahead mask
+    (the controller owns mask construction)."""
+    m_mha = mha_block(
+        fabric, x, x, params.self_mha, mask=self_mask, parallel_heads=parallel_heads
+    )
+    norm1 = add_norm_block(
+        fabric, m_mha.output, x, params.norm1.weight, params.norm1.bias
+    )
+    cross = mha_block(
+        fabric,
+        norm1.output,
+        memory,
+        params.cross_mha,
+        mask=memory_mask,
+        parallel_heads=parallel_heads,
+    )
+    norm2 = add_norm_block(
+        fabric, cross.output, norm1.output, params.norm2.weight, params.norm2.bias
+    )
+    ffn = ffn_block(fabric, norm2.output, params.ffn)
+    norm3 = add_norm_block(
+        fabric, ffn.output, norm2.output, params.norm3.weight, params.norm3.bias
+    )
+    mha_cycles = m_mha.cycles + norm1.cycles + cross.cycles + norm2.cycles
+    ffn_cycles = ffn.cycles + norm3.cycles
+    return DecoderBlockResult(
+        output=norm3.output, mha_cycles=mha_cycles, ffn_cycles=ffn_cycles
+    )

@@ -1,0 +1,392 @@
+"""Top-level controller (Fig 4.12): orchestrates the encoder and
+decoder stacks on the fabric, schedules weight loads against computes,
+and produces latency reports.
+
+Two entry points:
+
+* :class:`LatencyModel` — the data-free cycle model.  Given the model
+  and hardware configurations it builds the per-block load/compute
+  durations and runs the A1/A2/A3 schedulers (Tables 5.1/5.3,
+  Fig 5.2).
+* :class:`AcceleratorController` — the functional simulator.  It runs
+  the actual fp32 dataflow through the block implementations (the same
+  cycle numbers fall out) and returns outputs plus a
+  :class:`LatencyReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import CalibrationConfig, HardwareConfig, ModelConfig
+from repro.hw.blocks import (
+    decoder_block,
+    decoder_cycles,
+    encoder_block,
+    encoder_cycles,
+)
+from repro.hw.kernels import Fabric
+from repro.hw.memory import (
+    HbmModel,
+    PcieModel,
+    decoder_ffn_weight_bytes,
+    decoder_mha_weight_bytes,
+    decoder_weight_bytes,
+    encoder_weight_bytes,
+)
+from repro.hw.scheduler import Architecture, BlockWork, ScheduleResult, schedule
+from repro.model.params import TransformerParams
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency of one end-to-end pass through the accelerator."""
+
+    architecture: Architecture
+    #: Fabric cycles spent in the scheduled load/compute chain.
+    schedule_cycles: int
+    #: Cycles to stream the (s x d_model) input from host to device.
+    input_transfer_cycles: int
+    #: Cycles to write the final (s x d_model) result back to the host.
+    output_transfer_cycles: int
+    clock_mhz: float
+    schedule: ScheduleResult
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.input_transfer_cycles
+            + self.schedule_cycles
+            + self.output_transfer_cycles
+        )
+
+    @property
+    def latency_ms(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e3)
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_ms / 1e3
+
+
+class LatencyModel:
+    """Data-free cycle model of the full accelerator."""
+
+    def __init__(
+        self,
+        model: ModelConfig | None = None,
+        hardware: HardwareConfig | None = None,
+        calibration: CalibrationConfig | None = None,
+        parallel_heads: int | None = None,
+    ) -> None:
+        self.model = model or ModelConfig()
+        self.hardware = hardware or HardwareConfig()
+        self.calibration = calibration or CalibrationConfig()
+        self.fabric = Fabric(self.hardware, self.calibration)
+        self.parallel_heads = parallel_heads
+        self._hbm = HbmModel(self.hardware, self.calibration)
+        self._pcie = PcieModel(self.hardware)
+
+    # ----------------------------------------------------------- loads
+    def _load_cycles(self, num_bytes: int) -> int:
+        """Cycles to stream one weight bundle: each SLR kernel pulls its
+        half from one HBM channel, so the two halves move in parallel."""
+        return self._hbm.transfer_cycles(num_bytes, channels=self.hardware.num_slrs)
+
+    def encoder_load_cycles(self) -> int:
+        bpe = self.hardware.bytes_per_element
+        return self._load_cycles(encoder_weight_bytes(self.model, bpe))
+
+    def decoder_load_cycles(self) -> int:
+        bpe = self.hardware.bytes_per_element
+        return self._load_cycles(decoder_weight_bytes(self.model, bpe))
+
+    def decoder_part_load_cycles(self) -> tuple[int, int]:
+        bpe = self.hardware.bytes_per_element
+        return (
+            self._load_cycles(decoder_mha_weight_bytes(self.model, bpe)),
+            self._load_cycles(decoder_ffn_weight_bytes(self.model, bpe)),
+        )
+
+    # --------------------------------------------------------- compute
+    def encoder_compute_cycles(self, s: int) -> int:
+        cfg = self.model
+        return encoder_cycles(
+            self.fabric, s, cfg.num_heads, cfg.d_model, cfg.d_ff, self.parallel_heads
+        )
+
+    def decoder_compute_cycles(self, s: int, t: int | None = None) -> tuple[int, int]:
+        cfg = self.model
+        t = s if t is None else t
+        return decoder_cycles(
+            self.fabric,
+            t,
+            s,
+            cfg.num_heads,
+            cfg.d_model,
+            cfg.d_ff,
+            self.parallel_heads,
+        )
+
+    def mha_ffn_load_compute(self, s: int) -> tuple[float, float]:
+        """Load and compute time (ms) of one MHA + FFN block — the
+        quantities plotted in Fig 5.2."""
+        load = self.encoder_load_cycles()
+        compute = self.encoder_compute_cycles(s)
+        return (
+            self.hardware.cycles_to_ms(load),
+            self.hardware.cycles_to_ms(compute),
+        )
+
+    def crossover_sequence_length(self, max_s: int = 128) -> int:
+        """Smallest s at which encoder compute exceeds its load (the
+        paper observes s > 18)."""
+        for s in range(1, max_s + 1):
+            load, compute = self.mha_ffn_load_compute(s)
+            if compute > load:
+                return s
+        raise ValueError(f"no crossover found up to s={max_s}")
+
+    # --------------------------------------------------------- blocks
+    def build_blocks(
+        self, s: int, architecture: Architecture | str, t: int | None = None
+    ) -> list[BlockWork]:
+        """Per-block load/compute work items for one architecture.
+
+        Encoders are single units.  Under A3 each decoder splits into
+        its MHA part (HBM channel 0) and FFN part (channel 1), per
+        Fig 4.11; under A1/A2 a decoder is one unit.
+        """
+        arch = Architecture(architecture)
+        cfg = self.model
+        t = s if t is None else t
+        enc_load = self.encoder_load_cycles()
+        enc_comp = self.encoder_compute_cycles(s)
+        dec_mha_comp, dec_ffn_comp = self.decoder_compute_cycles(s, t)
+
+        blocks = [
+            BlockWork(f"enc{i + 1}", enc_load, enc_comp)
+            for i in range(cfg.num_encoders)
+        ]
+        if arch is Architecture.A3:
+            mha_load, ffn_load = self.decoder_part_load_cycles()
+            for i in range(cfg.num_decoders):
+                blocks.append(
+                    BlockWork(f"dec{i + 1}m", mha_load, dec_mha_comp, channel_hint=0)
+                )
+                blocks.append(
+                    BlockWork(
+                        f"dec{i + 1}f",
+                        ffn_load,
+                        dec_ffn_comp,
+                        channel_hint=1,
+                        overhead_override=0,
+                    )
+                )
+        else:
+            dec_load = self.decoder_load_cycles()
+            dec_comp = dec_mha_comp + dec_ffn_comp
+            blocks.extend(
+                BlockWork(f"dec{i + 1}", dec_load, dec_comp)
+                for i in range(cfg.num_decoders)
+            )
+        return blocks
+
+    # ---------------------------------------------------------- report
+    def io_transfer_cycles(self, s: int) -> tuple[int, int]:
+        """(input, output) transfer cycles for the (s x d_model) fp32
+        activations crossing PCIe + HBM."""
+        bpe = self.hardware.bytes_per_element
+        num_bytes = s * self.model.d_model * bpe
+        pcie = self._pcie.transfer_cycles(num_bytes)
+        hbm = self._hbm.transfer_cycles(num_bytes, channels=1)
+        return pcie + hbm, pcie + hbm
+
+    def latency_report(
+        self, s: int, architecture: Architecture | str = Architecture.A3
+    ) -> LatencyReport:
+        """Predicted end-to-end accelerator latency at sequence length s."""
+        if s <= 0:
+            raise ValueError("s must be positive")
+        arch = Architecture(architecture)
+        blocks = self.build_blocks(s, arch)
+        result = schedule(arch, blocks, self.calibration.block_overhead_cycles)
+        t_in, t_out = self.io_transfer_cycles(s)
+        return LatencyReport(
+            architecture=arch,
+            schedule_cycles=result.total_cycles,
+            input_transfer_cycles=t_in,
+            output_transfer_cycles=t_out,
+            clock_mhz=self.hardware.clock_mhz,
+            schedule=result,
+            details={
+                "encoder_load_cycles": self.encoder_load_cycles(),
+                "encoder_compute_cycles": self.encoder_compute_cycles(s),
+                "decoder_load_cycles": self.decoder_load_cycles(),
+                "decoder_compute_cycles": sum(self.decoder_compute_cycles(s)),
+                "stall_cycles": result.stall_cycles,
+            },
+        )
+
+    def latency_ms(
+        self, s: int, architecture: Architecture | str = Architecture.A3
+    ) -> float:
+        return self.latency_report(s, architecture).latency_ms
+
+    # ------------------------------------------------- back-to-back
+    def steady_state_throughput(
+        self,
+        s: int,
+        architecture: Architecture | str = Architecture.A3,
+        num_sequences: int = 6,
+    ) -> float:
+        """Sequences/second when inferences run back to back.
+
+        The "LW+" bars in Figs 4.8-4.10 show the next sequence's first
+        weight load prefetched during the tail of the current one; with
+        the block chain simply repeated, the A2/A3 schedulers overlap
+        across sequence boundaries exactly as within one, so the
+        steady-state spacing is below the single-shot latency.
+        """
+        if num_sequences < 2:
+            raise ValueError("need at least two sequences for steady state")
+        arch = Architecture(architecture)
+        one = self.build_blocks(s, arch)
+        chain: list[BlockWork] = []
+        for i in range(num_sequences):
+            for b in one:
+                chain.append(
+                    BlockWork(
+                        f"q{i}:{b.label}",
+                        b.load_cycles,
+                        b.compute_cycles,
+                        channel_hint=b.channel_hint,
+                        overhead_override=b.overhead_override,
+                    )
+                )
+        result = schedule(arch, chain, self.calibration.block_overhead_cycles)
+        single = schedule(arch, one, self.calibration.block_overhead_cycles)
+        # Steady-state spacing: amortize the pipeline fill over the tail.
+        spacing_cycles = (result.total_cycles - single.total_cycles) / (
+            num_sequences - 1
+        )
+        t_in, t_out = self.io_transfer_cycles(s)
+        spacing_cycles += t_in + t_out  # per-sequence host I/O
+        seconds = spacing_cycles / (self.hardware.clock_mhz * 1e6)
+        return 1.0 / seconds
+
+
+@dataclass(frozen=True)
+class ControllerRun:
+    """Functional outputs plus the latency report of one pass."""
+
+    encoder_output: np.ndarray
+    decoder_output: np.ndarray
+    report: LatencyReport
+    #: Per-block compute cycles measured during the functional pass.
+    block_compute_cycles: dict[str, int]
+
+
+class AcceleratorController:
+    """Functional simulator of the accelerator running a parameter set.
+
+    Inputs must already be padded to the hardware sequence length and
+    embedded to ``d_model`` (the :class:`repro.hw.accelerator` facade
+    owns padding, masking and embedding).
+    """
+
+    def __init__(
+        self,
+        params: TransformerParams,
+        hardware: HardwareConfig | None = None,
+        calibration: CalibrationConfig | None = None,
+        parallel_heads: int | None = None,
+    ) -> None:
+        self.params = params
+        self.latency_model = LatencyModel(
+            model=params.config,
+            hardware=hardware,
+            calibration=calibration,
+            parallel_heads=parallel_heads,
+        )
+        self.fabric = self.latency_model.fabric
+        self.parallel_heads = parallel_heads
+
+    def run_encoder_stack(
+        self, x: np.ndarray, mask: np.ndarray | None = None
+    ) -> tuple[np.ndarray, dict[str, int]]:
+        """Execute all encoder layers; returns (output, cycles/block)."""
+        cycles: dict[str, int] = {}
+        for i, layer in enumerate(self.params.encoders):
+            result = encoder_block(
+                self.fabric, x, layer, mask=mask, parallel_heads=self.parallel_heads
+            )
+            x = result.output
+            cycles[f"enc{i + 1}"] = result.cycles
+        return x, cycles
+
+    def run_decoder_stack(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray,
+        self_mask: np.ndarray | None = None,
+        memory_mask: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, dict[str, int]]:
+        """Execute all decoder layers; returns (output, cycles/block)."""
+        cycles: dict[str, int] = {}
+        for i, layer in enumerate(self.params.decoders):
+            result = decoder_block(
+                self.fabric,
+                x,
+                memory,
+                layer,
+                self_mask=self_mask,
+                memory_mask=memory_mask,
+                parallel_heads=self.parallel_heads,
+            )
+            x = result.output
+            cycles[f"dec{i + 1}m"] = result.mha_cycles
+            cycles[f"dec{i + 1}f"] = result.ffn_cycles
+        return x, cycles
+
+    def run(
+        self,
+        enc_input: np.ndarray,
+        dec_input: np.ndarray,
+        enc_mask: np.ndarray | None = None,
+        dec_self_mask: np.ndarray | None = None,
+        dec_memory_mask: np.ndarray | None = None,
+        architecture: Architecture | str = Architecture.A3,
+    ) -> ControllerRun:
+        """One full pass: encoder stack, decoder stack, latency report.
+
+        The functional output is identical across architectures — only
+        the load/compute schedule (and thus the report) differs.
+        """
+        enc_input = np.asarray(enc_input)
+        dec_input = np.asarray(dec_input)
+        d_model = self.params.config.d_model
+        if enc_input.ndim != 2 or enc_input.shape[1] != d_model:
+            raise ValueError(
+                f"encoder input must be (s, {d_model}); got {enc_input.shape}"
+            )
+        if dec_input.ndim != 2 or dec_input.shape[1] != d_model:
+            raise ValueError(
+                f"decoder input must be (t, {d_model}); got {dec_input.shape}"
+            )
+        memory, enc_cycles = self.run_encoder_stack(enc_input, mask=enc_mask)
+        dec_out, dec_cycles = self.run_decoder_stack(
+            dec_input, memory, self_mask=dec_self_mask, memory_mask=dec_memory_mask
+        )
+        report = self.latency_model.latency_report(
+            enc_input.shape[0], architecture
+        )
+        return ControllerRun(
+            encoder_output=memory,
+            decoder_output=dec_out,
+            report=report,
+            block_compute_cycles={**enc_cycles, **dec_cycles},
+        )

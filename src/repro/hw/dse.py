@@ -1,0 +1,178 @@
+"""Design-space exploration (Table 5.3 and Section 5.1.4).
+
+Two axes are explored, exactly as in the thesis:
+
+* **Head parallelism** — eight parallel heads with one PSA each, four
+  heads with two concurrent PSAs, two with four, one with eight
+  (Table 5.3).  Latency degrades slightly as head parallelism drops
+  because the small MM2/MM3/softmax stages stop overlapping across
+  heads.
+* **PSA dimensions** — the number of unrolled rows per systolic array;
+  larger arrays cut latency but blow the LUT budget (the paper settled
+  on 2 x 64 after evaluating alternatives, and notes a ~2.5x DSP-bound
+  headroom that LUTs prevent from being realized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import CalibrationConfig, HardwareConfig, ModelConfig
+from repro.hw.controller import LatencyModel
+from repro.hw.resources import ResourceEstimate, estimate_resources
+from repro.hw.scheduler import Architecture
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored configuration and its predicted metrics."""
+
+    parallel_heads: int
+    concurrent_psas_per_head: int
+    psa_rows: int
+    psa_cols: int
+    latency_ms: float
+    resources: ResourceEstimate
+
+    @property
+    def synthesizable(self) -> bool:
+        return self.resources.fits()
+
+
+def head_parallelism_sweep(
+    s: int = 32,
+    model: ModelConfig | None = None,
+    hardware: HardwareConfig | None = None,
+    calibration: CalibrationConfig | None = None,
+    architecture: Architecture | str = Architecture.A3,
+) -> list[DesignPoint]:
+    """Reproduce Table 5.3: (8,1), (4,2), (2,4), (1,8) head/PSA splits."""
+    model = model or ModelConfig()
+    hardware = hardware or HardwareConfig()
+    points = []
+    parallel = hardware.total_psas
+    while parallel >= 1:
+        lm = LatencyModel(
+            model=model,
+            hardware=hardware,
+            calibration=calibration,
+            parallel_heads=parallel,
+        )
+        latency = lm.latency_ms(s, architecture)
+        points.append(
+            DesignPoint(
+                parallel_heads=parallel,
+                concurrent_psas_per_head=hardware.total_psas // parallel,
+                psa_rows=hardware.psa_rows,
+                psa_cols=hardware.psa_cols,
+                latency_ms=latency,
+                resources=estimate_resources(
+                    hardware, seq_len=s, d_model=model.d_model, d_ff=model.d_ff,
+                    num_softmax_units=model.num_heads,
+                ),
+            )
+        )
+        parallel //= 2
+    return points
+
+
+def psa_dimension_sweep(
+    rows_options: tuple[int, ...] = (1, 2, 4, 8),
+    s: int = 32,
+    model: ModelConfig | None = None,
+    hardware: HardwareConfig | None = None,
+    calibration: CalibrationConfig | None = None,
+    architecture: Architecture | str = Architecture.A3,
+) -> list[DesignPoint]:
+    """Explore PSA row unrolling: latency vs. resource pressure.
+
+    Points that exceed the device are still reported (marked not
+    synthesizable), mirroring the paper's finding that wider unrolling
+    is LUT-infeasible.
+    """
+    model = model or ModelConfig()
+    base_hw = hardware or HardwareConfig()
+    points = []
+    for rows in rows_options:
+        if rows <= 0:
+            raise ValueError("psa rows must be positive")
+        hw = replace(base_hw, psa_rows=rows)
+        lm = LatencyModel(model=model, hardware=hw, calibration=calibration)
+        points.append(
+            DesignPoint(
+                parallel_heads=hw.total_psas,
+                concurrent_psas_per_head=1,
+                psa_rows=rows,
+                psa_cols=hw.psa_cols,
+                latency_ms=lm.latency_ms(s, architecture),
+                resources=estimate_resources(
+                    hw, seq_len=s, d_model=model.d_model, d_ff=model.d_ff,
+                    num_softmax_units=model.num_heads,
+                ),
+            )
+        )
+    return points
+
+
+def psa_grid_sweep(
+    rows_options: tuple[int, ...] = (1, 2, 4, 8),
+    cols_options: tuple[int, ...] = (16, 32, 64, 128),
+    s: int = 32,
+    model: ModelConfig | None = None,
+    hardware: HardwareConfig | None = None,
+    calibration: CalibrationConfig | None = None,
+    architecture: Architecture | str = Architecture.A3,
+) -> list[DesignPoint]:
+    """Full 2-D PSA dimension exploration (Section 5.1.4: "we have
+    experimented with various dimensions of the PSA block with
+    different unroll factors")."""
+    model = model or ModelConfig()
+    base_hw = hardware or HardwareConfig()
+    points = []
+    for rows in rows_options:
+        for cols in cols_options:
+            if rows <= 0 or cols <= 0:
+                raise ValueError("PSA dims must be positive")
+            hw = replace(base_hw, psa_rows=rows, psa_cols=cols)
+            lm = LatencyModel(model=model, hardware=hw, calibration=calibration)
+            points.append(
+                DesignPoint(
+                    parallel_heads=hw.total_psas,
+                    concurrent_psas_per_head=1,
+                    psa_rows=rows,
+                    psa_cols=cols,
+                    latency_ms=lm.latency_ms(s, architecture),
+                    resources=estimate_resources(
+                        hw, seq_len=s, d_model=model.d_model, d_ff=model.d_ff,
+                        num_softmax_units=model.num_heads,
+                    ),
+                )
+            )
+    return points
+
+
+def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Latency/LUT Pareto-optimal synthesizable points, by latency.
+
+    A point is dominated if another synthesizable point is at least as
+    good on both axes and strictly better on one.
+    """
+    feasible = [p for p in points if p.synthesizable]
+    frontier = []
+    for p in feasible:
+        dominated = any(
+            (q.latency_ms <= p.latency_ms and q.resources.lut <= p.resources.lut)
+            and (q.latency_ms < p.latency_ms or q.resources.lut < p.resources.lut)
+            for q in feasible
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.latency_ms)
+
+
+def best_synthesizable(points: list[DesignPoint]) -> DesignPoint:
+    """Lowest-latency point that fits the device."""
+    feasible = [p for p in points if p.synthesizable]
+    if not feasible:
+        raise ValueError("no synthesizable design point in the sweep")
+    return min(feasible, key=lambda p: p.latency_ms)

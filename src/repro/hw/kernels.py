@@ -1,0 +1,342 @@
+"""Matrix-multiplication kernels MM1..MM6 (Section 4.4, Figs 4.3-4.7).
+
+Every matmul of the Transformer is routed onto the eight PSAs using the
+paper's stripe decompositions:
+
+* **MM1** (s x 512)(512 x 64): Input1 column-striped / Input2 row-striped
+  into eight 64-wide panels; eight partial products folded by an adder
+  pipelined with the PSA (Fig 4.3).  Runs on *one* PSA (or ``c``
+  concurrent PSAs in the design-space exploration of Table 5.3).
+* **MM2/MM3** (s x 64)(64 x s), (s x s)(s x 64): small; padded up to the
+  PSA tile and reusing a single PSA (Fig 4.4).
+* **MM4** (s x 512)(512 x 512): head-striped over all eight PSAs across
+  both SLRs (Fig 4.5).
+* **MM5** (s x 512)(512 x 2048): inner dim split in two, output columns
+  split across SLRs; all eight PSAs busy (Fig 4.6).
+* **MM6** (s x 2048)(2048 x 512): inner dim split in four per SLR; SLR
+  partials combined over the inter-SLR interconnect (Fig 4.7).
+
+Each kernel returns both the functional product (fp32, hardware
+accumulation order) and its cycle estimate.  Cycle estimates apply the
+fitted initiation-interval multipliers from
+:class:`repro.config.CalibrationConfig` (attention class for MM1..MM4,
+FFN class for MM5/MM6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import CalibrationConfig, HardwareConfig
+from repro.hw.adder import VectorAdder
+from repro.hw.nonlinear import NonlinearUnits
+from repro.hw.systolic import SystolicArray, ceil_div
+from repro.model.ops import MODEL_DTYPE
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Functional output plus the cycles the kernel occupied."""
+
+    output: np.ndarray
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """The compute fabric shared by all kernels: PSAs, adders, units."""
+
+    hardware: HardwareConfig = field(default_factory=HardwareConfig)
+    calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
+
+    @property
+    def psa(self) -> SystolicArray:
+        return SystolicArray(self.hardware.psa_rows, self.hardware.psa_cols)
+
+    @property
+    def adder(self) -> VectorAdder:
+        return VectorAdder(width=self.hardware.adder_width)
+
+    @property
+    def units(self) -> NonlinearUnits:
+        return NonlinearUnits(lanes=self.hardware.psa_cols)
+
+    # --------------------------------------------------------- timing
+    def pass_cycles(self, l: int, m: int, n: int, ffn_class: bool = False) -> int:
+        """One striped PSA pass with the fitted II multiplier applied."""
+        ii = self.calibration.ffn_ii if ffn_class else self.calibration.attention_ii
+        return int(round(self.psa.pass_cycles(l, m, n) * ii))
+
+    @property
+    def invocation_overhead(self) -> int:
+        return self.calibration.invocation_overhead_cycles
+
+    def isc_transfer_cycles(self, rows: int, cols: int) -> int:
+        """Inter-SLR AXI-Stream transfer of a (rows x cols) fp32 panel.
+
+        The stream moves one 512-bit flit (16 fp32 values) per cycle.
+        """
+        elements = rows * cols
+        return ceil_div(elements, 16)
+
+
+def matmul_dims(s: int, d_model: int = 512, d_k: int = 64, d_ff: int = 2048) -> dict[str, tuple[tuple[int, int], tuple[int, int], tuple[int, int]]]:
+    """Table 4.2: (Input1, Input2, Output) shapes of MM1..MM6."""
+    if s <= 0:
+        raise ValueError("s must be positive")
+    return {
+        "MM1": ((s, d_model), (d_model, d_k), (s, d_k)),
+        "MM2": ((s, d_k), (d_k, s), (s, s)),
+        "MM3": ((s, s), (s, d_k), (s, d_k)),
+        "MM4": ((s, d_model), (d_model, d_model), (s, d_model)),
+        "MM5": ((s, d_model), (d_model, d_ff), (s, d_ff)),
+        "MM6": ((s, d_ff), (d_ff, d_model), (s, d_model)),
+    }
+
+
+# --------------------------------------------------------------- cycles
+# Pure cycle formulas, usable without data (the controller's latency
+# estimator and the functional kernels below share these).
+def mm1_cycles(
+    fabric: Fabric, s: int, d_model: int, d_k: int, concurrent_psas: int = 1
+) -> int:
+    """Cycles of one MM1 invocation (Fig 4.3 stripe schedule)."""
+    if concurrent_psas < 1:
+        raise ValueError("concurrent_psas must be >= 1")
+    stripe = fabric.hardware.psa_cols
+    # A trailing partial stripe costs a full pass (the PSA streams the
+    # same tile shape regardless), so round up.
+    num_stripes = ceil_div(d_model, stripe)
+    serial = ceil_div(num_stripes, concurrent_psas)
+    return (
+        serial * fabric.pass_cycles(s, stripe, d_k)
+        + fabric.invocation_overhead
+        + fabric.adder.accumulate_cycles(
+            num_stripes, s, d_k, pipelined=fabric.hardware.pipelined_adders
+        )
+    )
+
+
+def mm2_cycles(fabric: Fabric, s_q: int, s_k: int, d_k: int) -> int:
+    """Cycles of MM2 = Q K^T with tile padding (Fig 4.4, top)."""
+    padded_n = max(s_k, fabric.hardware.psa_cols)
+    return fabric.pass_cycles(s_q, d_k, padded_n) + fabric.invocation_overhead
+
+
+def mm3_cycles(fabric: Fabric, s_q: int, s_k: int, d_k: int) -> int:
+    """Cycles of MM3 = Sm V with tile padding (Fig 4.4, bottom)."""
+    padded_m = max(s_k, fabric.hardware.psa_cols)
+    return fabric.pass_cycles(s_q, padded_m, d_k) + fabric.invocation_overhead
+
+
+def mm4_cycles(fabric: Fabric, s: int, num_heads: int, d_k: int, d_out: int) -> int:
+    """Cycles of the head-striped MM4 over all PSAs (Fig 4.5)."""
+    waves = ceil_div(num_heads, fabric.hardware.total_psas)
+    return (
+        waves * fabric.pass_cycles(s, d_k, d_out)
+        + fabric.invocation_overhead
+        + fabric.adder.accumulate_cycles(
+            num_heads, s, d_out, pipelined=fabric.hardware.pipelined_adders
+        )
+        + fabric.isc_transfer_cycles(s, d_out)
+    )
+
+
+def mm5_cycles(fabric: Fabric, s: int, d_model: int, d_ff: int) -> int:
+    """Cycles of the SLR-split MM5 (Fig 4.6)."""
+    num_products = 2 * 4
+    waves = ceil_div(num_products, fabric.hardware.total_psas)
+    mc = ceil_div(d_model, 2)
+    nc = ceil_div(d_ff, 4)
+    return (
+        waves * fabric.pass_cycles(s, mc, nc, ffn_class=True)
+        + fabric.invocation_overhead
+        + fabric.adder.accumulate_cycles(
+            2, s, nc, pipelined=fabric.hardware.pipelined_adders
+        )
+    )
+
+
+def mm6_cycles(fabric: Fabric, s: int, d_ff: int, d_model: int) -> int:
+    """Cycles of the SLR-split MM6 with the final ISC merge (Fig 4.7)."""
+    num_products = 8
+    waves = ceil_div(num_products, fabric.hardware.total_psas)
+    mc = ceil_div(d_ff, 8)
+    return (
+        waves * fabric.pass_cycles(s, mc, d_model, ffn_class=True)
+        + fabric.invocation_overhead
+        + fabric.adder.accumulate_cycles(
+            8, s, d_model, pipelined=fabric.hardware.pipelined_adders
+        )
+        + fabric.isc_transfer_cycles(s, d_model)
+    )
+
+
+def _check_2d(name: str, arr: np.ndarray, cols: int | None = None) -> np.ndarray:
+    a = np.asarray(arr, dtype=MODEL_DTYPE)
+    if a.ndim != 2:
+        raise ValueError(f"{name} must be 2-D; got shape {a.shape}")
+    if cols is not None and a.shape[1] != cols:
+        raise ValueError(f"{name} must have {cols} columns; got {a.shape}")
+    return a
+
+
+def mm1(
+    fabric: Fabric,
+    x: np.ndarray,
+    w: np.ndarray,
+    concurrent_psas: int = 1,
+) -> KernelResult:
+    """MM1: (s x d_model) @ (d_model x d_k) via eight 64-wide stripes.
+
+    ``concurrent_psas`` > 1 splits the stripes over several PSAs (the
+    Table 5.3 design points); the partial products are still folded by
+    the pipelined adder, so only the final fold is exposed.
+    """
+    x = _check_2d("x", x)
+    w = _check_2d("w", w)
+    if x.shape[1] != w.shape[0]:
+        raise ValueError(f"inner mismatch: {x.shape} @ {w.shape}")
+    if concurrent_psas < 1:
+        raise ValueError("concurrent_psas must be >= 1")
+    s, d_model = x.shape
+    d_k = w.shape[1]
+    stripe = fabric.hardware.psa_cols
+    num_stripes = ceil_div(d_model, stripe)
+
+    psa = fabric.psa
+    partials = [
+        psa.matmul(
+            x[:, i * stripe : (i + 1) * stripe],
+            w[i * stripe : (i + 1) * stripe],
+        )
+        for i in range(num_stripes)
+    ]
+    out = VectorAdder.accumulate(partials)
+
+    cycles = mm1_cycles(fabric, s, d_model, d_k, concurrent_psas)
+    return KernelResult(output=out, cycles=cycles)
+
+
+def mm2(fabric: Fabric, q: np.ndarray, k: np.ndarray) -> KernelResult:
+    """MM2: Q @ K^T with the K^T panel padded to the PSA tile width."""
+    q = _check_2d("q", q)
+    k = _check_2d("k", k)
+    if q.shape[1] != k.shape[1]:
+        raise ValueError("q and k must share the key dimension")
+    s_q, d_k = q.shape
+    s_k = k.shape[0]
+    out = fabric.psa.matmul(q, k.T)
+    return KernelResult(output=out, cycles=mm2_cycles(fabric, s_q, s_k, d_k))
+
+
+def mm3(fabric: Fabric, attn: np.ndarray, v: np.ndarray) -> KernelResult:
+    """MM3: softmaxed scores @ V, inner dim padded to the tile width."""
+    attn = _check_2d("attn", attn)
+    v = _check_2d("v", v)
+    if attn.shape[1] != v.shape[0]:
+        raise ValueError(f"inner mismatch: {attn.shape} @ {v.shape}")
+    s_q, s_k = attn.shape
+    d_k = v.shape[1]
+    out = fabric.psa.matmul(attn, v)
+    return KernelResult(output=out, cycles=mm3_cycles(fabric, s_q, s_k, d_k))
+
+
+def mm4(
+    fabric: Fabric, head_outputs: list[np.ndarray], wo: np.ndarray
+) -> KernelResult:
+    """MM4: concat(heads) @ W_A striped per head over all eight PSAs.
+
+    Head ``h``'s (s x 64) output multiplies rows ``[64h, 64(h+1))`` of
+    W_A; the eight (s x 512) partials are folded by the pipelined
+    adders, with the two SLR-level partials meeting over the ISC.
+    """
+    if not head_outputs:
+        raise ValueError("need at least one head output")
+    wo = _check_2d("wo", wo)
+    heads = [_check_2d(f"head[{i}]", h) for i, h in enumerate(head_outputs)]
+    s, d_k = heads[0].shape
+    for i, h in enumerate(heads):
+        if h.shape != (s, d_k):
+            raise ValueError(f"head[{i}] shape {h.shape} != ({s}, {d_k})")
+    if wo.shape[0] != d_k * len(heads):
+        raise ValueError(
+            f"wo must have {d_k * len(heads)} rows; got {wo.shape[0]}"
+        )
+    d_out = wo.shape[1]
+    psa = fabric.psa
+    partials = [
+        psa.matmul(h, wo[i * d_k : (i + 1) * d_k]) for i, h in enumerate(heads)
+    ]
+    out = VectorAdder.accumulate(partials)
+
+    cycles = mm4_cycles(fabric, s, len(heads), d_k, d_out)
+    return KernelResult(output=out, cycles=cycles)
+
+
+def _split_inner_matmul(
+    fabric: Fabric,
+    x: np.ndarray,
+    w: np.ndarray,
+    inner_split: int,
+    col_split: int,
+) -> tuple[np.ndarray, int]:
+    """Shared MM5/MM6 machinery: split the inner dim ``inner_split``
+    ways and the output columns ``col_split`` ways; each (chunk, column
+    panel) pair maps to one PSA.  Returns (output, parallel psa count).
+    """
+    s, m = x.shape
+    n = w.shape[1]
+    inner_split = min(inner_split, m)
+    col_split = min(col_split, n)
+    row_bounds = np.array_split(np.arange(m), inner_split)
+    col_bounds = np.array_split(np.arange(n), col_split)
+    psa = fabric.psa
+    out = np.zeros((s, n), dtype=MODEL_DTYPE)
+    for cols in col_bounds:
+        c0, c1 = cols[0], cols[-1] + 1
+        partials = [
+            psa.matmul(x[:, rows[0] : rows[-1] + 1], w[rows[0] : rows[-1] + 1, c0:c1])
+            for rows in row_bounds
+        ]
+        out[:, c0:c1] = VectorAdder.accumulate(partials)
+    return out, inner_split * col_split
+
+
+def mm5(fabric: Fabric, x: np.ndarray, w1: np.ndarray) -> KernelResult:
+    """MM5: (s x 512) @ (512 x 2048) over both SLRs (Fig 4.6).
+
+    Inner dim split in two (s x 256 chunks), output columns split in
+    four 512-wide panels (two per SLR); 8 PSAs run one partial each.
+    """
+    x = _check_2d("x", x)
+    w1 = _check_2d("w1", w1)
+    if x.shape[1] != w1.shape[0]:
+        raise ValueError(f"inner mismatch: {x.shape} @ {w1.shape}")
+    s = x.shape[0]
+    out, _ = _split_inner_matmul(fabric, x, w1, inner_split=2, col_split=4)
+    cycles = mm5_cycles(fabric, s, x.shape[1], w1.shape[1])
+    return KernelResult(output=out, cycles=cycles)
+
+
+def mm6(fabric: Fabric, h: np.ndarray, w2: np.ndarray) -> KernelResult:
+    """MM6: (s x 2048) @ (2048 x 512) over both SLRs (Fig 4.7).
+
+    Each SLR holds half the hidden activations and a 1024 x 512 weight
+    panel, split into four s x 256 by 256 x 512 products; the two SLR
+    partials are added after an ISC transfer.
+    """
+    h = _check_2d("h", h)
+    w2 = _check_2d("w2", w2)
+    if h.shape[1] != w2.shape[0]:
+        raise ValueError(f"inner mismatch: {h.shape} @ {w2.shape}")
+    s = h.shape[0]
+    out, _ = _split_inner_matmul(fabric, h, w2, inner_split=8, col_split=1)
+    cycles = mm6_cycles(fabric, s, h.shape[1], w2.shape[1])
+    return KernelResult(output=out, cycles=cycles)

@@ -1,0 +1,98 @@
+"""Multi-card scale-out model.
+
+A transcription service rarely stops at one U50.  Sequences are
+independent, so the natural scale-out is data parallelism: a dispatcher
+round-robins utterances over N cards, each running the single-card
+schedule.  The only shared resource is the host's PCIe complex — with
+one Gen3 x16 link's worth of host bandwidth, input/output DMA
+eventually bounds throughput.  This model captures both regimes and
+locates the knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import HardwareConfig, ModelConfig
+from repro.hw.controller import LatencyModel
+from repro.hw.scheduler import Architecture
+
+
+@dataclass(frozen=True)
+class MultiCardPoint:
+    """Predicted service behaviour at one fleet size."""
+
+    num_cards: int
+    #: Aggregate sequences/second.
+    throughput_seq_per_s: float
+    #: Whether the host PCIe link, not the cards, is the bottleneck.
+    pcie_bound: bool
+    #: Fraction of linear scaling achieved (1.0 = perfect).
+    scaling_efficiency: float
+
+
+def multicard_throughput(
+    num_cards: int,
+    latency_model: LatencyModel | None = None,
+    s: int = 32,
+    architecture: Architecture | str = Architecture.A3,
+    host_pcie_gbps: float | None = None,
+) -> MultiCardPoint:
+    """Aggregate throughput of ``num_cards`` cards behind one host."""
+    if num_cards < 1:
+        raise ValueError("num_cards must be >= 1")
+    lm = latency_model or LatencyModel()
+    per_card = lm.steady_state_throughput(s, architecture)
+    cards_rate = num_cards * per_card
+
+    # Host-side DMA per sequence: input + output activations.
+    hw: HardwareConfig = lm.hardware
+    model: ModelConfig = lm.model
+    io_bytes = 2 * s * model.d_model * hw.bytes_per_element
+    pcie_gbps = host_pcie_gbps if host_pcie_gbps is not None else hw.pcie_gbps
+    if pcie_gbps <= 0:
+        raise ValueError("host_pcie_gbps must be positive")
+    pcie_rate = pcie_gbps * 1e9 / io_bytes
+
+    throughput = min(cards_rate, pcie_rate)
+    ideal = num_cards * per_card
+    return MultiCardPoint(
+        num_cards=num_cards,
+        throughput_seq_per_s=throughput,
+        pcie_bound=pcie_rate < cards_rate,
+        scaling_efficiency=throughput / ideal,
+    )
+
+
+def scaling_sweep(
+    card_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    latency_model: LatencyModel | None = None,
+    s: int = 32,
+    architecture: Architecture | str = Architecture.A3,
+    host_pcie_gbps: float | None = None,
+) -> list[MultiCardPoint]:
+    """Throughput across fleet sizes."""
+    lm = latency_model or LatencyModel()
+    return [
+        multicard_throughput(
+            n, lm, s=s, architecture=architecture, host_pcie_gbps=host_pcie_gbps
+        )
+        for n in card_counts
+    ]
+
+
+def saturation_point(
+    latency_model: LatencyModel | None = None,
+    s: int = 32,
+    architecture: Architecture | str = Architecture.A3,
+    host_pcie_gbps: float | None = None,
+    max_cards: int = 4096,
+) -> int:
+    """Smallest fleet size at which the host PCIe link binds."""
+    lm = latency_model or LatencyModel()
+    for n in range(1, max_cards + 1):
+        if multicard_throughput(
+            n, lm, s=s, architecture=architecture, host_pcie_gbps=host_pcie_gbps
+        ).pcie_bound:
+            return n
+    raise ValueError(f"no PCIe saturation up to {max_cards} cards")

@@ -1,0 +1,157 @@
+"""FPGA resource-utilization model (Table 5.2).
+
+Estimates BRAM_18K / DSP / FF / LUT consumption of a design point from
+its structure: the PSA grids (fp32 MAC processing elements), the vector
+adders, the softmax/layer-norm function units, the double-buffered
+weight panels and the activation buffers.  Per-unit costs are fitted
+once so the paper's design point (eight 2x64 PSAs, s=32) lands on the
+Table 5.2 utilization, then the same constants predict other design
+points — in particular they reproduce the paper's observation that the
+design is LUT-bound while DSPs stay under 25% (Section 5.1.3/5.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import HardwareConfig
+from repro.hw.systolic import ceil_div
+
+#: Usable bytes of one BRAM_18K block (18 Kib).
+BYTES_PER_BRAM18K = 18 * 1024 // 8
+
+# Fitted per-unit costs (see module docstring).  An fp32 MAC processing
+# element maps its multiplier onto one DSP48 plus LUT fabric for the
+# accumulator; the vector-adder lanes are LUT-carry-chain adds.
+PE_DSP = 1
+PE_FF = 880
+PE_LUT = 640
+ADDER_LANE_DSP = 0
+ADDER_LANE_FF = 260
+ADDER_LANE_LUT = 80
+SOFTMAX_UNIT_DSP = 30
+SOFTMAX_UNIT_FF = 2800
+SOFTMAX_UNIT_LUT = 1500
+NORM_UNIT_DSP = 30
+NORM_UNIT_FF = 2800
+NORM_UNIT_LUT = 1500
+CONTROL_DSP = 24
+CONTROL_FF = 113268
+CONTROL_LUT = 46316
+CONTROL_BRAM = 110
+#: Stream/pipeline registers that scale with the sequence length.
+SEQ_FF_PER_ROW = 512
+SEQ_LUT_PER_ROW = 256
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated utilization against the device's available resources."""
+
+    bram_18k: int
+    dsp: int
+    ff: int
+    lut: int
+    available: dict[str, int]
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "BRAM_18K": self.bram_18k,
+            "DSP": self.dsp,
+            "FF": self.ff,
+            "LUT": self.lut,
+        }
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of each resource consumed."""
+        used = self.as_dict()
+        return {k: used[k] / self.available[k] for k in used}
+
+    def fits(self) -> bool:
+        return all(frac <= 1.0 for frac in self.utilization().values())
+
+    def binding_resource(self) -> str:
+        """The resource closest to (or furthest past) its limit."""
+        util = self.utilization()
+        return max(util, key=util.get)
+
+
+def estimate_resources(
+    hardware: HardwareConfig | None = None,
+    seq_len: int = 32,
+    d_model: int = 512,
+    d_ff: int = 2048,
+    num_softmax_units: int = 8,
+    num_norm_units: int = 2,
+    pe_dsp: float = PE_DSP,
+    pe_ff: int = PE_FF,
+    pe_lut: int = PE_LUT,
+) -> ResourceEstimate:
+    """Estimate resources for a design point.
+
+    ``num_softmax_units`` defaults to one per attention head; the
+    Add-Norm hardware is instantiated once per SLR.  The per-PE costs
+    can be overridden to model narrower arithmetic (see
+    :mod:`repro.quant.schemes`).
+    """
+    hw = hardware or HardwareConfig()
+    if seq_len <= 0:
+        raise ValueError("seq_len must be positive")
+    if pe_dsp < 0 or pe_ff < 0 or pe_lut < 0:
+        raise ValueError("per-PE costs must be non-negative")
+    bpe = hw.bytes_per_element
+
+    num_pes = hw.total_psas * hw.psa_rows * hw.psa_cols
+    num_adder_lanes = hw.total_psas * hw.adder_width
+
+    dsp = (
+        num_pes * pe_dsp
+        + num_adder_lanes * ADDER_LANE_DSP
+        + num_softmax_units * SOFTMAX_UNIT_DSP
+        + num_norm_units * NORM_UNIT_DSP
+        + CONTROL_DSP
+    )
+    ff = (
+        num_pes * pe_ff
+        + num_adder_lanes * ADDER_LANE_FF
+        + num_softmax_units * SOFTMAX_UNIT_FF
+        + num_norm_units * NORM_UNIT_FF
+        + CONTROL_FF
+        + seq_len * SEQ_FF_PER_ROW
+    )
+    lut = (
+        num_pes * pe_lut
+        + num_adder_lanes * ADDER_LANE_LUT
+        + num_softmax_units * SOFTMAX_UNIT_LUT
+        + num_norm_units * NORM_UNIT_LUT
+        + CONTROL_LUT
+        + seq_len * SEQ_LUT_PER_ROW
+    )
+
+    # Double-buffered weight panel (psa_cols x d_model rotated through
+    # the stripes) per PSA, hidden-activation buffer, in/out activation
+    # buffers and per-head score buffers.
+    panel_bytes = hw.psa_cols * d_model * bpe
+    weight_bufs = hw.total_psas * 2 * ceil_div(panel_bytes, BYTES_PER_BRAM18K)
+    hidden_buf = ceil_div(seq_len * d_ff * bpe, BYTES_PER_BRAM18K)
+    io_bufs = 2 * ceil_div(seq_len * d_model * bpe, BYTES_PER_BRAM18K)
+    score_bufs = num_softmax_units * max(
+        ceil_div(seq_len * seq_len * bpe, BYTES_PER_BRAM18K), 1
+    )
+    bram = weight_bufs + hidden_buf + io_bufs + score_bufs + CONTROL_BRAM
+
+    return ResourceEstimate(
+        bram_18k=bram,
+        dsp=int(round(dsp)),
+        ff=int(round(ff)),
+        lut=int(round(lut)),
+        available=dict(hw.resources),
+    )
+
+
+def check_synthesizable(estimate: ResourceEstimate) -> None:
+    """Raise with a per-resource report if the design exceeds the device."""
+    util = estimate.utilization()
+    over = {k: f"{v:.1%}" for k, v in util.items() if v > 1.0}
+    if over:
+        raise ValueError(f"design exceeds device resources: {over}")

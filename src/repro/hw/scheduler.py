@@ -1,0 +1,247 @@
+"""End-to-end load/compute overlap architectures A1, A2, A3 (Section 4.5).
+
+The encoder/decoder stack is a chain of *blocks*; each block needs its
+weights loaded from HBM (``LW_i``) before its compute (``C_i``) can run,
+and each compute depends on the previous block's output:
+
+* **A1** — naive: LW1, C1, LW2, C2, ... strictly sequential (Fig 4.8).
+* **A2** — double-buffered prefetch: ``LW_{i+1}`` overlaps ``C_i`` on a
+  single load channel; two weight buffers, so ``LW_i`` may not start
+  before ``C_{i-2}`` has released its buffer (Fig 4.9).
+* **A3** — two HBM channels: ``LW_{i+2}`` is issued as soon as ``C_i``
+  completes, halving the exposed stall from ``LW - C`` to
+  ``(LW - C) / 2`` when load-bound (Fig 4.10).  Decoders split their
+  load into an MHA part and an FFN part fetched concurrently on the two
+  channels (Fig 4.11).
+
+All times are in fabric cycles.  Each block additionally pays a fixed
+host-orchestration overhead serialized with its compute (the OpenCL
+dispatch of Section 2.2.7), which no architecture can hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.hw.trace import Timeline
+
+
+class Architecture(str, Enum):
+    """The three end-to-end architectures compared in Table 5.1."""
+
+    A1 = "A1"
+    A2 = "A2"
+    A3 = "A3"
+
+
+@dataclass(frozen=True)
+class BlockWork:
+    """One schedulable unit: a weight load followed by a compute."""
+
+    label: str
+    load_cycles: int
+    compute_cycles: int
+    #: Preferred HBM channel in A3 (encoders alternate; decoder MHA
+    #: parts pin to 0 and FFN parts to 1, per Fig 4.11).
+    channel_hint: int | None = None
+    #: Host-dispatch overhead override; None means "use the scheduler's
+    #: global block overhead".  A3 decoder sub-blocks set the FFN part
+    #: to 0 so a decoder pays one dispatch, like under A1/A2.
+    overhead_override: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.load_cycles < 0 or self.compute_cycles < 0:
+            raise ValueError("cycle counts must be non-negative")
+        if self.overhead_override is not None and self.overhead_override < 0:
+            raise ValueError("overhead_override must be non-negative")
+
+    def overhead(self, default: int) -> int:
+        return self.overhead_override if self.overhead_override is not None else default
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a block chain under one architecture."""
+
+    architecture: Architecture
+    total_cycles: int
+    timeline: Timeline
+    load_cycles_total: int
+    compute_cycles_total: int
+    #: Cycles the compute engine sat idle waiting for weights.
+    stall_cycles: int
+    block_overhead_cycles: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+def _finalize(
+    arch: Architecture,
+    timeline: Timeline,
+    blocks: list[BlockWork],
+    compute_end: float,
+    compute_busy: float,
+    first_compute_start: float,
+    overhead: int,
+) -> ScheduleResult:
+    total_load = sum(b.load_cycles for b in blocks)
+    total_compute = sum(b.compute_cycles for b in blocks)
+    span = compute_end - first_compute_start
+    stall = int(round(span - compute_busy)) if blocks else 0
+    timeline.validate_no_engine_overlap()
+    return ScheduleResult(
+        architecture=arch,
+        total_cycles=int(round(compute_end)),
+        timeline=timeline,
+        load_cycles_total=total_load,
+        compute_cycles_total=total_compute,
+        stall_cycles=max(stall, 0),
+        block_overhead_cycles=sum(b.overhead(overhead) for b in blocks),
+    )
+
+
+def schedule_a1(blocks: list[BlockWork], block_overhead: int = 0) -> ScheduleResult:
+    """Naive sequential load-then-compute (Fig 4.8)."""
+    _validate(blocks, block_overhead)
+    timeline = Timeline()
+    t = 0.0
+    compute_busy = 0.0
+    first_compute = 0.0
+    for i, b in enumerate(blocks):
+        timeline.add("hbm0", f"LW:{b.label}", t, t + b.load_cycles, kind="load")
+        t += b.load_cycles
+        if i == 0:
+            first_compute = t
+        dur = b.compute_cycles + b.overhead(block_overhead)
+        timeline.add("compute", f"C:{b.label}", t, t + dur)
+        t += dur
+        compute_busy += dur
+    return _finalize(
+        Architecture.A1, timeline, blocks, t, compute_busy, first_compute, block_overhead
+    )
+
+
+def schedule_a2(
+    blocks: list[BlockWork],
+    block_overhead: int = 0,
+    num_weight_buffers: int = 2,
+) -> ScheduleResult:
+    """Double-buffered prefetch on one load channel (Fig 4.9).
+
+    ``num_weight_buffers=1`` degrades to load-after-compute (the
+    ablation baseline, nearly A1); larger values allow deeper prefetch.
+    """
+    _validate(blocks, block_overhead)
+    if num_weight_buffers < 1:
+        raise ValueError("num_weight_buffers must be >= 1")
+    nb = num_weight_buffers
+    timeline = Timeline()
+    load_end = [0.0] * len(blocks)
+    comp_end = [0.0] * len(blocks)
+    chan_free = 0.0
+    compute_busy = 0.0
+    first_compute = None
+    prev_comp = 0.0
+    for i, b in enumerate(blocks):
+        # Buffer (i mod nb) frees when compute i-nb finishes.
+        buffer_free = comp_end[i - nb] if i >= nb else 0.0
+        start = max(chan_free, buffer_free)
+        load_end[i] = start + b.load_cycles
+        timeline.add("hbm0", f"LW:{b.label}", start, load_end[i], kind="load")
+        chan_free = load_end[i]
+
+        c_start = max(load_end[i], prev_comp)
+        if first_compute is None:
+            first_compute = c_start
+        dur = b.compute_cycles + b.overhead(block_overhead)
+        comp_end[i] = c_start + dur
+        timeline.add("compute", f"C:{b.label}", c_start, comp_end[i])
+        prev_comp = comp_end[i]
+        compute_busy += dur
+    return _finalize(
+        Architecture.A2,
+        timeline,
+        blocks,
+        prev_comp,
+        compute_busy,
+        first_compute or 0.0,
+        block_overhead,
+    )
+
+
+def schedule_a3(
+    blocks: list[BlockWork],
+    block_overhead: int = 0,
+    num_channels: int = 2,
+) -> ScheduleResult:
+    """Multi-channel overlapped prefetch (Figs 4.10 / 4.11).
+
+    Block ``i`` loads on its hinted channel (default: round-robin);
+    the load may start once the previous load on that channel finished
+    *and* block ``i - num_channels``'s compute released its weight
+    buffer.  The paper's A3 uses two channels; more channels model the
+    natural extension onto additional HBM ports.
+    """
+    _validate(blocks, block_overhead)
+    if num_channels < 1:
+        raise ValueError("num_channels must be >= 1")
+    timeline = Timeline()
+    load_end = [0.0] * len(blocks)
+    comp_end = [0.0] * len(blocks)
+    chan_free = [0.0] * num_channels
+    compute_busy = 0.0
+    first_compute = None
+    prev_comp = 0.0
+    for i, b in enumerate(blocks):
+        chan = b.channel_hint if b.channel_hint is not None else i % num_channels
+        if not 0 <= chan < num_channels:
+            raise ValueError(
+                f"channel_hint must be in [0, {num_channels}); got {chan}"
+            )
+        buffer_free = comp_end[i - num_channels] if i >= num_channels else 0.0
+        start = max(chan_free[chan], buffer_free)
+        load_end[i] = start + b.load_cycles
+        timeline.add(f"hbm{chan}", f"LW:{b.label}", start, load_end[i], kind="load")
+        chan_free[chan] = load_end[i]
+
+        c_start = max(load_end[i], prev_comp)
+        if first_compute is None:
+            first_compute = c_start
+        dur = b.compute_cycles + b.overhead(block_overhead)
+        comp_end[i] = c_start + dur
+        timeline.add("compute", f"C:{b.label}", c_start, comp_end[i])
+        prev_comp = comp_end[i]
+        compute_busy += dur
+    return _finalize(
+        Architecture.A3,
+        timeline,
+        blocks,
+        prev_comp,
+        compute_busy,
+        first_compute or 0.0,
+        block_overhead,
+    )
+
+
+_SCHEDULERS = {
+    Architecture.A1: schedule_a1,
+    Architecture.A2: schedule_a2,
+    Architecture.A3: schedule_a3,
+}
+
+
+def schedule(
+    architecture: Architecture | str,
+    blocks: list[BlockWork],
+    block_overhead: int = 0,
+) -> ScheduleResult:
+    """Dispatch to the scheduler for the requested architecture."""
+    arch = Architecture(architecture)
+    return _SCHEDULERS[arch](blocks, block_overhead)
+
+
+def _validate(blocks: list[BlockWork], block_overhead: int) -> None:
+    if block_overhead < 0:
+        raise ValueError("block_overhead must be non-negative")
+    if not blocks:
+        raise ValueError("need at least one block to schedule")

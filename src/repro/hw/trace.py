@@ -1,0 +1,94 @@
+"""Execution traces for the simulator (Gantt-style event records).
+
+Every scheduler/controller run can emit :class:`TraceEvent` intervals
+tagged with the engine they ran on (an HBM channel, a PSA, the compute
+fabric).  The visualizer renders these as ASCII Gantt charts mirroring
+Figs 4.8-4.11 and 4.13 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A half-open interval [start, end) of work on one engine."""
+
+    engine: str
+    label: str
+    start: float
+    end: float
+    kind: str = "compute"  # "load" | "compute" | "store" | "overhead"
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"event '{self.label}' ends ({self.end}) before it "
+                f"starts ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "TraceEvent") -> bool:
+        """True when the two intervals intersect on the time axis."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class Timeline:
+    """An append-only collection of trace events."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(
+        self,
+        engine: str,
+        label: str,
+        start: float,
+        end: float,
+        kind: str = "compute",
+    ) -> TraceEvent:
+        event = TraceEvent(engine=engine, label=label, start=start, end=end, kind=kind)
+        self.events.append(event)
+        return event
+
+    def extend(self, other: "Timeline") -> None:
+        self.events.extend(other.events)
+
+    @property
+    def makespan(self) -> float:
+        """End time of the latest event (0 when empty)."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def engines(self) -> list[str]:
+        """Engine names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.engine, None)
+        return list(seen)
+
+    def on_engine(self, engine: str) -> list[TraceEvent]:
+        """Events on one engine, sorted by start time."""
+        return sorted(
+            (e for e in self.events if e.engine == engine),
+            key=lambda e: (e.start, e.end),
+        )
+
+    def busy_time(self, engine: str) -> float:
+        """Total busy time on an engine (assumes no self-overlap)."""
+        return sum(e.duration for e in self.events if e.engine == engine)
+
+    def validate_no_engine_overlap(self) -> None:
+        """Raise if any engine executes two events simultaneously."""
+        for engine in self.engines():
+            events = self.on_engine(engine)
+            for prev, nxt in zip(events, events[1:]):
+                if prev.overlaps(nxt):
+                    raise ValueError(
+                        f"engine '{engine}' double-booked: "
+                        f"'{prev.label}' [{prev.start}, {prev.end}) overlaps "
+                        f"'{nxt.label}' [{nxt.start}, {nxt.end})"
+                    )

@@ -1,0 +1,136 @@
+"""Self-verification: sweep the accelerator against the golden model.
+
+A downstream user changing the fabric (PSA dims, SLR count, precision)
+needs a one-call check that the functional path still matches the
+reference Transformer.  ``verify_equivalence`` runs a battery of
+configurations and sequence lengths, comparing logits and encoder
+memories, and returns a structured report (also exposed as
+``repro-asr verify``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import HardwareConfig, ModelConfig
+from repro.hw.accelerator import TransformerAccelerator
+from repro.model.params import init_transformer_params
+from repro.model.transformer import Transformer
+
+#: Relative/absolute tolerance for fp32 accumulation-order differences.
+DEFAULT_RTOL = 2e-3
+DEFAULT_ATOL = 2e-3
+
+
+@dataclass(frozen=True)
+class EquivalenceCase:
+    """One verification configuration."""
+
+    name: str
+    model: ModelConfig
+    hw_seq_len: int
+    input_len: int
+    token_len: int
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of one case."""
+
+    case: EquivalenceCase
+    max_abs_error: float
+    max_rel_error: float
+    passed: bool
+
+
+def default_cases() -> list[EquivalenceCase]:
+    """A battery covering padding, head counts, and odd dimensions."""
+    return [
+        EquivalenceCase(
+            "paper-dims-2layer",
+            ModelConfig(num_encoders=2, num_decoders=2),
+            hw_seq_len=16,
+            input_len=10,
+            token_len=4,
+        ),
+        EquivalenceCase(
+            "no-padding",
+            ModelConfig(num_encoders=1, num_decoders=1),
+            hw_seq_len=8,
+            input_len=8,
+            token_len=8,
+        ),
+        EquivalenceCase(
+            "heavy-padding",
+            ModelConfig(num_encoders=1, num_decoders=1),
+            hw_seq_len=32,
+            input_len=3,
+            token_len=2,
+        ),
+        EquivalenceCase(
+            "single-head",
+            ModelConfig(
+                d_model=64, num_heads=1, d_ff=128,
+                num_encoders=1, num_decoders=1, vocab_size=7,
+            ),
+            hw_seq_len=4,
+            input_len=4,
+            token_len=2,
+        ),
+        EquivalenceCase(
+            "odd-dims-qi2021",
+            ModelConfig(
+                d_model=400, num_heads=4, d_ff=200,
+                num_encoders=2, num_decoders=1, vocab_size=12,
+            ),
+            hw_seq_len=8,
+            input_len=5,
+            token_len=3,
+        ),
+    ]
+
+
+def verify_case(
+    case: EquivalenceCase,
+    hardware: HardwareConfig | None = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    seed: int = 0,
+) -> EquivalenceResult:
+    """Run one case: accelerator logits vs reference logits."""
+    params = init_transformer_params(case.model, seed=seed)
+    accel = TransformerAccelerator(
+        params, hw_seq_len=case.hw_seq_len, hardware=hardware
+    )
+    reference = Transformer(params)
+    rng = np.random.default_rng(seed + 1)
+    feats = rng.standard_normal((case.input_len, case.model.d_model)).astype(
+        np.float32
+    )
+    tokens = rng.integers(0, case.model.vocab_size, size=case.token_len)
+
+    hw_logits = accel.forward(feats, tokens).logits.astype(np.float64)
+    ref_logits = reference.forward(feats, tokens).astype(np.float64)
+    abs_err = np.abs(hw_logits - ref_logits)
+    denom = np.maximum(np.abs(ref_logits), 1e-6)
+    max_abs = float(abs_err.max())
+    max_rel = float((abs_err / denom).max())
+    passed = bool(np.allclose(hw_logits, ref_logits, rtol=rtol, atol=atol))
+    return EquivalenceResult(
+        case=case, max_abs_error=max_abs, max_rel_error=max_rel, passed=passed
+    )
+
+
+def verify_equivalence(
+    cases: list[EquivalenceCase] | None = None,
+    hardware: HardwareConfig | None = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> list[EquivalenceResult]:
+    """Run the full battery; returns per-case results."""
+    return [
+        verify_case(case, hardware=hardware, rtol=rtol, atol=atol)
+        for case in (cases or default_cases())
+    ]

@@ -1,0 +1,89 @@
+"""ASCII Gantt rendering of schedule timelines (Figs 4.8-4.11).
+
+``render_gantt`` draws one row per engine (HBM channels, compute
+fabric) with each event as a labelled bar, scaled to a fixed character
+width — enough to eyeball where A2/A3 hide the loads behind computes.
+"""
+
+from __future__ import annotations
+
+from repro.hw.trace import Timeline
+
+_KIND_CHARS = {"load": "=", "compute": "#", "store": "~", "overhead": "."}
+
+
+def render_gantt(timeline: Timeline, width: int = 100) -> str:
+    """Render a timeline as an ASCII Gantt chart."""
+    if width < 20:
+        raise ValueError("width must be at least 20 characters")
+    span = timeline.makespan
+    if span <= 0:
+        return "(empty timeline)"
+    label_pad = max((len(e) for e in timeline.engines()), default=0) + 1
+    scale = width / span
+    lines = []
+    for engine in timeline.engines():
+        row = [" "] * width
+        for event in timeline.on_engine(engine):
+            start = int(event.start * scale)
+            end = max(int(event.end * scale), start + 1)
+            end = min(end, width)
+            ch = _KIND_CHARS.get(event.kind, "#")
+            for i in range(start, end):
+                row[i] = ch
+            # Inscribe the label when the bar is wide enough.
+            name = event.label
+            if end - start >= len(name) + 2:
+                for j, c in enumerate(name):
+                    row[start + 1 + j] = c
+        lines.append(f"{engine.rjust(label_pad)} |{''.join(row)}|")
+    lines.append(
+        f"{' ' * label_pad}  0{' ' * (width - 2 - len(f'{span:.0f}'))}"
+        f"{span:.0f} cycles"
+    )
+    return "\n".join(lines)
+
+
+def render_platform_diagram(hardware=None) -> str:
+    """ASCII rendition of the Fig 5.3 platform diagram: host and PCIe,
+    HBM channels feeding one kernel per SLR, and the inter-SLR stream."""
+    from repro.config import HardwareConfig
+
+    hw = hardware or HardwareConfig()
+    ch = hw.hbm_channels_per_slr
+    lines = [
+        "+--------------------- host CPU ----------------------+",
+        "|  data prep | fbank features | OpenCL orchestration   |",
+        "+---------------------------+--------------------------+",
+        f"                            | PCIe Gen3 x16 ({hw.pcie_gbps:.0f} GB/s)",
+        "+---------------------------v--------------------------+",
+        f"|                HBM2 (8 GB, weights resident)         |",
+    ]
+    slr_cells = []
+    for slr in range(hw.num_slrs):
+        chans = " ".join(
+            f"ch{slr * ch + c}" for c in range(ch)
+        )
+        slr_cells.append(
+            f"SLR{slr}: {hw.psas_per_slr} x {hw.psa_rows}x{hw.psa_cols} PSA  "
+            f"[{chans} @ {hw.hbm_channel_gbps:.1f} GB/s]"
+        )
+    width = max(len(c) for c in slr_cells) + 4
+    lines.append("+" + "-" * (len(lines[0]) - 2) + "+")
+    for i, cell in enumerate(slr_cells):
+        lines.append(f"|  {cell.ljust(width - 4)}  |")
+        if i < len(slr_cells) - 1:
+            lines.append(
+                "|  " + "~ inter-SLR AXI stream ~".center(width - 4) + "  |"
+            )
+    lines.append("+" + "-" * (len(lines[0]) - 2) + "+")
+    return "\n".join(lines)
+
+
+def render_comparison(results: dict[str, Timeline], width: int = 100) -> str:
+    """Stack several labelled timelines (e.g. A1 vs A2 vs A3)."""
+    blocks = []
+    for name, timeline in results.items():
+        blocks.append(f"--- {name} ---")
+        blocks.append(render_gantt(timeline, width=width))
+    return "\n".join(blocks)

@@ -1,0 +1,78 @@
+"""Multi-head attention (Eqs. 3.1 and 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.masks import apply_mask
+from repro.model.ops import linear, softmax
+from repro.model.params import AttentionParams
+
+
+def scaled_dot_product_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """``softmax(Q K^T / sqrt(d_k)) V`` for one head (Eq. 3.1).
+
+    ``q`` is ``(s_q, d_k)``, ``k`` and ``v`` are ``(s_k, d_k)``; ``mask``
+    broadcasts against the ``(s_q, s_k)`` score matrix with True=attend.
+    """
+    q = np.asarray(q)
+    k = np.asarray(k)
+    v = np.asarray(v)
+    if q.shape[-1] != k.shape[-1]:
+        raise ValueError("q and k must share the key dimension")
+    if k.shape[0] != v.shape[0]:
+        raise ValueError("k and v must share the sequence dimension")
+    d_k = q.shape[-1]
+    scores = (q @ k.T) / np.sqrt(float(d_k))
+    weights = softmax(apply_mask(scores, mask), axis=-1)
+    return weights @ v
+
+
+def attention_head(
+    x_q: np.ndarray,
+    x_kv: np.ndarray,
+    params: AttentionParams,
+    head: int,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """One attention head: project, attend, return ``(s_q, d_k)``."""
+    if not 0 <= head < params.num_heads:
+        raise ValueError(f"head must be in [0, {params.num_heads}); got {head}")
+    q = linear(x_q, params.wq[head], params.bq[head])
+    k = linear(x_kv, params.wk[head], params.bk[head])
+    v = linear(x_kv, params.wv[head], params.bv[head])
+    return scaled_dot_product_attention(q, k, v, mask=mask)
+
+
+def multi_head_attention(
+    x_q: np.ndarray,
+    x_kv: np.ndarray,
+    params: AttentionParams,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Full MHA (Eq. 3.2): heads in parallel, concat, output linear.
+
+    ``x_q`` is ``(s_q, d_model)`` (queries); ``x_kv`` is ``(s_k, d_model)``
+    (keys/values — equal to ``x_q`` for self-attention, the encoder
+    output for the decoder's cross-attention).
+    """
+    x_q = np.asarray(x_q)
+    x_kv = np.asarray(x_kv)
+    if x_q.ndim != 2 or x_kv.ndim != 2:
+        raise ValueError("inputs must be (s, d_model) matrices")
+    if x_q.shape[1] != params.d_model or x_kv.shape[1] != params.d_model:
+        raise ValueError(
+            f"inputs must have d_model={params.d_model} columns; "
+            f"got {x_q.shape} and {x_kv.shape}"
+        )
+    heads = [
+        attention_head(x_q, x_kv, params, h, mask=mask)
+        for h in range(params.num_heads)
+    ]
+    concat = np.concatenate(heads, axis=-1)
+    return linear(concat, params.wo, params.bo)

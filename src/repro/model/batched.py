@@ -1,0 +1,105 @@
+"""Vectorized batched inference for the CPU baseline.
+
+The per-sequence reference implementation loops over attention heads
+and sequences; a software CPU baseline worth comparing against batches:
+one ``(B, s, d_model)`` tensor sweep per layer with all heads stacked
+into a single einsum (per the scientific-Python guidance: vectorize the
+hot loops, let BLAS see big contractions).  Numerically equivalent to
+running the per-sequence model B times, which the tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.layernorm import layer_norm
+from repro.model.masks import NEG_INF, causal_mask
+from repro.model.ops import linear, relu, softmax
+from repro.model.params import (
+    AttentionParams,
+    FeedForwardParams,
+    TransformerParams,
+)
+
+
+def _batched_mha(
+    x_q: np.ndarray,
+    x_kv: np.ndarray,
+    params: AttentionParams,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """MHA over (B, s, d) tensors with all heads in one contraction."""
+    # Projections for all heads at once: (B, s, d) x (h, d, k) -> (B, h, s, k)
+    q = np.einsum("bsd,hdk->bhsk", x_q, params.wq, optimize=True) + params.bq[:, None, :]
+    k = np.einsum("bsd,hdk->bhsk", x_kv, params.wk, optimize=True) + params.bk[:, None, :]
+    v = np.einsum("bsd,hdk->bhsk", x_kv, params.wv, optimize=True) + params.bv[:, None, :]
+    d_k = params.d_k
+    scores = np.einsum("bhqk,bhsk->bhqs", q, k, optimize=True) / np.sqrt(
+        np.float32(d_k)
+    )
+    if mask is not None:
+        scores = np.where(mask, scores, scores + NEG_INF)
+    weights = softmax(scores, axis=-1)
+    heads = np.einsum("bhqs,bhsk->bhqk", weights, v, optimize=True)
+    # (B, h, s, k) -> (B, s, h*k)
+    b, h, s, kdim = heads.shape
+    concat = heads.transpose(0, 2, 1, 3).reshape(b, s, h * kdim)
+    return concat @ params.wo + params.bo
+
+
+def _batched_ffn(x: np.ndarray, params: FeedForwardParams) -> np.ndarray:
+    return relu(x @ params.w1 + params.b1) @ params.w2 + params.b2
+
+
+def _batched_add_norm(a, b, weight, bias):
+    return layer_norm(a + b, weight, bias)
+
+
+class BatchedTransformer:
+    """Batched teacher-forced inference over (B, s, d) inputs."""
+
+    def __init__(self, params: TransformerParams) -> None:
+        self.params = params
+
+    @property
+    def config(self):
+        return self.params.config
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        x = np.asarray(features)
+        if x.ndim != 3 or x.shape[2] != self.config.d_model:
+            raise ValueError(
+                f"features must be (B, s, {self.config.d_model}); got {x.shape}"
+            )
+        for layer in self.params.encoders:
+            attn = _batched_mha(x, x, layer.mha)
+            x = _batched_add_norm(attn, x, layer.norm1.weight, layer.norm1.bias)
+            ffn = _batched_ffn(x, layer.ffn)
+            x = _batched_add_norm(ffn, x, layer.norm2.weight, layer.norm2.bias)
+        return x
+
+    def decode(self, tokens: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        t = np.asarray(tokens, dtype=np.int64)
+        if t.ndim != 2:
+            raise ValueError("tokens must be (B, t)")
+        if memory.ndim != 3 or memory.shape[0] != t.shape[0]:
+            raise ValueError("memory must be (B, s, d) aligned with tokens")
+        cfg = self.config
+        if t.size and (t.min() < 0 or t.max() >= cfg.vocab_size):
+            raise ValueError("token index out of range")
+        x = self.params.embedding[t] * np.sqrt(np.float32(cfg.d_model))
+        mask = causal_mask(t.shape[1])  # broadcasts over (B, h, q, s)
+        for layer in self.params.decoders:
+            attn = _batched_mha(x, x, layer.self_mha, mask=mask)
+            x = _batched_add_norm(attn, x, layer.norm1.weight, layer.norm1.bias)
+            cross = _batched_mha(x, memory, layer.cross_mha)
+            x = _batched_add_norm(cross, x, layer.norm2.weight, layer.norm2.bias)
+            ffn = _batched_ffn(x, layer.ffn)
+            x = _batched_add_norm(ffn, x, layer.norm3.weight, layer.norm3.bias)
+        return x
+
+    def forward(self, features: np.ndarray, tokens: np.ndarray) -> np.ndarray:
+        """(B, s, d) features + (B, t) tokens -> (B, t, vocab) logits."""
+        memory = self.encode(features)
+        hidden = self.decode(tokens, memory)
+        return linear(hidden, self.params.output_w, self.params.output_b)

@@ -1,0 +1,36 @@
+"""One Transformer decoder layer: M-MHA, cross MHA, FFN (Section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.attention import multi_head_attention
+from repro.model.ffn import feed_forward
+from repro.model.layernorm import add_norm
+from repro.model.masks import causal_mask, combine_masks
+from repro.model.params import DecoderLayerParams
+
+
+def decoder_layer(
+    x: np.ndarray,
+    memory: np.ndarray,
+    params: DecoderLayerParams,
+    self_mask: np.ndarray | None = None,
+    memory_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Masked self-attention, cross-attention over ``memory``, then FFN.
+
+    ``x`` is the ``(t, d_model)`` decoder-side sequence; ``memory`` is
+    the ``(s, d_model)`` encoder-stack output.  The look-ahead mask is
+    always applied to the self-attention (the M-MHA of the paper) and is
+    AND-combined with any extra ``self_mask``.
+    """
+    x = np.asarray(x)
+    look_ahead = causal_mask(x.shape[0])
+    mask = combine_masks(look_ahead, self_mask)
+    self_attn = multi_head_attention(x, x, params.self_mha, mask=mask)
+    x = add_norm(self_attn, x, params.norm1.weight, params.norm1.bias)
+    cross = multi_head_attention(x, memory, params.cross_mha, mask=memory_mask)
+    x = add_norm(cross, x, params.norm2.weight, params.norm2.bias)
+    ffn_out = feed_forward(x, params.ffn)
+    return add_norm(ffn_out, x, params.norm3.weight, params.norm3.bias)

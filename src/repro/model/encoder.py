@@ -1,0 +1,22 @@
+"""One Transformer encoder layer (Fig 3.2 / 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.attention import multi_head_attention
+from repro.model.ffn import feed_forward
+from repro.model.layernorm import add_norm
+from repro.model.params import EncoderLayerParams
+
+
+def encoder_layer(
+    x: np.ndarray,
+    params: EncoderLayerParams,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """MHA -> Add-Norm -> FFN -> Add-Norm over an (s, d_model) input."""
+    attn = multi_head_attention(x, x, params.mha, mask=mask)
+    x = add_norm(attn, x, params.norm1.weight, params.norm1.bias)
+    ffn_out = feed_forward(x, params.ffn)
+    return add_norm(ffn_out, x, params.norm2.weight, params.norm2.bias)

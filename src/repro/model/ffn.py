@@ -1,0 +1,19 @@
+"""Position-wise feed-forward network (Eq. 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.ops import linear, relu
+from repro.model.params import FeedForwardParams
+
+
+def feed_forward(x: np.ndarray, params: FeedForwardParams) -> np.ndarray:
+    """``FFN(x) = ReLU(x W_1F + B_1F) W_2F + B_2F``."""
+    x = np.asarray(x)
+    if x.ndim != 2 or x.shape[1] != params.d_model:
+        raise ValueError(
+            f"input must be (s, {params.d_model}); got shape {x.shape}"
+        )
+    hidden = relu(linear(x, params.w1, params.b1))
+    return linear(hidden, params.w2, params.b2)

@@ -1,0 +1,106 @@
+"""FLOP accounting for the Transformer (Section 4.2).
+
+The paper states the deployed architecture requires ~4 GFLOP per input
+sequence and has an operational intensity of ~0.25 ops/byte.  The 0.25
+figure corresponds to the short-sequence limit counting one MAC per
+weight element streamed (each fp32 weight is 4 bytes and is used once
+per sequence position): MACs/bytes -> s * N / (4 N) -> 0.25 at s=1.
+Both conventions are implemented here; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.config import ModelConfig
+
+
+def matmul_flops(l: int, m: int, n: int) -> int:
+    """FLOPs of an (l x m) @ (m x n) product: one multiply + one add."""
+    if min(l, m, n) < 0:
+        raise ValueError("dimensions must be non-negative")
+    return 2 * l * m * n
+
+
+def mha_flops(s_q: int, s_k: int, config: ModelConfig) -> int:
+    """FLOPs of one MHA block with s_q queries and s_k keys/values."""
+    h, d_model, d_k = config.num_heads, config.d_model, config.d_k
+    per_head = (
+        matmul_flops(s_q, d_model, d_k)  # MM1(Q)
+        + 2 * matmul_flops(s_k, d_model, d_k)  # MM1(K), MM1(V)
+        + matmul_flops(s_q, d_k, s_k)  # MM2 = Q K^T
+        + matmul_flops(s_q, s_k, d_k)  # MM3 = Sm V
+    )
+    return h * per_head + matmul_flops(s_q, d_model, d_model)  # + MM4
+
+
+def ffn_flops(s: int, config: ModelConfig) -> int:
+    """FLOPs of one FFN block (MM5 + MM6)."""
+    return matmul_flops(s, config.d_model, config.d_ff) + matmul_flops(
+        s, config.d_ff, config.d_model
+    )
+
+
+def encoder_layer_flops(s: int, config: ModelConfig) -> int:
+    """Matmul FLOPs of one encoder layer (MHA + FFN)."""
+    return mha_flops(s, s, config) + ffn_flops(s, config)
+
+
+def decoder_layer_flops(t: int, s: int, config: ModelConfig) -> int:
+    """Matmul FLOPs of one decoder layer (M-MHA + cross MHA + FFN).
+
+    ``t`` is the decoder-side length, ``s`` the encoder memory length.
+    """
+    return (
+        mha_flops(t, t, config)  # masked self-attention
+        + mha_flops(t, s, config)  # cross attention over encoder memory
+        + ffn_flops(t, config)
+    )
+
+
+def transformer_flops(s: int, config: ModelConfig | None = None, t: int | None = None) -> int:
+    """Total matmul FLOPs of one full inference pass.
+
+    By default the decoder length equals the encoder length (the
+    accelerator pads both to the fixed hardware sequence length).
+    """
+    config = config or ModelConfig()
+    if s <= 0:
+        raise ValueError("s must be positive")
+    t = s if t is None else t
+    total = config.num_encoders * encoder_layer_flops(s, config)
+    total += config.num_decoders * decoder_layer_flops(t, s, config)
+    return total
+
+
+def weight_bytes(config: ModelConfig | None = None, bytes_per_element: int = 4) -> int:
+    """Bytes of weights streamed for one full encoder-decoder pass."""
+    config = config or ModelConfig()
+    h, d_model, d_k, d_ff = (
+        config.num_heads,
+        config.d_model,
+        config.d_k,
+        config.d_ff,
+    )
+    attn = h * (3 * d_model * d_k + 3 * d_k) + d_model * d_model + d_model
+    norm = 2 * d_model
+    ffn = d_model * d_ff + d_ff + d_ff * d_model + d_model
+    enc = attn + 2 * norm + ffn
+    dec = 2 * attn + 3 * norm + ffn
+    total = config.num_encoders * enc + config.num_decoders * dec
+    return total * bytes_per_element
+
+
+def operational_intensity(
+    s: int,
+    config: ModelConfig | None = None,
+    count_macs: bool = False,
+    bytes_per_element: int = 4,
+) -> float:
+    """Ops per byte of weight traffic for one inference at length ``s``.
+
+    With ``count_macs=True`` this reproduces the paper's ~0.25 ops/B in
+    the short-sequence limit (one MAC per 4-byte weight streamed).
+    """
+    config = config or ModelConfig()
+    flops = transformer_flops(s, config)
+    ops = flops // 2 if count_macs else flops
+    return ops / weight_bytes(config, bytes_per_element)

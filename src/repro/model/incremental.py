@@ -1,0 +1,159 @@
+"""Incremental (KV-cached) autoregressive decoding.
+
+The naive decode loop re-runs the whole decoder stack over the full
+prefix at every step — O(t^2) attention work per token.  An
+incremental decoder caches each layer's self-attention keys/values and
+each layer's cross-attention K/V projections of the (fixed) encoder
+memory, so step t only projects and attends for the newest position.
+Numerically identical to the full recomputation (same fp32 ops in the
+same order per position), which the tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.attention import scaled_dot_product_attention
+from repro.model.ffn import feed_forward
+from repro.model.layernorm import add_norm
+from repro.model.ops import MODEL_DTYPE, linear, log_softmax
+from repro.model.params import AttentionParams, TransformerParams
+
+
+@dataclass
+class _LayerCache:
+    """Per-decoder-layer state."""
+
+    #: Self-attention K/V per head: lists of (t, d_k) arrays.
+    self_k: list[np.ndarray] = field(default_factory=list)
+    self_v: list[np.ndarray] = field(default_factory=list)
+    #: Cross-attention K/V per head, projected once from the memory.
+    cross_k: list[np.ndarray] = field(default_factory=list)
+    cross_v: list[np.ndarray] = field(default_factory=list)
+
+
+def _project_heads(
+    x: np.ndarray, params: AttentionParams
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """K/V projections of ``x`` for every head."""
+    ks = [
+        linear(x, params.wk[h], params.bk[h]) for h in range(params.num_heads)
+    ]
+    vs = [
+        linear(x, params.wv[h], params.bv[h]) for h in range(params.num_heads)
+    ]
+    return ks, vs
+
+
+def _attend_one(
+    x_row: np.ndarray,
+    params: AttentionParams,
+    keys: list[np.ndarray],
+    values: list[np.ndarray],
+) -> np.ndarray:
+    """MHA output for a single query row against cached keys/values."""
+    heads = []
+    for h in range(params.num_heads):
+        q = linear(x_row[None, :], params.wq[h], params.bq[h])
+        heads.append(scaled_dot_product_attention(q, keys[h], values[h]))
+    concat = np.concatenate(heads, axis=-1)
+    return linear(concat, params.wo, params.bo)[0]
+
+
+class IncrementalDecoder:
+    """Step-wise decoder over a fixed encoder memory."""
+
+    def __init__(self, params: TransformerParams, memory: np.ndarray) -> None:
+        memory = np.asarray(memory, dtype=MODEL_DTYPE)
+        if memory.ndim != 2 or memory.shape[1] != params.config.d_model:
+            raise ValueError(
+                f"memory must be (s, {params.config.d_model}); got {memory.shape}"
+            )
+        self.params = params
+        self.memory = memory
+        self._caches = [_LayerCache() for _ in params.decoders]
+        for layer, cache in zip(params.decoders, self._caches):
+            cache.cross_k, cache.cross_v = _project_heads(
+                memory, layer.cross_mha
+            )
+        self._length = 0
+
+    @property
+    def length(self) -> int:
+        """Positions decoded so far."""
+        return self._length
+
+    def step(self, token: int) -> np.ndarray:
+        """Feed one token; returns log-probs over the next position."""
+        cfg = self.params.config
+        if not 0 <= token < cfg.vocab_size:
+            raise ValueError(f"token {token} out of range")
+        x = (
+            self.params.embedding[token]
+            * np.sqrt(np.float32(cfg.d_model))
+        ).astype(MODEL_DTYPE)
+
+        for layer, cache in zip(self.params.decoders, self._caches):
+            # Masked self-attention: extend the cache with this
+            # position's K/V, then attend over positions <= t (the
+            # causal mask is implicit in the cache's extent).
+            for h in range(layer.self_mha.num_heads):
+                k_row = linear(
+                    x[None, :], layer.self_mha.wk[h], layer.self_mha.bk[h]
+                )
+                v_row = linear(
+                    x[None, :], layer.self_mha.wv[h], layer.self_mha.bv[h]
+                )
+                if self._length == 0:
+                    cache.self_k.append(k_row)
+                    cache.self_v.append(v_row)
+                else:
+                    cache.self_k[h] = np.concatenate(
+                        [cache.self_k[h], k_row], axis=0
+                    )
+                    cache.self_v[h] = np.concatenate(
+                        [cache.self_v[h], v_row], axis=0
+                    )
+            attn = _attend_one(x, layer.self_mha, cache.self_k, cache.self_v)
+            x = add_norm(
+                attn[None, :], x[None, :], layer.norm1.weight, layer.norm1.bias
+            )[0]
+            cross = _attend_one(
+                x, layer.cross_mha, cache.cross_k, cache.cross_v
+            )
+            x = add_norm(
+                cross[None, :], x[None, :], layer.norm2.weight, layer.norm2.bias
+            )[0]
+            ffn_out = feed_forward(x[None, :], layer.ffn)
+            x = add_norm(
+                ffn_out, x[None, :], layer.norm3.weight, layer.norm3.bias
+            )[0]
+
+        self._length += 1
+        logits = linear(x, self.params.output_w, self.params.output_b)
+        return log_softmax(logits, axis=-1)
+
+    def step_fn(self):
+        """Adapter for :mod:`repro.decoding`: prefix -> next log-probs.
+
+        Feeds only the *new* suffix of the prefix into the cache, so
+        repeated greedy/beam extension costs O(1) decoder passes per
+        token instead of O(t).  Prefixes must grow monotonically
+        (beam search with branching needs one decoder per hypothesis).
+        """
+
+        def step(tokens: np.ndarray) -> np.ndarray:
+            tokens = np.asarray(tokens, dtype=np.int64)
+            if tokens.size <= self._length:
+                raise ValueError(
+                    "incremental step_fn needs a strictly growing prefix"
+                )
+            out: np.ndarray | None = None
+            for token in tokens[self._length :]:
+                out = self.step(int(token))
+            assert out is not None
+            return out
+
+        return step

@@ -1,0 +1,65 @@
+"""Attention masks.
+
+The decoder's Masked MHA uses a binary look-ahead mask so that position
+``i`` only attends to positions ``<= i`` (Section 3.4).  Padding masks
+hide the zero-padding the accelerator appends to reach its fixed
+sequence length ``s`` (Section 5.1.5: inputs of length ``i < s`` are
+padded up to ``s``).
+
+Masks use the convention ``True = attend, False = blocked``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Additive score applied to blocked positions before the softmax.
+NEG_INF = -1e9
+
+
+def causal_mask(size: int) -> np.ndarray:
+    """(size, size) look-ahead mask; entry [i, j] is True iff j <= i."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return np.tril(np.ones((size, size), dtype=bool))
+
+
+def padding_mask(lengths: np.ndarray | list[int], size: int) -> np.ndarray:
+    """Key-padding mask of shape (batch, size).
+
+    Entry [b, j] is True iff position j is a real (non-padded) key of
+    sequence b.
+    """
+    lens = np.asarray(lengths, dtype=np.int64)
+    if lens.ndim != 1:
+        raise ValueError("lengths must be 1-D")
+    if np.any(lens < 0) or np.any(lens > size):
+        raise ValueError("lengths must lie in [0, size]")
+    return np.arange(size)[None, :] < lens[:, None]
+
+
+def combine_masks(*masks: np.ndarray | None) -> np.ndarray | None:
+    """Logical AND of broadcastable masks; None entries are ignored."""
+    present = [np.asarray(m, dtype=bool) for m in masks if m is not None]
+    if not present:
+        return None
+    out = present[0]
+    for m in present[1:]:
+        out = np.logical_and(out, m)
+    return out
+
+
+def apply_mask(scores: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+    """Add NEG_INF to blocked entries of an attention-score matrix."""
+    if mask is None:
+        return scores
+    mask = np.asarray(mask, dtype=bool)
+    scores = np.asarray(scores)
+    try:
+        np.broadcast_shapes(scores.shape, mask.shape)
+    except ValueError as exc:
+        raise ValueError(
+            f"mask shape {mask.shape} is not broadcastable to "
+            f"scores shape {scores.shape}"
+        ) from exc
+    return np.where(mask, scores, scores + NEG_INF)

@@ -1,0 +1,401 @@
+"""Parameter containers for the Transformer, matching Table 4.1.
+
+Weights are stored *per attention head* as ``(h, d_model, d_k)`` stacks
+of 512x64 matrices — exactly the granularity at which the accelerator
+streams them from HBM (Table 4.1 counts 576 separate W_{Q/K/V} matrices
+of shape 512x64 for the full 12-encoder / 6-decoder stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.model.ops import MODEL_DTYPE
+
+
+def _check(shape_ok: bool, what: str, got: tuple[int, ...]) -> None:
+    if not shape_ok:
+        raise ValueError(f"bad shape for {what}: {got}")
+
+
+@dataclass(frozen=True)
+class LayerNormParams:
+    """Scale and shift of one Add-Norm layer (two 1x512 vectors)."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        _check(self.weight.ndim == 1, "layernorm weight", self.weight.shape)
+        _check(self.bias.shape == self.weight.shape, "layernorm bias", self.bias.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+@dataclass(frozen=True)
+class AttentionParams:
+    """One MHA block: per-head Q/K/V projections plus the output linear.
+
+    Shapes: ``wq/wk/wv`` are ``(h, d_model, d_k)``, ``bq/bk/bv`` are
+    ``(h, d_k)``, ``wo`` is ``(d_model, d_model)`` (the W_A of Eq. 3.2)
+    and ``bo`` is ``(d_model,)``.
+    """
+
+    wq: np.ndarray
+    bq: np.ndarray
+    wk: np.ndarray
+    bk: np.ndarray
+    wv: np.ndarray
+    bv: np.ndarray
+    wo: np.ndarray
+    bo: np.ndarray
+
+    def __post_init__(self) -> None:
+        h, d_model, d_k = self.wq.shape
+        for name in ("wq", "wk", "wv"):
+            _check(getattr(self, name).shape == (h, d_model, d_k), name, getattr(self, name).shape)
+        for name in ("bq", "bk", "bv"):
+            _check(getattr(self, name).shape == (h, d_k), name, getattr(self, name).shape)
+        _check(self.wo.shape == (d_model, d_model), "wo", self.wo.shape)
+        _check(self.bo.shape == (d_model,), "bo", self.bo.shape)
+        if h * d_k != d_model:
+            raise ValueError(
+                f"head dims inconsistent: h={h}, d_k={d_k}, d_model={d_model}"
+            )
+
+    @property
+    def num_heads(self) -> int:
+        return self.wq.shape[0]
+
+    @property
+    def d_model(self) -> int:
+        return self.wq.shape[1]
+
+    @property
+    def d_k(self) -> int:
+        return self.wq.shape[2]
+
+    @property
+    def num_elements(self) -> int:
+        return sum(
+            getattr(self, name).size
+            for name in ("wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo")
+        )
+
+
+@dataclass(frozen=True)
+class FeedForwardParams:
+    """FFN weights (Eq. 3.3): W_1F (512x2048), W_2F (2048x512) + biases."""
+
+    w1: np.ndarray
+    b1: np.ndarray
+    w2: np.ndarray
+    b2: np.ndarray
+
+    def __post_init__(self) -> None:
+        d_model, d_ff = self.w1.shape
+        _check(self.b1.shape == (d_ff,), "b1", self.b1.shape)
+        _check(self.w2.shape == (d_ff, d_model), "w2", self.w2.shape)
+        _check(self.b2.shape == (d_model,), "b2", self.b2.shape)
+
+    @property
+    def d_model(self) -> int:
+        return self.w1.shape[0]
+
+    @property
+    def d_ff(self) -> int:
+        return self.w1.shape[1]
+
+    @property
+    def num_elements(self) -> int:
+        return self.w1.size + self.b1.size + self.w2.size + self.b2.size
+
+
+@dataclass(frozen=True)
+class EncoderLayerParams:
+    """MHA -> Add-Norm -> FFN -> Add-Norm."""
+
+    mha: AttentionParams
+    norm1: LayerNormParams
+    ffn: FeedForwardParams
+    norm2: LayerNormParams
+
+    @property
+    def num_elements(self) -> int:
+        return (
+            self.mha.num_elements
+            + self.norm1.num_elements
+            + self.ffn.num_elements
+            + self.norm2.num_elements
+        )
+
+
+@dataclass(frozen=True)
+class DecoderLayerParams:
+    """M-MHA -> Add-Norm -> cross MHA -> Add-Norm -> FFN -> Add-Norm."""
+
+    self_mha: AttentionParams
+    norm1: LayerNormParams
+    cross_mha: AttentionParams
+    norm2: LayerNormParams
+    ffn: FeedForwardParams
+    norm3: LayerNormParams
+
+    @property
+    def num_elements(self) -> int:
+        return (
+            self.self_mha.num_elements
+            + self.norm1.num_elements
+            + self.cross_mha.num_elements
+            + self.norm2.num_elements
+            + self.ffn.num_elements
+            + self.norm3.num_elements
+        )
+
+
+@dataclass(frozen=True)
+class TransformerParams:
+    """All weights of the E2E model, plus embedding/output projections."""
+
+    config: ModelConfig
+    encoders: tuple[EncoderLayerParams, ...]
+    decoders: tuple[DecoderLayerParams, ...]
+    #: Token embedding table (vocab_size, d_model) for the decoder input.
+    embedding: np.ndarray
+    #: Output projection (d_model, vocab_size) + bias producing logits.
+    output_w: np.ndarray
+    output_b: np.ndarray
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        if len(self.encoders) != cfg.num_encoders:
+            raise ValueError(
+                f"expected {cfg.num_encoders} encoder layers; got {len(self.encoders)}"
+            )
+        if len(self.decoders) != cfg.num_decoders:
+            raise ValueError(
+                f"expected {cfg.num_decoders} decoder layers; got {len(self.decoders)}"
+            )
+        _check(
+            self.embedding.shape == (cfg.vocab_size, cfg.d_model),
+            "embedding",
+            self.embedding.shape,
+        )
+        _check(
+            self.output_w.shape == (cfg.d_model, cfg.vocab_size),
+            "output_w",
+            self.output_w.shape,
+        )
+        _check(
+            self.output_b.shape == (cfg.vocab_size,), "output_b", self.output_b.shape
+        )
+
+    @property
+    def num_elements(self) -> int:
+        total = self.embedding.size + self.output_w.size + self.output_b.size
+        total += sum(layer.num_elements for layer in self.encoders)
+        total += sum(layer.num_elements for layer in self.decoders)
+        return total
+
+
+def _init_layernorm(d_model: int) -> LayerNormParams:
+    return LayerNormParams(
+        weight=np.ones(d_model, dtype=MODEL_DTYPE),
+        bias=np.zeros(d_model, dtype=MODEL_DTYPE),
+    )
+
+
+def _init_attention(
+    config: ModelConfig, rng: np.random.Generator
+) -> AttentionParams:
+    h, d_model, d_k = config.num_heads, config.d_model, config.d_k
+    scale_qkv = 1.0 / np.sqrt(d_model)
+    scale_o = 1.0 / np.sqrt(d_model)
+
+    def mat(shape: tuple[int, ...], scale: float) -> np.ndarray:
+        return (scale * rng.standard_normal(shape)).astype(MODEL_DTYPE)
+
+    return AttentionParams(
+        wq=mat((h, d_model, d_k), scale_qkv),
+        bq=np.zeros((h, d_k), dtype=MODEL_DTYPE),
+        wk=mat((h, d_model, d_k), scale_qkv),
+        bk=np.zeros((h, d_k), dtype=MODEL_DTYPE),
+        wv=mat((h, d_model, d_k), scale_qkv),
+        bv=np.zeros((h, d_k), dtype=MODEL_DTYPE),
+        wo=mat((d_model, d_model), scale_o),
+        bo=np.zeros(d_model, dtype=MODEL_DTYPE),
+    )
+
+
+def _init_ffn(config: ModelConfig, rng: np.random.Generator) -> FeedForwardParams:
+    d_model, d_ff = config.d_model, config.d_ff
+    return FeedForwardParams(
+        w1=(rng.standard_normal((d_model, d_ff)) / np.sqrt(d_model)).astype(
+            MODEL_DTYPE
+        ),
+        b1=np.zeros(d_ff, dtype=MODEL_DTYPE),
+        w2=(rng.standard_normal((d_ff, d_model)) / np.sqrt(d_ff)).astype(
+            MODEL_DTYPE
+        ),
+        b2=np.zeros(d_model, dtype=MODEL_DTYPE),
+    )
+
+
+def init_transformer_params(
+    config: ModelConfig | None = None, seed: int = 0
+) -> TransformerParams:
+    """Randomly initialize a full parameter set (Xavier-style scales)."""
+    config = config or ModelConfig()
+    rng = np.random.default_rng(seed)
+    encoders = tuple(
+        EncoderLayerParams(
+            mha=_init_attention(config, rng),
+            norm1=_init_layernorm(config.d_model),
+            ffn=_init_ffn(config, rng),
+            norm2=_init_layernorm(config.d_model),
+        )
+        for _ in range(config.num_encoders)
+    )
+    decoders = tuple(
+        DecoderLayerParams(
+            self_mha=_init_attention(config, rng),
+            norm1=_init_layernorm(config.d_model),
+            cross_mha=_init_attention(config, rng),
+            norm2=_init_layernorm(config.d_model),
+            ffn=_init_ffn(config, rng),
+            norm3=_init_layernorm(config.d_model),
+        )
+        for _ in range(config.num_decoders)
+    )
+    embedding = (
+        rng.standard_normal((config.vocab_size, config.d_model))
+        / np.sqrt(config.d_model)
+    ).astype(MODEL_DTYPE)
+    output_w = (
+        rng.standard_normal((config.d_model, config.vocab_size))
+        / np.sqrt(config.d_model)
+    ).astype(MODEL_DTYPE)
+    output_b = np.zeros(config.vocab_size, dtype=MODEL_DTYPE)
+    return TransformerParams(
+        config=config,
+        encoders=encoders,
+        decoders=decoders,
+        embedding=embedding,
+        output_w=output_w,
+        output_b=output_b,
+    )
+
+
+_ATTN_FIELDS = ("wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo")
+_FFN_FIELDS = ("w1", "b1", "w2", "b2")
+
+
+def _flatten(params: TransformerParams) -> dict[str, np.ndarray]:
+    arrays: dict[str, np.ndarray] = {
+        "embedding": params.embedding,
+        "output_w": params.output_w,
+        "output_b": params.output_b,
+    }
+    for i, enc in enumerate(params.encoders):
+        for f in _ATTN_FIELDS:
+            arrays[f"enc{i}.mha.{f}"] = getattr(enc.mha, f)
+        for f in _FFN_FIELDS:
+            arrays[f"enc{i}.ffn.{f}"] = getattr(enc.ffn, f)
+        for j, norm in enumerate((enc.norm1, enc.norm2), start=1):
+            arrays[f"enc{i}.norm{j}.weight"] = norm.weight
+            arrays[f"enc{i}.norm{j}.bias"] = norm.bias
+    for i, dec in enumerate(params.decoders):
+        for tag, attn in (("self_mha", dec.self_mha), ("cross_mha", dec.cross_mha)):
+            for f in _ATTN_FIELDS:
+                arrays[f"dec{i}.{tag}.{f}"] = getattr(attn, f)
+        for f in _FFN_FIELDS:
+            arrays[f"dec{i}.ffn.{f}"] = getattr(dec.ffn, f)
+        for j, norm in enumerate((dec.norm1, dec.norm2, dec.norm3), start=1):
+            arrays[f"dec{i}.norm{j}.weight"] = norm.weight
+            arrays[f"dec{i}.norm{j}.bias"] = norm.bias
+    return arrays
+
+
+def save_params(params: TransformerParams, path: str | Path) -> None:
+    """Serialize parameters (plus config) to a compressed ``.npz``."""
+    cfg = params.config
+    meta = np.array(
+        [
+            cfg.d_model,
+            cfg.num_heads,
+            cfg.d_ff,
+            cfg.num_encoders,
+            cfg.num_decoders,
+            cfg.vocab_size,
+            cfg.max_seq_len,
+            cfg.feature_dim,
+        ],
+        dtype=np.int64,
+    )
+    np.savez_compressed(Path(path), __config__=meta, **_flatten(params))
+
+
+def load_params(path: str | Path) -> TransformerParams:
+    """Load parameters saved by :func:`save_params`."""
+    with np.load(Path(path)) as data:
+        meta = data["__config__"]
+        config = ModelConfig(
+            d_model=int(meta[0]),
+            num_heads=int(meta[1]),
+            d_ff=int(meta[2]),
+            num_encoders=int(meta[3]),
+            num_decoders=int(meta[4]),
+            vocab_size=int(meta[5]),
+            max_seq_len=int(meta[6]),
+            feature_dim=int(meta[7]),
+        )
+
+        def attn(prefix: str) -> AttentionParams:
+            return AttentionParams(
+                **{f: data[f"{prefix}.{f}"] for f in _ATTN_FIELDS}
+            )
+
+        def ffn(prefix: str) -> FeedForwardParams:
+            return FeedForwardParams(
+                **{f: data[f"{prefix}.{f}"] for f in _FFN_FIELDS}
+            )
+
+        def norm(prefix: str) -> LayerNormParams:
+            return LayerNormParams(
+                weight=data[f"{prefix}.weight"], bias=data[f"{prefix}.bias"]
+            )
+
+        encoders = tuple(
+            EncoderLayerParams(
+                mha=attn(f"enc{i}.mha"),
+                norm1=norm(f"enc{i}.norm1"),
+                ffn=ffn(f"enc{i}.ffn"),
+                norm2=norm(f"enc{i}.norm2"),
+            )
+            for i in range(config.num_encoders)
+        )
+        decoders = tuple(
+            DecoderLayerParams(
+                self_mha=attn(f"dec{i}.self_mha"),
+                norm1=norm(f"dec{i}.norm1"),
+                cross_mha=attn(f"dec{i}.cross_mha"),
+                norm2=norm(f"dec{i}.norm2"),
+                ffn=ffn(f"dec{i}.ffn"),
+                norm3=norm(f"dec{i}.norm3"),
+            )
+            for i in range(config.num_decoders)
+        )
+        return TransformerParams(
+            config=config,
+            encoders=encoders,
+            decoders=decoders,
+            embedding=data["embedding"],
+            output_w=data["output_w"],
+            output_b=data["output_b"],
+        )

@@ -1,0 +1,55 @@
+"""Fixed-precision (quantized) model support — the paper's stated
+future work (Section 6.2): "we will explore fixed precision end-to-end
+ASR models ... Fixed precision models offer lower resource utilization,
+addressing our primary constraint of LUT resources.  This will enable
+the development of accelerators with lower latency."
+
+This package provides:
+
+* :mod:`repro.quant.schemes` — symmetric uniform quantization (int8 /
+  int16) with per-tensor or per-output-channel scales, plus fp16.
+* :mod:`repro.quant.params` — quantize a full
+  :class:`~repro.model.params.TransformerParams` and reconstitute a
+  fake-quantized fp32 parameter set for inference.
+* :mod:`repro.quant.analysis` — the latency / resource / accuracy
+  consequences: cheaper PEs let the PSA unroll wider within the LUT
+  budget, and narrower weights load faster, moving the Fig 5.2
+  crossover (see ``benchmarks/test_ablation_precision.py``).
+"""
+
+from repro.quant.analysis import PrecisionPoint, precision_sweep
+from repro.quant.params import (
+    QuantizedTransformerParams,
+    dequantize_params,
+    load_quantized,
+    quantize_params,
+    save_quantized,
+)
+from repro.quant.schemes import (
+    FP16,
+    FP32,
+    INT8,
+    INT16,
+    Precision,
+    dequantize,
+    fake_quantize,
+    quantize_symmetric,
+)
+
+__all__ = [
+    "PrecisionPoint",
+    "precision_sweep",
+    "QuantizedTransformerParams",
+    "dequantize_params",
+    "load_quantized",
+    "quantize_params",
+    "save_quantized",
+    "FP16",
+    "FP32",
+    "INT8",
+    "INT16",
+    "Precision",
+    "dequantize",
+    "fake_quantize",
+    "quantize_symmetric",
+]

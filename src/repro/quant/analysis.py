@@ -1,0 +1,227 @@
+"""Precision design-space study (the paper's Section 6.2 future work).
+
+For each precision:
+
+* **loads shrink** — an int8 model streams a quarter of the fp32 bytes,
+  which moves the Fig 5.2 load/compute crossover toward shorter
+  sequences and shortens the load-bound (small-s) latencies;
+* **PEs shrink** — cheaper MACs let the PSAs unroll more rows inside
+  the same LUT budget (the paper's binding resource), cutting the
+  compute-bound latencies;
+* **accuracy costs** — quantization error on the logits, measured by
+  fake-quantizing a model and comparing against fp32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import HardwareConfig, ModelConfig
+from repro.hw.controller import LatencyModel
+from repro.hw.resources import estimate_resources
+from repro.hw.scheduler import Architecture
+from repro.model.params import TransformerParams, init_transformer_params
+from repro.model.transformer import Transformer
+from repro.quant.params import dequantize_params, quantize_params
+from repro.quant.schemes import FP16, FP32, INT8, Precision, fake_quantize
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """Latency / resource / feasibility summary of one precision."""
+
+    precision: Precision
+    #: Encoder weight-load time (ms) — drops with element width.
+    encoder_load_ms: float
+    #: Fig 5.2 crossover sequence length under this precision.
+    crossover_s: int
+    #: A3 latency at s=32 with the paper's 2-row PSAs.
+    latency_ms_base: float
+    #: Widest PSA row unroll that still fits the LUT budget.
+    best_psa_rows: int
+    #: A3 latency at s=32 with that widest feasible unroll.
+    latency_ms_best: float
+    lut_utilization_base: float
+
+
+def _max_feasible_rows(
+    precision: Precision, hardware: HardwareConfig, model: ModelConfig
+) -> int:
+    """Largest power-of-two PSA row count that fits the device."""
+    best = 0
+    rows = 1
+    while rows <= 64:
+        hw = replace(
+            hardware, psa_rows=rows, bytes_per_element=precision.bytes_per_element
+        )
+        est = estimate_resources(
+            hw,
+            seq_len=32,
+            d_model=model.d_model,
+            d_ff=model.d_ff,
+            num_softmax_units=model.num_heads,
+            pe_dsp=precision.pe_dsp,
+            pe_ff=precision.pe_ff,
+            pe_lut=precision.pe_lut,
+        )
+        if est.fits():
+            best = rows
+        rows *= 2
+    if best == 0:
+        raise ValueError(f"no feasible PSA configuration at {precision.name}")
+    return best
+
+
+def precision_sweep(
+    precisions: tuple[Precision, ...] = (FP32, FP16, INT8),
+    model: ModelConfig | None = None,
+    hardware: HardwareConfig | None = None,
+    architecture: Architecture | str = Architecture.A3,
+    s: int = 32,
+) -> list[PrecisionPoint]:
+    """Latency/resource consequences of each precision."""
+    model = model or ModelConfig()
+    base_hw = hardware or HardwareConfig()
+    points = []
+    for precision in precisions:
+        hw = replace(base_hw, bytes_per_element=precision.bytes_per_element)
+        lm = LatencyModel(model=model, hardware=hw)
+        base_est = estimate_resources(
+            hw,
+            seq_len=s,
+            d_model=model.d_model,
+            d_ff=model.d_ff,
+            num_softmax_units=model.num_heads,
+            pe_dsp=precision.pe_dsp,
+            pe_ff=precision.pe_ff,
+            pe_lut=precision.pe_lut,
+        )
+        try:
+            crossover = lm.crossover_sequence_length()
+        except ValueError:
+            crossover = 1  # compute exceeds load everywhere measured
+        best_rows = _max_feasible_rows(precision, base_hw, model)
+        best_hw = replace(
+            base_hw,
+            psa_rows=best_rows,
+            bytes_per_element=precision.bytes_per_element,
+        )
+        lm_best = LatencyModel(model=model, hardware=best_hw)
+        points.append(
+            PrecisionPoint(
+                precision=precision,
+                encoder_load_ms=hw.cycles_to_ms(lm.encoder_load_cycles()),
+                crossover_s=crossover,
+                latency_ms_base=lm.latency_ms(s, architecture),
+                best_psa_rows=best_rows,
+                latency_ms_best=lm_best.latency_ms(s, architecture),
+                lut_utilization_base=base_est.utilization()["LUT"],
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Quantization error of one precision on one model."""
+
+    precision: Precision
+    max_abs_logit_error: float
+    mean_abs_logit_error: float
+    top1_agreement: float
+    weight_bytes_ratio: float
+
+
+def accuracy_study(
+    precision: Precision,
+    params: TransformerParams | None = None,
+    s: int = 8,
+    seed: int = 0,
+) -> AccuracyReport:
+    """Compare fake-quantized inference against the fp32 reference."""
+    if params is None:
+        params = init_transformer_params(
+            ModelConfig(num_encoders=2, num_decoders=1), seed=seed
+        )
+    cfg = params.config
+    rng = np.random.default_rng(seed)
+    feats = rng.standard_normal((s, cfg.d_model)).astype(np.float32)
+    tokens = rng.integers(0, cfg.vocab_size, size=max(s // 2, 1))
+
+    reference = Transformer(params).forward(feats, tokens)
+    if precision.is_integer:
+        quantized = quantize_params(params, precision)
+        q_params = dequantize_params(quantized)
+        ratio = quantized.total_weight_bytes / (params.num_elements * 4)
+    else:
+        # Floating narrowing: fake-quantize every array in place.
+        from repro.model.params import load_params, save_params  # noqa: F401
+        import copy
+
+        def fq(x):
+            return fake_quantize(x, precision)
+
+        q_params = _map_params(params, fq)
+        ratio = precision.bytes_per_element / 4.0
+    q_feats = fake_quantize(feats, precision) if precision.is_integer else feats
+    quant_out = Transformer(q_params).forward(q_feats.astype(np.float32), tokens)
+
+    err = np.abs(quant_out.astype(np.float64) - reference.astype(np.float64))
+    agree = float(
+        np.mean(np.argmax(quant_out, axis=-1) == np.argmax(reference, axis=-1))
+    )
+    return AccuracyReport(
+        precision=precision,
+        max_abs_logit_error=float(err.max()),
+        mean_abs_logit_error=float(err.mean()),
+        top1_agreement=agree,
+        weight_bytes_ratio=float(ratio),
+    )
+
+
+def _map_params(params: TransformerParams, fn) -> TransformerParams:
+    """Apply ``fn`` to every weight array of a parameter set."""
+    from repro.model.params import (
+        AttentionParams,
+        DecoderLayerParams,
+        EncoderLayerParams,
+        FeedForwardParams,
+        LayerNormParams,
+    )
+
+    def attn(a: AttentionParams) -> AttentionParams:
+        return AttentionParams(
+            wq=fn(a.wq), bq=fn(a.bq), wk=fn(a.wk), bk=fn(a.bk),
+            wv=fn(a.wv), bv=fn(a.bv), wo=fn(a.wo), bo=fn(a.bo),
+        )
+
+    def ffn(f: FeedForwardParams) -> FeedForwardParams:
+        return FeedForwardParams(w1=fn(f.w1), b1=fn(f.b1), w2=fn(f.w2), b2=fn(f.b2))
+
+    def norm(n: LayerNormParams) -> LayerNormParams:
+        return LayerNormParams(weight=fn(n.weight), bias=fn(n.bias))
+
+    encoders = tuple(
+        EncoderLayerParams(
+            mha=attn(e.mha), norm1=norm(e.norm1), ffn=ffn(e.ffn), norm2=norm(e.norm2)
+        )
+        for e in params.encoders
+    )
+    decoders = tuple(
+        DecoderLayerParams(
+            self_mha=attn(d.self_mha), norm1=norm(d.norm1),
+            cross_mha=attn(d.cross_mha), norm2=norm(d.norm2),
+            ffn=ffn(d.ffn), norm3=norm(d.norm3),
+        )
+        for d in params.decoders
+    )
+    return TransformerParams(
+        config=params.config,
+        encoders=encoders,
+        decoders=decoders,
+        embedding=fn(params.embedding),
+        output_w=fn(params.output_w),
+        output_b=fn(params.output_b),
+    )

@@ -1,0 +1,210 @@
+"""Whole-model quantization.
+
+``quantize_params`` walks a :class:`TransformerParams`, quantizing each
+2-D weight matrix with per-output-channel scales and each bias/norm
+vector per-tensor; ``dequantize_params`` reconstitutes an fp32
+parameter set carrying the quantization error, which runs unchanged on
+the reference engine *and* the accelerator simulator — exactly how a
+fixed-point FPGA deployment would behave functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.ops import MODEL_DTYPE
+from repro.model.params import (
+    AttentionParams,
+    DecoderLayerParams,
+    EncoderLayerParams,
+    FeedForwardParams,
+    LayerNormParams,
+    TransformerParams,
+)
+from repro.quant.schemes import Precision, dequantize, quantize_symmetric
+
+
+@dataclass(frozen=True)
+class QuantizedArray:
+    """An integer tensor plus its dequantization scale(s)."""
+
+    q: np.ndarray
+    scale: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return self.q.nbytes + np.asarray(self.scale).nbytes
+
+    def to_float(self) -> np.ndarray:
+        return dequantize(self.q, self.scale).astype(MODEL_DTYPE)
+
+
+@dataclass(frozen=True)
+class QuantizedTransformerParams:
+    """All model weights in integer form, keyed by parameter path."""
+
+    precision: Precision
+    arrays: dict[str, QuantizedArray]
+    config: object  # ModelConfig; kept loose to avoid import cycles
+
+    @property
+    def total_weight_bytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays.values())
+
+
+def _quantize_matrix(x: np.ndarray, precision: Precision) -> QuantizedArray:
+    """Per-output-channel for matrices, per-tensor for vectors."""
+    x = np.asarray(x)
+    axis = x.ndim - 1 if x.ndim >= 2 else None
+    q, scale = quantize_symmetric(x, precision, axis=axis)
+    return QuantizedArray(q=q, scale=scale)
+
+
+_ATTN_FIELDS = ("wq", "bq", "wk", "bk", "wv", "bv", "wo", "bo")
+_FFN_FIELDS = ("w1", "b1", "w2", "b2")
+
+
+def quantize_params(
+    params: TransformerParams, precision: Precision
+) -> QuantizedTransformerParams:
+    """Quantize every weight of the model to ``precision``."""
+    if not precision.is_integer:
+        raise ValueError(
+            f"quantize_params needs an integer precision; got {precision.name}"
+        )
+    arrays: dict[str, QuantizedArray] = {}
+
+    def add(prefix: str, obj, fields) -> None:
+        for f in fields:
+            arrays[f"{prefix}.{f}"] = _quantize_matrix(getattr(obj, f), precision)
+
+    def add_norm(prefix: str, norm: LayerNormParams) -> None:
+        arrays[f"{prefix}.weight"] = _quantize_matrix(norm.weight, precision)
+        arrays[f"{prefix}.bias"] = _quantize_matrix(norm.bias, precision)
+
+    for i, enc in enumerate(params.encoders):
+        add(f"enc{i}.mha", enc.mha, _ATTN_FIELDS)
+        add(f"enc{i}.ffn", enc.ffn, _FFN_FIELDS)
+        add_norm(f"enc{i}.norm1", enc.norm1)
+        add_norm(f"enc{i}.norm2", enc.norm2)
+    for i, dec in enumerate(params.decoders):
+        add(f"dec{i}.self_mha", dec.self_mha, _ATTN_FIELDS)
+        add(f"dec{i}.cross_mha", dec.cross_mha, _ATTN_FIELDS)
+        add(f"dec{i}.ffn", dec.ffn, _FFN_FIELDS)
+        add_norm(f"dec{i}.norm1", dec.norm1)
+        add_norm(f"dec{i}.norm2", dec.norm2)
+        add_norm(f"dec{i}.norm3", dec.norm3)
+    arrays["embedding"] = _quantize_matrix(params.embedding, precision)
+    arrays["output_w"] = _quantize_matrix(params.output_w, precision)
+    arrays["output_b"] = _quantize_matrix(params.output_b, precision)
+    return QuantizedTransformerParams(
+        precision=precision, arrays=arrays, config=params.config
+    )
+
+
+def save_quantized(
+    quantized: QuantizedTransformerParams, path
+) -> None:
+    """Serialize a quantized model (integer codes + scales) to .npz."""
+    import numpy as _np
+    from pathlib import Path
+
+    cfg = quantized.config
+    meta = _np.array(
+        [
+            cfg.d_model, cfg.num_heads, cfg.d_ff, cfg.num_encoders,
+            cfg.num_decoders, cfg.vocab_size, cfg.max_seq_len,
+            cfg.feature_dim, quantized.precision.bits,
+        ],
+        dtype=_np.int64,
+    )
+    payload: dict[str, np.ndarray] = {"__meta__": meta}
+    for name, arr in quantized.arrays.items():
+        payload[f"q::{name}"] = arr.q
+        payload[f"s::{name}"] = np.asarray(arr.scale)
+    _np.savez_compressed(Path(path), **payload)
+
+
+def load_quantized(path) -> QuantizedTransformerParams:
+    """Load a model saved by :func:`save_quantized`."""
+    import numpy as _np
+    from pathlib import Path
+
+    from repro.config import ModelConfig
+    from repro.quant.schemes import INT8, INT16
+
+    with _np.load(Path(path)) as data:
+        meta = data["__meta__"]
+        config = ModelConfig(
+            d_model=int(meta[0]), num_heads=int(meta[1]), d_ff=int(meta[2]),
+            num_encoders=int(meta[3]), num_decoders=int(meta[4]),
+            vocab_size=int(meta[5]), max_seq_len=int(meta[6]),
+            feature_dim=int(meta[7]),
+        )
+        bits = int(meta[8])
+        precision = {8: INT8, 16: INT16}.get(bits)
+        if precision is None:
+            raise ValueError(f"unsupported stored bit-width: {bits}")
+        arrays = {}
+        for key in data.files:
+            if key.startswith("q::"):
+                name = key[3:]
+                arrays[name] = QuantizedArray(
+                    q=data[key], scale=data[f"s::{name}"]
+                )
+    return QuantizedTransformerParams(
+        precision=precision, arrays=arrays, config=config
+    )
+
+
+def dequantize_params(
+    quantized: QuantizedTransformerParams,
+) -> TransformerParams:
+    """Rebuild fp32 parameters carrying the quantization error."""
+    arrays = quantized.arrays
+    cfg = quantized.config
+
+    def get(name: str) -> np.ndarray:
+        return arrays[name].to_float()
+
+    def attn(prefix: str) -> AttentionParams:
+        return AttentionParams(**{f: get(f"{prefix}.{f}") for f in _ATTN_FIELDS})
+
+    def ffn(prefix: str) -> FeedForwardParams:
+        return FeedForwardParams(**{f: get(f"{prefix}.{f}") for f in _FFN_FIELDS})
+
+    def norm(prefix: str) -> LayerNormParams:
+        return LayerNormParams(
+            weight=get(f"{prefix}.weight"), bias=get(f"{prefix}.bias")
+        )
+
+    encoders = tuple(
+        EncoderLayerParams(
+            mha=attn(f"enc{i}.mha"),
+            norm1=norm(f"enc{i}.norm1"),
+            ffn=ffn(f"enc{i}.ffn"),
+            norm2=norm(f"enc{i}.norm2"),
+        )
+        for i in range(cfg.num_encoders)
+    )
+    decoders = tuple(
+        DecoderLayerParams(
+            self_mha=attn(f"dec{i}.self_mha"),
+            norm1=norm(f"dec{i}.norm1"),
+            cross_mha=attn(f"dec{i}.cross_mha"),
+            norm2=norm(f"dec{i}.norm2"),
+            ffn=ffn(f"dec{i}.ffn"),
+            norm3=norm(f"dec{i}.norm3"),
+        )
+        for i in range(cfg.num_decoders)
+    )
+    return TransformerParams(
+        config=cfg,
+        encoders=encoders,
+        decoders=decoders,
+        embedding=get("embedding"),
+        output_w=get("output_w"),
+        output_b=get("output_b"),
+    )

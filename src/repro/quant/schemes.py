@@ -1,0 +1,135 @@
+"""Quantization schemes and the per-precision hardware cost model.
+
+Symmetric uniform quantization: ``q = clip(round(x / scale))`` with the
+scale chosen so the max-magnitude value maps to the top of the integer
+range.  Scales are per-tensor or per-output-channel (axis), the two
+granularities FPGA Transformer accelerators commonly use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A numeric format plus its per-PE fabric cost.
+
+    PE costs extend the fitted fp32 constants of
+    :mod:`repro.hw.resources`: an fp32 MAC is 1 DSP + heavy LUT
+    accumulate; fp16 halves the datapath; int8 MACs pack two to a DSP48
+    and need only narrow LUT adders.
+    """
+
+    name: str
+    bytes_per_element: int
+    #: Integer bit-width (None for floating formats).
+    bits: int | None
+    pe_dsp: float
+    pe_ff: int
+    pe_lut: int
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_element not in (1, 2, 4, 8):
+            raise ValueError("unsupported element width")
+        if self.bits is not None and not 2 <= self.bits <= 32:
+            raise ValueError("bits must be in [2, 32]")
+        if self.pe_dsp < 0 or self.pe_ff < 0 or self.pe_lut < 0:
+            raise ValueError("PE costs must be non-negative")
+
+    @property
+    def is_integer(self) -> bool:
+        return self.bits is not None
+
+    @property
+    def qmax(self) -> int:
+        if self.bits is None:
+            raise ValueError(f"{self.name} is not an integer format")
+        return 2 ** (self.bits - 1) - 1
+
+
+FP32 = Precision("fp32", bytes_per_element=4, bits=None, pe_dsp=1.0, pe_ff=880, pe_lut=640)
+FP16 = Precision("fp16", bytes_per_element=2, bits=None, pe_dsp=1.0, pe_ff=440, pe_lut=330)
+INT16 = Precision("int16", bytes_per_element=2, bits=16, pe_dsp=1.0, pe_ff=260, pe_lut=180)
+INT8 = Precision("int8", bytes_per_element=1, bits=8, pe_dsp=0.5, pe_ff=140, pe_lut=95)
+
+PRECISIONS: dict[str, Precision] = {
+    p.name: p for p in (FP32, FP16, INT16, INT8)
+}
+
+
+def _scales(x: np.ndarray, qmax: int, axis: int | None) -> np.ndarray:
+    if axis is None:
+        peak = np.max(np.abs(x))
+        return np.asarray(max(float(peak), 1e-12) / qmax)
+    reduce_axes = tuple(a for a in range(x.ndim) if a != axis % x.ndim)
+    peak = np.max(np.abs(x), axis=reduce_axes, keepdims=True)
+    return np.maximum(peak, 1e-12) / qmax
+
+
+def quantize_symmetric(
+    x: np.ndarray, precision: Precision, axis: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize to integers; returns (q, scale).
+
+    ``axis`` selects per-channel scales along that axis (e.g. the
+    output-feature axis of a weight matrix); None means per-tensor.
+    """
+    if not precision.is_integer:
+        raise ValueError(f"cannot integer-quantize to {precision.name}")
+    x = np.asarray(x, dtype=np.float64)
+    scale = _scales(x, precision.qmax, axis)
+    q = np.clip(np.round(x / scale), -precision.qmax, precision.qmax)
+    dtype = np.int8 if precision.bits <= 8 else np.int32
+    return q.astype(dtype), scale
+
+
+def dequantize(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Reconstruct real values from integers and their scale(s)."""
+    return np.asarray(q, dtype=np.float64) * np.asarray(scale, dtype=np.float64)
+
+
+def fake_quantize(
+    x: np.ndarray, precision: Precision, axis: int | None = None
+) -> np.ndarray:
+    """Quantize-then-dequantize (the standard inference-error model).
+
+    For floating formats this rounds through the narrower float type;
+    for integer formats it round-trips through the integer grid.
+    """
+    x = np.asarray(x)
+    if precision.name == "fp32":
+        return x.astype(np.float32, copy=True).astype(x.dtype)
+    if precision.name == "fp16":
+        return x.astype(np.float16).astype(x.dtype)
+    q, scale = quantize_symmetric(x, precision, axis=axis)
+    return dequantize(q, scale).astype(x.dtype)
+
+
+def int_matmul(
+    q_a: np.ndarray,
+    scale_a: np.ndarray,
+    q_b: np.ndarray,
+    scale_b: np.ndarray,
+) -> np.ndarray:
+    """Integer matmul with int32 accumulation, rescaled to reals.
+
+    This is the arithmetic an int8 PSA would perform: the product of the
+    quantized operands accumulates exactly in wide integers and a single
+    rescale recovers the real-valued result, equal (exactly) to
+    ``dequantize(q_a) @ dequantize(q_b)`` for per-tensor scales.
+    """
+    q_a = np.asarray(q_a)
+    q_b = np.asarray(q_b)
+    if q_a.ndim != 2 or q_b.ndim != 2 or q_a.shape[1] != q_b.shape[0]:
+        raise ValueError(f"bad operand shapes: {q_a.shape} @ {q_b.shape}")
+    acc = q_a.astype(np.int64) @ q_b.astype(np.int64)
+    scale_a = np.asarray(scale_a, dtype=np.float64)
+    scale_b = np.asarray(scale_b, dtype=np.float64)
+    if scale_a.size != 1:
+        raise ValueError("activations must use a per-tensor scale")
+    # Per-channel weight scales lie along the output axis: (1, n) or scalar.
+    scale_b_row = scale_b.reshape(1, -1) if scale_b.size > 1 else scale_b
+    return acc.astype(np.float64) * float(scale_a) * scale_b_row

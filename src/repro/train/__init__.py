@@ -1,0 +1,26 @@
+"""Training substrate: a from-scratch reverse-mode autograd engine on
+NumPy, a trainable Transformer built on it, Adam, and a trainer loop.
+
+The paper evaluates an ESPnet-trained LibriSpeech model (WER ~9.5%).
+Training that model is out of scope on a CPU, so the WER experiment is
+reproduced *in spirit*: a scaled-down Transformer with the identical
+architecture is trained here on the synthetic grapheme-acoustics corpus
+of :mod:`repro.asr.dataset` and evaluated with the same decoding + WER
+machinery the full-size system uses (see DESIGN.md, substitutions).
+"""
+
+from repro.train.autograd import Tensor, no_grad
+from repro.train.layers import TrainableTransformer
+from repro.train.losses import label_smoothing_cross_entropy
+from repro.train.optim import Adam
+from repro.train.trainer import Trainer, TrainingConfig
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "TrainableTransformer",
+    "label_smoothing_cross_entropy",
+    "Adam",
+    "Trainer",
+    "TrainingConfig",
+]

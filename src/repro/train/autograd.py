@@ -1,0 +1,382 @@
+"""A minimal reverse-mode automatic-differentiation engine on NumPy.
+
+Supports exactly the operations the Transformer needs: broadcasting
+arithmetic, matmul, transpose/reshape/slicing, index select (embedding
+lookup), concatenate, reductions, exp/log/sqrt/tanh/relu, masked fill,
+softmax/log-softmax.  Gradients flow through a topologically sorted
+tape; broadcasting is undone by summing over the broadcast axes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph construction inside the context (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce a gradient back to ``shape`` after NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """An ndarray node in the autograd graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # prefer Tensor.__r*__ over ndarray ops
+
+    def __init__(
+        self,
+        data: np.ndarray | float | int | list,
+        requires_grad: bool = False,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ----------------------------------------------------------- infra
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    @staticmethod
+    def _lift(value: "Tensor | np.ndarray | float | int") -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        parents = tuple(parents)
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        self.grad = grad if self.grad is None else self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this node through the whole graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a non-differentiable tensor")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad needs a scalar")
+            grad = np.ones_like(self.data)
+        # Topological order over the tape.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------ arithmetic
+    def __add__(self, other):
+        other = self._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other):
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other):
+        other = self._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other):
+        other = self._lift(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------ structure
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        if axes is None:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make(self.data.transpose(axes), (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        return self._make(self.data[key], (self,), backward)
+
+    def index_select(self, indices: np.ndarray) -> "Tensor":
+        """Row lookup (embedding): out[i] = self[indices[i]]."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError("indices must be 1-D")
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, indices, grad)
+                self._accumulate(full)
+
+        return self._make(self.data[indices], (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: list["Tensor"], axis: int = -1) -> "Tensor":
+        if not tensors:
+            raise ValueError("need at least one tensor")
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    sl = [slice(None)] * grad.ndim
+                    sl[axis] = slice(start, end)
+                    t._accumulate(grad[tuple(sl)])
+
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        return Tensor._make(data, tensors, backward)
+
+    # ------------------------------------------------------ reductions
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False):
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                g = grad
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis)
+                self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis: int | None = None, keepdims: bool = False):
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ---------------------------------------------------- elementwise
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Set entries where ``mask`` is False to ``value`` (no gradient
+        flows into the filled entries)."""
+        keep = np.broadcast_to(np.asarray(mask, dtype=bool), self.data.shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * keep)
+
+        return self._make(np.where(keep, self.data, value), (self,), backward)
+
+    # --------------------------------------------------------- softmax
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_z
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(
+                    grad - softmax * grad.sum(axis=axis, keepdims=True)
+                )
+
+        return self._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                dot = (grad * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate(out_data * (grad - dot))
+
+        return self._make(out_data, (self,), backward)
+
+
+def parameter(shape: tuple[int, ...], rng: np.random.Generator, scale: float) -> Tensor:
+    """A trainable tensor with Gaussian init."""
+    return Tensor(scale * rng.standard_normal(shape), requires_grad=True)
+
+
+def zeros_parameter(shape: tuple[int, ...]) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def ones_parameter(shape: tuple[int, ...]) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=True)

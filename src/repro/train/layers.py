@@ -1,0 +1,270 @@
+"""Trainable Transformer built on the autograd engine.
+
+Architecturally identical to the inference model in :mod:`repro.model`
+(per-head Q/K/V projections, Add-Norm, ReLU FFN, look-ahead masking);
+:meth:`TrainableTransformer.export_params` converts the trained weights
+into a :class:`repro.model.params.TransformerParams`, so a model
+trained here runs unchanged on both the reference engine and the
+accelerator simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.model.masks import NEG_INF, causal_mask
+from repro.model.ops import MODEL_DTYPE
+from repro.model.params import (
+    AttentionParams,
+    DecoderLayerParams,
+    EncoderLayerParams,
+    FeedForwardParams,
+    LayerNormParams,
+    TransformerParams,
+)
+from repro.train.autograd import (
+    Tensor,
+    ones_parameter,
+    parameter,
+    zeros_parameter,
+)
+
+
+class Module:
+    """Minimal parameter-container base class."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+class LayerNorm(Module):
+    """Trainable layer normalization (Eq. 3.4)."""
+
+    def __init__(self, dim: int, eps: float = 1e-12) -> None:
+        self.weight = ones_parameter((dim,))
+        self.bias = zeros_parameter((dim,))
+        self.eps = eps
+
+    def __call__(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.weight + self.bias
+
+    def export(self) -> LayerNormParams:
+        return LayerNormParams(
+            weight=self.weight.data.astype(MODEL_DTYPE),
+            bias=self.bias.data.astype(MODEL_DTYPE),
+        )
+
+
+class MultiHeadAttention(Module):
+    """Per-head projected attention with the (h, d_model, d_k) layout."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        h, d, dk = config.num_heads, config.d_model, config.d_k
+        scale = 1.0 / np.sqrt(d)
+        self.num_heads = h
+        self.d_k = dk
+        self.wq = parameter((h, d, dk), rng, scale)
+        self.bq = zeros_parameter((h, dk))
+        self.wk = parameter((h, d, dk), rng, scale)
+        self.bk = zeros_parameter((h, dk))
+        self.wv = parameter((h, d, dk), rng, scale)
+        self.bv = zeros_parameter((h, dk))
+        self.wo = parameter((d, d), rng, scale)
+        self.bo = zeros_parameter((d,))
+
+    def __call__(
+        self, x_q: Tensor, x_kv: Tensor, mask: np.ndarray | None = None
+    ) -> Tensor:
+        heads = []
+        inv_sqrt_dk = 1.0 / np.sqrt(self.d_k)
+        for h in range(self.num_heads):
+            q = x_q @ self.wq[h] + self.bq[h]
+            k = x_kv @ self.wk[h] + self.bk[h]
+            v = x_kv @ self.wv[h] + self.bv[h]
+            scores = (q @ k.T) * inv_sqrt_dk
+            if mask is not None:
+                scores = scores.masked_fill(mask, NEG_INF)
+            heads.append(scores.softmax(axis=-1) @ v)
+        concat = Tensor.concatenate(heads, axis=-1)
+        return concat @ self.wo + self.bo
+
+    def export(self) -> AttentionParams:
+        to = lambda t: t.data.astype(MODEL_DTYPE)  # noqa: E731
+        return AttentionParams(
+            wq=to(self.wq), bq=to(self.bq),
+            wk=to(self.wk), bk=to(self.bk),
+            wv=to(self.wv), bv=to(self.bv),
+            wo=to(self.wo), bo=to(self.bo),
+        )
+
+
+class FeedForward(Module):
+    """ReLU FFN (Eq. 3.3)."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        d, f = config.d_model, config.d_ff
+        self.w1 = parameter((d, f), rng, 1.0 / np.sqrt(d))
+        self.b1 = zeros_parameter((f,))
+        self.w2 = parameter((f, d), rng, 1.0 / np.sqrt(f))
+        self.b2 = zeros_parameter((d,))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return (x @ self.w1 + self.b1).relu() @ self.w2 + self.b2
+
+    def export(self) -> FeedForwardParams:
+        to = lambda t: t.data.astype(MODEL_DTYPE)  # noqa: E731
+        return FeedForwardParams(w1=to(self.w1), b1=to(self.b1), w2=to(self.w2), b2=to(self.b2))
+
+
+class EncoderLayer(Module):
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        self.mha = MultiHeadAttention(config, rng)
+        self.norm1 = LayerNorm(config.d_model)
+        self.ffn = FeedForward(config, rng)
+        self.norm2 = LayerNorm(config.d_model)
+
+    def __call__(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = self.norm1(self.mha(x, x, mask=mask) + x)
+        return self.norm2(self.ffn(x) + x)
+
+    def export(self) -> EncoderLayerParams:
+        return EncoderLayerParams(
+            mha=self.mha.export(),
+            norm1=self.norm1.export(),
+            ffn=self.ffn.export(),
+            norm2=self.norm2.export(),
+        )
+
+
+class DecoderLayer(Module):
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        self.self_mha = MultiHeadAttention(config, rng)
+        self.norm1 = LayerNorm(config.d_model)
+        self.cross_mha = MultiHeadAttention(config, rng)
+        self.norm2 = LayerNorm(config.d_model)
+        self.ffn = FeedForward(config, rng)
+        self.norm3 = LayerNorm(config.d_model)
+
+    def __call__(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: np.ndarray,
+        memory_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        x = self.norm1(self.self_mha(x, x, mask=self_mask) + x)
+        x = self.norm2(self.cross_mha(x, memory, mask=memory_mask) + x)
+        return self.norm3(self.ffn(x) + x)
+
+    def export(self) -> DecoderLayerParams:
+        return DecoderLayerParams(
+            self_mha=self.self_mha.export(),
+            norm1=self.norm1.export(),
+            cross_mha=self.cross_mha.export(),
+            norm2=self.norm2.export(),
+            ffn=self.ffn.export(),
+            norm3=self.norm3.export(),
+        )
+
+
+class TrainableTransformer(Module):
+    """The full encoder-decoder with embedding and output projection.
+
+    ``use_positional=True`` adds *learned* positional embeddings to the
+    encoder and decoder inputs.  The paper's deployed model has no
+    sinusoidal positional encoding — its 2D conv subsampling block
+    injects position instead (Section 1.1); in the scaled-down training
+    study, where that conv front-end is replaced by cheap pooling,
+    learned positional embeddings are the equivalent substitute.  With
+    ``use_positional=False`` the exported weights are drop-in
+    compatible with the inference engine / accelerator.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: int = 0,
+        use_positional: bool = False,
+        max_positions: int = 256,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.use_positional = use_positional
+        self.encoders = [EncoderLayer(config, rng) for _ in range(config.num_encoders)]
+        self.decoders = [DecoderLayer(config, rng) for _ in range(config.num_decoders)]
+        d = config.d_model
+        self.embedding = parameter((config.vocab_size, d), rng, 1.0 / np.sqrt(d))
+        self.input_proj = parameter((d, d), rng, 1.0 / np.sqrt(d))
+        self.input_bias = zeros_parameter((d,))
+        self.output_w = parameter((d, config.vocab_size), rng, 1.0 / np.sqrt(d))
+        self.output_b = zeros_parameter((config.vocab_size,))
+        if use_positional:
+            if max_positions <= 0:
+                raise ValueError("max_positions must be positive")
+            self.enc_pos = parameter((max_positions, d), rng, 0.1)
+            self.dec_pos = parameter((max_positions, d), rng, 0.1)
+
+    def encode(self, features: np.ndarray) -> Tensor:
+        x = Tensor(np.asarray(features, dtype=np.float64))
+        x = x @ self.input_proj + self.input_bias
+        if self.use_positional:
+            x = x + self.enc_pos[: x.shape[0]]
+        for layer in self.encoders:
+            x = layer(x)
+        return x
+
+    def decode(self, tokens: np.ndarray, memory: Tensor) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        x = self.embedding.index_select(tokens) * np.sqrt(self.config.d_model)
+        if self.use_positional:
+            x = x + self.dec_pos[: tokens.shape[0]]
+        mask = causal_mask(tokens.shape[0])
+        for layer in self.decoders:
+            x = layer(x, memory, self_mask=mask)
+        return x
+
+    def forward(self, features: np.ndarray, tokens: np.ndarray) -> Tensor:
+        """Teacher-forced logits over the vocabulary at each position."""
+        memory = self.encode(features)
+        hidden = self.decode(tokens, memory)
+        return hidden @ self.output_w + self.output_b
+
+    def export_params(self) -> TransformerParams:
+        """Freeze the trained weights into an inference parameter set.
+
+        Note: the trainable model applies an extra input projection
+        before the encoder stack; fold it into the features before
+        feeding the exported model (see Trainer.project_features).
+        """
+        return TransformerParams(
+            config=self.config,
+            encoders=tuple(layer.export() for layer in self.encoders),
+            decoders=tuple(layer.export() for layer in self.decoders),
+            embedding=self.embedding.data.astype(MODEL_DTYPE),
+            output_w=self.output_w.data.astype(MODEL_DTYPE),
+            output_b=self.output_b.data.astype(MODEL_DTYPE),
+        )
+
+    def project_features(self, features: np.ndarray) -> np.ndarray:
+        """Apply the input projection outside the graph (for export)."""
+        f = np.asarray(features, dtype=np.float64)
+        return (f @ self.input_proj.data + self.input_bias.data).astype(MODEL_DTYPE)

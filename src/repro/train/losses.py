@@ -1,0 +1,48 @@
+"""Training losses: label-smoothed cross entropy (the ESPnet default
+for attention-based E2E ASR)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.train.autograd import Tensor
+
+
+def label_smoothing_cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    smoothing: float = 0.1,
+) -> Tensor:
+    """Mean label-smoothed CE over a (t, vocab) logits matrix.
+
+    With smoothing ``e`` the target distribution puts ``1 - e`` on the
+    gold label and ``e / (V - 1)`` on everything else.
+    """
+    if not 0.0 <= smoothing < 1.0:
+        raise ValueError("smoothing must be in [0, 1)")
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.ndim != 1:
+        raise ValueError("targets must be 1-D")
+    t, vocab = logits.shape
+    if targets.shape[0] != t:
+        raise ValueError(
+            f"targets length {targets.shape[0]} != logits rows {t}"
+        )
+    if targets.size and (targets.min() < 0 or targets.max() >= vocab):
+        raise ValueError("target index out of range")
+
+    log_probs = logits.log_softmax(axis=-1)
+    one_hot = np.zeros((t, vocab))
+    one_hot[np.arange(t), targets] = 1.0
+    if smoothing:
+        smooth = np.full((t, vocab), smoothing / (vocab - 1))
+        smooth[np.arange(t), targets] = 1.0 - smoothing
+        target_dist = smooth
+    else:
+        target_dist = one_hot
+    return -(log_probs * Tensor(target_dist)).sum() * (1.0 / t)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Plain mean cross entropy."""
+    return label_smoothing_cross_entropy(logits, targets, smoothing=0.0)

@@ -1,0 +1,70 @@
+"""Optimizers for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.train.autograd import Tensor
+
+
+class Adam:
+    """Adam with optional gradient clipping (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        grad_clip: float | None = 5.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0 <= betas[0] < 1 and 0 <= betas[1] < 1):
+            raise ValueError("betas must lie in [0, 1)")
+        if grad_clip is not None and grad_clip <= 0:
+            raise ValueError("grad_clip must be positive when set")
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.params = params
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def _global_norm(self) -> float:
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float(np.sum(p.grad**2))
+        return float(np.sqrt(total))
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        self._t += 1
+        b1, b2 = self.betas
+        scale = 1.0
+        if self.grad_clip is not None:
+            norm = self._global_norm()
+            if norm > self.grad_clip:
+                scale = self.grad_clip / (norm + 1e-12)
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad * scale
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

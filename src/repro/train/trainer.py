@@ -1,0 +1,176 @@
+"""Trainer for the toy WER study (Section 5.1.1 substitution).
+
+Trains a scaled-down Transformer on the synthetic grapheme-acoustics
+corpus with teacher forcing + label-smoothed CE, then evaluates WER
+with the same greedy decoding and scoring used by the full pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.asr.dataset import Utterance
+from repro.decoding.greedy import greedy_decode
+from repro.decoding.vocab import CharVocabulary
+from repro.decoding.wer import corpus_word_error_rate
+from repro.train.autograd import no_grad
+from repro.train.layers import TrainableTransformer
+from repro.train.losses import label_smoothing_cross_entropy
+from repro.train.optim import Adam
+
+#: Maps a waveform to an (s, d_model) feature matrix.
+FeatureFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the toy training run."""
+
+    epochs: int = 30
+    learning_rate: float = 2e-3
+    #: Per-epoch multiplicative learning-rate decay (1.0 = constant).
+    lr_decay: float = 1.0
+    label_smoothing: float = 0.05
+    grad_clip: float = 5.0
+    shuffle_seed: int = 0
+    log_every: int = 0  # 0 disables progress printing
+    #: Stop when the mean epoch loss fails to improve by at least
+    #: ``early_stop_delta`` for this many consecutive epochs (0 = off).
+    early_stop_patience: int = 0
+    early_stop_delta: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 < self.lr_decay <= 1:
+            raise ValueError("lr_decay must be in (0, 1]")
+        if not 0 <= self.label_smoothing < 1:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        if self.early_stop_patience < 0:
+            raise ValueError("early_stop_patience must be >= 0")
+        if self.early_stop_delta < 0:
+            raise ValueError("early_stop_delta must be >= 0")
+
+
+@dataclass(frozen=True)
+class PreparedExample:
+    """Features plus teacher-forcing input/target token streams."""
+
+    features: np.ndarray
+    decoder_input: np.ndarray  # [sos, c1, ..., cn]
+    targets: np.ndarray  # [c1, ..., cn, eos]
+    transcript: str
+
+
+class Trainer:
+    """Teacher-forced training + greedy-decode evaluation."""
+
+    def __init__(
+        self,
+        model: TrainableTransformer,
+        vocab: CharVocabulary,
+        feature_fn: FeatureFn,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        if len(vocab) != model.config.vocab_size:
+            raise ValueError(
+                f"vocab size {len(vocab)} != model vocab_size "
+                f"{model.config.vocab_size}"
+            )
+        self.model = model
+        self.vocab = vocab
+        self.feature_fn = feature_fn
+        self.config = config or TrainingConfig()
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            grad_clip=self.config.grad_clip,
+        )
+
+    # ------------------------------------------------------------ data
+    def prepare(self, utterance: Utterance) -> PreparedExample:
+        features = self.feature_fn(utterance.waveform)
+        char_ids = self.vocab.encode(utterance.transcript)
+        decoder_input = np.concatenate(([self.vocab.sos_id], char_ids))
+        targets = np.concatenate((char_ids, [self.vocab.eos_id]))
+        return PreparedExample(
+            features=features,
+            decoder_input=decoder_input.astype(np.int64),
+            targets=targets.astype(np.int64),
+            transcript=utterance.transcript,
+        )
+
+    # ------------------------------------------------------- training
+    def train_step(self, example: PreparedExample) -> float:
+        """One gradient step on one utterance; returns the loss."""
+        self.optimizer.zero_grad()
+        logits = self.model.forward(example.features, example.decoder_input)
+        loss = label_smoothing_cross_entropy(
+            logits, example.targets, smoothing=self.config.label_smoothing
+        )
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()
+
+    def train(self, utterances: list[Utterance]) -> list[float]:
+        """Full training run; returns per-epoch mean losses."""
+        if not utterances:
+            raise ValueError("need at least one training utterance")
+        examples = [self.prepare(u) for u in utterances]
+        rng = np.random.default_rng(self.config.shuffle_seed)
+        history: list[float] = []
+        base_lr = self.config.learning_rate
+        best_loss = float("inf")
+        stale_epochs = 0
+        for epoch in range(self.config.epochs):
+            self.optimizer.lr = base_lr * self.config.lr_decay**epoch
+            order = rng.permutation(len(examples))
+            losses = [self.train_step(examples[i]) for i in order]
+            mean_loss = float(np.mean(losses))
+            history.append(mean_loss)
+            if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
+                print(f"epoch {epoch + 1:3d}: loss {mean_loss:.4f}")
+            if self.config.early_stop_patience:
+                if mean_loss < best_loss - self.config.early_stop_delta:
+                    best_loss = mean_loss
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= self.config.early_stop_patience:
+                        break
+        return history
+
+    # ------------------------------------------------------ evaluation
+    def greedy_transcribe(self, features: np.ndarray, max_len: int = 64) -> str:
+        """Greedy autoregressive decode with the trainable model."""
+        with no_grad():
+            memory = self.model.encode(features)
+
+            def step(tokens: np.ndarray) -> np.ndarray:
+                with no_grad():
+                    hidden = self.model.decode(tokens, memory)
+                    logits = (
+                        hidden[-1] @ self.model.output_w + self.model.output_b
+                    )
+                    return logits.log_softmax(axis=-1).data
+
+            ids = greedy_decode(
+                step, self.vocab.sos_id, self.vocab.eos_id, max_len=max_len
+            )
+        return self.vocab.decode(ids)
+
+    def evaluate_wer(self, utterances: list[Utterance]) -> float:
+        """Corpus WER of greedy transcriptions against the references."""
+        if not utterances:
+            raise ValueError("need at least one evaluation utterance")
+        refs, hyps = [], []
+        for utt in utterances:
+            features = self.feature_fn(utt.waveform)
+            refs.append(utt.transcript)
+            hyps.append(self.greedy_transcribe(features))
+        return corpus_word_error_rate(refs, hyps)

@@ -1,0 +1,57 @@
+"""Tests for the weight inventory (Table 4.1) and table formatting."""
+
+import pytest
+
+from repro.analysis.inventory import total_weight_elements, weight_inventory
+from repro.analysis.report import format_table
+from repro.config import ModelConfig
+from repro.model.flops import weight_bytes
+
+
+class TestTable41:
+    """The inventory must reproduce Table 4.1 exactly."""
+
+    def test_counts_and_dims(self):
+        rows = {r.name: r for r in weight_inventory(ModelConfig())}
+        assert (rows["W_Q/K/V"].count, rows["W_Q/K/V"].dims) == (576, "512 x 64")
+        assert (rows["B_Q/K/V"].count, rows["B_Q/K/V"].dims) == (576, "1 x 64")
+        assert (rows["W_A"].count, rows["W_A"].dims) == (24, "512 x 512")
+        assert (rows["B_A"].count, rows["B_A"].dims) == (24, "1 x 512")
+        assert (rows["L_N"].count, rows["L_N"].dims) == (84, "1 x 512")
+        assert (rows["W_1F"].count, rows["W_1F"].dims) == (18, "512 x 2048")
+        assert (rows["B_1F"].count, rows["B_1F"].dims) == (18, "1 x 2048")
+        assert (rows["W_2F"].count, rows["W_2F"].dims) == (18, "2048 x 512")
+        assert (rows["B_2F"].count, rows["B_2F"].dims) == (18, "1 x 512")
+
+    def test_total_matches_flops_module(self):
+        cfg = ModelConfig()
+        assert total_weight_elements(cfg) * 4 == weight_bytes(cfg)
+
+    def test_scales_with_depth(self):
+        half = ModelConfig(num_encoders=6, num_decoders=3)
+        rows = {r.name: r for r in weight_inventory(half)}
+        assert rows["W_Q/K/V"].count == 288
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in out
+
+    def test_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_no_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,66 @@
+"""Tests for the bandwidth/utilization analysis."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    architecture_utilization_table,
+    utilization_report,
+)
+from repro.hw.controller import LatencyModel
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel()
+
+
+class TestUtilizationReport:
+    def test_fractions_bounded(self, lm):
+        for arch in ("A1", "A2", "A3"):
+            r = utilization_report(lm, 16, arch)
+            for frac in r.busy_fraction.values():
+                assert 0.0 <= frac <= 1.0
+            assert 0.0 <= r.compute_stall_fraction <= 1.0
+
+    def test_compute_bound_regime_no_stall(self, lm):
+        """At s = 32 the overlap architectures eliminate stalls."""
+        for arch in ("A2", "A3"):
+            r = utilization_report(lm, 32, arch)
+            assert r.compute_stall_fraction == pytest.approx(0.0, abs=1e-9)
+            assert r.compute_busy_fraction > 0.9
+
+    def test_a1_always_stalls(self, lm):
+        r = utilization_report(lm, 32, "A1")
+        assert r.compute_stall_fraction > 0.2
+
+    def test_a3_reduces_stall_when_load_bound(self, lm):
+        """s = 4: the paper's (LW - C)/2 stall halving shows up as a
+        lower compute-stall fraction for A3 than A2."""
+        a2 = utilization_report(lm, 4, "A2")
+        a3 = utilization_report(lm, 4, "A3")
+        assert a3.compute_stall_fraction < a2.compute_stall_fraction
+
+    def test_a3_uses_both_channels(self, lm):
+        r = utilization_report(lm, 4, "A3")
+        assert "hbm0" in r.busy_fraction and "hbm1" in r.busy_fraction
+        assert r.busy_fraction["hbm1"] > 0.5
+
+    def test_sustained_gflops_match_related_work_table(self, lm):
+        """The sustained rate here is the Table 5.6 'our work' column."""
+        r = utilization_report(lm, 32, "A3")
+        assert r.sustained_gflops == pytest.approx(46.9, rel=0.02)
+
+    def test_effective_load_bandwidth_below_peak(self, lm):
+        """Wall-clock streaming rate cannot exceed the channel peaks."""
+        peak = (
+            lm.hardware.num_slrs
+            * lm.hardware.hbm_channels_per_slr
+            * lm.hardware.hbm_channel_gbps
+        )
+        for arch in ("A1", "A2", "A3"):
+            r = utilization_report(lm, 8, arch)
+            assert r.effective_load_gbps < peak
+
+    def test_table_covers_three_architectures(self, lm):
+        table = architecture_utilization_table(lm, s=16)
+        assert [r.architecture.value for r in table] == ["A1", "A2", "A3"]

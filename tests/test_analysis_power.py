@@ -1,0 +1,120 @@
+"""Tests for the time-resolved power model and quantized serialization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import (
+    STATIC_POWER_W,
+    PowerTrace,
+    inference_power_report,
+    power_trace,
+)
+from repro.hw.controller import LatencyModel
+from repro.hw.trace import Timeline
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel()
+
+
+class TestPowerTrace:
+    def test_average_matches_board_power_at_operating_point(self, lm):
+        """A3 @ s=32 must average the 34.2 W the §5.1.6 energy number
+        implies (that's how the activity split was calibrated)."""
+        trace = inference_power_report(lm, 32, "A3")
+        assert trace.average_power_w == pytest.approx(
+            lm.hardware.board_power_w, rel=0.02
+        )
+
+    def test_a1_lower_power_higher_energy(self, lm):
+        """Stalled fabric draws less power but wastes more energy."""
+        a1 = inference_power_report(lm, 32, "A1")
+        a3 = inference_power_report(lm, 32, "A3")
+        assert a1.average_power_w < a3.average_power_w
+        assert a1.energy_joules > a3.energy_joules
+
+    def test_energy_equals_power_times_time(self, lm):
+        trace = inference_power_report(lm, 16, "A2")
+        assert trace.energy_joules == pytest.approx(
+            trace.average_power_w * trace.duration_s, rel=1e-9
+        )
+
+    def test_power_never_below_static(self, lm):
+        for arch in ("A1", "A2", "A3"):
+            trace = inference_power_report(lm, 8, arch)
+            assert np.all(trace.power_w >= STATIC_POWER_W - 1e-9)
+
+    def test_peak_bounded_by_all_engines_active(self, lm):
+        trace = inference_power_report(lm, 8, "A3")
+        ceiling = STATIC_POWER_W + 21.6 + 2.0 * 2
+        assert trace.peak_power_w <= ceiling + 1e-9
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValueError):
+            power_trace(Timeline())
+
+    def test_trace_shape_validation(self):
+        with pytest.raises(ValueError):
+            PowerTrace(
+                times=np.array([0.0, 1.0]),
+                power_w=np.array([1.0, 2.0]),
+                clock_mhz=300.0,
+            )
+
+    def test_manual_timeline_integration(self):
+        tl = Timeline()
+        tl.add("compute", "c", 0, 300_000)  # 1 ms busy
+        tl.add("hbm0", "l", 0, 150_000)  # 0.5 ms busy
+        trace = power_trace(tl)
+        # First half: static + compute + hbm; second: static + compute.
+        expected = (
+            (STATIC_POWER_W + 21.6 + 2.0) * 0.5e-3
+            + (STATIC_POWER_W + 21.6) * 0.5e-3
+        )
+        assert trace.energy_joules == pytest.approx(expected, rel=1e-6)
+
+
+class TestQuantizedSerialization:
+    def test_roundtrip(self, tmp_path):
+        from repro.config import ModelConfig
+        from repro.model.params import init_transformer_params
+        from repro.quant.params import (
+            dequantize_params,
+            load_quantized,
+            quantize_params,
+            save_quantized,
+        )
+        from repro.quant.schemes import INT8
+
+        params = init_transformer_params(
+            ModelConfig(num_encoders=1, num_decoders=1), seed=2
+        )
+        quantized = quantize_params(params, INT8)
+        path = tmp_path / "model_int8.npz"
+        save_quantized(quantized, path)
+        loaded = load_quantized(path)
+        assert loaded.precision.name == "int8"
+        assert loaded.config == params.config
+        a = dequantize_params(quantized)
+        b = dequantize_params(loaded)
+        np.testing.assert_array_equal(
+            a.encoders[0].ffn.w1, b.encoders[0].ffn.w1
+        )
+        np.testing.assert_array_equal(a.embedding, b.embedding)
+
+    def test_file_is_compact(self, tmp_path):
+        """The int8 file should be well under half the fp32 footprint."""
+        from repro.config import ModelConfig
+        from repro.model.params import init_transformer_params, save_params
+        from repro.quant.params import quantize_params, save_quantized
+        from repro.quant.schemes import INT8
+
+        params = init_transformer_params(
+            ModelConfig(num_encoders=1, num_decoders=1), seed=2
+        )
+        fp32_path = tmp_path / "fp32.npz"
+        int8_path = tmp_path / "int8.npz"
+        save_params(params, fp32_path)
+        save_quantized(quantize_params(params, INT8), int8_path)
+        assert int8_path.stat().st_size < fp32_path.stat().st_size / 2

@@ -1,0 +1,69 @@
+"""Tests for the synthetic LibriSpeech-like corpus."""
+
+import numpy as np
+import pytest
+
+from repro.asr.dataset import DEFAULT_LEXICON, LibriSpeechLikeDataset
+
+
+class TestDataset:
+    def test_generate_count(self):
+        ds = LibriSpeechLikeDataset(seed=1)
+        utts = ds.generate(5)
+        assert len(utts) == 5
+
+    def test_deterministic(self):
+        a = LibriSpeechLikeDataset(seed=2).generate(3)
+        b = LibriSpeechLikeDataset(seed=2).generate(3)
+        for u, v in zip(a, b):
+            assert u.transcript == v.transcript
+            np.testing.assert_array_equal(u.waveform, v.waveform)
+
+    def test_different_seeds_differ(self):
+        a = LibriSpeechLikeDataset(seed=1).generate(3)
+        b = LibriSpeechLikeDataset(seed=9).generate(3)
+        assert any(u.transcript != v.transcript for u, v in zip(a, b))
+
+    def test_transcripts_from_lexicon(self):
+        utts = LibriSpeechLikeDataset(seed=0).generate(10)
+        for u in utts:
+            for word in u.transcript.split():
+                assert word in DEFAULT_LEXICON
+
+    def test_word_count_bounds(self):
+        ds = LibriSpeechLikeDataset(seed=0)
+        utts = ds.generate(20, min_words=2, max_words=4)
+        for u in utts:
+            assert 2 <= len(u.transcript.split()) <= 4
+
+    def test_waveform_duration_matches_transcript(self):
+        ds = LibriSpeechLikeDataset(seed=0)
+        utts = ds.generate(3)
+        for u in utts:
+            chars = len(u.transcript)
+            expected = chars * ds.synthesis.samples_per_char
+            assert u.waveform.size == expected
+            assert u.duration_s == pytest.approx(expected / 16000)
+
+    def test_utterance_ids_unique(self):
+        utts = LibriSpeechLikeDataset(seed=0).generate(25)
+        ids = [u.utterance_id for u in utts]
+        assert len(set(ids)) == len(ids)
+
+    def test_train_test_split(self):
+        train, test = LibriSpeechLikeDataset(seed=0).train_test_split(
+            10, test_fraction=0.2
+        )
+        assert len(train) == 8 and len(test) == 2
+
+    def test_validation(self):
+        ds = LibriSpeechLikeDataset()
+        with pytest.raises(ValueError):
+            ds.generate(0)
+        with pytest.raises(ValueError):
+            ds.train_test_split(10, test_fraction=1.5)
+        with pytest.raises(ValueError):
+            LibriSpeechLikeDataset(lexicon=())
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ds.make_transcript(rng, min_words=3, max_words=2)

@@ -1,0 +1,114 @@
+"""Tests for the end-to-end ASR pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.asr.dataset import LibriSpeechLikeDataset
+from repro.asr.pipeline import AsrPipeline, HostPreprocessor, HostTimingModel
+from repro.config import ModelConfig
+from repro.decoding.vocab import CharVocabulary
+from repro.model.params import init_transformer_params
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_params):
+    return AsrPipeline(small_params, hw_seq_len=32)
+
+
+@pytest.fixture(scope="module")
+def utterance():
+    return LibriSpeechLikeDataset(seed=3).generate(1, min_words=2, max_words=2)[0]
+
+
+class TestHostTimingModel:
+    def test_paper_budget_at_s32(self):
+        """Section 5.1.6: host preprocessing is ~36.3 ms for an s=32
+        utterance (~1.36 s of audio)."""
+        timing = HostTimingModel()
+        assert timing.host_ms(1.36) == pytest.approx(36.3, rel=0.02)
+
+    def test_monotone_in_duration(self):
+        timing = HostTimingModel()
+        assert timing.host_ms(2.0) > timing.host_ms(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostTimingModel(fixed_ms=-1)
+        with pytest.raises(ValueError):
+            HostTimingModel().host_ms(-1)
+
+
+class TestHostPreprocessor:
+    def test_produces_model_dim_features(self, utterance):
+        prep = HostPreprocessor(ModelConfig())
+        feats = prep(utterance.waveform)
+        assert feats.ndim == 2
+        assert feats.shape[1] == 512
+
+    def test_sequence_length_prediction(self, utterance):
+        prep = HostPreprocessor(ModelConfig())
+        feats = prep(utterance.waveform)
+        assert feats.shape[0] == prep.sequence_length(utterance.waveform.size)
+
+    def test_rejects_too_short(self):
+        prep = HostPreprocessor(ModelConfig())
+        with pytest.raises(ValueError):
+            prep(np.zeros(1000))
+
+
+class TestPipeline:
+    def test_transcribe_returns_result(self, pipeline, utterance):
+        result = pipeline.transcribe(utterance.waveform)
+        assert isinstance(result.text, str)
+        assert result.sequence_length <= 32
+        assert result.measured_host_ms > 0
+        assert result.accelerator_ms > 0
+        assert result.e2e_ms == pytest.approx(
+            result.modeled_host_ms + result.accelerator_ms
+        )
+        assert result.throughput_seq_per_s == pytest.approx(
+            1e3 / result.accelerator_ms
+        )
+
+    def test_espnet_style_text(self, pipeline, utterance):
+        result = pipeline.transcribe(utterance.waveform)
+        assert " " not in result.espnet_text
+        assert result.espnet_text == result.text.upper().replace(" ", "_")
+
+    def test_beam_transcription_runs(self, pipeline, utterance):
+        result = pipeline.transcribe(utterance.waveform, beam_size=2)
+        assert isinstance(result.text, str)
+
+    def test_rejects_overlong_utterance(self, small_params):
+        tight = AsrPipeline(small_params, hw_seq_len=4)
+        long_utt = LibriSpeechLikeDataset(seed=0).generate(
+            1, min_words=5, max_words=5
+        )[0]
+        with pytest.raises(ValueError):
+            tight.transcribe(long_utt.waveform)
+
+    def test_vocab_size_mismatch_rejected(self):
+        params = init_transformer_params(
+            ModelConfig(num_encoders=1, num_decoders=1, vocab_size=10), seed=0
+        )
+        with pytest.raises(ValueError):
+            AsrPipeline(params, vocab=CharVocabulary())
+
+
+class TestIncrementalEngine:
+    def test_matches_hw_engine_transcript(self, small_params, utterance):
+        hw = AsrPipeline(small_params, hw_seq_len=32)
+        inc = AsrPipeline(small_params, hw_seq_len=32, decode_engine="incremental")
+        r_hw = hw.transcribe(utterance.waveform)
+        r_inc = inc.transcribe(utterance.waveform)
+        assert r_hw.text == r_inc.text
+        np.testing.assert_array_equal(r_hw.tokens, r_inc.tokens)
+
+    def test_beam_rejected_on_incremental(self, small_params, utterance):
+        inc = AsrPipeline(small_params, hw_seq_len=32, decode_engine="incremental")
+        with pytest.raises(ValueError):
+            inc.transcribe(utterance.waveform, beam_size=2)
+
+    def test_unknown_engine_rejected(self, small_params):
+        with pytest.raises(ValueError):
+            AsrPipeline(small_params, decode_engine="magic")

@@ -1,0 +1,91 @@
+"""Tests for chunked/streaming transcription."""
+
+import numpy as np
+import pytest
+
+from repro.asr.dataset import LibriSpeechLikeDataset
+from repro.asr.pipeline import AsrPipeline
+from repro.asr.streaming import StreamingTranscriber
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_params):
+    return AsrPipeline(small_params, hw_seq_len=32)
+
+
+@pytest.fixture(scope="module")
+def transcriber(pipeline):
+    return StreamingTranscriber(pipeline)
+
+
+class TestChunking:
+    def test_chunk_size_fits_hardware(self, transcriber, pipeline):
+        prep = pipeline.preprocessor
+        assert (
+            prep.sequence_length(transcriber.chunk_samples)
+            <= pipeline.accelerator.hw_seq_len
+        )
+        # One more hop of samples would overflow.
+        assert (
+            prep.sequence_length(transcriber.chunk_samples + 200)
+            > pipeline.accelerator.hw_seq_len
+        )
+
+    def test_chunks_cover_waveform(self, transcriber):
+        wav = np.zeros(transcriber.chunk_samples * 3 + 1234)
+        chunks = transcriber.chunk(wav)
+        assert sum(c.size for c in chunks) >= wav.size
+
+    def test_short_waveform_single_chunk(self, transcriber):
+        wav = np.zeros(transcriber.chunk_samples // 2)
+        assert len(transcriber.chunk(wav)) == 1
+
+    def test_rejects_empty(self, transcriber):
+        with pytest.raises(ValueError):
+            transcriber.chunk(np.array([]))
+
+    def test_rejects_2d(self, transcriber):
+        with pytest.raises(ValueError):
+            transcriber.chunk(np.zeros((2, 100)))
+
+    def test_overlap_validation(self, pipeline):
+        with pytest.raises(ValueError):
+            StreamingTranscriber(pipeline, overlap_s=-1.0)
+        with pytest.raises(ValueError):
+            StreamingTranscriber(pipeline, overlap_s=100.0)
+
+
+class TestStreamingTranscription:
+    def test_long_utterance_multi_chunk(self, transcriber):
+        # ~3.4 s of audio: several chunks through the s=32 hardware.
+        utt = LibriSpeechLikeDataset(seed=4).generate(
+            1, min_words=9, max_words=9
+        )[0]
+        result = transcriber.transcribe(utt.waveform)
+        assert result.num_chunks >= 2
+        assert result.audio_seconds == pytest.approx(utt.duration_s)
+        assert result.total_e2e_ms > result.chunk_results[0].e2e_ms
+
+    def test_real_time_factor_below_one(self, transcriber):
+        """The abstract's real-time claim: processing keeps up with
+        audio (modeled host + accelerator per ~1.4 s chunk)."""
+        utt = LibriSpeechLikeDataset(seed=5).generate(
+            1, min_words=8, max_words=8
+        )[0]
+        result = transcriber.transcribe(utt.waveform)
+        assert result.real_time_factor < 1.0
+
+    def test_each_chunk_within_hw_limit(self, transcriber, pipeline):
+        utt = LibriSpeechLikeDataset(seed=6).generate(
+            1, min_words=10, max_words=10
+        )[0]
+        result = transcriber.transcribe(utt.waveform)
+        for chunk_result in result.chunk_results:
+            assert (
+                chunk_result.sequence_length
+                <= pipeline.accelerator.hw_seq_len
+            )
+
+    def test_too_short_rejected(self, transcriber):
+        with pytest.raises(ValueError):
+            transcriber.transcribe(np.zeros(10))

@@ -1,0 +1,51 @@
+"""Tests for the repro-asr command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_latency(self, capsys):
+        assert main(["latency", "--seq", "8", "--arch", "A3"]) == 0
+        out = capsys.readouterr().out
+        assert "A3" in out and "latency ms" in out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover"]) == 0
+        assert "compute exceeds load from s = 19" in capsys.readouterr().out
+
+    def test_resources_fits(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "LUT" in out and "fits" in out
+
+    def test_resources_overbudget_exit_code(self, capsys):
+        assert main(["resources", "--psa-rows", "16"]) == 1
+        assert "DOES NOT FIT" in capsys.readouterr().out
+
+    def test_dse(self, capsys):
+        assert main(["dse"]) == 0
+        assert "parallel heads" in capsys.readouterr().out
+
+    def test_precision(self, capsys):
+        assert main(["precision"]) == 0
+        out = capsys.readouterr().out
+        assert "int8" in out and "fp32" in out
+
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "W_Q/K/V" in out and "576" in out
+
+    def test_transcribe_small(self, capsys):
+        assert main(["transcribe", "--words", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "recognized:" in out and "e2e" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_parser_program_name(self):
+        assert build_parser().prog == "repro-asr"

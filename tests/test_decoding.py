@@ -1,0 +1,209 @@
+"""Tests for the vocabulary, greedy/beam decoding and WER metrics."""
+
+import numpy as np
+import pytest
+
+from repro.decoding.beam import beam_search
+from repro.decoding.greedy import greedy_decode
+from repro.decoding.vocab import CharVocabulary
+from repro.decoding.wer import (
+    character_error_rate,
+    corpus_word_error_rate,
+    edit_distance,
+    word_error_rate,
+)
+
+
+class TestVocabulary:
+    def test_default_size_matches_paper_model(self):
+        # 3 specials + space + apostrophe + 26 letters = 31 tokens,
+        # matching ModelConfig.vocab_size.
+        assert len(CharVocabulary()) == 31
+
+    def test_encode_decode_roundtrip(self):
+        v = CharVocabulary()
+        text = "hello world"
+        assert v.decode(v.encode(text)) == text
+
+    def test_encode_lowercases(self):
+        v = CharVocabulary()
+        np.testing.assert_array_equal(v.encode("AbC"), v.encode("abc"))
+
+    def test_unknown_becomes_unk(self):
+        v = CharVocabulary()
+        ids = v.encode("a#b")
+        assert ids[1] == v.unk_id
+
+    def test_sos_eos_wrapping(self):
+        v = CharVocabulary()
+        ids = v.encode("hi", add_sos=True, add_eos=True)
+        assert ids[0] == v.sos_id
+        assert ids[-1] == v.eos_id
+        assert v.decode(ids) == "hi"
+
+    def test_decode_stops_at_eos(self):
+        v = CharVocabulary()
+        ids = list(v.encode("ab")) + [v.eos_id] + list(v.encode("cd"))
+        assert v.decode(ids) == "ab"
+
+    def test_espnet_style_output(self):
+        v = CharVocabulary()
+        ids = v.encode("the public")
+        assert v.decode_espnet_style(ids) == "THE_PUBLIC"
+
+    def test_duplicate_characters_rejected(self):
+        with pytest.raises(ValueError):
+            CharVocabulary("aab")
+
+    def test_reserved_characters_rejected(self):
+        with pytest.raises(ValueError):
+            CharVocabulary("ab<")
+
+
+def _table_step_fn(rows: list[np.ndarray]):
+    """Step function replaying a fixed log-prob table."""
+
+    def step(tokens: np.ndarray) -> np.ndarray:
+        return rows[min(len(tokens) - 1, len(rows) - 1)]
+
+    return step
+
+
+class TestGreedyDecode:
+    def test_follows_argmax(self):
+        rows = [
+            np.log(np.array([0.1, 0.1, 0.8])),  # pick 2
+            np.log(np.array([0.7, 0.2, 0.1])),  # pick 0
+            np.log(np.array([0.1, 0.8, 0.1])),  # pick 1 = eos -> stop
+        ]
+        out = greedy_decode(_table_step_fn(rows), sos_id=0, eos_id=1, max_len=10)
+        np.testing.assert_array_equal(out, [2, 0])
+
+    def test_max_len_cap(self):
+        rows = [np.log(np.array([0.9, 0.05, 0.05]))]
+        out = greedy_decode(_table_step_fn(rows), sos_id=2, eos_id=1, max_len=4)
+        assert len(out) == 4
+
+    def test_immediate_eos(self):
+        rows = [np.log(np.array([0.1, 0.9]))]
+        out = greedy_decode(_table_step_fn(rows), sos_id=0, eos_id=1, max_len=5)
+        assert out.size == 0
+
+    def test_rejects_bad_max_len(self):
+        with pytest.raises(ValueError):
+            greedy_decode(lambda t: np.zeros(3), 0, 1, max_len=0)
+
+    def test_rejects_2d_step_output(self):
+        with pytest.raises(ValueError):
+            greedy_decode(lambda t: np.zeros((2, 3)), 0, 1, max_len=3)
+
+
+class TestBeamSearch:
+    def test_finds_higher_probability_path_than_greedy(self):
+        # Greedy takes token 2 first (p=0.5) then is stuck with low-prob
+        # continuations; the path through token 3 is jointly better.
+        eos = 1
+
+        def step(tokens: np.ndarray) -> np.ndarray:
+            if len(tokens) == 1:
+                return np.log(np.array([0.01, 0.01, 0.5, 0.48]))
+            if tokens[-1] == 2:
+                return np.log(np.array([0.69, 0.3, 0.005, 0.005]))
+            return np.log(np.array([0.01, 0.97, 0.01, 0.01]))
+
+        greedy = greedy_decode(step, sos_id=0, eos_id=eos, max_len=5)
+        hyps = beam_search(step, sos_id=0, eos_id=eos, max_len=5, beam_size=3)
+        best = hyps[0].tokens[1:]
+        # Beam prefers 3 -> eos: log(0.48 * 0.97) > log(0.5 * 0.3).
+        assert list(best) == [3]
+        assert list(greedy)[0] == 2  # greedy committed to the 0.5 branch
+
+    def test_beam_one_matches_greedy(self):
+        rows = [
+            np.log(np.array([0.2, 0.1, 0.7])),
+            np.log(np.array([0.6, 0.3, 0.1])),
+            np.log(np.array([0.1, 0.8, 0.1])),
+        ]
+        step = _table_step_fn(rows)
+        greedy = greedy_decode(step, sos_id=0, eos_id=1, max_len=6)
+        hyps = beam_search(step, sos_id=0, eos_id=1, max_len=6, beam_size=1)
+        np.testing.assert_array_equal(hyps[0].tokens[1:], greedy)
+
+    def test_returns_sorted_hypotheses(self):
+        rows = [np.log(np.array([0.3, 0.4, 0.3]))]
+        hyps = beam_search(
+            _table_step_fn(rows), sos_id=0, eos_id=1, max_len=3, beam_size=3
+        )
+        scores = [h.score for h in hyps]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rejects_bad_beam(self):
+        with pytest.raises(ValueError):
+            beam_search(lambda t: np.zeros(3), 0, 1, max_len=3, beam_size=0)
+
+    def test_length_penalty_prefers_longer(self):
+        hyp_short = beam_search(
+            _table_step_fn([np.log(np.array([0.45, 0.55]))]),
+            sos_id=0,
+            eos_id=1,
+            max_len=2,
+            beam_size=2,
+            length_penalty=1.0,
+        )
+        assert hyp_short  # sanity: search terminates with penalty set
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("abc", "abc") == 0
+
+    def test_substitution(self):
+        assert edit_distance("abc", "axc") == 1
+
+    def test_insert_delete(self):
+        assert edit_distance("abc", "abxc") == 1
+        assert edit_distance("abc", "ac") == 1
+
+    def test_empty_cases(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("", "") == 0
+
+    def test_symmetric(self):
+        assert edit_distance("kitten", "sitting") == edit_distance(
+            "sitting", "kitten"
+        )
+
+    def test_known_value(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_works_on_word_lists(self):
+        assert edit_distance(["a", "b"], ["a", "c"]) == 1
+
+
+class TestWer:
+    def test_perfect(self):
+        assert word_error_rate("the cat sat", "the cat sat") == 0.0
+
+    def test_one_substitution(self):
+        assert word_error_rate("the cat sat", "the dog sat") == pytest.approx(1 / 3)
+
+    def test_can_exceed_one(self):
+        assert word_error_rate("a", "x y z") > 1.0
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            word_error_rate("", "something")
+
+    def test_cer(self):
+        assert character_error_rate("abc", "abd") == pytest.approx(1 / 3)
+
+    def test_corpus_wer_weighted(self):
+        wer = corpus_word_error_rate(
+            ["a b c d", "x"], ["a b c d", "y"]
+        )  # 1 error / 5 words
+        assert wer == pytest.approx(0.2)
+
+    def test_corpus_wer_alignment_check(self):
+        with pytest.raises(ValueError):
+            corpus_word_error_rate(["a"], ["a", "b"])

@@ -1,0 +1,84 @@
+"""Tests for the sclite-style alignment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoding.alignment import EditOp, align, align_words
+from repro.decoding.wer import edit_distance, word_error_rate
+
+WORDS = st.lists(st.sampled_from(["a", "b", "c", "dd"]), max_size=7)
+
+
+class TestAlign:
+    def test_perfect_match(self):
+        result = align_words("the cat sat", "the cat sat")
+        assert result.errors == 0
+        assert result.matches == 3
+        assert result.wer == 0.0
+
+    def test_substitution(self):
+        result = align_words("the cat sat", "the dog sat")
+        assert result.substitutions == 1
+        assert result.insertions == 0
+        assert result.deletions == 0
+        sub = [p for p in result.pairs if p.op is EditOp.SUBSTITUTE][0]
+        assert (sub.reference, sub.hypothesis) == ("cat", "dog")
+
+    def test_deletion(self):
+        result = align_words("the cat sat", "the sat")
+        assert result.deletions == 1
+        deleted = [p for p in result.pairs if p.op is EditOp.DELETE][0]
+        assert deleted.reference == "cat"
+        assert deleted.hypothesis is None
+
+    def test_insertion(self):
+        result = align_words("the cat", "the big cat")
+        assert result.insertions == 1
+        inserted = [p for p in result.pairs if p.op is EditOp.INSERT][0]
+        assert inserted.hypothesis == "big"
+
+    def test_empty_hypothesis_all_deletions(self):
+        result = align_words("a b c", "")
+        assert result.deletions == 3
+        assert result.errors == 3
+
+    def test_empty_reference_all_insertions(self):
+        result = align(["x"], ["x", "y", "z"])
+        assert result.insertions == 2
+
+    def test_wer_empty_reference_raises(self):
+        with pytest.raises(ValueError):
+            align([], ["x"]).wer
+
+    def test_pretty_rendering(self):
+        out = align_words("the cat sat", "the dog").pretty()
+        lines = out.splitlines()
+        assert lines[0].startswith("REF:")
+        assert lines[1].startswith("HYP:")
+        assert "S" in lines[2] and "D" in lines[2]
+        assert "***" in lines[1]  # deletion placeholder
+
+    @given(WORDS, WORDS)
+    @settings(max_examples=60, deadline=None)
+    def test_errors_equal_edit_distance(self, ref, hyp):
+        assert align(ref, hyp).errors == edit_distance(ref, hyp)
+
+    @given(WORDS, WORDS)
+    @settings(max_examples=40, deadline=None)
+    def test_wer_matches_metric(self, ref, hyp):
+        if not ref:
+            return
+        result = align(ref, hyp)
+        assert result.wer == pytest.approx(
+            word_error_rate(" ".join(ref), " ".join(hyp))
+        )
+
+    @given(WORDS, WORDS)
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_reconstructs_both_strings(self, ref, hyp):
+        result = align(ref, hyp)
+        rebuilt_ref = [p.reference for p in result.pairs if p.reference is not None]
+        rebuilt_hyp = [p.hypothesis for p in result.pairs if p.hypothesis is not None]
+        assert rebuilt_ref == ref
+        assert rebuilt_hyp == hyp

@@ -1,0 +1,95 @@
+"""Tests for the synthetic audio source and PCM codec."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.audio import (
+    SynthesisConfig,
+    pcm16_decode,
+    pcm16_encode,
+    synthesize_utterance,
+)
+
+
+class TestSynthesisConfig:
+    def test_samples_per_char(self):
+        cfg = SynthesisConfig(sample_rate=16_000, char_duration_s=0.06)
+        assert cfg.samples_per_char == 960
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(sample_rate=0)
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(noise_level=1.0)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(amplitude=0.0)
+
+
+class TestSynthesizeUtterance:
+    def test_length_is_chars_times_duration(self):
+        cfg = SynthesisConfig()
+        wav = synthesize_utterance([1, 2, 3], cfg)
+        assert wav.shape == (3 * cfg.samples_per_char,)
+
+    def test_output_in_unit_range(self):
+        wav = synthesize_utterance(np.arange(10))
+        assert np.max(np.abs(wav)) <= 1.0
+
+    def test_empty_transcript(self):
+        assert synthesize_utterance([]).size == 0
+
+    def test_deterministic_given_rng(self):
+        a = synthesize_utterance([3, 4], rng=np.random.default_rng(5))
+        b = synthesize_utterance([3, 4], rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_chars_differ(self):
+        cfg = SynthesisConfig(noise_level=0.0)
+        a = synthesize_utterance([1], cfg)
+        b = synthesize_utterance([9], cfg)
+        assert not np.allclose(a, b)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            synthesize_utterance([-1])
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            synthesize_utterance(np.zeros((2, 2), dtype=int))
+
+    def test_noise_level_zero_is_clean(self):
+        cfg = SynthesisConfig(noise_level=0.0)
+        a = synthesize_utterance([2], cfg, rng=np.random.default_rng(1))
+        b = synthesize_utterance([2], cfg, rng=np.random.default_rng(2))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPcmCodec:
+    def test_roundtrip_accuracy(self):
+        wav = np.linspace(-1, 1, 101)
+        decoded = pcm16_decode(pcm16_encode(wav))
+        assert np.max(np.abs(decoded - wav)) < 1.0 / 32767 + 1e-9
+
+    def test_encode_dtype(self):
+        assert pcm16_encode(np.zeros(4)).dtype == np.int16
+
+    def test_full_scale_clipping(self):
+        enc = pcm16_encode(np.array([1.0, -1.0]))
+        assert enc[0] == 32767
+        assert enc[1] == -32767
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pcm16_encode(np.array([1.5]))
+
+    def test_decode_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            pcm16_decode(np.zeros(4, dtype=np.float32))
+
+    def test_encode_rejects_2d(self):
+        with pytest.raises(ValueError):
+            pcm16_encode(np.zeros((2, 2)))

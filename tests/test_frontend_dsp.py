@@ -1,0 +1,144 @@
+"""Tests for pre-emphasis, framing, windows and the STFT."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.framing import (
+    frame_signal,
+    hamming_window,
+    hann_window,
+    ms_to_samples,
+    num_frames,
+)
+from repro.frontend.preemphasis import deemphasis, preemphasis
+from repro.frontend.stft import (
+    magnitude_spectrogram,
+    next_power_of_two,
+    power_spectrogram,
+    stft,
+)
+
+
+class TestPreemphasis:
+    def test_formula(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = preemphasis(x, alpha=0.5)
+        np.testing.assert_allclose(y, [1.0, 1.5, 2.0])
+
+    def test_first_sample_passthrough(self):
+        x = np.array([0.7, 0.1])
+        assert preemphasis(x)[0] == pytest.approx(0.7)
+
+    def test_empty_signal(self):
+        assert preemphasis(np.array([])).size == 0
+
+    def test_roundtrip_with_deemphasis(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(200)
+        np.testing.assert_allclose(deemphasis(preemphasis(x)), x, atol=1e-10)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            preemphasis(np.zeros(4), alpha=1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            preemphasis(np.zeros((2, 2)))
+
+    def test_boosts_high_frequencies(self):
+        t = np.arange(1600) / 16000
+        low = np.sin(2 * np.pi * 100 * t)
+        high = np.sin(2 * np.pi * 6000 * t)
+        gain_low = np.std(preemphasis(low)) / np.std(low)
+        gain_high = np.std(preemphasis(high)) / np.std(high)
+        assert gain_high > gain_low
+
+
+class TestWindows:
+    def test_hann_endpoints(self):
+        w = hann_window(16)
+        assert w[0] == pytest.approx(0.0)
+        assert w.max() <= 1.0
+
+    def test_hamming_floor(self):
+        w = hamming_window(16)
+        assert w.min() >= 0.08 - 1e-9
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            hann_window(0)
+        with pytest.raises(ValueError):
+            hamming_window(-1)
+
+
+class TestFraming:
+    def test_num_frames(self):
+        assert num_frames(400, 400, 160) == 1
+        assert num_frames(560, 400, 160) == 2
+        assert num_frames(399, 400, 160) == 0
+
+    def test_frame_contents(self):
+        x = np.arange(10, dtype=float)
+        frames = frame_signal(x, frame_length=4, frame_shift=2)
+        np.testing.assert_array_equal(frames[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(frames[1], [2, 3, 4, 5])
+
+    def test_windowed_framing(self):
+        x = np.ones(8)
+        w = np.array([0.5, 1.0, 1.0, 0.5])
+        frames = frame_signal(x, 4, 4, window=w)
+        np.testing.assert_array_equal(frames[0], w)
+
+    def test_short_signal_returns_empty(self):
+        frames = frame_signal(np.zeros(3), 4, 2)
+        assert frames.shape == (0, 4)
+
+    def test_window_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frame_signal(np.zeros(10), 4, 2, window=np.ones(5))
+
+    def test_ms_to_samples(self):
+        assert ms_to_samples(25.0, 16000) == 400
+        assert ms_to_samples(10.0, 16000) == 160
+
+    def test_ms_to_samples_rejects_bad(self):
+        with pytest.raises(ValueError):
+            ms_to_samples(0, 16000)
+
+
+class TestStft:
+    def test_next_power_of_two(self):
+        assert next_power_of_two(400) == 512
+        assert next_power_of_two(512) == 512
+        assert next_power_of_two(1) == 1
+
+    def test_output_shape(self):
+        x = np.random.default_rng(0).standard_normal(1600)
+        spec = stft(x, 400, 160)
+        assert spec.shape == (num_frames(1600, 400, 160), 257)
+        assert np.iscomplexobj(spec)
+
+    def test_pure_tone_peak_bin(self):
+        sr, n_fft = 16000, 512
+        freq = 1000.0
+        t = np.arange(4000) / sr
+        x = np.sin(2 * np.pi * freq * t)
+        mag = magnitude_spectrogram(x, 400, 160, n_fft=n_fft)
+        peak_bin = np.argmax(mag.mean(axis=0))
+        expected = round(freq * n_fft / sr)
+        assert abs(peak_bin - expected) <= 1
+
+    def test_power_nonnegative(self):
+        x = np.random.default_rng(1).standard_normal(800)
+        assert np.all(power_spectrogram(x, 400, 160) >= 0)
+
+    def test_nfft_too_small(self):
+        with pytest.raises(ValueError):
+            stft(np.zeros(800), 400, 160, n_fft=256)
+
+    def test_parseval_energy_scale(self):
+        # Power of a unit-amplitude tone should be finite and positive.
+        t = np.arange(1600) / 16000
+        x = np.sin(2 * np.pi * 440 * t)
+        p = power_spectrogram(x, 400, 160)
+        assert p.sum() > 0

@@ -1,0 +1,143 @@
+"""Tests for the mel filterbank, CMVN and the full log-mel frontend."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.cmvn import CmvnStats, apply_cmvn, compute_cmvn
+from repro.frontend.features import FrontendConfig, LogMelFrontend
+from repro.frontend.mel import (
+    apply_filterbank,
+    hz_to_mel,
+    log_energies,
+    mel_filterbank,
+    mel_to_hz,
+)
+
+
+class TestMelScale:
+    def test_roundtrip(self):
+        hz = np.array([20.0, 440.0, 4000.0, 8000.0])
+        np.testing.assert_allclose(mel_to_hz(hz_to_mel(hz)), hz, rtol=1e-12)
+
+    def test_monotone(self):
+        hz = np.linspace(10, 8000, 100)
+        mel = np.asarray(hz_to_mel(hz))
+        assert np.all(np.diff(mel) > 0)
+
+    def test_known_value(self):
+        # 1000 Hz is ~999.99 mel under the HTK formula.
+        assert hz_to_mel(1000.0) == pytest.approx(999.9855, abs=1e-3)
+
+
+class TestMelFilterbank:
+    def test_shape(self):
+        bank = mel_filterbank(80, 512, 16000)
+        assert bank.shape == (80, 257)
+
+    def test_nonnegative_and_bounded(self):
+        bank = mel_filterbank(40, 512, 16000)
+        assert np.all(bank >= 0)
+        assert np.all(bank <= 1.0 + 1e-12)
+
+    def test_each_filter_has_support(self):
+        bank = mel_filterbank(80, 512, 16000)
+        assert np.all(bank.sum(axis=1) > 0)
+
+    def test_triangular_single_peak(self):
+        bank = mel_filterbank(20, 1024, 16000)
+        for row in bank:
+            support = np.flatnonzero(row)
+            peak = np.argmax(row)
+            assert support[0] <= peak <= support[-1]
+            # Rises before the peak, falls after (triangular).
+            assert np.all(np.diff(row[support[0] : peak + 1]) >= -1e-12)
+            assert np.all(np.diff(row[peak : support[-1] + 1]) <= 1e-12)
+
+    def test_rejects_bad_freq_range(self):
+        with pytest.raises(ValueError):
+            mel_filterbank(10, 512, 16000, low_freq=5000, high_freq=4000)
+        with pytest.raises(ValueError):
+            mel_filterbank(10, 512, 16000, high_freq=9000)
+
+    def test_apply_filterbank_shapes(self):
+        bank = mel_filterbank(8, 64, 16000)
+        power = np.abs(np.random.default_rng(0).standard_normal((5, 33)))
+        out = apply_filterbank(power, bank)
+        assert out.shape == (5, 8)
+
+    def test_apply_filterbank_bin_mismatch(self):
+        bank = mel_filterbank(8, 64, 16000)
+        with pytest.raises(ValueError):
+            apply_filterbank(np.zeros((5, 17)), bank)
+
+    def test_log_energies_floor(self):
+        out = log_energies(np.zeros((2, 3)), floor=1e-10)
+        np.testing.assert_allclose(out, np.log(1e-10))
+
+
+class TestCmvn:
+    def test_normalizes_to_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        feats = [3.0 + 2.0 * rng.standard_normal((50, 4)) for _ in range(5)]
+        stats = compute_cmvn(feats)
+        normed = np.concatenate([apply_cmvn(f, stats) for f in feats])
+        np.testing.assert_allclose(normed.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(normed.std(axis=0), 1.0, atol=1e-6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            compute_cmvn([])
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            compute_cmvn([np.zeros((3, 4)), np.zeros((3, 5))])
+
+    def test_stats_validation(self):
+        with pytest.raises(ValueError):
+            CmvnStats(mean=np.zeros(3), std=np.zeros(3))
+
+    def test_apply_checks_dim(self):
+        stats = CmvnStats(mean=np.zeros(4), std=np.ones(4))
+        with pytest.raises(ValueError):
+            apply_cmvn(np.zeros((2, 5)), stats)
+
+
+class TestLogMelFrontend:
+    def test_output_shape(self):
+        fe = LogMelFrontend()
+        wav = np.random.default_rng(0).standard_normal(16000) * 0.1
+        feats = fe(wav)
+        assert feats.shape[1] == 80
+        assert feats.shape[0] == fe.num_output_frames(16000)
+
+    def test_frame_count_formula(self):
+        fe = LogMelFrontend()
+        # 1 s at 16 kHz, 400-sample frames, 160-sample hop.
+        assert fe.num_output_frames(16000) == 1 + (16000 - 400) // 160
+
+    def test_too_short_signal(self):
+        fe = LogMelFrontend()
+        assert fe.num_output_frames(100) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FrontendConfig(frame_shift_ms=30.0)  # > frame_length_ms
+
+    def test_features_finite(self):
+        fe = LogMelFrontend()
+        wav = np.zeros(16000)
+        assert np.all(np.isfinite(fe(wav)))
+
+    def test_louder_signal_higher_energy(self):
+        fe = LogMelFrontend()
+        rng = np.random.default_rng(0)
+        wav = rng.standard_normal(8000) * 0.05
+        quiet = fe(wav).mean()
+        loud = fe(wav * 10).mean()
+        assert loud > quiet
+
+    def test_filterbank_copy_is_defensive(self):
+        fe = LogMelFrontend()
+        bank = fe.filterbank
+        bank[:] = 0
+        assert fe.filterbank.sum() > 0

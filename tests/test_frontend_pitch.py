@@ -1,0 +1,116 @@
+"""Tests for the pitch tracker (the make_fbank_pitch stage)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.pitch import (
+    PitchConfig,
+    fbank_pitch_features,
+    nccf,
+    pitch_features,
+    track_pitch,
+)
+
+
+def tone(freq: float, seconds: float = 0.5, sr: int = 16000) -> np.ndarray:
+    t = np.arange(int(seconds * sr)) / sr
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestConfig:
+    def test_lag_range(self):
+        cfg = PitchConfig()
+        assert cfg.min_lag == 16000 // 400
+        assert cfg.max_lag == int(np.ceil(16000 / 60))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PitchConfig(min_f0_hz=500, max_f0_hz=400)
+        with pytest.raises(ValueError):
+            PitchConfig(max_f0_hz=9000)
+        with pytest.raises(ValueError):
+            PitchConfig(min_f0_hz=10)  # period longer than the frame
+
+
+class TestNccf:
+    def test_periodic_signal_peaks_at_period(self):
+        period = 80  # 200 Hz at 16 kHz
+        x = np.sin(2 * np.pi * np.arange(400) / period)
+        scores = nccf(x, 40, 120)
+        assert 40 + int(np.argmax(scores)) == pytest.approx(period, abs=1)
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        scores = nccf(rng.standard_normal(400), 40, 120)
+        assert np.all(scores <= 1.0 + 1e-12)
+        assert np.all(scores >= -1.0 - 1e-12)
+
+    def test_silence_returns_zero(self):
+        scores = nccf(np.zeros(400), 40, 120)
+        np.testing.assert_array_equal(scores, 0.0)
+
+    def test_lag_validation(self):
+        with pytest.raises(ValueError):
+            nccf(np.zeros(100), 50, 200)
+
+
+class TestTrackPitch:
+    @pytest.mark.parametrize("f0", [100.0, 150.0, 220.0, 300.0])
+    def test_recovers_pure_tone_f0(self, f0):
+        tracked = track_pitch(tone(f0))
+        voiced = tracked[tracked[:, 0] > 0.8]
+        assert voiced.shape[0] > 0
+        median_f0 = np.median(voiced[:, 1])
+        assert median_f0 == pytest.approx(f0, rel=0.05)
+
+    def test_noise_is_low_voicing(self):
+        rng = np.random.default_rng(1)
+        tracked = track_pitch(rng.standard_normal(8000) * 0.1)
+        assert np.median(tracked[:, 0]) < 0.5
+
+    def test_tone_is_high_voicing(self):
+        tracked = track_pitch(tone(200))
+        assert np.median(tracked[:, 0]) > 0.9
+
+
+class TestPitchFeatures:
+    def test_shape(self):
+        feats = pitch_features(tone(150))
+        assert feats.shape[1] == 3
+
+    def test_delta_of_constant_pitch_near_zero(self):
+        feats = pitch_features(tone(200))
+        assert np.abs(feats[2:, 2]).max() < 0.2
+
+    def test_log_f0_tracks_frequency(self):
+        low = np.median(pitch_features(tone(100))[:, 1])
+        high = np.median(pitch_features(tone(300))[:, 1])
+        assert high - low == pytest.approx(np.log(3.0), rel=0.1)
+
+    def test_empty_waveform(self):
+        assert pitch_features(np.zeros(10)).shape == (0, 3)
+
+
+class TestFbankPitch:
+    def test_83_dims(self):
+        feats = fbank_pitch_features(tone(180, seconds=1.0))
+        assert feats.shape[1] == 83  # 80 mel + 3 pitch
+
+    def test_frame_counts_align(self):
+        feats = fbank_pitch_features(tone(180, seconds=0.7))
+        assert feats.shape[0] > 0
+        assert np.all(np.isfinite(feats))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            fbank_pitch_features(np.zeros(100))
+
+    def test_on_synthetic_utterance(self):
+        from repro.frontend.audio import synthesize_utterance
+
+        wav = synthesize_utterance(np.arange(8))
+        feats = fbank_pitch_features(wav)
+        assert feats.shape[1] == 83
+        # The synthesizer's formants lie in the trackable band, so a
+        # decent share of frames should read as voiced.
+        assert np.mean(feats[:, 80] > 0.5) > 0.3

@@ -1,0 +1,103 @@
+"""Tests for the Conv2D + max-pool subsampling front block."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.subsampling import Conv2dSubsampling, conv2d, max_pool2d
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        rng = np.random.default_rng(0)
+        img = rng.standard_normal((1, 5, 5))
+        kernel = np.zeros((1, 1, 3, 3))
+        kernel[0, 0, 1, 1] = 1.0
+        out = conv2d(img, kernel)
+        np.testing.assert_allclose(out[0], img[0, 1:-1, 1:-1])
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(1)
+        img = rng.standard_normal((2, 6, 7))
+        ker = rng.standard_normal((3, 2, 3, 3))
+        out = conv2d(img, ker)
+        # Naive reference
+        expected = np.zeros_like(out)
+        for o in range(3):
+            for i in range(4):
+                for j in range(5):
+                    expected[o, i, j] = np.sum(
+                        img[:, i : i + 3, j : j + 3] * ker[o]
+                    )
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_bias(self):
+        img = np.zeros((1, 4, 4))
+        ker = np.zeros((2, 1, 3, 3))
+        out = conv2d(img, ker, bias=np.array([1.0, -2.0]))
+        assert np.all(out[0] == 1.0)
+        assert np.all(out[1] == -2.0)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((2, 5, 5)), np.zeros((1, 3, 3, 3)))
+
+    def test_kernel_larger_than_image(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((1, 2, 2)), np.zeros((1, 1, 3, 3)))
+
+
+class TestMaxPool:
+    def test_basic(self):
+        img = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = max_pool2d(img, 2)
+        np.testing.assert_array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_drops_incomplete_windows(self):
+        img = np.arange(25, dtype=float).reshape(1, 5, 5)
+        assert max_pool2d(img, 2).shape == (1, 2, 2)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            max_pool2d(np.zeros((1, 1, 4)), 2)
+
+
+class TestConv2dSubsampling:
+    def test_output_shape(self):
+        sub = Conv2dSubsampling(80, 512)
+        feats = np.random.default_rng(0).standard_normal((100, 80))
+        out = sub(feats)
+        assert out.shape == (sub.output_time_dim(100), 512)
+
+    def test_time_reduction_about_4x(self):
+        s = Conv2dSubsampling.output_time_dim(128)
+        assert 128 // 5 <= s <= 128 // 4 + 1
+
+    def test_min_input_frames(self):
+        m = Conv2dSubsampling.min_input_frames()
+        assert Conv2dSubsampling.output_time_dim(m) >= 1
+        assert Conv2dSubsampling.output_time_dim(m - 1) == 0
+
+    def test_deterministic_given_seed(self):
+        a = Conv2dSubsampling(80, 64, rng=np.random.default_rng(3))
+        b = Conv2dSubsampling(80, 64, rng=np.random.default_rng(3))
+        feats = np.random.default_rng(0).standard_normal((50, 80))
+        np.testing.assert_array_equal(a(feats), b(feats))
+
+    def test_rejects_wrong_feature_dim(self):
+        sub = Conv2dSubsampling(80, 64)
+        with pytest.raises(ValueError):
+            sub(np.zeros((50, 40)))
+
+    def test_rejects_too_short(self):
+        sub = Conv2dSubsampling(80, 64)
+        with pytest.raises(ValueError):
+            sub(np.zeros((5, 80)))
+
+    def test_rejects_tiny_feature_dim(self):
+        with pytest.raises(ValueError):
+            Conv2dSubsampling(6, 64)
+
+    def test_longer_audio_longer_sequence(self):
+        s1 = Conv2dSubsampling.output_time_dim(60)
+        s2 = Conv2dSubsampling.output_time_dim(120)
+        assert s2 > s1

@@ -1,0 +1,157 @@
+"""Tests for the miniature HLS scheduling model and Algorithm 1."""
+
+import pytest
+
+from repro.hls.designs import matmul_nest, psa_design_report
+from repro.hls.ir import Array, Loop, Op, Partition, Region
+from repro.hls.schedule import schedule_loop, schedule_region
+
+
+def _op(**kw):
+    defaults = dict(name="op", latency=1)
+    defaults.update(kw)
+    return Op(**defaults)
+
+
+class TestIrValidation:
+    def test_loop_needs_body(self):
+        with pytest.raises(ValueError):
+            Loop("empty", trip=4)
+
+    def test_pipelined_loop_rejects_children(self):
+        inner = Loop("inner", trip=2, body_ops=(_op(),))
+        with pytest.raises(ValueError):
+            Loop("outer", trip=4, children=(inner,), pipeline_ii=1)
+
+    def test_bad_trip(self):
+        with pytest.raises(ValueError):
+            Loop("l", trip=0, body_ops=(_op(),))
+
+    def test_array_validation(self):
+        with pytest.raises(ValueError):
+            Array("a", depth=0)
+        with pytest.raises(ValueError):
+            Array("a", depth=4, factor=2)  # NONE partition, factor > 1
+
+    def test_unique_array_names(self):
+        loop = Loop("l", trip=1, body_ops=(_op(),))
+        with pytest.raises(ValueError):
+            Region("r", arrays=(Array("a", 4), Array("a", 4)), loops=(loop,))
+
+    def test_op_copies_validation(self):
+        with pytest.raises(ValueError):
+            Op("mac", copies=0)
+
+
+class TestScheduling:
+    def test_pipelined_loop_latency(self):
+        loop = Loop("k", trip=100, body_ops=(_op(latency=8),), pipeline_ii=1)
+        report = schedule_loop(loop)
+        assert report.latency == 8 + 99  # depth + II*(trip-1)
+        assert report.achieved_ii == 1
+
+    def test_rolled_loop_latency(self):
+        loop = Loop("k", trip=10, body_ops=(_op(latency=5),))
+        report = schedule_loop(loop)
+        assert report.latency == 10 * 6  # (body + control) per iter
+
+    def test_unroll_cuts_trips_and_multiplies_resources(self):
+        loop = Loop(
+            "k", trip=16, body_ops=(_op(latency=1, dsp=1),), unroll=4
+        )
+        report = schedule_loop(loop)
+        assert report.latency == 4 * 2
+        assert report.resources.dsp == 4
+
+    def test_copies_multiply_resources_not_depth(self):
+        loop = Loop(
+            "k", trip=10,
+            body_ops=(_op(latency=8, dsp=1, copies=64),),
+            pipeline_ii=1,
+        )
+        report = schedule_loop(loop)
+        assert report.resources.dsp == 64
+        assert report.latency == 8 + 9
+
+    def test_port_pressure_raises_ii(self):
+        arrays = (Array("buf", depth=64),)  # dual-port BRAM
+        loop = Loop(
+            "k", trip=100,
+            body_ops=(_op(latency=2, reads=("buf",), copies=8),),
+            pipeline_ii=1,
+        )
+        report = schedule_loop(loop, arrays)
+        assert report.achieved_ii == 4  # 8 accesses / 2 ports
+        assert report.port_bounds == {"buf": 4}
+
+    def test_complete_partition_removes_bound(self):
+        arrays = (Array("buf", depth=64, partition=Partition.COMPLETE),)
+        loop = Loop(
+            "k", trip=100,
+            body_ops=(_op(latency=2, reads=("buf",), copies=8),),
+            pipeline_ii=1,
+        )
+        assert schedule_loop(loop, arrays).achieved_ii == 1
+
+    def test_cyclic_partition_scales_ports(self):
+        arrays = (
+            Array("buf", depth=64, partition=Partition.CYCLIC, factor=4),
+        )
+        loop = Loop(
+            "k", trip=100,
+            body_ops=(_op(latency=2, reads=("buf",), copies=8),),
+            pipeline_ii=1,
+        )
+        assert schedule_loop(loop, arrays).achieved_ii == 1  # 8 ports
+
+    def test_dataflow_region_takes_max(self):
+        a = Loop("a", trip=100, body_ops=(_op(),), pipeline_ii=1)
+        b = Loop("b", trip=10, body_ops=(_op(),), pipeline_ii=1)
+        seq = Region("seq", loops=(a, b))
+        par = Region("par", loops=(a, b), dataflow=True)
+        assert schedule_region(seq).latency > schedule_region(par).latency
+        assert schedule_region(par).latency == schedule_region(
+            Region("only_a", loops=(a,))
+        ).latency
+
+
+class TestAlgorithm1:
+    def test_tracks_analytic_psa_model(self):
+        """The HLS schedule of Algorithm 1 must agree with the
+        simulator's SystolicArray cycle model up to loop overhead."""
+        for point in psa_design_report():
+            assert point.latency == pytest.approx(
+                point.analytic_cycles, rel=0.10
+            )
+            assert point.latency >= point.analytic_cycles  # overhead adds
+
+    def test_partial_unroll_tradeoff(self):
+        """Section 4.4: 2-row unroll is ~16x slower than 32-row but
+        ~16x cheaper in MAC resources."""
+        points = {p.row_unroll: p for p in psa_design_report()}
+        ratio_latency = points[2].latency / points[32].latency
+        ratio_dsp = points[32].dsp / points[2].dsp
+        assert 10 < ratio_latency <= 16.5
+        assert ratio_dsp == pytest.approx(16.0)
+
+    def test_partition_pragma_is_load_bearing(self):
+        """Dropping ARRAY_PARTITION wrecks the pipeline (the trap the
+        paper's Section 2.2.6 pragma discussion is about)."""
+        good = schedule_region(matmul_nest(32, 64, 64, partitioned=True))
+        bad = schedule_region(matmul_nest(32, 64, 64, partitioned=False))
+        assert bad.latency > 50 * good.latency
+        assert bad.port_bounds  # the report names the guilty arrays
+
+    def test_matches_deployed_psa_resources(self):
+        """The 2x64 design point's MAC resources equal the per-PSA
+        share of the fitted Table 5.2 model (128 PEs)."""
+        region = matmul_nest(32, 64, 64, row_unroll=2, col_unroll=64)
+        report = schedule_region(region)
+        assert report.resources.dsp == 128  # 2 x 64 PEs x 1 DSP
+        assert report.resources.lut == 128 * 640
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            matmul_nest(0, 4, 4)
+        with pytest.raises(ValueError):
+            matmul_nest(4, 4, 4, row_unroll=0)

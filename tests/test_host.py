@@ -1,0 +1,161 @@
+"""Tests for the simulated OpenCL runtime and the host process flow."""
+
+import pytest
+
+from repro.host.flow import run_inference_flow
+from repro.host.opencl import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Device,
+    Kernel,
+    Program,
+)
+from repro.hw.controller import LatencyModel
+
+
+@pytest.fixture()
+def context():
+    return Context(Device())
+
+
+class TestContextAndBuffers:
+    def test_alloc_tracks_memory(self, context):
+        buf = context.alloc(1024, "x")
+        assert context.allocated_bytes == 1024
+        context.free(buf)
+        assert context.allocated_bytes == 0
+
+    def test_out_of_memory(self, context):
+        with pytest.raises(MemoryError):
+            context.alloc(context.device.global_memory_bytes + 1, "huge")
+
+    def test_double_free_rejected(self, context):
+        buf = context.alloc(64, "x")
+        context.free(buf)
+        with pytest.raises(ValueError):
+            context.free(buf)
+
+    def test_zero_alloc_rejected(self, context):
+        with pytest.raises(ValueError):
+            context.alloc(0, "empty")
+
+
+class TestCommandQueue:
+    def test_in_order_serialization(self, context):
+        q = CommandQueue(context, "q")
+        buf = context.alloc(1 << 20, "b")
+        e1 = q.enqueue_write_buffer(buf)
+        e2 = q.enqueue_write_buffer(buf)
+        assert e2.start_s >= e1.end_s
+
+    def test_event_dependency_across_queues(self, context):
+        q1 = CommandQueue(context, "q1")
+        q2 = CommandQueue(context, "q2")
+        buf = context.alloc(1 << 20, "b")
+        write = q1.enqueue_write_buffer(buf)
+        kernel = q2.enqueue_kernel(Kernel("k", 0), 3_000_000, wait_for=[write])
+        assert kernel.start_s >= write.end_s
+
+    def test_no_dependency_means_overlap(self, context):
+        q1 = CommandQueue(context, "q1")
+        q2 = CommandQueue(context, "q2")
+        buf = context.alloc(100 << 20, "b")
+        write = q1.enqueue_write_buffer(buf)
+        kernel = q2.enqueue_kernel(Kernel("k", 0), 30_000_000)
+        assert kernel.start_s == 0.0
+        assert write.start_s == 0.0
+
+    def test_kernel_duration_in_cycles(self, context):
+        q = CommandQueue(context, "q")
+        ev = q.enqueue_kernel(Kernel("k", 0), 300_000)  # 1 ms @ 300 MHz
+        assert ev.duration_s == pytest.approx(1e-3)
+
+    def test_pcie_transfer_time(self, context):
+        q = CommandQueue(context, "q")
+        buf = context.alloc(12_000_000, "b")  # 12 MB at 12 GB/s -> 1 ms
+        ev = q.enqueue_write_buffer(buf)
+        assert ev.duration_s == pytest.approx(1e-3)
+
+    def test_released_buffer_rejected(self, context):
+        q = CommandQueue(context, "q")
+        buf = context.alloc(64, "b")
+        context.free(buf)
+        with pytest.raises(ValueError):
+            q.enqueue_write_buffer(buf)
+
+    def test_foreign_buffer_rejected(self, context):
+        other = Context(Device())
+        buf = other.alloc(64, "b")
+        q = CommandQueue(context, "q")
+        with pytest.raises(ValueError):
+            q.enqueue_read_buffer(buf)
+
+    def test_partial_transfer_bounds(self, context):
+        q = CommandQueue(context, "q")
+        buf = context.alloc(100, "b")
+        with pytest.raises(ValueError):
+            q.enqueue_write_buffer(buf, num_bytes=200)
+
+    def test_timeline_has_no_queue_overlap(self, context):
+        q = CommandQueue(context, "q")
+        buf = context.alloc(1 << 20, "b")
+        q.enqueue_write_buffer(buf)
+        q.enqueue_kernel(Kernel("k", 0), 1000)
+        context.timeline.validate_no_engine_overlap()
+
+
+class TestProgram:
+    def test_kernel_lookup(self):
+        prog = Program(kernels=(Kernel("a", 0), Kernel("b", 1)))
+        assert prog.kernel("b").slr == 1
+        with pytest.raises(KeyError):
+            prog.kernel("missing")
+
+
+class TestInferenceFlow:
+    @pytest.fixture(scope="class")
+    def lm(self):
+        return LatencyModel()
+
+    def test_first_inference_matches_cycle_model(self, lm):
+        report = run_inference_flow(lm, s=32)
+        cycle_ms = lm.latency_report(32, "A3").latency_ms
+        assert report.first_inference_s * 1e3 == pytest.approx(
+            cycle_ms, rel=0.02
+        )
+
+    def test_setup_costs_once(self, lm):
+        one = run_inference_flow(lm, s=32, num_inferences=1)
+        four = run_inference_flow(lm, s=32, num_inferences=4)
+        assert one.setup_s == four.setup_s
+        # Amortized: total grows by ~3 kernels, not 3 setups.
+        assert four.total_s - one.total_s < 3.1 * one.first_inference_s
+
+    def test_weight_upload_sized_by_model(self, lm):
+        report = run_inference_flow(lm, s=32)
+        # 252 MB over 12 GB/s PCIe ~ 21 ms.
+        assert report.weight_upload_s == pytest.approx(0.021, rel=0.05)
+
+    def test_device_memory_accounting(self, lm):
+        report = run_inference_flow(lm, s=32, num_inferences=2)
+        assert report.allocated_bytes > 252_000_000  # weights + IO bufs
+
+    def test_input_dma_overlaps_previous_kernel(self, lm):
+        report = run_inference_flow(lm, s=32, num_inferences=3)
+        kernels = [
+            e for e in report.timeline.events if e.label.startswith("kernel")
+        ]
+        writes = [
+            e
+            for e in report.timeline.events
+            if e.label.startswith("write:input")
+        ]
+        # Input 1's DMA starts while kernel 0 runs.
+        assert writes[1].start < kernels[0].end
+
+    def test_validation(self, lm):
+        with pytest.raises(ValueError):
+            run_inference_flow(lm, s=0)
+        with pytest.raises(ValueError):
+            run_inference_flow(lm, s=8, num_inferences=0)

@@ -1,0 +1,134 @@
+"""Tests for the vector adders and non-linear function units."""
+
+import numpy as np
+import pytest
+
+from repro.hw.adder import VectorAdder
+from repro.hw.nonlinear import (
+    NonlinearUnits,
+    add_norm_unit,
+    bias_unit,
+    relu_unit,
+    scale_scores,
+    softmax_unit,
+)
+from repro.model.layernorm import add_norm
+from repro.model.masks import causal_mask
+from repro.model.ops import softmax
+
+
+class TestVectorAdder:
+    def test_add_functional(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(VectorAdder.add(a, b), a + b)
+
+    def test_add_shape_check(self):
+        with pytest.raises(ValueError):
+            VectorAdder.add(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_accumulate_order_is_left_fold(self, rng):
+        parts = [rng.standard_normal((2, 2)).astype(np.float32) for _ in range(4)]
+        acc = VectorAdder.accumulate(parts)
+        expected = ((parts[0] + parts[1]) + parts[2]) + parts[3]
+        np.testing.assert_array_equal(acc, expected)
+
+    def test_accumulate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VectorAdder.accumulate([])
+
+    def test_add_cycles_scale_with_rows(self):
+        adder = VectorAdder(width=64)
+        assert adder.add_cycles(64, 64) > adder.add_cycles(4, 64)
+
+    def test_add_cycles_wide_matrix(self):
+        adder = VectorAdder(width=64, pipeline_depth=8)
+        # 512 columns -> 8 chunks per row.
+        assert adder.add_cycles(4, 512) == 4 * 8 + 8
+
+    def test_accumulate_cycles_pipelined(self):
+        adder = VectorAdder(width=64)
+        # Only the final fold is exposed, independent of partial count.
+        assert adder.accumulate_cycles(8, 4, 64) == adder.accumulate_cycles(2, 4, 64)
+        assert adder.accumulate_cycles(1, 4, 64) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorAdder(width=0)
+        with pytest.raises(ValueError):
+            VectorAdder().add_cycles(0, 4)
+        with pytest.raises(ValueError):
+            VectorAdder().accumulate_cycles(0, 4, 4)
+
+
+class TestNonlinearFunctional:
+    def test_scale_scores(self, rng):
+        s = rng.standard_normal((3, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            scale_scores(s, 64), s / 8.0, rtol=1e-6
+        )
+
+    def test_scale_rejects_bad_dk(self):
+        with pytest.raises(ValueError):
+            scale_scores(np.zeros((2, 2)), 0)
+
+    def test_softmax_unit_matches_reference(self, rng):
+        s = rng.standard_normal((4, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            softmax_unit(s), softmax(s), rtol=1e-6, atol=1e-7
+        )
+
+    def test_softmax_unit_masked(self):
+        s = np.zeros((3, 3), dtype=np.float32)
+        out = softmax_unit(s, mask=causal_mask(3))
+        np.testing.assert_allclose(out[0], [1, 0, 0], atol=1e-7)
+        np.testing.assert_allclose(out[2], [1 / 3] * 3, rtol=1e-6)
+
+    def test_relu_unit(self):
+        np.testing.assert_array_equal(
+            relu_unit(np.array([-1.0, 2.0])), [0.0, 2.0]
+        )
+
+    def test_bias_unit_broadcast(self, rng):
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        np.testing.assert_allclose(bias_unit(x, b), x + b, rtol=1e-7)
+
+    def test_bias_unit_shape_check(self):
+        with pytest.raises(ValueError):
+            bias_unit(np.zeros((3, 4)), np.zeros(3))
+
+    def test_add_norm_unit_matches_golden(self, rng):
+        a = rng.standard_normal((3, 8)).astype(np.float32)
+        r = rng.standard_normal((3, 8)).astype(np.float32)
+        w = rng.standard_normal(8).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        np.testing.assert_allclose(
+            add_norm_unit(a, r, w, b), add_norm(a, r, w, b), rtol=1e-5, atol=1e-6
+        )
+
+
+class TestNonlinearCycles:
+    def test_softmax_slower_than_scale(self):
+        u = NonlinearUnits()
+        assert u.softmax_cycles(32, 32) > u.scale_cycles(32, 32)
+
+    def test_sc_sm_hides_under_mm1(self, fabric):
+        """Fig 4.13: t_Sc + t_Sm < t_MM1 so they overlap MM1(V)."""
+        from repro.hw.kernels import mm1_cycles
+
+        u = fabric.units
+        for s in (4, 8, 16, 32):
+            sc_sm = u.scale_cycles(s, s) + u.softmax_cycles(s, s)
+            assert sc_sm < mm1_cycles(fabric, s, 512, 64)
+
+    def test_cycles_scale_with_size(self):
+        u = NonlinearUnits()
+        assert u.add_norm_cycles(32, 512) > u.add_norm_cycles(4, 512)
+        assert u.bias_cycles(4, 2048) > u.bias_cycles(4, 512)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NonlinearUnits(lanes=0)
+        with pytest.raises(ValueError):
+            NonlinearUnits().bias_cycles(0, 4)

@@ -1,0 +1,107 @@
+"""Tests for the SEU fault-injection machinery."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.hw.faults import (
+    FaultSpec,
+    flip_bit,
+    inject_faults,
+    measure_impact,
+    random_fault,
+)
+from repro.model.params import init_transformer_params
+
+PARAMS = init_transformer_params(
+    ModelConfig(num_encoders=1, num_decoders=1), seed=4
+)
+
+
+class TestFlipBit:
+    def test_flip_is_involution(self):
+        arr = np.array([1.5, -2.25], dtype=np.float32)
+        original = arr.copy()
+        flip_bit(arr, 1, 12)
+        assert arr[1] != original[1]
+        assert arr[0] == original[0]
+        flip_bit(arr, 1, 12)
+        np.testing.assert_array_equal(arr, original)
+
+    def test_sign_bit(self):
+        arr = np.array([3.0], dtype=np.float32)
+        flip_bit(arr, 0, 31)
+        assert arr[0] == -3.0
+
+    def test_mantissa_lsb_is_tiny(self):
+        arr = np.array([1.0], dtype=np.float32)
+        flip_bit(arr, 0, 0)
+        assert arr[0] == pytest.approx(1.0, rel=1e-6)
+        assert arr[0] != 1.0
+
+    def test_exponent_bit_is_huge(self):
+        arr = np.array([1.0], dtype=np.float32)
+        flip_bit(arr, 0, 30)  # top exponent bit
+        assert abs(arr[0]) > 1e30 or arr[0] == 0  # saturates the exponent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flip_bit(np.zeros(2, dtype=np.float64), 0, 0)
+        with pytest.raises(ValueError):
+            flip_bit(np.zeros(2, dtype=np.float32), 5, 0)
+        with pytest.raises(ValueError):
+            FaultSpec("enc0.ffn.w1", 0, 99)
+
+
+class TestInjection:
+    def test_original_untouched(self):
+        fault = FaultSpec("enc0.ffn.w1", index=7, bit=30)
+        before = PARAMS.encoders[0].ffn.w1.copy()
+        corrupted = inject_faults(PARAMS, [fault])
+        np.testing.assert_array_equal(PARAMS.encoders[0].ffn.w1, before)
+        assert not np.array_equal(corrupted.encoders[0].ffn.w1, before)
+
+    def test_bad_path_rejected(self):
+        with pytest.raises((ValueError, AttributeError, IndexError)):
+            inject_faults(PARAMS, [FaultSpec("enc0.nothing", 0, 1)])
+
+
+class TestImpact:
+    def test_mantissa_tail_flip_is_benign(self):
+        impact = measure_impact(
+            PARAMS, [FaultSpec("enc0.ffn.w1", index=100, bit=0)]
+        )
+        assert impact.max_abs_logit_delta < 1e-2
+        assert impact.top1_flips == 0
+        assert not impact.produced_nonfinite
+
+    def test_exponent_flip_is_catastrophic(self):
+        impact = measure_impact(
+            PARAMS, [FaultSpec("enc0.ffn.w1", index=100, bit=30)]
+        )
+        assert (
+            impact.produced_nonfinite
+            or impact.max_abs_logit_delta > 1.0
+            or impact.top1_flips > 0
+        )
+
+    def test_exponent_worse_than_mantissa(self):
+        low = measure_impact(PARAMS, [FaultSpec("enc0.ffn.w1", 500, 2)])
+        high = measure_impact(PARAMS, [FaultSpec("enc0.ffn.w1", 500, 30)])
+        assert (
+            high.produced_nonfinite
+            or high.max_abs_logit_delta > low.max_abs_logit_delta
+        )
+
+    def test_no_faults_no_impact(self):
+        impact = measure_impact(PARAMS, [])
+        assert impact.max_abs_logit_delta == 0.0
+        assert impact.top1_flips == 0
+
+    def test_random_fault_in_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            fault = random_fault(PARAMS, rng)
+            assert 0 <= fault.bit <= 31
+            corrupted = inject_faults(PARAMS, [fault])  # must not raise
+            assert corrupted is not PARAMS

@@ -1,0 +1,121 @@
+"""Tests for the HBM/PCIe/BRAM models and weight sizing."""
+
+import pytest
+
+from repro.config import CalibrationConfig, HardwareConfig, ModelConfig
+from repro.hw.memory import (
+    BramModel,
+    HbmModel,
+    PcieModel,
+    decoder_ffn_weight_bytes,
+    decoder_load_bytes,
+    decoder_mha_weight_bytes,
+    decoder_weight_bytes,
+    encoder_load_bytes,
+    encoder_weight_bytes,
+)
+from repro.model.flops import weight_bytes
+from repro.model.params import init_transformer_params
+
+
+@pytest.fixture(scope="module")
+def hbm():
+    return HbmModel(HardwareConfig(), CalibrationConfig())
+
+
+class TestHbm:
+    def test_zero_bytes_zero_cycles(self, hbm):
+        assert hbm.transfer_cycles(0) == 0
+
+    def test_channels_divide_time(self, hbm):
+        one = hbm.transfer_cycles(1 << 20, channels=1)
+        two = hbm.transfer_cycles(1 << 20, channels=2)
+        assert two == pytest.approx(one / 2, rel=0.01)
+
+    def test_linear_in_bytes(self, hbm):
+        assert hbm.transfer_cycles(2 << 20) == pytest.approx(
+            2 * hbm.transfer_cycles(1 << 20), rel=0.01
+        )
+
+    def test_load_efficiency_multiplier(self):
+        fast = HbmModel(HardwareConfig(), CalibrationConfig(load_efficiency=1.0))
+        slow = HbmModel(HardwareConfig(), CalibrationConfig(load_efficiency=1.5))
+        assert slow.transfer_cycles(1 << 20) > fast.transfer_cycles(1 << 20)
+
+    def test_validation(self, hbm):
+        with pytest.raises(ValueError):
+            hbm.transfer_cycles(-1)
+        with pytest.raises(ValueError):
+            hbm.transfer_cycles(10, channels=0)
+
+
+class TestPcie:
+    def test_seconds(self):
+        pcie = PcieModel(HardwareConfig(pcie_gbps=12.0))
+        assert pcie.transfer_seconds(12_000_000_000) == pytest.approx(1.0)
+
+    def test_cycles(self):
+        pcie = PcieModel(HardwareConfig(pcie_gbps=12.0, clock_mhz=300.0))
+        # 12 GB/s at 300 MHz -> 40 bytes per cycle.
+        assert pcie.transfer_cycles(40_000) == pytest.approx(1000, abs=1)
+
+
+class TestWeightSizing:
+    def test_analytic_matches_instantiated_params(self, small_config, small_params):
+        analytic = encoder_weight_bytes(small_config)
+        actual = encoder_load_bytes(small_params.encoders[0])
+        assert analytic == actual
+
+    def test_decoder_parts_sum(self, small_config, small_params):
+        layer = small_params.decoders[0]
+        assert decoder_load_bytes(layer) == decoder_weight_bytes(small_config)
+        assert (
+            decoder_mha_weight_bytes(small_config)
+            + decoder_ffn_weight_bytes(small_config)
+            == decoder_weight_bytes(small_config)
+        )
+
+    def test_paper_scale_sizes(self):
+        """Encoder ~12.6 MB, decoder ~16.8 MB of fp32 weights."""
+        cfg = ModelConfig()
+        assert encoder_weight_bytes(cfg) / 1e6 == pytest.approx(12.6, rel=0.02)
+        assert decoder_weight_bytes(cfg) / 1e6 == pytest.approx(16.8, rel=0.02)
+
+    def test_totals_match_flops_module(self):
+        cfg = ModelConfig()
+        total = (
+            cfg.num_encoders * encoder_weight_bytes(cfg)
+            + cfg.num_decoders * decoder_weight_bytes(cfg)
+        )
+        assert total == weight_bytes(cfg)
+
+    def test_decoder_mha_part_heavier_than_ffn_part(self):
+        """Two attention blocks outweigh one FFN in bytes."""
+        cfg = ModelConfig()
+        assert decoder_mha_weight_bytes(cfg) > decoder_ffn_weight_bytes(cfg)
+
+
+class TestBram:
+    def test_capacity(self):
+        bram = BramModel(HardwareConfig())
+        assert bram.capacity_bytes() == 2688 * 2304
+
+    def test_blocks_for_bytes(self):
+        bram = BramModel(HardwareConfig())
+        assert bram.blocks_for_bytes(0) == 0
+        assert bram.blocks_for_bytes(1) == 1
+        assert bram.blocks_for_bytes(2304) == 1
+        assert bram.blocks_for_bytes(2305) == 2
+
+    def test_check_fits(self):
+        bram = BramModel(HardwareConfig())
+        bram.check_fits(1000)  # no raise
+        with pytest.raises(ValueError):
+            bram.check_fits(bram.capacity_bytes() + 1, what="weights")
+
+    def test_full_encoder_exceeds_bram(self):
+        """A whole encoder's 12.6 MB cannot sit in 6 MB of BRAM — the
+        design must stream weight panels (which it does)."""
+        bram = BramModel(HardwareConfig())
+        with pytest.raises(ValueError):
+            bram.check_fits(encoder_weight_bytes(ModelConfig()))

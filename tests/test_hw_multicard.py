@@ -1,0 +1,60 @@
+"""Tests for the multi-card scale-out model."""
+
+import pytest
+
+from repro.hw.controller import LatencyModel
+from repro.hw.multicard import (
+    multicard_throughput,
+    saturation_point,
+    scaling_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel()
+
+
+class TestMultiCard:
+    def test_one_card_matches_single_throughput(self, lm):
+        point = multicard_throughput(1, lm)
+        assert point.throughput_seq_per_s == pytest.approx(
+            lm.steady_state_throughput(32, "A3"), rel=1e-9
+        )
+        assert point.scaling_efficiency == pytest.approx(1.0)
+
+    def test_small_fleets_scale_linearly(self, lm):
+        for n in (2, 4, 8):
+            point = multicard_throughput(n, lm)
+            assert not point.pcie_bound
+            assert point.scaling_efficiency == pytest.approx(1.0)
+
+    def test_throughput_monotone_in_cards(self, lm):
+        sweep = scaling_sweep(card_counts=(1, 2, 4, 8, 16, 32, 64), latency_model=lm)
+        rates = [p.throughput_seq_per_s for p in sweep]
+        assert rates == sorted(rates)
+
+    def test_pcie_eventually_binds(self, lm):
+        """With host DMA at 12 GB/s and 256 KB of IO per s=32 sequence,
+        the link saturates around 45k seq/s — far above a sane fleet,
+        but a constrained host (e.g. 0.05 GB/s) binds immediately."""
+        knee = saturation_point(lm, host_pcie_gbps=0.05)
+        assert 30 < knee < 40  # ~381 seq/s link / ~11.85 seq/s per card
+        constrained = multicard_throughput(knee, lm, host_pcie_gbps=0.05)
+        assert constrained.pcie_bound
+        assert constrained.scaling_efficiency < 1.0
+
+    def test_saturated_fleet_throughput_capped(self, lm):
+        a = multicard_throughput(64, lm, host_pcie_gbps=0.01)
+        b = multicard_throughput(128, lm, host_pcie_gbps=0.01)
+        assert a.throughput_seq_per_s == pytest.approx(
+            b.throughput_seq_per_s, rel=1e-9
+        )
+
+    def test_validation(self, lm):
+        with pytest.raises(ValueError):
+            multicard_throughput(0, lm)
+        with pytest.raises(ValueError):
+            multicard_throughput(2, lm, host_pcie_gbps=0.0)
+        with pytest.raises(ValueError):
+            saturation_point(lm, max_cards=2)  # never binds that early

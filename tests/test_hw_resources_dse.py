@@ -1,0 +1,169 @@
+"""Tests for the resource model (Table 5.2) and the DSE (Table 5.3)."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.hw.dse import (
+    best_synthesizable,
+    head_parallelism_sweep,
+    psa_dimension_sweep,
+)
+from repro.hw.resources import check_synthesizable, estimate_resources
+
+
+class TestResourceModel:
+    def test_reproduces_table_5_2(self):
+        """Paper @ s=32: BRAM 1202, DSP 1348, FF 1191892, LUT 765828."""
+        est = estimate_resources(seq_len=32)
+        assert est.dsp == pytest.approx(1348, rel=0.02)
+        assert est.ff == pytest.approx(1191892, rel=0.02)
+        assert est.lut == pytest.approx(765828, rel=0.02)
+        assert est.bram_18k == pytest.approx(1202, rel=0.05)
+
+    def test_design_fits_device(self):
+        est = estimate_resources(seq_len=32)
+        assert est.fits()
+        check_synthesizable(est)  # no raise
+
+    def test_lut_is_binding_resource(self):
+        """Section 5.1.3: 'the architecture is limited by the LUTs'."""
+        est = estimate_resources(seq_len=32)
+        assert est.binding_resource() == "LUT"
+        util = est.utilization()
+        assert util["DSP"] < 0.25  # 'DSP utilization is relatively low'
+        assert util["LUT"] > 0.8
+
+    def test_resources_grow_with_psa_rows(self):
+        small = estimate_resources(HardwareConfig(psa_rows=2))
+        big = estimate_resources(HardwareConfig(psa_rows=8))
+        assert big.lut > small.lut
+        assert big.dsp > small.dsp
+
+    def test_bram_grows_with_seq_len(self):
+        assert (
+            estimate_resources(seq_len=64).bram_18k
+            > estimate_resources(seq_len=8).bram_18k
+        )
+
+    def test_oversized_design_rejected(self):
+        est = estimate_resources(HardwareConfig(psa_rows=16))
+        assert not est.fits()
+        with pytest.raises(ValueError):
+            check_synthesizable(est)
+
+    def test_rejects_bad_seq_len(self):
+        with pytest.raises(ValueError):
+            estimate_resources(seq_len=0)
+
+    def test_as_dict_keys(self):
+        est = estimate_resources()
+        assert set(est.as_dict()) == {"BRAM_18K", "DSP", "FF", "LUT"}
+
+
+class TestHeadParallelismSweep:
+    def test_reproduces_table_5_3_ordering(self):
+        """(8,1) fastest .. (1,8) slowest; magnitudes near the paper."""
+        points = head_parallelism_sweep(s=32)
+        assert [p.parallel_heads for p in points] == [8, 4, 2, 1]
+        assert [p.concurrent_psas_per_head for p in points] == [1, 2, 4, 8]
+        latencies = [p.latency_ms for p in points]
+        assert latencies == sorted(latencies)
+        # Paper: 84.15 .. 92.03 ms.  The tail point runs hot in our
+        # model (it serializes MM2/MM3 across head waves, where the
+        # paper's static HLS schedule overlaps part of that work) —
+        # see EXPERIMENTS.md.
+        assert latencies[0] == pytest.approx(84.15, rel=0.10)
+        assert latencies[-1] == pytest.approx(92.03, rel=0.20)
+
+    def test_spread_is_modest(self):
+        """The paper's DSE spread is < 10% end to end; ours stays < 30%."""
+        points = head_parallelism_sweep(s=32)
+        assert points[-1].latency_ms / points[0].latency_ms < 1.30
+
+
+class TestPsaDimensionSweep:
+    def test_larger_arrays_faster_but_infeasible(self):
+        points = psa_dimension_sweep(rows_options=(1, 2, 4, 8, 16), s=32)
+        lat = [p.latency_ms for p in points]
+        assert lat == sorted(lat, reverse=True)  # more rows -> faster
+        assert points[-1].synthesizable is False  # 16 rows blows LUTs
+
+    def test_paper_design_point_is_best_feasible(self):
+        points = psa_dimension_sweep(rows_options=(1, 2, 4, 8, 16), s=32)
+        best = best_synthesizable(points)
+        # The paper settled on 2x64; our resource model allows up to 2.
+        assert best.psa_rows == 2
+
+    def test_best_synthesizable_raises_when_none(self):
+        points = psa_dimension_sweep(rows_options=(64,), s=32)
+        with pytest.raises(ValueError):
+            best_synthesizable(points)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            psa_dimension_sweep(rows_options=(0,))
+
+
+class TestPsaGridSweep:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        from repro.hw.dse import psa_grid_sweep
+
+        return psa_grid_sweep()
+
+    def test_grid_covers_all_combinations(self, grid):
+        assert len(grid) == 16
+        assert {(p.psa_rows, p.psa_cols) for p in grid} == {
+            (r, c) for r in (1, 2, 4, 8) for c in (16, 32, 64, 128)
+        }
+
+    def test_more_pes_never_slower(self, grid):
+        by_dims = {(p.psa_rows, p.psa_cols): p for p in grid}
+        assert (
+            by_dims[(2, 64)].latency_ms <= by_dims[(1, 64)].latency_ms
+        )
+        assert (
+            by_dims[(4, 64)].latency_ms <= by_dims[(2, 64)].latency_ms
+        )
+
+    def test_pareto_frontier_is_sorted_and_feasible(self, grid):
+        from repro.hw.dse import pareto_frontier
+
+        front = pareto_frontier(grid)
+        assert front
+        latencies = [p.latency_ms for p in front]
+        assert latencies == sorted(latencies)
+        luts = [p.resources.lut for p in front]
+        # Along the frontier, faster points cost more LUTs.
+        assert luts == sorted(luts, reverse=True)
+        assert all(p.synthesizable for p in front)
+
+    def test_no_frontier_point_dominated(self, grid):
+        from repro.hw.dse import pareto_frontier
+
+        front = pareto_frontier(grid)
+        feasible = [p for p in grid if p.synthesizable]
+        for p in front:
+            for q in feasible:
+                dominates = (
+                    q.latency_ms <= p.latency_ms
+                    and q.resources.lut <= p.resources.lut
+                    and (
+                        q.latency_ms < p.latency_ms
+                        or q.resources.lut < p.resources.lut
+                    )
+                )
+                assert not dominates
+
+    def test_paper_design_point_near_frontier(self, grid):
+        """The paper's 2x64 point and the model's equal-PE alternatives
+        (e.g. 4x32) agree within ~10% — consistent with the paper
+        choosing among near-equivalent grids experimentally."""
+        from repro.hw.dse import best_synthesizable
+
+        by_dims = {(p.psa_rows, p.psa_cols): p for p in grid}
+        paper = by_dims[(2, 64)]
+        best = best_synthesizable(grid)
+        assert paper.synthesizable
+        assert best.latency_ms <= paper.latency_ms
+        assert paper.latency_ms / best.latency_ms < 1.12

@@ -1,0 +1,48 @@
+"""Tests for back-to-back sequence pipelining (the 'LW+' prefetch)."""
+
+import pytest
+
+from repro.hw.controller import LatencyModel
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel()
+
+
+class TestSteadyStateThroughput:
+    def test_pipelining_never_hurts(self, lm):
+        for s in (4, 16, 32):
+            for arch in ("A1", "A2", "A3"):
+                pipelined = lm.steady_state_throughput(s, arch)
+                single = 1e3 / lm.latency_ms(s, arch)
+                assert pipelined >= single * 0.999
+
+    def test_a1_gains_nothing(self, lm):
+        """A1 is strictly serial; back-to-back sequences just queue."""
+        pipelined = lm.steady_state_throughput(32, "A1")
+        single = 1e3 / lm.latency_ms(32, "A1")
+        assert pipelined == pytest.approx(single, rel=0.01)
+
+    def test_a3_near_paper_throughput(self, lm):
+        """Section 5.1.6: 11.88 seq/s; the steady-state pipelined rate
+        matches it even more closely than the single-shot 1/latency."""
+        assert lm.steady_state_throughput(32, "A3") == pytest.approx(
+            11.88, rel=0.05
+        )
+
+    def test_more_sequences_converges(self, lm):
+        t4 = lm.steady_state_throughput(32, "A3", num_sequences=4)
+        t12 = lm.steady_state_throughput(32, "A3", num_sequences=12)
+        assert t4 == pytest.approx(t12, rel=0.02)
+
+    def test_load_bound_gains_more(self, lm):
+        """At small s the next sequence's loads hide under compute."""
+        gain_small = lm.steady_state_throughput(4, "A3") / (
+            1e3 / lm.latency_ms(4, "A3")
+        )
+        assert gain_small > 1.0
+
+    def test_validation(self, lm):
+        with pytest.raises(ValueError):
+            lm.steady_state_throughput(32, "A3", num_sequences=1)

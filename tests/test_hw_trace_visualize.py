@@ -1,0 +1,114 @@
+"""Tests for trace events, timelines and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.hw.controller import LatencyModel
+from repro.hw.trace import Timeline, TraceEvent
+from repro.hw.visualize import render_comparison, render_gantt
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        e = TraceEvent("psa0", "mm1", 10, 25)
+        assert e.duration == 15
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            TraceEvent("psa0", "mm1", 10, 5)
+
+    def test_overlap_detection(self):
+        a = TraceEvent("e", "a", 0, 10)
+        b = TraceEvent("e", "b", 5, 15)
+        c = TraceEvent("e", "c", 10, 20)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open intervals touch, no overlap
+
+
+class TestTimeline:
+    def test_makespan(self):
+        tl = Timeline()
+        tl.add("a", "x", 0, 10)
+        tl.add("b", "y", 5, 30)
+        assert tl.makespan == 30
+
+    def test_empty_makespan(self):
+        assert Timeline().makespan == 0.0
+
+    def test_engines_in_order(self):
+        tl = Timeline()
+        tl.add("z", "1", 0, 1)
+        tl.add("a", "2", 0, 1)
+        tl.add("z", "3", 2, 3)
+        assert tl.engines() == ["z", "a"]
+
+    def test_busy_time(self):
+        tl = Timeline()
+        tl.add("e", "a", 0, 10)
+        tl.add("e", "b", 20, 25)
+        assert tl.busy_time("e") == 15
+
+    def test_overlap_validation(self):
+        tl = Timeline()
+        tl.add("e", "a", 0, 10)
+        tl.add("e", "b", 5, 15)
+        with pytest.raises(ValueError):
+            tl.validate_no_engine_overlap()
+
+    def test_extend(self):
+        a, b = Timeline(), Timeline()
+        a.add("x", "1", 0, 1)
+        b.add("y", "2", 0, 2)
+        a.extend(b)
+        assert len(a.events) == 2
+
+
+class TestGantt:
+    def test_renders_schedule(self):
+        lm = LatencyModel()
+        result = lm.latency_report(8, "A3").schedule
+        art = render_gantt(result.timeline, width=80)
+        assert "hbm0" in art
+        assert "hbm1" in art
+        assert "compute" in art
+        assert "cycles" in art
+
+    def test_empty_timeline(self):
+        assert render_gantt(Timeline()) == "(empty timeline)"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_gantt(Timeline(), width=5)
+
+    def test_load_and_compute_chars_differ(self):
+        tl = Timeline()
+        tl.add("hbm", "LW", 0, 50, kind="load")
+        tl.add("compute", "C", 50, 100, kind="compute")
+        art = render_gantt(tl, width=40)
+        assert "=" in art and "#" in art
+
+    def test_comparison_stacks_architectures(self):
+        lm = LatencyModel()
+        art = render_comparison(
+            {
+                a: lm.latency_report(8, a).schedule.timeline
+                for a in ("A1", "A2", "A3")
+            },
+            width=60,
+        )
+        assert "--- A1 ---" in art and "--- A3 ---" in art
+
+
+class TestPlatformDiagram:
+    def test_renders_default_hardware(self):
+        from repro.hw.visualize import render_platform_diagram
+
+        art = render_platform_diagram()
+        assert "SLR0" in art and "SLR1" in art
+        assert "HBM2" in art and "PCIe" in art
+
+    def test_scales_with_slr_count(self):
+        from repro.config import HardwareConfig
+        from repro.hw.visualize import render_platform_diagram
+
+        art = render_platform_diagram(HardwareConfig(num_slrs=1))
+        assert "SLR0" in art and "SLR1" not in art

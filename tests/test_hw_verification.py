@@ -1,0 +1,60 @@
+"""Tests for the self-verification battery."""
+
+import pytest
+
+from repro.config import CalibrationConfig, HardwareConfig
+from repro.hw.verification import (
+    EquivalenceCase,
+    default_cases,
+    verify_case,
+    verify_equivalence,
+)
+from repro.config import ModelConfig
+
+
+class TestVerification:
+    def test_default_battery_passes(self):
+        results = verify_equivalence()
+        assert all(r.passed for r in results)
+        assert len(results) == len(default_cases())
+
+    def test_errors_are_fp32_scale(self):
+        for r in verify_equivalence():
+            assert r.max_abs_error < 1e-4
+
+    def test_custom_case(self):
+        case = EquivalenceCase(
+            "custom",
+            ModelConfig(
+                d_model=128, num_heads=2, d_ff=256,
+                num_encoders=1, num_decoders=1, vocab_size=6,
+            ),
+            hw_seq_len=6,
+            input_len=4,
+            token_len=2,
+        )
+        assert verify_case(case).passed
+
+    def test_impossible_tolerance_fails(self):
+        case = default_cases()[0]
+        result = verify_case(case, rtol=0.0, atol=0.0)
+        assert not result.passed  # fp32 reordering is never bit-exact
+
+    def test_alternate_hardware_still_equivalent(self):
+        """Changing PSA dims must not change functional results."""
+        hw = HardwareConfig(psa_rows=4, psa_cols=32)
+        results = verify_equivalence(hardware=hw)
+        assert all(r.passed for r in results)
+
+    def test_cli_verify_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify"]) == 0
+        assert "5/5 cases passed" in capsys.readouterr().out
+
+    def test_cli_utilization(self, capsys):
+        from repro.cli import main
+
+        assert main(["utilization", "--seq", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "A3" in out and "GFLOPs/s" in out

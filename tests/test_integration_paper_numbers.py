@@ -1,0 +1,167 @@
+"""Integration tests pinning the simulator to the paper's evaluation
+(Tables 5.1-5.6, Fig 5.2, Section 5.1.6).  These are the reproduction
+acceptance tests: shape must hold; absolute values within the tolerance
+recorded in EXPERIMENTS.md."""
+
+import pytest
+
+from repro.baselines.cpu import CpuLatencyModel
+from repro.baselines.energy import fpga_energy_model, gpu_energy_model
+from repro.baselines.gpu import GPU_ANCHORS, GpuLatencyModel
+from repro.baselines.related import comparison_table
+from repro.hw.controller import LatencyModel
+from repro.hw.dse import head_parallelism_sweep
+
+#: Table 5.1 of the paper, in milliseconds.
+TABLE_5_1 = {
+    4: {"A1": 65.87, "A2": 53.45, "A3": 33.92},
+    8: {"A1": 75.57, "A2": 54.5, "A3": 39.9},
+    16: {"A1": 98.14, "A2": 56.27, "A3": 52.59},
+    32: {"A1": 122.8, "A2": 84.15, "A3": 84.15},
+}
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel()
+
+
+class TestTable51:
+    @pytest.mark.parametrize("s", sorted(TABLE_5_1))
+    @pytest.mark.parametrize("arch", ["A1", "A2", "A3"])
+    def test_latency_within_tolerance(self, lm, s, arch):
+        paper = TABLE_5_1[s][arch]
+        model = lm.latency_ms(s, arch)
+        # A1 @ s=32 is internally inconsistent in the paper itself
+        # (its A2/A3 rows imply sum(LW) + sum(C) ~ 133 ms); allow 15%
+        # there, 8% everywhere else.
+        tol = 0.15 if (s, arch) == (32, "A1") else 0.08
+        assert model == pytest.approx(paper, rel=tol)
+
+    @pytest.mark.parametrize("s", sorted(TABLE_5_1))
+    def test_a3_improvement_factor(self, lm, s):
+        """Paper: A3 improves on A1 by 1.46x-1.94x."""
+        improvement = lm.latency_ms(s, "A1") / lm.latency_ms(s, "A3")
+        paper = TABLE_5_1[s]["A1"] / TABLE_5_1[s]["A3"]
+        assert improvement == pytest.approx(paper, rel=0.12)
+        assert 1.4 < improvement < 2.2
+
+    def test_improvement_shrinks_with_s(self, lm):
+        """The overlap gain is biggest for short sequences."""
+        gains = [
+            lm.latency_ms(s, "A1") / lm.latency_ms(s, "A3")
+            for s in (4, 8, 16, 32)
+        ]
+        assert gains[0] == max(gains)
+
+
+class TestFig52:
+    def test_crossover_at_18(self, lm):
+        assert lm.crossover_sequence_length() == 19  # compute > load for s > 18
+
+    def test_load_flat_compute_rising(self, lm):
+        pairs = [lm.mha_ffn_load_compute(s) for s in range(2, 40, 2)]
+        loads = [p[0] for p in pairs]
+        computes = [p[1] for p in pairs]
+        assert max(loads) - min(loads) < 1e-9
+        assert computes == sorted(computes)
+
+
+class TestTables54and55:
+    """CPU/GPU speedups, including the headline 32x and 8.8x averages."""
+
+    PAPER_SEQ = (4, 8, 16, 20, 24, 32)
+
+    def _fpga_latency_s(self, lm, s):
+        """The hardware is synthesized for a fixed s=32 and shorter
+        inputs are padded up to it (Section 5.1.5), so the accelerator
+        latency is the s=32 latency for every input length."""
+        del s
+        return lm.latency_report(32, "A3").latency_ms / 1e3
+
+    def test_cpu_average_speedup_32x(self, lm):
+        cpu = CpuLatencyModel()
+        speedups = [
+            cpu.speedup_over(s, self._fpga_latency_s(lm, s))
+            for s in self.PAPER_SEQ
+        ]
+        average = sum(speedups) / len(speedups)
+        assert average == pytest.approx(32.0, rel=0.15)
+
+    def test_cpu_speedup_range(self, lm):
+        """Paper: 4.75x at s=4 up to 53.5x at s=32."""
+        cpu = CpuLatencyModel()
+        low = cpu.speedup_over(4, self._fpga_latency_s(lm, 4))
+        high = cpu.speedup_over(32, self._fpga_latency_s(lm, 32))
+        assert low == pytest.approx(4.75, rel=0.15)
+        assert high == pytest.approx(53.5, rel=0.15)
+
+    def test_gpu_average_speedup_8_8x(self, lm):
+        gpu = GpuLatencyModel()
+        speedups = [
+            gpu.speedup_over(s, self._fpga_latency_s(lm, s))
+            for s in self.PAPER_SEQ
+        ]
+        average = sum(speedups) / len(speedups)
+        assert average == pytest.approx(8.8, rel=0.15)
+
+    def test_gpu_speedup_range(self, lm):
+        """Paper: 4.01x at s=4 up to 15.5x at s=32."""
+        gpu = GpuLatencyModel()
+        low = gpu.speedup_over(4, self._fpga_latency_s(lm, 4))
+        high = gpu.speedup_over(32, self._fpga_latency_s(lm, 32))
+        assert low == pytest.approx(4.01, rel=0.15)
+        assert high == pytest.approx(15.5, rel=0.15)
+
+    def test_speedup_grows_with_s(self, lm):
+        cpu = CpuLatencyModel()
+        speedups = [
+            cpu.speedup_over(s, self._fpga_latency_s(lm, s))
+            for s in self.PAPER_SEQ
+        ]
+        assert speedups == sorted(speedups)
+
+
+class TestTable53:
+    def test_dse_shape(self):
+        points = head_parallelism_sweep(s=32)
+        latencies = [p.latency_ms for p in points]
+        assert latencies == sorted(latencies)
+        assert latencies[0] == pytest.approx(84.15, rel=0.10)
+
+
+class TestTable56:
+    def test_comparison_table(self):
+        table = comparison_table(s=32)
+        ours = table[-1]
+        assert ours["gflops_per_s"] == pytest.approx(47.23, rel=0.10)
+        assert ours["improvement"] == pytest.approx(90.8, rel=0.10)
+        # vs GPU [29]: paper reports 6.31x; vs FPGA [29]: 3.26x.
+        assert ours["gflops_per_s"] / table[1]["gflops_per_s"] == pytest.approx(
+            6.31, rel=0.10
+        )
+        assert ours["gflops_per_s"] / table[2]["gflops_per_s"] == pytest.approx(
+            3.26, rel=0.10
+        )
+
+
+class TestSection516:
+    def test_e2e_latency_120ms(self, lm):
+        """Host 36.3 ms + accelerator ~84 ms = 120.45 ms at s=32."""
+        from repro.asr.pipeline import HostTimingModel
+
+        host = HostTimingModel().host_ms(1.36)
+        accel = lm.latency_ms(32, "A3")
+        assert host + accel == pytest.approx(120.45, rel=0.05)
+
+    def test_throughput_11_88_seq_per_s(self, lm):
+        throughput = 1e3 / lm.latency_ms(32, "A3")
+        assert throughput == pytest.approx(11.88, rel=0.08)
+
+    def test_energy_efficiency(self, lm):
+        fpga = fpga_energy_model()
+        gpu = gpu_energy_model()
+        fpga_eff = fpga.gflops_per_joule(32, lm.latency_ms(32, "A3") / 1e3)
+        gpu_eff = gpu.gflops_per_joule(32, GPU_ANCHORS[32])
+        assert fpga_eff == pytest.approx(1.38, rel=0.10)
+        assert gpu_eff == pytest.approx(0.055, rel=0.10)

@@ -1,0 +1,102 @@
+"""Tests: batched inference must equal per-sequence inference."""
+
+import numpy as np
+import pytest
+
+from repro.model.batched import BatchedTransformer
+from repro.model.transformer import Transformer
+
+RTOL = 1e-4
+ATOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def models(small_params):
+    return Transformer(small_params), BatchedTransformer(small_params)
+
+
+@pytest.fixture(scope="module")
+def batch(rng_seed=5):
+    rng = np.random.default_rng(rng_seed)
+    feats = rng.standard_normal((3, 7, 512)).astype(np.float32)
+    tokens = rng.integers(0, 31, size=(3, 4))
+    return feats, tokens
+
+
+class TestBatchedEquality:
+    def test_encoder_matches_per_sequence(self, models, batch):
+        ref, batched = models
+        feats, _ = batch
+        out = batched.encode(feats)
+        for b in range(feats.shape[0]):
+            np.testing.assert_allclose(
+                out[b], ref.encode(feats[b]), rtol=RTOL, atol=ATOL
+            )
+
+    def test_forward_matches_per_sequence(self, models, batch):
+        ref, batched = models
+        feats, tokens = batch
+        logits = batched.forward(feats, tokens)
+        for b in range(feats.shape[0]):
+            np.testing.assert_allclose(
+                logits[b],
+                ref.forward(feats[b], tokens[b]),
+                rtol=RTOL,
+                atol=ATOL,
+            )
+
+    def test_batch_of_one(self, models, batch):
+        ref, batched = models
+        feats, tokens = batch
+        logits = batched.forward(feats[:1], tokens[:1])
+        np.testing.assert_allclose(
+            logits[0], ref.forward(feats[0], tokens[0]), rtol=RTOL, atol=ATOL
+        )
+
+    def test_causality_in_batch(self, models, batch):
+        """Perturbing a late token must not change earlier positions."""
+        _, batched = models
+        feats, tokens = batch
+        t2 = tokens.copy()
+        t2[:, -1] = (t2[:, -1] + 1) % 31
+        a = batched.forward(feats, tokens)
+        b = batched.forward(feats, t2)
+        np.testing.assert_allclose(
+            a[:, :-1], b[:, :-1], rtol=RTOL, atol=ATOL
+        )
+
+    def test_validation(self, models):
+        _, batched = models
+        with pytest.raises(ValueError):
+            batched.encode(np.zeros((3, 4, 100)))
+        with pytest.raises(ValueError):
+            batched.decode(np.zeros((3, 4), dtype=np.int64), np.zeros((2, 4, 512)))
+        with pytest.raises(ValueError):
+            batched.decode(
+                np.full((2, 3), 999), np.zeros((2, 4, 512), dtype=np.float32)
+            )
+
+
+class TestBatchedIsFaster:
+    def test_amortizes_per_sequence_cost(self, models):
+        """Batching 8 sequences should be well under 8x one sequence."""
+        import time
+
+        ref, batched = models
+        rng = np.random.default_rng(0)
+        feats = rng.standard_normal((8, 16, 512)).astype(np.float32)
+        tokens = rng.integers(0, 31, size=(8, 8))
+
+        def best_of(fn, n=3):
+            times = []
+            for _ in range(n):
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        batched_t = best_of(lambda: batched.forward(feats, tokens))
+        single_t = best_of(
+            lambda: [ref.forward(feats[b], tokens[b]) for b in range(8)]
+        )
+        assert batched_t < single_t

@@ -1,0 +1,74 @@
+"""Tests for FLOP accounting and operational intensity (Section 4.2)."""
+
+import pytest
+
+from repro.config import ModelConfig
+from repro.model.flops import (
+    decoder_layer_flops,
+    encoder_layer_flops,
+    matmul_flops,
+    operational_intensity,
+    transformer_flops,
+    weight_bytes,
+)
+
+
+class TestMatmulFlops:
+    def test_basic(self):
+        assert matmul_flops(2, 3, 4) == 48
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            matmul_flops(-1, 2, 3)
+
+
+class TestPaperNumbers:
+    """The headline analytic claims of Section 4.2."""
+
+    def test_four_gflop_per_sequence(self):
+        # "requires 4 Giga floating-point operations to process a
+        # single input sequence" (s = 32, the paper's max length).
+        gflop = transformer_flops(32, ModelConfig()) / 1e9
+        assert gflop == pytest.approx(4.0, rel=0.05)
+
+    def test_operational_intensity_quarter_mac_per_byte(self):
+        # "approximately 0.25 FLOPS/B" in the short-sequence limit.
+        oi = operational_intensity(1, ModelConfig(), count_macs=True)
+        assert oi == pytest.approx(0.25, rel=0.01)
+
+    def test_weight_stream_252_mb(self):
+        # 12 encoders + 6 decoders of fp32 weights.
+        assert weight_bytes(ModelConfig()) / 1e6 == pytest.approx(252.2, rel=0.01)
+
+
+class TestScaling:
+    def test_flops_increase_with_s(self):
+        cfg = ModelConfig()
+        flops = [transformer_flops(s, cfg) for s in (4, 8, 16, 32)]
+        assert flops == sorted(flops)
+        assert flops[-1] > flops[0]
+
+    def test_encoder_flops_dominated_by_ffn(self):
+        cfg = ModelConfig()
+        from repro.model.flops import ffn_flops, mha_flops
+
+        s = 32
+        assert ffn_flops(s, cfg) > mha_flops(s, s, cfg)
+
+    def test_decoder_has_more_flops_than_encoder(self):
+        cfg = ModelConfig()
+        assert decoder_layer_flops(32, 32, cfg) > encoder_layer_flops(32, cfg)
+
+    def test_transformer_flops_layer_additivity(self):
+        cfg = ModelConfig()
+        one = transformer_flops(16, cfg.with_depth(1, 0))
+        twelve = transformer_flops(16, cfg.with_depth(12, 0))
+        assert twelve == 12 * one
+
+    def test_rejects_nonpositive_s(self):
+        with pytest.raises(ValueError):
+            transformer_flops(0)
+
+    def test_intensity_grows_with_s(self):
+        cfg = ModelConfig()
+        assert operational_intensity(32, cfg) > operational_intensity(4, cfg)

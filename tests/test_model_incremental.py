@@ -1,0 +1,100 @@
+"""Tests: the KV-cached incremental decoder must match the full
+teacher-forced decoder exactly (same ops per position)."""
+
+import numpy as np
+import pytest
+
+from repro.decoding.greedy import greedy_decode
+from repro.model.incremental import IncrementalDecoder
+from repro.model.transformer import Transformer
+
+RTOL = 1e-4
+ATOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def setup(small_params):
+    rng = np.random.default_rng(3)
+    feats = rng.standard_normal((9, 512)).astype(np.float32)
+    ref = Transformer(small_params)
+    memory = ref.encode(feats)
+    return small_params, ref, feats, memory
+
+
+class TestIncrementalEquality:
+    def test_stepwise_matches_full_recompute(self, setup):
+        params, ref, feats, memory = setup
+        tokens = [0, 4, 9, 2, 7]
+        inc = IncrementalDecoder(params, memory)
+        for t in range(1, len(tokens) + 1):
+            prefix = np.asarray(tokens[:t])
+            full_lp = ref.log_probs(feats, prefix)[-1]
+            inc_lp = inc.step(tokens[t - 1])
+            np.testing.assert_allclose(inc_lp, full_lp, rtol=RTOL, atol=ATOL)
+
+    def test_greedy_decode_identical(self, setup):
+        params, ref, feats, memory = setup
+
+        def full_step(tokens):
+            return ref.log_probs(feats, tokens)[-1]
+
+        inc = IncrementalDecoder(params, memory)
+        out_full = greedy_decode(full_step, sos_id=0, eos_id=1, max_len=6)
+        out_inc = greedy_decode(inc.step_fn(), sos_id=0, eos_id=1, max_len=6)
+        np.testing.assert_array_equal(out_full, out_inc)
+
+    def test_length_tracks_steps(self, setup):
+        params, _, _, memory = setup
+        inc = IncrementalDecoder(params, memory)
+        assert inc.length == 0
+        inc.step(0)
+        inc.step(3)
+        assert inc.length == 2
+
+    def test_step_fn_requires_growth(self, setup):
+        params, _, _, memory = setup
+        inc = IncrementalDecoder(params, memory)
+        step = inc.step_fn()
+        step(np.array([0, 2]))
+        with pytest.raises(ValueError):
+            step(np.array([0, 2]))  # same length again
+
+    def test_token_validation(self, setup):
+        params, _, _, memory = setup
+        inc = IncrementalDecoder(params, memory)
+        with pytest.raises(ValueError):
+            inc.step(10**6)
+
+    def test_memory_validation(self, setup):
+        params, _, _, _ = setup
+        with pytest.raises(ValueError):
+            IncrementalDecoder(params, np.zeros((4, 7)))
+
+
+class TestIncrementalIsFaster:
+    def test_fewer_flops_asymptotically(self, setup):
+        """The cached path touches O(1) rows per step; sanity-check by
+        timing a longer decode (generously, 1.5x faster at t=24)."""
+        import time
+
+        params, ref, feats, memory = setup
+
+        def time_it(fn):
+            start = time.perf_counter()
+            fn()
+            return time.perf_counter() - start
+
+        tokens = list(np.random.default_rng(0).integers(0, 30, size=24))
+
+        def run_full():
+            for t in range(1, len(tokens) + 1):
+                ref.log_probs(feats, np.asarray(tokens[:t]))
+
+        def run_inc():
+            inc = IncrementalDecoder(params, memory)
+            for tok in tokens:
+                inc.step(int(tok))
+
+        full_t = time_it(run_full)
+        inc_t = time_it(run_inc)
+        assert inc_t < full_t

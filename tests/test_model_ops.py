@@ -1,0 +1,147 @@
+"""Tests for elementary ops, layer norm and masks."""
+
+import numpy as np
+import pytest
+
+from repro.model.layernorm import add_norm, layer_norm
+from repro.model.masks import (
+    NEG_INF,
+    apply_mask,
+    causal_mask,
+    combine_masks,
+    padding_mask,
+)
+from repro.model.ops import linear, log_softmax, relu, softmax
+
+
+class TestLinear:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal((3, 4))
+        w = rng.standard_normal((4, 5))
+        b = rng.standard_normal(5)
+        np.testing.assert_allclose(linear(x, w, b), x @ w + b)
+
+    def test_no_bias(self, rng):
+        x = rng.standard_normal((3, 4))
+        w = rng.standard_normal((4, 5))
+        np.testing.assert_allclose(linear(x, w), x @ w)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            linear(np.zeros((3, 4)), np.zeros((5, 6)))
+
+    def test_bad_bias_shape(self):
+        with pytest.raises(ValueError):
+            linear(np.zeros((3, 4)), np.zeros((4, 5)), np.zeros(4))
+
+
+class TestActivations:
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.standard_normal((4, 7))
+        np.testing.assert_allclose(softmax(x).sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_softmax_stability(self):
+        x = np.array([1e4, 1e4 + 1.0])
+        out = softmax(x)
+        assert np.all(np.isfinite(out))
+        assert out[1] > out[0]
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-10)
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(x)), softmax(x), rtol=1e-10
+        )
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_var(self, rng):
+        x = rng.standard_normal((4, 16)) * 3 + 2
+        out = layer_norm(x, np.ones(16), np.zeros(16))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-6)
+
+    def test_affine_params(self, rng):
+        x = rng.standard_normal((2, 8))
+        w = np.full(8, 2.0)
+        b = np.full(8, -1.0)
+        base = layer_norm(x, np.ones(8), np.zeros(8))
+        np.testing.assert_allclose(layer_norm(x, w, b), 2 * base - 1, rtol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            layer_norm(np.zeros((2, 8)), np.ones(4), np.zeros(8))
+
+    def test_add_norm_includes_residual(self, rng):
+        a = rng.standard_normal((3, 8))
+        b = rng.standard_normal((3, 8))
+        w, bias = np.ones(8), np.zeros(8)
+        np.testing.assert_allclose(
+            add_norm(a, b, w, bias), layer_norm(a + b, w, bias)
+        )
+
+    def test_add_norm_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            add_norm(np.zeros((2, 8)), np.zeros((3, 8)), np.ones(8), np.zeros(8))
+
+
+class TestMasks:
+    def test_causal_lower_triangular(self):
+        m = causal_mask(4)
+        assert m[0, 0] and not m[0, 1]
+        assert np.all(m == np.tril(np.ones((4, 4), dtype=bool)))
+
+    def test_causal_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            causal_mask(0)
+
+    def test_padding_mask(self):
+        m = padding_mask([2, 0, 3], 3)
+        np.testing.assert_array_equal(
+            m, [[True, True, False], [False, False, False], [True, True, True]]
+        )
+
+    def test_padding_mask_rejects_overlong(self):
+        with pytest.raises(ValueError):
+            padding_mask([5], 3)
+
+    def test_combine_masks(self):
+        a = causal_mask(3)
+        b = padding_mask([2], 3)  # (1, 3) broadcast
+        combined = combine_masks(a, b)
+        assert combined[2, 2] == False  # noqa: E712  (padded key)
+        assert combined[1, 0] == True  # noqa: E712
+
+    def test_combine_none(self):
+        assert combine_masks(None, None) is None
+        m = causal_mask(2)
+        np.testing.assert_array_equal(combine_masks(None, m), m)
+
+    def test_apply_mask(self):
+        scores = np.zeros((2, 2))
+        masked = apply_mask(scores, np.array([[True, False], [True, True]]))
+        assert masked[0, 1] == NEG_INF
+        assert masked[0, 0] == 0.0
+
+    def test_apply_mask_none(self):
+        scores = np.ones((2, 2))
+        assert apply_mask(scores, None) is scores
+
+    def test_apply_mask_bad_broadcast(self):
+        with pytest.raises(ValueError):
+            apply_mask(np.zeros((2, 3)), np.zeros((4, 5), dtype=bool))
+
+    def test_masked_softmax_zeroes_blocked(self):
+        scores = np.zeros((1, 4))
+        mask = np.array([[True, True, False, False]])
+        w = softmax(apply_mask(scores, mask))
+        np.testing.assert_allclose(w[0, 2:], 0.0, atol=1e-12)
+        np.testing.assert_allclose(w[0, :2], 0.5, rtol=1e-9)

@@ -1,0 +1,120 @@
+"""Tests for parameter containers, initialization and (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.model.params import (
+    AttentionParams,
+    LayerNormParams,
+    init_transformer_params,
+    load_params,
+    save_params,
+)
+
+
+class TestInit:
+    def test_counts_match_config(self, small_config, small_params):
+        assert len(small_params.encoders) == small_config.num_encoders
+        assert len(small_params.decoders) == small_config.num_decoders
+
+    def test_shapes_match_table_4_1(self, small_params, small_config):
+        mha = small_params.encoders[0].mha
+        assert mha.wq.shape == (
+            small_config.num_heads,
+            small_config.d_model,
+            small_config.d_k,
+        )
+        ffn = small_params.encoders[0].ffn
+        assert ffn.w1.shape == (small_config.d_model, small_config.d_ff)
+        assert ffn.w2.shape == (small_config.d_ff, small_config.d_model)
+
+    def test_deterministic_seed(self, small_config):
+        a = init_transformer_params(small_config, seed=3)
+        b = init_transformer_params(small_config, seed=3)
+        np.testing.assert_array_equal(a.encoders[0].mha.wq, b.encoders[0].mha.wq)
+
+    def test_different_seeds_differ(self, small_config):
+        a = init_transformer_params(small_config, seed=3)
+        b = init_transformer_params(small_config, seed=4)
+        assert not np.array_equal(a.encoders[0].mha.wq, b.encoders[0].mha.wq)
+
+    def test_dtype_is_fp32(self, small_params):
+        assert small_params.encoders[0].mha.wq.dtype == np.float32
+        assert small_params.embedding.dtype == np.float32
+
+    def test_element_count_matches_flops_module(self, paper_config):
+        from repro.model.flops import weight_bytes
+
+        params = init_transformer_params(
+            paper_config.with_depth(1, 1), seed=0
+        )
+        per_layer = (
+            params.encoders[0].num_elements + params.decoders[0].num_elements
+        )
+        expected = weight_bytes(paper_config.with_depth(1, 1)) // 4
+        assert per_layer == expected
+
+
+class TestValidation:
+    def test_layernorm_shape_check(self):
+        with pytest.raises(ValueError):
+            LayerNormParams(weight=np.ones((2, 2)), bias=np.ones(2))
+
+    def test_attention_head_consistency(self):
+        with pytest.raises(ValueError):
+            AttentionParams(
+                wq=np.zeros((2, 8, 3)),  # 2 * 3 != 8
+                bq=np.zeros((2, 3)),
+                wk=np.zeros((2, 8, 3)),
+                bk=np.zeros((2, 3)),
+                wv=np.zeros((2, 8, 3)),
+                bv=np.zeros((2, 3)),
+                wo=np.zeros((8, 8)),
+                bo=np.zeros(8),
+            )
+
+    def test_wrong_layer_count_rejected(self, small_config, small_params):
+        from repro.model.params import TransformerParams
+
+        with pytest.raises(ValueError):
+            TransformerParams(
+                config=small_config,
+                encoders=small_params.encoders[:1],
+                decoders=small_params.decoders,
+                embedding=small_params.embedding,
+                output_w=small_params.output_w,
+                output_b=small_params.output_b,
+            )
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path, small_params):
+        path = tmp_path / "model.npz"
+        save_params(small_params, path)
+        loaded = load_params(path)
+        assert loaded.config == small_params.config
+        np.testing.assert_array_equal(
+            loaded.encoders[1].ffn.w1, small_params.encoders[1].ffn.w1
+        )
+        np.testing.assert_array_equal(
+            loaded.decoders[0].cross_mha.wo, small_params.decoders[0].cross_mha.wo
+        )
+        np.testing.assert_array_equal(loaded.embedding, small_params.embedding)
+
+    def test_roundtrip_preserves_inference(self, tmp_path, small_params, rng):
+        from repro.model.transformer import Transformer
+
+        path = tmp_path / "model.npz"
+        save_params(small_params, path)
+        loaded = load_params(path)
+        feats = rng.standard_normal((4, 512)).astype(np.float32)
+        toks = np.array([0, 5])
+        np.testing.assert_array_equal(
+            Transformer(small_params).forward(feats, toks),
+            Transformer(loaded).forward(feats, toks),
+        )
+
+    def test_num_elements_property(self, small_params):
+        # embedding + output proj + per-layer sums, all positive.
+        assert small_params.num_elements > 0

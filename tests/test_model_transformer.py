@@ -1,0 +1,164 @@
+"""Tests for attention, FFN, encoder/decoder layers and the full model."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.model.attention import (
+    attention_head,
+    multi_head_attention,
+    scaled_dot_product_attention,
+)
+from repro.model.decoder import decoder_layer
+from repro.model.encoder import encoder_layer
+from repro.model.ffn import feed_forward
+from repro.model.masks import causal_mask
+from repro.model.params import init_transformer_params
+from repro.model.transformer import Transformer
+
+CFG = ModelConfig(
+    d_model=32, num_heads=4, d_ff=64, num_encoders=2, num_decoders=2, vocab_size=11
+)
+PARAMS = init_transformer_params(CFG, seed=1)
+
+
+class TestScaledDotProductAttention:
+    def test_uniform_weights_when_scores_equal(self):
+        q = np.zeros((2, 4))
+        k = np.zeros((3, 4))
+        v = np.arange(12, dtype=float).reshape(3, 4)
+        out = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(out[0], v.mean(axis=0))
+
+    def test_attends_to_matching_key(self):
+        q = np.array([[10.0, 0.0]])
+        k = np.array([[10.0, 0.0], [0.0, 10.0]])
+        v = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = scaled_dot_product_attention(q, k, v)
+        assert out[0, 0] > 0.99
+
+    def test_causal_mask_blocks_future(self):
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((3, 4))
+        k = rng.standard_normal((3, 4))
+        v = rng.standard_normal((3, 4))
+        out = scaled_dot_product_attention(q, k, v, mask=causal_mask(3))
+        # Row 0 can only attend to key 0.
+        np.testing.assert_allclose(out[0], v[0], rtol=1e-5, atol=1e-6)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(
+                np.zeros((2, 4)), np.zeros((3, 5)), np.zeros((3, 4))
+            )
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(
+                np.zeros((2, 4)), np.zeros((3, 4)), np.zeros((2, 4))
+            )
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        x = rng.standard_normal((5, CFG.d_model)).astype(np.float32)
+        out = multi_head_attention(x, x, PARAMS.encoders[0].mha)
+        assert out.shape == (5, CFG.d_model)
+
+    def test_cross_attention_shapes(self, rng):
+        xq = rng.standard_normal((3, CFG.d_model)).astype(np.float32)
+        xkv = rng.standard_normal((7, CFG.d_model)).astype(np.float32)
+        out = multi_head_attention(xq, xkv, PARAMS.decoders[0].cross_mha)
+        assert out.shape == (3, CFG.d_model)
+
+    def test_equals_manual_head_concat(self, rng):
+        x = rng.standard_normal((4, CFG.d_model)).astype(np.float32)
+        p = PARAMS.encoders[0].mha
+        heads = [attention_head(x, x, p, h) for h in range(p.num_heads)]
+        manual = np.concatenate(heads, axis=-1) @ p.wo + p.bo
+        np.testing.assert_allclose(
+            multi_head_attention(x, x, p), manual, rtol=1e-5
+        )
+
+    def test_head_index_validation(self, rng):
+        x = rng.standard_normal((4, CFG.d_model)).astype(np.float32)
+        with pytest.raises(ValueError):
+            attention_head(x, x, PARAMS.encoders[0].mha, head=99)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            multi_head_attention(
+                np.zeros((4, 8)), np.zeros((4, 8)), PARAMS.encoders[0].mha
+            )
+
+
+class TestLayers:
+    def test_ffn_shape_and_nonlinearity(self, rng):
+        x = rng.standard_normal((4, CFG.d_model)).astype(np.float32)
+        p = PARAMS.encoders[0].ffn
+        out = feed_forward(x, p)
+        assert out.shape == x.shape
+        # Negating the input does not negate the output (ReLU is not odd).
+        out2 = feed_forward(-x, p)
+        assert not np.allclose(out2, -out, rtol=1e-3)
+
+    def test_ffn_input_validation(self):
+        with pytest.raises(ValueError):
+            feed_forward(np.zeros((4, 8)), PARAMS.encoders[0].ffn)
+
+    def test_encoder_layer_shape(self, rng):
+        x = rng.standard_normal((6, CFG.d_model)).astype(np.float32)
+        out = encoder_layer(x, PARAMS.encoders[0])
+        assert out.shape == x.shape
+        # Output is layer-normalized (scale/bias are identity at init).
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_decoder_layer_causality(self, rng):
+        """Changing a future decoder token must not change earlier rows."""
+        memory = rng.standard_normal((5, CFG.d_model)).astype(np.float32)
+        x1 = rng.standard_normal((4, CFG.d_model)).astype(np.float32)
+        x2 = x1.copy()
+        x2[3] += 1.0  # perturb the last position only
+        out1 = decoder_layer(x1, memory, PARAMS.decoders[0])
+        out2 = decoder_layer(x2, memory, PARAMS.decoders[0])
+        np.testing.assert_allclose(out1[:3], out2[:3], rtol=1e-5, atol=1e-6)
+        assert not np.allclose(out1[3], out2[3])
+
+
+class TestTransformer:
+    def test_forward_shapes(self, rng):
+        tf = Transformer(PARAMS)
+        feats = rng.standard_normal((6, CFG.d_model)).astype(np.float32)
+        toks = np.array([0, 4, 5])
+        logits = tf.forward(feats, toks)
+        assert logits.shape == (3, CFG.vocab_size)
+
+    def test_log_probs_normalized(self, rng):
+        tf = Transformer(PARAMS)
+        feats = rng.standard_normal((6, CFG.d_model)).astype(np.float32)
+        lp = tf.log_probs(feats, np.array([0, 1]))
+        np.testing.assert_allclose(np.exp(lp).sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_token_range_validation(self, rng):
+        tf = Transformer(PARAMS)
+        feats = rng.standard_normal((6, CFG.d_model)).astype(np.float32)
+        with pytest.raises(ValueError):
+            tf.forward(feats, np.array([0, CFG.vocab_size]))
+
+    def test_encoder_input_validation(self):
+        tf = Transformer(PARAMS)
+        with pytest.raises(ValueError):
+            tf.encode(np.zeros((4, 16)))
+
+    def test_decoder_depends_on_memory(self, rng):
+        tf = Transformer(PARAMS)
+        f1 = rng.standard_normal((6, CFG.d_model)).astype(np.float32)
+        f2 = rng.standard_normal((6, CFG.d_model)).astype(np.float32)
+        toks = np.array([0, 2])
+        assert not np.allclose(tf.forward(f1, toks), tf.forward(f2, toks))
+
+    def test_autoregressive_prefix_stability(self, rng):
+        """Logits for a prefix don't change when the prefix is extended."""
+        tf = Transformer(PARAMS)
+        feats = rng.standard_normal((6, CFG.d_model)).astype(np.float32)
+        short = tf.forward(feats, np.array([0, 3]))
+        long = tf.forward(feats, np.array([0, 3, 7]))
+        np.testing.assert_allclose(short, long[:2], rtol=1e-4, atol=1e-5)

@@ -1,0 +1,103 @@
+"""Property-based tests on the HLS scheduling model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hls.designs import matmul_nest
+from repro.hls.ir import Array, Loop, Op, Partition, Region
+from repro.hls.schedule import schedule_loop, schedule_region
+
+
+def _op(latency=1, dsp=0.0, copies=1, reads=(), writes=()):
+    return Op(
+        "op", latency=latency, dsp=dsp, copies=copies,
+        reads=reads, writes=writes,
+    )
+
+
+class TestSchedulerProperties:
+    @given(st.integers(1, 500), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_pipelined_beats_rolled(self, trip, depth):
+        body = (_op(latency=depth),)
+        rolled = schedule_loop(Loop("l", trip=trip, body_ops=body))
+        piped = schedule_loop(
+            Loop("l", trip=trip, body_ops=body, pipeline_ii=1)
+        )
+        assert piped.latency <= rolled.latency
+
+    @given(st.integers(1, 256), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_unroll_never_slower_with_registers(self, trip, factor):
+        rolled = schedule_loop(Loop("l", trip=trip, body_ops=(_op(),)))
+        unrolled = schedule_loop(
+            Loop("l", trip=trip, body_ops=(_op(),), unroll=factor)
+        )
+        assert unrolled.latency <= rolled.latency
+
+    @given(st.integers(1, 100), st.integers(1, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_monotone_in_trip(self, trip_a, trip_b):
+        lo, hi = sorted((trip_a, trip_b))
+        get = lambda t: schedule_loop(  # noqa: E731
+            Loop("l", trip=t, body_ops=(_op(latency=3),), pipeline_ii=1)
+        ).latency
+        assert get(lo) <= get(hi)
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_dataflow_bounded_by_sequential(self, trip_a, trip_b):
+        a = Loop("a", trip=trip_a, body_ops=(_op(),), pipeline_ii=1)
+        b = Loop("b", trip=trip_b, body_ops=(_op(),), pipeline_ii=1)
+        seq = schedule_region(Region("seq", loops=(a, b)))
+        par = schedule_region(Region("par", loops=(a, b), dataflow=True))
+        assert par.latency <= seq.latency
+        assert par.latency >= max(
+            schedule_region(Region("a", loops=(a,))).latency,
+            schedule_region(Region("b", loops=(b,))).latency,
+        )
+
+    @given(st.integers(1, 32), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_port_bound_never_below_requested_ii(self, copies, factor):
+        arrays = (
+            Array("buf", depth=256, partition=Partition.CYCLIC, factor=factor),
+        )
+        loop = Loop(
+            "l", trip=50,
+            body_ops=(_op(latency=2, copies=copies, reads=("buf",)),),
+            pipeline_ii=1,
+        )
+        report = schedule_loop(loop, arrays)
+        assert report.achieved_ii >= 1
+        # Partitioning more can only lower (or keep) the achieved II.
+        more = (
+            Array("buf", depth=256, partition=Partition.CYCLIC, factor=factor * 2),
+        )
+        assert schedule_loop(loop, more).achieved_ii <= report.achieved_ii
+
+    @given(st.integers(1, 8), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm1_resources_scale_with_grid(self, rows, l_小, n_小):
+        del l_小, n_小  # exercised implicitly through fixed dims below
+        region = matmul_nest(16, 32, 32, row_unroll=rows, col_unroll=8)
+        report = schedule_region(region)
+        assert report.resources.dsp == pytest.approx(rows * 8)
+
+    @given(st.integers(2, 64), st.integers(2, 64), st.integers(2, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm1_latency_tracks_analytic(self, l, m, n):
+        from repro.hw.systolic import SystolicArray
+
+        region = matmul_nest(l, m, n, row_unroll=2, col_unroll=8)
+        hls = schedule_region(region).latency
+        analytic = SystolicArray(rows=2, cols=8).pass_cycles(l, m, n)
+        assert hls >= analytic
+        # Per output tile the HLS view adds the MAC pipeline depth and a
+        # cycle of loop control; nothing more.
+        from repro.hls.designs import MAC_LATENCY
+        from repro.hw.systolic import ceil_div
+
+        tiles = ceil_div(l, 2) * ceil_div(n, 8)
+        assert hls <= analytic + tiles * (MAC_LATENCY + 2)

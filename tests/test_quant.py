@@ -1,0 +1,169 @@
+"""Tests for the fixed-precision (quantization) extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.model.params import init_transformer_params
+from repro.model.transformer import Transformer
+from repro.quant.analysis import accuracy_study, precision_sweep
+from repro.quant.params import dequantize_params, quantize_params
+from repro.quant.schemes import (
+    FP16,
+    FP32,
+    INT8,
+    INT16,
+    dequantize,
+    fake_quantize,
+    int_matmul,
+    quantize_symmetric,
+)
+
+
+class TestQuantizeSymmetric:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        x = rng.standard_normal((8, 8))
+        q, scale = quantize_symmetric(x, INT8)
+        err = np.abs(dequantize(q, scale) - x)
+        assert err.max() <= float(scale) / 2 + 1e-12
+
+    def test_range_respected(self, rng):
+        x = 100.0 * rng.standard_normal((16, 16))
+        q, _ = quantize_symmetric(x, INT8)
+        assert q.max() <= 127 and q.min() >= -127
+
+    def test_per_channel_scales_shape(self, rng):
+        x = rng.standard_normal((8, 5))
+        _, scale = quantize_symmetric(x, INT8, axis=1)
+        assert scale.shape == (1, 5)
+
+    def test_per_channel_beats_per_tensor(self, rng):
+        # One huge column forces a coarse per-tensor grid.
+        x = rng.standard_normal((32, 4))
+        x[:, 0] *= 1000
+        _, s_tensor = quantize_symmetric(x, INT8)
+        q_ch, s_ch = quantize_symmetric(x, INT8, axis=1)
+        err_tensor = np.abs(dequantize(*quantize_symmetric(x, INT8)) - x).mean()
+        err_channel = np.abs(dequantize(q_ch, s_ch) - x).mean()
+        assert err_channel < err_tensor
+
+    def test_int16_finer_than_int8(self, rng):
+        x = rng.standard_normal((8, 8))
+        e8 = np.abs(dequantize(*quantize_symmetric(x, INT8)) - x).max()
+        e16 = np.abs(dequantize(*quantize_symmetric(x, INT16)) - x).max()
+        assert e16 < e8
+
+    def test_rejects_float_precision(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.zeros(4), FP16)
+
+    def test_dtype(self, rng):
+        q, _ = quantize_symmetric(rng.standard_normal(8), INT8)
+        assert q.dtype == np.int8
+
+
+class TestFakeQuantize:
+    def test_fp32_is_identity(self, rng):
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(fake_quantize(x, FP32), x)
+
+    def test_fp16_rounds(self):
+        x = np.array([1.0 + 2**-13])
+        out = fake_quantize(x, FP16)
+        assert out[0] != x[0]
+
+    def test_int8_idempotent(self, rng):
+        x = rng.standard_normal((4, 4))
+        once = fake_quantize(x, INT8)
+        twice = fake_quantize(once, INT8)
+        np.testing.assert_allclose(once, twice, atol=1e-10)
+
+
+class TestIntMatmul:
+    def test_matches_dequantized_product(self, rng):
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 5))
+        qa, sa = quantize_symmetric(a, INT8)
+        qb, sb = quantize_symmetric(b, INT8, axis=1)
+        out = int_matmul(qa, sa, qb, sb)
+        expected = dequantize(qa, sa) @ dequantize(qb, sb)
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            int_matmul(np.zeros((2, 3)), 1.0, np.zeros((4, 2)), 1.0)
+
+
+class TestModelQuantization:
+    @pytest.fixture(scope="class")
+    def params(self):
+        return init_transformer_params(
+            ModelConfig(num_encoders=1, num_decoders=1), seed=5
+        )
+
+    def test_roundtrip_preserves_structure(self, params):
+        q = quantize_params(params, INT8)
+        restored = dequantize_params(q)
+        assert restored.config == params.config
+        assert len(restored.encoders) == 1
+
+    def test_int8_shrinks_weights_4x(self, params):
+        q = quantize_params(params, INT8)
+        ratio = q.total_weight_bytes / (params.num_elements * 4)
+        assert ratio == pytest.approx(0.25, abs=0.02)
+
+    def test_quantized_inference_close_to_fp32(self, params, rng):
+        restored = dequantize_params(quantize_params(params, INT8))
+        feats = rng.standard_normal((6, 512)).astype(np.float32)
+        toks = np.array([0, 3])
+        ref = Transformer(params).forward(feats, toks)
+        quant = Transformer(restored).forward(feats, toks)
+        assert np.abs(quant - ref).max() < 0.5
+        np.testing.assert_array_equal(
+            np.argmax(quant, axis=-1), np.argmax(ref, axis=-1)
+        )
+
+    def test_rejects_float_precision(self, params):
+        with pytest.raises(ValueError):
+            quantize_params(params, FP16)
+
+
+class TestPrecisionSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return {p.precision.name: p for p in precision_sweep()}
+
+    def test_narrower_loads_faster(self, points):
+        assert (
+            points["int8"].encoder_load_ms
+            < points["fp16"].encoder_load_ms
+            < points["fp32"].encoder_load_ms
+        )
+
+    def test_crossover_moves_left(self, points):
+        """Cheaper loads turn the design compute-bound much earlier."""
+        assert points["fp32"].crossover_s == 19
+        assert points["int8"].crossover_s < points["fp16"].crossover_s < 19
+
+    def test_lut_budget_frees_up(self, points):
+        assert points["int8"].lut_utilization_base < 0.5
+        assert points["fp32"].lut_utilization_base > 0.8
+
+    def test_wider_unroll_becomes_feasible(self, points):
+        """Section 6.2: fixed precision 'will enable accelerators with
+        lower latency' — the freed LUTs buy wider PSAs."""
+        assert points["fp32"].best_psa_rows == 2
+        assert points["int8"].best_psa_rows >= 8
+        assert points["int8"].latency_ms_best < points["fp32"].latency_ms_best / 2
+
+
+class TestAccuracyStudy:
+    def test_int8_preserves_top1(self):
+        report = accuracy_study(INT8)
+        assert report.top1_agreement == 1.0
+        assert report.weight_bytes_ratio == pytest.approx(0.25, abs=0.02)
+
+    def test_fp16_error_below_int8(self):
+        fp16 = accuracy_study(FP16)
+        int8 = accuracy_study(INT8)
+        assert fp16.mean_abs_logit_error < int8.mean_abs_logit_error

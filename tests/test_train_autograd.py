@@ -1,0 +1,176 @@
+"""Tests for the autograd engine, including finite-difference checks."""
+
+import numpy as np
+import pytest
+
+from repro.train.autograd import Tensor, no_grad
+
+
+def finite_diff(fn, tensor: Tensor, index, eps: float = 1e-6) -> float:
+    tensor.data[index] += eps
+    up = fn().item()
+    tensor.data[index] -= 2 * eps
+    down = fn().item()
+    tensor.data[index] += eps
+    return (up - down) / (2 * eps)
+
+
+def check_grad(fn, tensor: Tensor, indices, rtol=1e-5, atol=1e-7):
+    tensor.zero_grad()
+    out = fn()
+    out.backward()
+    for idx in indices:
+        numeric = finite_diff(fn, tensor, idx)
+        analytic = tensor.grad[idx]
+        np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+@pytest.fixture()
+def a(rng):
+    return Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+
+
+@pytest.fixture()
+def b(rng):
+    return Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+
+
+class TestBasicOps:
+    def test_add_grad(self, a):
+        check_grad(lambda: (a + 2.0).sum(), a, [(0, 0), (2, 3)])
+
+    def test_mul_grad(self, a, rng):
+        c = Tensor(rng.standard_normal((3, 4)))
+        check_grad(lambda: (a * c).sum(), a, [(1, 2)])
+
+    def test_matmul_grads(self, a, b):
+        check_grad(lambda: (a @ b).sum(), a, [(0, 1), (2, 2)])
+        check_grad(lambda: (a @ b).sum(), b, [(3, 4)])
+
+    def test_div_grad(self, a):
+        check_grad(lambda: (1.0 / (a * a + 2.0)).sum(), a, [(0, 0)])
+
+    def test_pow_grad(self, a):
+        check_grad(lambda: (a**3).sum(), a, [(1, 1)])
+
+    def test_sub_neg(self, a):
+        check_grad(lambda: (2.0 - a).sum() + (-a).sum(), a, [(0, 2)])
+
+    def test_broadcast_add_grad(self, a, rng):
+        bias = Tensor(rng.standard_normal(4), requires_grad=True)
+        check_grad(lambda: (a + bias).sum(), bias, [(1,), (3,)])
+
+    def test_broadcast_mul_unbroadcast_shape(self, a, rng):
+        bias = Tensor(rng.standard_normal(4), requires_grad=True)
+        out = (a * bias).sum()
+        out.backward()
+        assert bias.grad.shape == (4,)
+
+
+class TestElementwise:
+    def test_exp_log_sqrt_tanh(self, rng):
+        x = Tensor(rng.random((3, 3)) + 0.5, requires_grad=True)
+        check_grad(lambda: x.exp().sum(), x, [(0, 0)])
+        check_grad(lambda: x.log().sum(), x, [(1, 1)])
+        check_grad(lambda: x.sqrt().sum(), x, [(2, 2)])
+        check_grad(lambda: x.tanh().sum(), x, [(0, 2)])
+
+    def test_relu_grad(self):
+        x = Tensor(np.array([-1.0, 2.0, 3.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0, 1.0])
+
+    def test_masked_fill_grad_blocked(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [True, True]])
+        x.masked_fill(mask, -99.0).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[1, 0], [1, 1]])
+
+
+class TestSoftmax:
+    def test_softmax_grad(self, a):
+        check_grad(lambda: (a.softmax(axis=-1) ** 2).sum(), a, [(0, 0), (2, 1)])
+
+    def test_log_softmax_grad(self, a):
+        check_grad(lambda: (a.log_softmax(axis=-1) * 0.3).sum(), a, [(1, 3)])
+
+    def test_softmax_rows_sum_to_one(self, a):
+        np.testing.assert_allclose(
+            a.softmax(axis=-1).data.sum(axis=-1), 1.0, rtol=1e-12
+        )
+
+
+class TestStructure:
+    def test_transpose_grad(self, a):
+        check_grad(lambda: (a.T * a.T).sum(), a, [(0, 3)])
+
+    def test_reshape_grad(self, a):
+        check_grad(lambda: (a.reshape(12) ** 2).sum(), a, [(1, 1)])
+
+    def test_getitem_grad(self, a):
+        check_grad(lambda: (a[1] * a[1]).sum(), a, [(1, 0)])
+        assert a.grad[0].sum() == 0  # untouched rows get zero grad
+
+    def test_index_select_grad_accumulates_duplicates(self):
+        emb = Tensor(np.ones((4, 3)), requires_grad=True)
+        out = emb.index_select(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_array_equal(emb.grad[1], [2, 2, 2])
+        np.testing.assert_array_equal(emb.grad[2], [1, 1, 1])
+        np.testing.assert_array_equal(emb.grad[0], [0, 0, 0])
+
+    def test_concatenate_grad(self, rng):
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        y = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        out = Tensor.concatenate([x, y], axis=-1)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data)
+        np.testing.assert_allclose(y.grad, 2 * y.data)
+
+    def test_mean_grad(self, a):
+        a.zero_grad()
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full((3, 4), 1 / 12))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        u = x * 2.0
+        v = x * 5.0
+        ((u + v) * (u + v)).sum().backward()  # f = (7x)^2, f' = 98x
+        np.testing.assert_allclose(x.grad, [98 * 3.0])
+
+    def test_backward_requires_scalar(self, a):
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_leaf_without_grad(self):
+        x = Tensor(np.zeros(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_context(self):
+        with no_grad():
+            x = Tensor(np.ones(3), requires_grad=True)
+            y = x * 2
+            assert not x.requires_grad
+            assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        with no_grad():
+            pass
+        x = Tensor(np.ones(1), requires_grad=True)
+        assert x.requires_grad
+
+    def test_constant_branches_skipped(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        c = Tensor(rng.standard_normal(3))
+        (x * c).sum().backward()
+        assert c.grad is None

@@ -1,0 +1,157 @@
+"""Tests for the trainable Transformer layers, losses and optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.model.transformer import Transformer
+from repro.train.autograd import Tensor
+from repro.train.layers import LayerNorm, MultiHeadAttention, TrainableTransformer
+from repro.train.losses import cross_entropy, label_smoothing_cross_entropy
+from repro.train.optim import Adam
+
+CFG = ModelConfig(
+    d_model=16, num_heads=2, d_ff=32, num_encoders=1, num_decoders=1, vocab_size=9
+)
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        ln = LayerNorm(8)
+        x = Tensor(rng.standard_normal((4, 8)) * 5 + 3)
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-5)
+
+    def test_matches_inference_layernorm(self, rng):
+        from repro.model.layernorm import layer_norm
+
+        ln = LayerNorm(8)
+        x = rng.standard_normal((3, 8))
+        np.testing.assert_allclose(
+            ln(Tensor(x)).data,
+            layer_norm(x, ln.weight.data, ln.bias.data),
+            rtol=1e-8,
+        )
+
+
+class TestMhaGradients:
+    def test_gradients_flow_to_all_params(self, rng):
+        mha = MultiHeadAttention(CFG, rng)
+        x = Tensor(rng.standard_normal((5, CFG.d_model)))
+        out = mha(x, x)
+        (out * out).sum().backward()
+        for p in mha.parameters():
+            assert p.grad is not None
+            assert np.any(p.grad != 0)
+
+    def test_mask_respected(self, rng):
+        from repro.model.masks import causal_mask
+
+        mha = MultiHeadAttention(CFG, rng)
+        x1 = rng.standard_normal((4, CFG.d_model))
+        x2 = x1.copy()
+        x2[3] += 10.0
+        mask = causal_mask(4)
+        out1 = mha(Tensor(x1), Tensor(x1), mask=mask).data
+        out2 = mha(Tensor(x2), Tensor(x2), mask=mask).data
+        np.testing.assert_allclose(out1[:3], out2[:3], atol=1e-10)
+
+
+class TestExportRoundtrip:
+    def test_trained_model_runs_on_inference_engine(self, rng):
+        """export_params() must produce numerically identical inference."""
+        model = TrainableTransformer(CFG, seed=4)
+        feats = rng.standard_normal((6, CFG.d_model))
+        toks = np.array([0, 4, 5])
+        train_logits = model.forward(model_features := feats, toks).data
+
+        params = model.export_params()
+        ref = Transformer(params)
+        projected = model.project_features(model_features)
+        ref_logits = ref.forward(projected, toks)
+        np.testing.assert_allclose(train_logits, ref_logits, rtol=1e-4, atol=1e-4)
+
+    def test_exported_params_match_config(self):
+        model = TrainableTransformer(CFG, seed=0)
+        params = model.export_params()
+        assert params.config == CFG
+        assert len(params.encoders) == CFG.num_encoders
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_log_vocab(self):
+        logits = Tensor(np.zeros((3, 7)))
+        loss = cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(np.log(7), rel=1e-9)
+
+    def test_smoothing_increases_floor(self):
+        logits = Tensor(np.array([[100.0, 0.0, 0.0]]))
+        plain = cross_entropy(logits, np.array([0])).item()
+        smooth = label_smoothing_cross_entropy(
+            logits, np.array([0]), smoothing=0.1
+        ).item()
+        assert smooth > plain
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        # Gradient should push logit 1 up (negative grad) and others down.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((1, 3))), np.array([5]))
+        with pytest.raises(ValueError):
+            label_smoothing_cross_entropy(
+                Tensor(np.zeros((1, 3))), np.array([0]), smoothing=1.0
+            )
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        x = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (x * x).sum()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(x.data, 0.0, atol=1e-2)
+
+    def test_grad_clip_limits_step(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([x], lr=1.0, grad_clip=0.001)
+        opt.zero_grad()
+        (x * 1e6).sum().backward()
+        before = x.data.copy()
+        opt.step()
+        # Clipped: the update is bounded by ~lr regardless of the grad.
+        assert abs(x.data[0] - before[0]) <= 1.0 + 1e-6
+
+    def test_skips_params_without_grad(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        y = Tensor(rng.standard_normal(3), requires_grad=True)
+        opt = Adam([x, y], lr=0.1)
+        opt.zero_grad()
+        (x * x).sum().backward()
+        y_before = y.data.copy()
+        opt.step()
+        np.testing.assert_array_equal(y.data, y_before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+        x = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([x], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([x], grad_clip=-1.0)

@@ -1,0 +1,150 @@
+"""Tests for the trainer: loss decreases and WER drops on a tiny task."""
+
+import numpy as np
+import pytest
+
+from repro.asr.dataset import LibriSpeechLikeDataset
+from repro.config import ModelConfig
+from repro.decoding.vocab import CharVocabulary
+from repro.frontend.features import FrontendConfig, LogMelFrontend
+from repro.train.layers import TrainableTransformer
+from repro.train.trainer import Trainer, TrainingConfig
+
+VOCAB = CharVocabulary()
+TOY = ModelConfig(
+    d_model=24,
+    num_heads=2,
+    d_ff=48,
+    num_encoders=1,
+    num_decoders=1,
+    vocab_size=len(VOCAB),
+    feature_dim=20,
+)
+
+
+def make_feature_fn(seed: int = 0):
+    """Cheap feature path: 20-dim log-mel, mean-pooled by 4, projected."""
+    frontend = LogMelFrontend(
+        FrontendConfig(num_mel_filters=TOY.feature_dim)
+    )
+    rng = np.random.default_rng(seed)
+    proj = rng.standard_normal((TOY.feature_dim, TOY.d_model)) / np.sqrt(
+        TOY.feature_dim
+    )
+
+    def feature_fn(waveform: np.ndarray) -> np.ndarray:
+        feats = frontend(waveform)
+        pooled = feats[: feats.shape[0] // 4 * 4].reshape(-1, 4, TOY.feature_dim)
+        return pooled.mean(axis=1) @ proj
+
+    return feature_fn
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    ds = LibriSpeechLikeDataset(seed=5, lexicon=("the", "cat", "sat", "on"))
+    return ds.generate(6, min_words=1, max_words=2)
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_corpus):
+    model = TrainableTransformer(TOY, seed=1)
+    trainer = Trainer(
+        model,
+        VOCAB,
+        make_feature_fn(),
+        TrainingConfig(epochs=40, learning_rate=3e-3),
+    )
+    history = trainer.train(tiny_corpus)
+    return trainer, history
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        _, history = trained
+        assert history[-1] < history[0] / 2
+
+    def test_memorizes_training_set(self, trained, tiny_corpus):
+        trainer, _ = trained
+        wer = trainer.evaluate_wer(tiny_corpus)
+        assert wer < 0.5  # far below the ~1.0 of an untrained model
+
+    def test_untrained_model_is_bad(self, tiny_corpus):
+        model = TrainableTransformer(TOY, seed=2)
+        trainer = Trainer(model, VOCAB, make_feature_fn())
+        wer = trainer.evaluate_wer(tiny_corpus[:2])
+        assert wer > 0.5
+
+    def test_greedy_transcribe_returns_text(self, trained, tiny_corpus):
+        trainer, _ = trained
+        feats = trainer.feature_fn(tiny_corpus[0].waveform)
+        assert isinstance(trainer.greedy_transcribe(feats), str)
+
+
+class TestPreparation:
+    def test_prepare_shapes(self, tiny_corpus):
+        model = TrainableTransformer(TOY, seed=0)
+        trainer = Trainer(model, VOCAB, make_feature_fn())
+        ex = trainer.prepare(tiny_corpus[0])
+        n = len(tiny_corpus[0].transcript)
+        assert ex.decoder_input.shape == (n + 1,)
+        assert ex.targets.shape == (n + 1,)
+        assert ex.decoder_input[0] == VOCAB.sos_id
+        assert ex.targets[-1] == VOCAB.eos_id
+        # Shifted alignment: input[1:] == targets[:-1].
+        np.testing.assert_array_equal(ex.decoder_input[1:], ex.targets[:-1])
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0)
+
+    def test_vocab_mismatch(self):
+        bad_cfg = ModelConfig(
+            d_model=8, num_heads=1, d_ff=16, num_encoders=1,
+            num_decoders=1, vocab_size=5,
+        )
+        with pytest.raises(ValueError):
+            Trainer(TrainableTransformer(bad_cfg), VOCAB, make_feature_fn())
+
+    def test_empty_corpus_rejected(self):
+        model = TrainableTransformer(TOY, seed=0)
+        trainer = Trainer(model, VOCAB, make_feature_fn())
+        with pytest.raises(ValueError):
+            trainer.train([])
+        with pytest.raises(ValueError):
+            trainer.evaluate_wer([])
+
+
+class TestEarlyStopping:
+    def test_stops_before_epoch_budget(self, tiny_corpus):
+        model = TrainableTransformer(TOY, seed=3)
+        trainer = Trainer(
+            model,
+            VOCAB,
+            make_feature_fn(),
+            TrainingConfig(
+                epochs=200,
+                learning_rate=3e-3,
+                early_stop_patience=5,
+                early_stop_delta=1e-3,
+            ),
+        )
+        history = trainer.train(tiny_corpus)
+        assert len(history) < 200
+
+    def test_patience_zero_runs_full_budget(self, tiny_corpus):
+        model = TrainableTransformer(TOY, seed=3)
+        trainer = Trainer(
+            model, VOCAB, make_feature_fn(), TrainingConfig(epochs=5)
+        )
+        assert len(trainer.train(tiny_corpus)) == 5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(early_stop_patience=-1)
+        with pytest.raises(ValueError):
+            TrainingConfig(early_stop_delta=-0.5)
