@@ -67,7 +67,10 @@ class BatchTranscriber:
         lm = accel.latency_model
         s = accel.hw_seq_len
         arch = accel.architecture
-        single_ms = lm.latency_report(s, arch).latency_ms
+        # Every utterance runs the same padded hw_seq_len pass, so the
+        # per-result report *is* the single-shot latency — reuse it
+        # instead of recomputing, so the two accountings cannot drift.
+        single_ms = results[0].accelerator_ms
         n = len(waveforms)
         if n == 1:
             pipelined_ms = single_ms
@@ -80,6 +83,6 @@ class BatchTranscriber:
             pipelined_ms = single_ms + (n - 1) * spacing_s * 1e3
         return BatchResult(
             results=results,
-            single_shot_ms=single_ms * n,
+            single_shot_ms=sum(r.accelerator_ms for r in results),
             pipelined_ms=pipelined_ms,
         )

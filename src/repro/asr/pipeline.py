@@ -110,16 +110,37 @@ class TranscriptionResult:
     #: Calibrated host time per the paper's budget (36.3 ms at s=32).
     modeled_host_ms: float
     accelerator_report: LatencyReport
+    #: Modeled latency of the KV-cached autoregressive decode (one
+    #: entry per emitted position); None only if decode was not modeled.
+    decode_report: LatencyReport | None = None
     details: dict[str, float] = field(default_factory=dict)
 
     @property
     def accelerator_ms(self) -> float:
+        """Single-shot (teacher-forced) accelerator pass at the padded
+        hardware length — the prefill cost in a serving flow."""
         return self.accelerator_report.latency_ms
 
     @property
+    def decode_total_ms(self) -> float:
+        """Modeled token-by-token decode latency over all positions."""
+        if self.decode_report is None:
+            return 0.0
+        return self.decode_report.latency_ms
+
+    @property
+    def decode_per_token_ms(self) -> float:
+        """Mean modeled decode latency per emitted position."""
+        if self.decode_report is None:
+            return 0.0
+        tokens = self.decode_report.details.get("decode_tokens", 1.0)
+        return self.decode_total_ms / max(tokens, 1.0)
+
+    @property
     def e2e_ms(self) -> float:
-        """Modeled end-to-end latency (host model + accelerator)."""
-        return self.modeled_host_ms + self.accelerator_ms
+        """Modeled end-to-end latency: host preprocessing + accelerator
+        prefill pass + autoregressive decode steps."""
+        return self.modeled_host_ms + self.accelerator_ms + self.decode_total_ms
 
     @property
     def throughput_seq_per_s(self) -> float:
@@ -128,7 +149,26 @@ class TranscriptionResult:
 
 
 class AsrPipeline:
-    """Waveform in, text out, with a full latency account."""
+    """Waveform in, text out, with a full latency account.
+
+    Three decode engines drive the autoregressive loop:
+
+    * ``"hw"`` (default) — the KV-cached hardware path: encoder prefill
+      plus one-time cross-attention K/V projection, then each token
+      steps a 1-row query through the simulated fabric.  Supports
+      greedy and beam search (branching rewinds the cache to the
+      common stem).
+    * ``"hw-full"`` — the legacy full-prefix path kept for A/B: every
+      step re-runs the full padded decoder stack at ``t = hw_seq_len``.
+      Functionally identical to ``"hw"``, asymptotically slower.
+    * ``"incremental"`` — the host-side KV-cached reference decoder
+      (:mod:`repro.model.incremental`) over the accelerator's encoder
+      memory; greedy only (it caches a single hypothesis).
+
+    All engines report the same modeled latency: a single-shot padded
+    accelerator pass (prefill) in ``accelerator_report`` plus the
+    KV-cached autoregressive account in ``decode_report``.
+    """
 
     def __init__(
         self,
@@ -152,12 +192,19 @@ class AsrPipeline:
         )
         self.preprocessor = preprocessor or HostPreprocessor(params.config)
         self.host_timing = host_timing or HostTimingModel()
-        self.max_output_chars = max_output_chars or (hw_seq_len - 1)
-        if decode_engine not in ("hw", "incremental"):
+        if max_output_chars is None:
+            max_output_chars = hw_seq_len - 1
+        if max_output_chars <= 0:
             raise ValueError(
-                "decode_engine must be 'hw' (step every token through the "
-                "simulated fabric) or 'incremental' (KV-cached reference "
-                "decoder over the accelerator's encoder memory)"
+                f"max_output_chars must be positive; got {max_output_chars}"
+            )
+        self.max_output_chars = max_output_chars
+        if decode_engine not in ("hw", "hw-full", "incremental"):
+            raise ValueError(
+                "decode_engine must be 'hw' (KV-cached steps through the "
+                "simulated fabric), 'hw-full' (legacy full-prefix pass per "
+                "token) or 'incremental' (KV-cached reference decoder over "
+                "the accelerator's encoder memory)"
             )
         self.decode_engine = decode_engine
         self._params = params
@@ -178,8 +225,10 @@ class AsrPipeline:
                 f"was synthesized for {self.accelerator.hw_seq_len}; use a "
                 f"shorter utterance or a larger hw_seq_len"
             )
+        if beam_size is not None and beam_size <= 0:
+            raise ValueError(f"beam_size must be positive; got {beam_size}")
         if self.decode_engine == "incremental":
-            if beam_size:
+            if beam_size is not None:
                 raise ValueError(
                     "the incremental engine caches one hypothesis; use "
                     "decode_engine='hw' for beam search"
@@ -191,8 +240,10 @@ class AsrPipeline:
             ).memory
             step = IncrementalDecoder(self._params, memory).step_fn()
         else:
-            step = self.accelerator.step_fn(features)
-        if beam_size:
+            step = self.accelerator.step_fn(
+                features, use_kv_cache=self.decode_engine == "hw"
+            )
+        if beam_size is not None:
             hyps = beam_search(
                 step,
                 self.vocab.sos_id,
@@ -211,8 +262,13 @@ class AsrPipeline:
         text = self.vocab.decode(tokens)
         # The synthesized hardware always processes its fixed sequence
         # length; shorter inputs are padded (Section 5.1.5), so the
-        # latency is that of the full hw_seq_len pass.
+        # prefill latency is that of the full hw_seq_len pass.
         report = self.accelerator.latency_report(self.accelerator.hw_seq_len)
+        # Modeled autoregressive decode: one KV-cached step per decoded
+        # position (the emitted tokens plus the step that produced the
+        # stop decision, capped by the output budget).
+        decode_steps = min(tokens.size + 1, self.max_output_chars)
+        decode_report = self.accelerator.autoregressive_report(decode_steps)
         audio_seconds = waveform.size / self.preprocessor.frontend.config.sample_rate
         return TranscriptionResult(
             text=text,
@@ -222,5 +278,9 @@ class AsrPipeline:
             measured_host_ms=measured_host_ms,
             modeled_host_ms=self.host_timing.host_ms(audio_seconds),
             accelerator_report=report,
-            details={"audio_seconds": audio_seconds},
+            decode_report=decode_report,
+            details={
+                "audio_seconds": audio_seconds,
+                "decode_steps": float(decode_steps),
+            },
         )

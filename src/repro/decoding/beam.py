@@ -22,6 +22,20 @@ class BeamHypothesis:
         n = max(len(self.tokens) - 1, 1)  # exclude sos
         return self.score / (n**length_penalty) if length_penalty else self.score
 
+    def best_achievable_score(self, length_penalty: float, max_len: int) -> float:
+        """Upper bound on the normalized score any continuation of this
+        hypothesis can reach.
+
+        Log-prob increments are non-positive, so the raw score can only
+        fall; a negative score normalized at the longest possible
+        length ``max_len`` is therefore the best case.  (A non-negative
+        score — only possible with an improper step function — is
+        returned un-normalized, which disables early stopping.)
+        """
+        if not length_penalty or self.score >= 0:
+            return self.score
+        return self.score / (max(max_len, 1) ** length_penalty)
+
 
 def beam_search(
     step_fn: StepFn,
@@ -75,10 +89,16 @@ def beam_search(
         if not live:
             break
         if len(finished) >= beam_size:
+            # Compare on one scale: the best finished normalized score
+            # against the best normalized score any live beam could
+            # still achieve.  (Comparing raw live scores to normalized
+            # finished ones breaks down whenever length_penalty > 0.)
             best_finished = max(
                 h.normalized_score(length_penalty) for h in finished
             )
-            best_live = max(h.score for h in live)
+            best_live = max(
+                h.best_achievable_score(length_penalty, max_len) for h in live
+            )
             if best_live < best_finished:
                 break
 

@@ -169,12 +169,18 @@ class TransformerAccelerator:
         """Log posterior over the vocabulary at each decoder position."""
         return log_softmax(self.forward(features, tokens).logits, axis=-1)
 
-    def step_fn(self, features: np.ndarray):
+    def step_fn(self, features: np.ndarray, use_kv_cache: bool = True):
         """Build a decoding step function (see :mod:`repro.decoding`).
 
-        The encoder memory is computed once and reused; each step runs
-        the decoder stack over the current prefix.
+        The encoder memory is computed once and reused.  With
+        ``use_kv_cache`` (the default) each step runs the KV-cached
+        decoder path — a 1-row query through the fabric, O(1) decoder
+        passes per token.  ``use_kv_cache=False`` keeps the legacy
+        full-prefix path for A/B comparison: every step re-runs the
+        full padded decoder stack at ``t = hw_seq_len``.
         """
+        if use_kv_cache:
+            return self.decode_session(features).step_fn()
         features = np.asarray(features, dtype=MODEL_DTYPE)
         s_valid = features.shape[0]
         enc_in = self._pad_rows(features)
@@ -197,9 +203,118 @@ class TransformerAccelerator:
 
         return step
 
+    def decode_session(self, features: np.ndarray) -> "HwDecodeSession":
+        """Open a KV-cached decode session for one utterance: encoder
+        prefill plus cross-attention K/V projection, then cheap
+        per-token steps."""
+        return HwDecodeSession(self, features)
+
+    def autoregressive_report(
+        self,
+        num_tokens: int,
+        architecture: Architecture | str | None = None,
+    ) -> LatencyReport:
+        """Modeled latency of KV-cached decode of ``num_tokens`` steps
+        (cross-attention spans the padded ``hw_seq_len`` memory)."""
+        arch = Architecture(architecture) if architecture else self.architecture
+        return self.latency_model.autoregressive_report(
+            num_tokens, self.hw_seq_len, arch
+        )
+
     def latency_report(
         self, s: int | None = None, architecture: Architecture | str | None = None
     ) -> LatencyReport:
         """Predicted latency at sequence length ``s`` (default: hw len)."""
         arch = Architecture(architecture) if architecture else self.architecture
         return self.latency_model.latency_report(s or self.hw_seq_len, arch)
+
+
+class HwDecodeSession:
+    """KV-cached autoregressive decode state for one utterance.
+
+    Construction runs the encoder prefill and projects every decoder
+    layer's cross-attention K/V from the padded memory; each
+    :meth:`step` then feeds one token through the cached decoder path
+    (a 1-row query per layer instead of a padded ``hw_seq_len`` pass).
+
+    The :meth:`step_fn` adapter accepts arbitrary prefixes: a prefix
+    extending the cached tokens feeds only the new suffix; a diverging
+    prefix rewinds the caches to the common stem and replays from
+    there, so beam-search branching stays functionally exact (at the
+    cost of the replayed steps, which :attr:`steps_executed` counts).
+    """
+
+    def __init__(self, accel: TransformerAccelerator, features: np.ndarray) -> None:
+        self.accel = accel
+        features = np.asarray(features, dtype=MODEL_DTYPE)
+        s_valid = features.shape[0]
+        enc_in = accel._pad_rows(features)
+        enc_mask = accel._key_mask(s_valid)
+        memory, _ = accel.controller.run_encoder_stack(enc_in, mask=enc_mask)
+        self.memory = memory[:s_valid]
+        self.memory_mask = accel._key_mask(s_valid)
+        self.cache = accel.controller.build_kv_cache(memory)
+        self._tokens: list[int] = []
+        #: Fabric compute cycles of every executed step, in order.
+        self.step_compute_cycles: list[int] = []
+        self.steps_executed = 0
+
+    @property
+    def tokens(self) -> list[int]:
+        """The prefix currently held by the caches."""
+        return list(self._tokens)
+
+    @property
+    def prefill_cycles(self) -> int:
+        """One-time cycles spent projecting the cross-attention K/V."""
+        return self.cache.prefill_cycles
+
+    def step(self, token: int) -> np.ndarray:
+        """Feed one token; returns log-probs over the next position."""
+        if len(self._tokens) + 1 > self.accel.hw_seq_len:
+            raise ValueError(
+                f"decoder prefix would exceed the hardware length "
+                f"{self.accel.hw_seq_len}"
+            )
+        embed = self.accel.embed_tokens(np.array([token]))[0]
+        out, cycles = self.accel.controller.run_decoder_step(
+            embed, self.cache, memory_mask=self.memory_mask
+        )
+        self._tokens.append(int(token))
+        self.step_compute_cycles.append(sum(cycles.values()))
+        self.steps_executed += 1
+        logits = self.accel.output_logits(out)
+        return log_softmax(logits, axis=-1)
+
+    def rewind(self, length: int) -> None:
+        """Truncate the cached prefix back to ``length`` tokens."""
+        self.cache.rewind(length)
+        self._tokens = self._tokens[:length]
+
+    def step_fn(self):
+        """Adapter for :mod:`repro.decoding`: prefix -> next log-probs."""
+
+        def step(tokens: np.ndarray) -> np.ndarray:
+            tokens = np.asarray(tokens, dtype=np.int64)
+            if tokens.ndim != 1 or tokens.size == 0:
+                raise ValueError("tokens must be a non-empty 1-D prefix")
+            common = 0
+            for common, (have, want) in enumerate(
+                zip(self._tokens, tokens.tolist()), start=1
+            ):
+                if have != want:
+                    common -= 1
+                    break
+            if common < len(self._tokens):
+                self.rewind(common)
+            out: np.ndarray | None = None
+            for token in tokens[common:]:
+                out = self.step(int(token))
+            if out is None:
+                # Prefix already cached in full: replay its last token
+                # so the caller still gets the next-position log-probs.
+                self.rewind(len(self._tokens) - 1)
+                out = self.step(int(tokens[-1]))
+            return out
+
+        return step

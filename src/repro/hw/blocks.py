@@ -181,6 +181,105 @@ def decoder_cycles(
     return mha_part, ffn_part
 
 
+# ------------------------------------------------------ step variants
+# Cycle estimators for one KV-cached decode step: a single query row
+# (s_q = 1) attends over cached keys/values.  Self-attention projects
+# and banks only the newest K/V row; cross-attention reuses the K/V
+# projected once from the encoder memory and skips MM1(K)/MM1(V)
+# entirely.  Streaming the cached rows out of their BRAM banks costs
+# kv_stream_cycles per matrix (one 512-bit flit per cycle).
+def attention_step_cycles(
+    fabric: Fabric,
+    t_keys: int,
+    d_model: int,
+    d_k: int,
+    concurrent_psas: int = 1,
+    project_kv: bool = True,
+) -> int:
+    """Latency of one attention head for a 1-row query over ``t_keys``
+    cached keys (the Fig 4.13 schedule collapsed to s_q = 1)."""
+    from repro.hw.kv_cache import kv_stream_cycles
+
+    if t_keys <= 0:
+        raise ValueError("t_keys must be positive")
+    units = fabric.units
+    t_mm1_q = mm1_cycles(fabric, 1, d_model, d_k, concurrent_psas)
+    stream = kv_stream_cycles(t_keys, d_k)
+    sc_sm = units.scale_cycles(1, t_keys) + units.softmax_cycles(1, t_keys)
+    cycles = 0
+    if project_kv:
+        t_mm1_row = mm1_cycles(fabric, 1, d_model, d_k, concurrent_psas)
+        cycles += t_mm1_row  # MM1(K row)
+        cycles += max(units.bias_cycles(1, d_k), t_mm1_q)  # B(K) || MM1(Q)
+    else:
+        cycles += t_mm1_q  # MM1(Q) alone; K/V already banked
+    cycles += units.bias_cycles(1, d_k)  # B(Q)
+    cycles += stream + mm2_cycles(fabric, 1, t_keys, d_k)
+    if project_kv:
+        t_mm1_row = mm1_cycles(fabric, 1, d_model, d_k, concurrent_psas)
+        cycles += max(sc_sm, t_mm1_row)  # Sc+Sm || MM1(V row)
+        cycles += units.bias_cycles(1, d_k)  # B(V row)
+    else:
+        cycles += sc_sm
+    cycles += stream + mm3_cycles(fabric, 1, t_keys, d_k)
+    return cycles
+
+
+def mha_step_cycles(
+    fabric: Fabric,
+    t_keys: int,
+    num_heads: int,
+    d_model: int,
+    parallel_heads: int | None = None,
+    project_kv: bool = True,
+) -> int:
+    """Latency of a full MHA block for one cached decode step."""
+    total_psas = fabric.hardware.total_psas
+    if parallel_heads is None:
+        parallel_heads = min(num_heads, total_psas)
+    if parallel_heads < 1 or parallel_heads > total_psas:
+        raise ValueError(
+            f"parallel_heads must be in [1, {total_psas}]; got {parallel_heads}"
+        )
+    concurrent_psas = max(total_psas // parallel_heads, 1)
+    waves = ceil_div(num_heads, parallel_heads)
+    d_k = d_model // num_heads
+    head = attention_step_cycles(
+        fabric, t_keys, d_model, d_k, concurrent_psas, project_kv
+    )
+    return (
+        waves * head
+        + mm4_cycles(fabric, 1, num_heads, d_k, d_model)
+        + fabric.units.bias_cycles(1, d_model)
+    )
+
+
+def decoder_step_cycles(
+    fabric: Fabric,
+    t: int,
+    s: int,
+    num_heads: int,
+    d_model: int,
+    d_ff: int,
+    parallel_heads: int | None = None,
+) -> tuple[int, int]:
+    """Compute latency of one decoder layer for the cached step at
+    prefix length ``t`` over an ``s``-row memory, as (mha_part,
+    ffn_part) — the same Fig 4.11 split as :func:`decoder_cycles`."""
+    mha_part = (
+        mha_step_cycles(fabric, t, num_heads, d_model, parallel_heads)
+        + add_norm_cycles(fabric, 1, d_model)
+        + mha_step_cycles(
+            fabric, s, num_heads, d_model, parallel_heads, project_kv=False
+        )
+        + add_norm_cycles(fabric, 1, d_model)
+    )
+    ffn_part = ffn_cycles(fabric, 1, d_model, d_ff) + add_norm_cycles(
+        fabric, 1, d_model
+    )
+    return mha_part, ffn_part
+
+
 def attention_head_block(
     fabric: Fabric,
     x_q: np.ndarray,
@@ -359,4 +458,141 @@ def decoder_block(
     ffn_cycles = ffn.cycles + norm3.cycles
     return DecoderBlockResult(
         output=norm3.output, mha_cycles=mha_cycles, ffn_cycles=ffn_cycles
+    )
+
+
+def _resolve_head_parallelism(
+    fabric: Fabric, num_heads: int, parallel_heads: int | None
+) -> int:
+    """Concurrent PSAs each head gets under ``parallel_heads``."""
+    total_psas = fabric.hardware.total_psas
+    if parallel_heads is None:
+        parallel_heads = min(num_heads, total_psas)
+    if parallel_heads < 1 or parallel_heads > total_psas:
+        raise ValueError(
+            f"parallel_heads must be in [1, {total_psas}]; got {parallel_heads}"
+        )
+    return max(total_psas // parallel_heads, 1)
+
+
+def mha_self_step_block(
+    fabric: Fabric,
+    x: np.ndarray,
+    params: AttentionParams,
+    cache,
+    parallel_heads: int | None = None,
+) -> BlockResult:
+    """Masked self-MHA for one cached step: project and bank this
+    position's K/V rows, then attend the single query row over the
+    cache.  The causal mask is implicit in the cache's extent.
+
+    ``x`` is the (1, d_model) decoder activation; ``cache`` a
+    :class:`repro.hw.kv_cache.LayerKVCache` that is extended in place.
+    """
+    concurrent_psas = _resolve_head_parallelism(
+        fabric, params.num_heads, parallel_heads
+    )
+    head_outputs: list[np.ndarray] = []
+    for h in range(params.num_heads):
+        k_row = bias_unit(
+            mm1(fabric, x, params.wk[h], concurrent_psas).output, params.bk[h]
+        )
+        v_row = bias_unit(
+            mm1(fabric, x, params.wv[h], concurrent_psas).output, params.bv[h]
+        )
+        cache.append_self(h, k_row, v_row)
+        q = bias_unit(
+            mm1(fabric, x, params.wq[h], concurrent_psas).output, params.bq[h]
+        )
+        scores = mm2(fabric, q, cache.self_k[h]).output
+        weights = softmax_unit(scale_scores(scores, params.d_k))
+        head_outputs.append(mm3(fabric, weights, cache.self_v[h]).output)
+    out = bias_unit(mm4(fabric, head_outputs, params.wo).output, params.bo)
+    t_keys = cache.self_k[0].shape[0]
+    cycles = mha_step_cycles(
+        fabric, t_keys, params.num_heads, params.d_model, parallel_heads
+    )
+    return BlockResult(output=out, cycles=cycles)
+
+
+def mha_cross_step_block(
+    fabric: Fabric,
+    x: np.ndarray,
+    params: AttentionParams,
+    cache,
+    memory_mask: np.ndarray | None = None,
+    parallel_heads: int | None = None,
+) -> BlockResult:
+    """Cross MHA for one cached step: the K/V projections of the
+    encoder memory were banked at prefill, so only the query row is
+    projected and attended over the fixed cache."""
+    concurrent_psas = _resolve_head_parallelism(
+        fabric, params.num_heads, parallel_heads
+    )
+    head_outputs: list[np.ndarray] = []
+    for h in range(params.num_heads):
+        q = bias_unit(
+            mm1(fabric, x, params.wq[h], concurrent_psas).output, params.bq[h]
+        )
+        scores = mm2(fabric, q, cache.cross_k[h]).output
+        weights = softmax_unit(scale_scores(scores, params.d_k), mask=memory_mask)
+        head_outputs.append(mm3(fabric, weights, cache.cross_v[h]).output)
+    out = bias_unit(mm4(fabric, head_outputs, params.wo).output, params.bo)
+    s_keys = cache.cross_k[0].shape[0]
+    cycles = mha_step_cycles(
+        fabric,
+        s_keys,
+        params.num_heads,
+        params.d_model,
+        parallel_heads,
+        project_kv=False,
+    )
+    return BlockResult(output=out, cycles=cycles)
+
+
+def decoder_step_block(
+    fabric: Fabric,
+    x: np.ndarray,
+    params: DecoderLayerParams,
+    cache,
+    memory_mask: np.ndarray | None = None,
+    parallel_heads: int | None = None,
+) -> DecoderBlockResult:
+    """One decoder layer for one cached step: M-MHA over the growing
+    self cache, Add-Norm, cross MHA over the prefilled memory cache,
+    Add-Norm, FFN, Add-Norm — all on a single (1, d_model) row."""
+    m_mha = mha_self_step_block(
+        fabric, x, params.self_mha, cache, parallel_heads=parallel_heads
+    )
+    norm1 = add_norm_block(
+        fabric, m_mha.output, x, params.norm1.weight, params.norm1.bias
+    )
+    cross = mha_cross_step_block(
+        fabric,
+        norm1.output,
+        params.cross_mha,
+        cache,
+        memory_mask=memory_mask,
+        parallel_heads=parallel_heads,
+    )
+    norm2 = add_norm_block(
+        fabric, cross.output, norm1.output, params.norm2.weight, params.norm2.bias
+    )
+    ffn = ffn_block(fabric, norm2.output, params.ffn)
+    norm3 = add_norm_block(
+        fabric, ffn.output, norm2.output, params.norm3.weight, params.norm3.bias
+    )
+    t_keys = cache.self_k[0].shape[0]
+    s_keys = cache.cross_k[0].shape[0]
+    step_mha, step_ffn = decoder_step_cycles(
+        fabric,
+        t_keys,
+        s_keys,
+        params.self_mha.num_heads,
+        params.self_mha.d_model,
+        params.ffn.d_ff,
+        parallel_heads,
+    )
+    return DecoderBlockResult(
+        output=norm3.output, mha_cycles=step_mha, ffn_cycles=step_ffn
     )

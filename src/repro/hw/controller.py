@@ -24,10 +24,13 @@ from repro.config import CalibrationConfig, HardwareConfig, ModelConfig
 from repro.hw.blocks import (
     decoder_block,
     decoder_cycles,
+    decoder_step_block,
+    decoder_step_cycles,
     encoder_block,
     encoder_cycles,
 )
 from repro.hw.kernels import Fabric
+from repro.hw.kv_cache import DecoderKVCache
 from repro.hw.memory import (
     HbmModel,
     PcieModel,
@@ -122,6 +125,20 @@ class LatencyModel:
         cfg = self.model
         t = s if t is None else t
         return decoder_cycles(
+            self.fabric,
+            t,
+            s,
+            cfg.num_heads,
+            cfg.d_model,
+            cfg.d_ff,
+            self.parallel_heads,
+        )
+
+    def decoder_step_compute_cycles(self, t: int, s: int) -> tuple[int, int]:
+        """(mha_part, ffn_part) cycles of one decoder layer for the
+        KV-cached step at prefix length ``t`` over an ``s``-row memory."""
+        cfg = self.model
+        return decoder_step_cycles(
             self.fabric,
             t,
             s,
@@ -235,6 +252,119 @@ class LatencyModel:
         self, s: int, architecture: Architecture | str = Architecture.A3
     ) -> float:
         return self.latency_report(s, architecture).latency_ms
+
+    # ------------------------------------------------- autoregressive
+    def build_decode_step_blocks(
+        self,
+        t: int,
+        s: int,
+        architecture: Architecture | str = Architecture.A3,
+        tag: str = "",
+    ) -> list[BlockWork]:
+        """Decoder-only block chain for one KV-cached decode step at
+        prefix length ``t``.  The encoder ran at prefill; each step
+        still streams every decoder's weights (the device buffers hold
+        one block's panels at a time), but computes only a 1-row query.
+        """
+        if t <= 0 or s <= 0:
+            raise ValueError("t and s must be positive")
+        arch = Architecture(architecture)
+        cfg = self.model
+        mha_comp, ffn_comp = self.decoder_step_compute_cycles(t, s)
+        blocks: list[BlockWork] = []
+        if arch is Architecture.A3:
+            mha_load, ffn_load = self.decoder_part_load_cycles()
+            for i in range(cfg.num_decoders):
+                blocks.append(
+                    BlockWork(
+                        f"{tag}dec{i + 1}m", mha_load, mha_comp, channel_hint=0
+                    )
+                )
+                blocks.append(
+                    BlockWork(
+                        f"{tag}dec{i + 1}f",
+                        ffn_load,
+                        ffn_comp,
+                        channel_hint=1,
+                        overhead_override=0,
+                    )
+                )
+        else:
+            dec_load = self.decoder_load_cycles()
+            blocks.extend(
+                BlockWork(f"{tag}dec{i + 1}", dec_load, mha_comp + ffn_comp)
+                for i in range(cfg.num_decoders)
+            )
+        return blocks
+
+    def decode_step_cycles(
+        self,
+        t: int,
+        s: int,
+        architecture: Architecture | str = Architecture.A3,
+    ) -> int:
+        """Scheduled cycles of one stand-alone KV-cached decode step
+        (weight loads overlapped per the architecture, plus the 1-row
+        host I/O)."""
+        arch = Architecture(architecture)
+        blocks = self.build_decode_step_blocks(t, s, arch)
+        result = schedule(arch, blocks, self.calibration.block_overhead_cycles)
+        t_in, t_out = self.io_transfer_cycles(1)
+        return result.total_cycles + t_in + t_out
+
+    def autoregressive_report(
+        self,
+        num_tokens: int,
+        s: int,
+        architecture: Architecture | str = Architecture.A3,
+    ) -> LatencyReport:
+        """Latency of decoding ``num_tokens`` positions step by step
+        through the KV-cached decoder path.
+
+        The steps run back to back, so the scheduler overlaps one
+        step's tail loads with the next step's computes exactly as it
+        does within a single pass.  ``details`` carries the full
+        autoregressive account (per-step first/last, mean per token,
+        total, steady-state tokens/s) so the report round-trips it.
+        """
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be positive")
+        if s <= 0:
+            raise ValueError("s must be positive")
+        arch = Architecture(architecture)
+        chain: list[BlockWork] = []
+        for step in range(1, num_tokens + 1):
+            chain.extend(
+                self.build_decode_step_blocks(step, s, arch, tag=f"t{step}:")
+            )
+        result = schedule(arch, chain, self.calibration.block_overhead_cycles)
+        t_in, t_out = self.io_transfer_cycles(1)
+        first = self.decode_step_cycles(1, s, arch)
+        last = self.decode_step_cycles(num_tokens, s, arch)
+        io_cycles = (t_in + t_out) * num_tokens
+        total = result.total_cycles + io_cycles
+        if num_tokens > 1:
+            spacing = (total - first) / (num_tokens - 1)
+        else:
+            spacing = float(total)
+        tokens_per_s = (self.hardware.clock_mhz * 1e6) / spacing
+        return LatencyReport(
+            architecture=arch,
+            schedule_cycles=result.total_cycles,
+            input_transfer_cycles=t_in * num_tokens,
+            output_transfer_cycles=t_out * num_tokens,
+            clock_mhz=self.hardware.clock_mhz,
+            schedule=result,
+            details={
+                "decode_tokens": float(num_tokens),
+                "decode_total_cycles": float(total),
+                "decode_per_token_cycles": total / num_tokens,
+                "decode_first_step_cycles": float(first),
+                "decode_last_step_cycles": float(last),
+                "decode_steady_tokens_per_s": tokens_per_s,
+                "decode_stall_cycles": float(result.stall_cycles),
+            },
+        )
 
     # ------------------------------------------------- back-to-back
     def steady_state_throughput(
@@ -351,6 +481,50 @@ class AcceleratorController:
             cycles[f"dec{i + 1}m"] = result.mha_cycles
             cycles[f"dec{i + 1}f"] = result.ffn_cycles
         return x, cycles
+
+    def build_kv_cache(self, memory: np.ndarray) -> DecoderKVCache:
+        """Prefill the decoder K/V cache from the encoder memory: the
+        cross-attention projections of every layer run once through the
+        MM1 kernels and stay resident for the whole utterance."""
+        return DecoderKVCache(self.fabric, self.params, memory)
+
+    def run_decoder_step(
+        self,
+        x: np.ndarray,
+        cache: DecoderKVCache,
+        memory_mask: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, dict[str, int]]:
+        """One KV-cached decode step through all decoder layers.
+
+        ``x`` is the (d_model,) embedded token at the newest position;
+        the per-layer self-attention caches are extended in place and
+        ``cache.length`` advances by one.  Returns the (d_model,)
+        decoder output row plus per-block compute cycles.
+        """
+        x = np.asarray(x)
+        d_model = self.params.config.d_model
+        if x.shape != (d_model,):
+            raise ValueError(f"x must be ({d_model},); got {x.shape}")
+        if len(cache.layers) != len(self.params.decoders):
+            raise ValueError("cache does not match this parameter set")
+        row = x[None, :]
+        cycles: dict[str, int] = {}
+        for i, (layer, layer_cache) in enumerate(
+            zip(self.params.decoders, cache.layers)
+        ):
+            result = decoder_step_block(
+                self.fabric,
+                row,
+                layer,
+                layer_cache,
+                memory_mask=memory_mask,
+                parallel_heads=self.parallel_heads,
+            )
+            row = result.output
+            cycles[f"dec{i + 1}m"] = result.mha_cycles
+            cycles[f"dec{i + 1}f"] = result.ffn_cycles
+        cache.advance()
+        return row[0], cycles
 
     def run(
         self,

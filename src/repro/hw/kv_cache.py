@@ -1,0 +1,153 @@
+"""Per-layer K/V caches for autoregressive decode on the fabric.
+
+The naive hardware decode loop re-runs the full padded decoder stack
+for every emitted token — O(max_chars) passes at ``t = hw_seq_len``.
+The cached path banks each decoder layer's self-attention keys/values
+as they are produced and projects the cross-attention K/V *once* from
+the (fixed) encoder memory, so step ``t`` only projects and attends
+for the newest position (the incremental-state reuse of streaming
+Transformer ASR and of FPGA attention accelerators that keep per-layer
+projections resident).
+
+The cache lives in on-chip BRAM banks next to the PSAs; feeding the
+``t`` cached rows of one head into the array costs one 512-bit flit
+(16 fp32 values) per cycle, which :func:`kv_stream_cycles` accounts.
+All projections run through the :mod:`repro.hw.kernels` MM1 kernel so
+the functional values match the full-prefix path row for row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.kernels import Fabric, mm1
+from repro.hw.nonlinear import bias_unit
+from repro.hw.systolic import ceil_div
+from repro.model.params import AttentionParams, TransformerParams
+
+
+def kv_stream_cycles(t: int, d_k: int) -> int:
+    """Cycles to stream ``t`` cached (d_k,) rows from a cache bank into
+    the PSA: one 512-bit flit (16 fp32) per cycle."""
+    if t < 0 or d_k <= 0:
+        raise ValueError("t must be non-negative and d_k positive")
+    if t == 0:
+        return 0
+    return ceil_div(t * d_k, 16)
+
+
+@dataclass
+class LayerKVCache:
+    """Cached state of one decoder layer.
+
+    Self-attention K/V grow one row per step; cross-attention K/V are
+    projected once from the encoder memory and stay fixed.
+    """
+
+    #: Per-head (t, d_k) self-attention keys/values.
+    self_k: list[np.ndarray] = field(default_factory=list)
+    self_v: list[np.ndarray] = field(default_factory=list)
+    #: Per-head (s, d_k) cross-attention keys/values.
+    cross_k: list[np.ndarray] = field(default_factory=list)
+    cross_v: list[np.ndarray] = field(default_factory=list)
+
+    def append_self(self, head: int, k_row: np.ndarray, v_row: np.ndarray) -> None:
+        """Bank this step's K/V row for one head."""
+        if head == len(self.self_k):
+            self.self_k.append(k_row)
+            self.self_v.append(v_row)
+        else:
+            self.self_k[head] = np.concatenate([self.self_k[head], k_row], axis=0)
+            self.self_v[head] = np.concatenate([self.self_v[head], v_row], axis=0)
+
+    def rewind(self, length: int) -> None:
+        """Drop cached self-attention rows beyond ``length``."""
+        self.self_k = [k[:length] for k in self.self_k]
+        self.self_v = [v[:length] for v in self.self_v]
+
+
+def project_cross_kv(
+    fabric: Fabric,
+    memory: np.ndarray,
+    params: AttentionParams,
+    concurrent_psas: int = 1,
+) -> tuple[list[np.ndarray], list[np.ndarray], int]:
+    """Project the cross-attention K/V of every head from the memory.
+
+    Runs the same MM1 + bias kernels as the full-prefix decoder, so the
+    cached values are identical to what a per-step recomputation would
+    produce.  Returns (keys, values, cycles); the cycles are the
+    one-time prefill cost of filling the cache.
+    """
+    keys: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+    cycles = 0
+    for h in range(params.num_heads):
+        k_res = mm1(fabric, memory, params.wk[h], concurrent_psas)
+        v_res = mm1(fabric, memory, params.wv[h], concurrent_psas)
+        keys.append(bias_unit(k_res.output, params.bk[h]))
+        values.append(bias_unit(v_res.output, params.bv[h]))
+        s, d_k = keys[-1].shape
+        cycles += (
+            k_res.cycles
+            + v_res.cycles
+            + 2 * fabric.units.bias_cycles(s, d_k)
+        )
+    return keys, values, cycles
+
+
+class DecoderKVCache:
+    """K/V caches of the whole decoder stack for one utterance.
+
+    Built once per utterance from the (padded) encoder memory; the
+    cross-attention projections happen at construction, the
+    self-attention rows accumulate as :meth:`repro.hw.controller.
+    AcceleratorController.run_decoder_step` feeds tokens.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        params: TransformerParams,
+        memory: np.ndarray,
+        concurrent_psas: int = 1,
+    ) -> None:
+        memory = np.asarray(memory)
+        d_model = params.config.d_model
+        if memory.ndim != 2 or memory.shape[1] != d_model:
+            raise ValueError(
+                f"memory must be (s, {d_model}); got {memory.shape}"
+            )
+        self.memory_len = memory.shape[0]
+        self.layers = [LayerKVCache() for _ in params.decoders]
+        self.prefill_cycles = 0
+        for layer, cache in zip(params.decoders, self.layers):
+            cache.cross_k, cache.cross_v, cyc = project_cross_kv(
+                fabric, memory, layer.cross_mha, concurrent_psas
+            )
+            self.prefill_cycles += cyc
+        self._length = 0
+
+    @property
+    def length(self) -> int:
+        """Decoder positions banked so far."""
+        return self._length
+
+    def advance(self) -> None:
+        """Record that one position's K/V rows were banked everywhere."""
+        self._length += 1
+
+    def rewind(self, length: int) -> None:
+        """Truncate all self-attention caches back to ``length``
+        positions (beam search branching to a shorter shared prefix)."""
+        if length < 0 or length > self._length:
+            raise ValueError(
+                f"cannot rewind to {length}; cache holds {self._length}"
+            )
+        if length == self._length:
+            return
+        for cache in self.layers:
+            cache.rewind(length)
+        self._length = length

@@ -52,3 +52,14 @@ class TestBatchTranscriber:
     def test_empty_batch_rejected(self, transcriber):
         with pytest.raises(ValueError):
             transcriber.transcribe_batch([])
+
+    def test_single_shot_reuses_per_result_reports(
+        self, transcriber, batch_waveforms
+    ):
+        """The naive accounting must be exactly the sum of the per-result
+        accelerator latencies — it used to recompute the report and
+        could drift from what each TranscriptionResult carries."""
+        result = transcriber.transcribe_batch(batch_waveforms)
+        assert result.single_shot_ms == pytest.approx(
+            sum(r.accelerator_ms for r in result.results), abs=0.0
+        )

@@ -64,10 +64,28 @@ class TestPipeline:
         assert result.measured_host_ms > 0
         assert result.accelerator_ms > 0
         assert result.e2e_ms == pytest.approx(
-            result.modeled_host_ms + result.accelerator_ms
+            result.modeled_host_ms
+            + result.accelerator_ms
+            + result.decode_total_ms
         )
         assert result.throughput_seq_per_s == pytest.approx(
             1e3 / result.accelerator_ms
+        )
+
+    def test_decode_latency_modeled(self, pipeline, utterance):
+        """The result exposes per-token and total autoregressive decode
+        latency, round-tripped through the report's details."""
+        result = pipeline.transcribe(utterance.waveform)
+        report = result.decode_report
+        assert report is not None
+        assert result.decode_total_ms > 0
+        assert result.decode_per_token_ms > 0
+        steps = report.details["decode_tokens"]
+        assert steps == result.details["decode_steps"]
+        assert steps == min(result.tokens.size + 1, pipeline.max_output_chars)
+        assert report.details["decode_total_cycles"] == report.total_cycles
+        assert result.decode_per_token_ms * steps == pytest.approx(
+            result.decode_total_ms
         )
 
     def test_espnet_style_text(self, pipeline, utterance):
@@ -94,15 +112,58 @@ class TestPipeline:
         with pytest.raises(ValueError):
             AsrPipeline(params, vocab=CharVocabulary())
 
+    def test_zero_beam_size_rejected(self, pipeline, utterance):
+        """beam_size=0 must raise, not silently fall through to greedy."""
+        with pytest.raises(ValueError, match="beam_size"):
+            pipeline.transcribe(utterance.waveform, beam_size=0)
 
-class TestIncrementalEngine:
-    def test_matches_hw_engine_transcript(self, small_params, utterance):
+    def test_negative_beam_size_rejected(self, pipeline, utterance):
+        with pytest.raises(ValueError, match="beam_size"):
+            pipeline.transcribe(utterance.waveform, beam_size=-2)
+
+    def test_zero_max_output_chars_rejected(self, small_params):
+        """max_output_chars=0 must raise, not silently become
+        hw_seq_len - 1."""
+        with pytest.raises(ValueError, match="max_output_chars"):
+            AsrPipeline(small_params, hw_seq_len=32, max_output_chars=0)
+
+    def test_negative_max_output_chars_rejected(self, small_params):
+        with pytest.raises(ValueError, match="max_output_chars"):
+            AsrPipeline(small_params, hw_seq_len=32, max_output_chars=-1)
+
+    def test_default_max_output_chars(self, small_params):
+        assert AsrPipeline(small_params, hw_seq_len=32).max_output_chars == 31
+
+
+class TestDecodeEngines:
+    def test_incremental_matches_hw_engine_transcript(
+        self, small_params, utterance
+    ):
         hw = AsrPipeline(small_params, hw_seq_len=32)
         inc = AsrPipeline(small_params, hw_seq_len=32, decode_engine="incremental")
         r_hw = hw.transcribe(utterance.waveform)
         r_inc = inc.transcribe(utterance.waveform)
         assert r_hw.text == r_inc.text
         np.testing.assert_array_equal(r_hw.tokens, r_inc.tokens)
+
+    def test_legacy_full_prefix_matches_cached(self, small_params, utterance):
+        """'hw' (KV-cached) and 'hw-full' (legacy full-prefix) are the
+        same computation at different cost."""
+        cached = AsrPipeline(small_params, hw_seq_len=32)
+        full = AsrPipeline(small_params, hw_seq_len=32, decode_engine="hw-full")
+        r_cached = cached.transcribe(utterance.waveform)
+        r_full = full.transcribe(utterance.waveform)
+        assert r_cached.text == r_full.text
+        np.testing.assert_array_equal(r_cached.tokens, r_full.tokens)
+
+    def test_beam_search_on_cached_engine(self, small_params, utterance):
+        """Beam search drives the KV-cached session via rewinds; it
+        must agree with the stateless legacy path."""
+        cached = AsrPipeline(small_params, hw_seq_len=32)
+        full = AsrPipeline(small_params, hw_seq_len=32, decode_engine="hw-full")
+        r_cached = cached.transcribe(utterance.waveform, beam_size=2)
+        r_full = full.transcribe(utterance.waveform, beam_size=2)
+        np.testing.assert_array_equal(r_cached.tokens, r_full.tokens)
 
     def test_beam_rejected_on_incremental(self, small_params, utterance):
         inc = AsrPipeline(small_params, hw_seq_len=32, decode_engine="incremental")

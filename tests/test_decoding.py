@@ -141,6 +141,48 @@ class TestBeamSearch:
         with pytest.raises(ValueError):
             beam_search(lambda t: np.zeros(3), 0, 1, max_len=3, beam_size=0)
 
+    def test_early_stop_consistent_scale_with_length_penalty(self):
+        """Regression: the early-stop used to compare raw live scores
+        against *normalized* finished scores.  With length_penalty > 0
+        a live beam whose raw score trails the best finished normalized
+        score can still finish with a better normalized score; the old
+        comparison truncated the search and returned the worse
+        hypothesis ranked first."""
+        eos = 0
+
+        def step(tokens: np.ndarray) -> np.ndarray:
+            suffix = list(tokens[1:])
+            if not suffix:  # [sos]: finish now (-0.7) or start 'a'
+                return np.array([-0.7, -0.9, -20.0])
+            if suffix == [1]:  # 'a': finish (-0.95 at n=1) or extend
+                return np.array([-0.05, -0.1, -20.0])
+            if suffix == [1, 1]:  # 'aa': finishing normalizes to -0.505
+                return np.array([-0.01, -0.5, -20.0])
+            return np.array([-5.0, -5.0, -20.0])
+
+        hyps = beam_search(
+            step, sos_id=2, eos_id=eos, max_len=4, beam_size=2,
+            length_penalty=1.0,
+        )
+        # Old logic breaks once two hypotheses have finished (raw live
+        # -1.0 < normalized finished -0.7) and never sees 'aa', whose
+        # normalized score -1.01/2 = -0.505 wins.
+        assert list(hyps[0].tokens[1:]) == [1, 1]
+        assert hyps[0].normalized_score(1.0) == pytest.approx(-0.505)
+
+    def test_early_stop_unaffected_without_penalty(self):
+        """With length_penalty == 0 the bound equals the raw score, so
+        the fixed early stop behaves exactly as before."""
+        rows = [
+            np.log(np.array([0.2, 0.7, 0.1])),
+            np.log(np.array([0.1, 0.9, 0.0001])),
+        ]
+        hyps = beam_search(
+            _table_step_fn(rows), sos_id=0, eos_id=1, max_len=6, beam_size=2
+        )
+        scores = [h.normalized_score() for h in hyps]
+        assert scores == sorted(scores, reverse=True)
+
     def test_length_penalty_prefers_longer(self):
         hyp_short = beam_search(
             _table_step_fn([np.log(np.array([0.45, 0.55]))]),
