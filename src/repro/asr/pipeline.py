@@ -209,6 +209,12 @@ class AsrPipeline:
         self.decode_engine = decode_engine
         self._params = params
 
+    def render_schedule_gantt(self, width: int = 100) -> str:
+        """ASCII Gantt of the accelerator pass this pipeline models
+        (trace-executor timeline of the lowered block program, with the
+        per-channel HBM lanes of Fig 4.11)."""
+        return self.accelerator.render_gantt(width=width)
+
     def transcribe(
         self, waveform: np.ndarray, beam_size: int | None = None
     ) -> TranscriptionResult:

@@ -114,4 +114,11 @@ class StreamingTranscriber:
             text=text,
             chunk_results=results,
             audio_seconds=np.asarray(waveform).size / self._sample_rate,
+            details={
+                # Op count of the block program each chunk executes
+                # (every chunk runs the same padded-length program).
+                "program_ops_per_chunk": float(
+                    self.pipeline.accelerator.program().num_ops
+                ),
+            },
         )

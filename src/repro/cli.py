@@ -7,6 +7,7 @@
     repro-asr precision
     repro-asr transcribe [--words N] [--seed N] [--beam K]
     repro-asr inventory
+    repro-asr program   [--seq 32] [--arch A3] [--ops 24] [--width 100]
 
 Each subcommand prints one of the paper's analyses from the simulator;
 ``transcribe`` runs the full E2E pipeline on a synthetic utterance.
@@ -159,6 +160,35 @@ def _cmd_inventory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_program(args: argparse.Namespace) -> int:
+    from repro.hw.visualize import render_program_gantt
+
+    lm = LatencyModel()
+    program = lm.full_pass_program(args.seq)
+    shown = list(program.ops[: args.ops])
+    rows = [
+        [
+            op.op_id,
+            op.block,
+            op.kind.value,
+            "+".join(op.engines),
+            op.cycles,
+            op.label,
+        ]
+        for op in shown
+    ]
+    print(f"block program: {program.num_ops} ops, "
+          f"{len(program.blocks)} blocks (s={args.seq})")
+    print(format_table(["op", "block", "kind", "engines", "cycles", "label"], rows))
+    if program.num_ops > len(shown):
+        print(f"... {program.num_ops - len(shown)} more ops "
+              f"(raise --ops to see them)")
+    print()
+    print(f"per-engine Gantt under {args.arch}:")
+    print(render_program_gantt(program, args.arch, width=args.width))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-asr",
@@ -195,6 +225,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("inventory", help="Table 4.1 weight inventory")
     p.set_defaults(func=_cmd_inventory)
+
+    p = sub.add_parser(
+        "program", help="lowered block-program op list + per-engine Gantt"
+    )
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    p.add_argument("--ops", type=int, default=24,
+                   help="number of ops to list (the Gantt always covers all)")
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=_cmd_program)
 
     p = sub.add_parser("verify", help="accelerator vs golden-model battery")
     p.set_defaults(func=_cmd_verify)

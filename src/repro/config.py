@@ -14,7 +14,7 @@ Three configuration layers mirror the paper's setup:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 
@@ -132,6 +132,19 @@ class HardwareConfig:
         _require(self.bytes_per_element in (1, 2, 4, 8), "unsupported precision")
         _require(self.adder_width >= 1, "adder_width must be >= 1")
         _require(self.board_power_w > 0, "board_power_w must be positive")
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash chokes on the resources
+        # dict; canonicalize it so configs stay usable as cache keys
+        # (the program lowerings memoize on them).  Consistent with the
+        # generated __eq__, which compares the dict by value.
+        values = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value = tuple(sorted(value.items()))
+            values.append(value)
+        return hash(tuple(values))
 
     @property
     def total_psas(self) -> int:

@@ -6,8 +6,11 @@ Layers (bottom-up):
   :mod:`repro.hw.nonlinear` — the hardware primitives.
 * :mod:`repro.hw.memory` — HBM / PCIe / BRAM models and weight sizing.
 * :mod:`repro.hw.kernels` — the MM1..MM6 stripe schedules.
+* :mod:`repro.hw.program` — the op-level block-program IR: one
+  lowering of the Fig 4.13 schedule feeds the functional, cycle and
+  trace executors.
 * :mod:`repro.hw.blocks` — attention-head / MHA / FFN / encoder /
-  decoder execution per Fig 4.13.
+  decoder execution per Fig 4.13 (facades over the program IR).
 * :mod:`repro.hw.scheduler` — the A1/A2/A3 load-compute overlap
   architectures.
 * :mod:`repro.hw.controller` — the top-level controller + cycle model.
@@ -35,7 +38,21 @@ from repro.hw.dse import (
     psa_dimension_sweep,
     psa_grid_sweep,
 )
+from repro.hw.faults import program_fault_hook
 from repro.hw.kernels import Fabric, KernelResult, matmul_dims
+from repro.hw.program import (
+    BlockIR,
+    BlockProgram,
+    Op,
+    OpKind,
+    ProgramRun,
+    execute_program,
+    lower_decode_step,
+    lower_full_pass,
+    program_block_work,
+    schedule_program,
+    trace_program,
+)
 from repro.hw.resources import ResourceEstimate, check_synthesizable, estimate_resources
 from repro.hw.scheduler import (
     Architecture,
@@ -48,7 +65,12 @@ from repro.hw.scheduler import (
 )
 from repro.hw.systolic import SystolicArray
 from repro.hw.trace import Timeline, TraceEvent
-from repro.hw.visualize import render_comparison, render_gantt, render_platform_diagram
+from repro.hw.visualize import (
+    render_comparison,
+    render_gantt,
+    render_platform_diagram,
+    render_program_gantt,
+)
 
 __all__ = [
     "AcceleratorOutput",
@@ -73,9 +95,21 @@ __all__ = [
     "pareto_frontier",
     "psa_dimension_sweep",
     "psa_grid_sweep",
+    "program_fault_hook",
     "Fabric",
     "KernelResult",
     "matmul_dims",
+    "BlockIR",
+    "BlockProgram",
+    "Op",
+    "OpKind",
+    "ProgramRun",
+    "execute_program",
+    "lower_decode_step",
+    "lower_full_pass",
+    "program_block_work",
+    "schedule_program",
+    "trace_program",
     "ResourceEstimate",
     "check_synthesizable",
     "estimate_resources",
@@ -92,4 +126,5 @@ __all__ = [
     "render_comparison",
     "render_gantt",
     "render_platform_diagram",
+    "render_program_gantt",
 ]

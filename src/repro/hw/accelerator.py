@@ -228,6 +228,25 @@ class TransformerAccelerator:
         arch = Architecture(architecture) if architecture else self.architecture
         return self.latency_model.latency_report(s or self.hw_seq_len, arch)
 
+    def program(self, s: int | None = None, t: int | None = None):
+        """The lowered block program behind this accelerator's numbers
+        (the same lowering drives :meth:`forward`, the latency reports
+        and the Gantt traces)."""
+        return self.latency_model.full_pass_program(s or self.hw_seq_len, t)
+
+    def render_gantt(
+        self,
+        s: int | None = None,
+        architecture: Architecture | str | None = None,
+        width: int = 100,
+    ) -> str:
+        """ASCII Gantt of the full pass under ``architecture``, with
+        HBM channel lanes (renders the trace executor's timeline)."""
+        from repro.hw.visualize import render_program_gantt
+
+        arch = Architecture(architecture) if architecture else self.architecture
+        return render_program_gantt(self.program(s), arch.value, width=width)
+
 
 class HwDecodeSession:
     """KV-cached autoregressive decode state for one utterance.

@@ -1,25 +1,21 @@
 """Per-engine trace of the block-wise schedule inside one encoder
-(Fig 4.13): every MM on its PSA, every bias on its vector adder, the
-scale/softmax on the per-head function units, with the exact overlap
-rules of :func:`repro.hw.blocks.attention_head_cycles`.
+(Fig 4.13).
 
-The trace's makespan is pinned (by tests) to the analytic
-``encoder_cycles`` estimate — the Gantt chart and the latency numbers
-are the same model.
+This module used to hand-derive the schedule a third time; it is now a
+thin wrapper over :mod:`repro.hw.program`'s trace executor, so the
+Gantt chart, the functional dataflow, and the latency numbers all come
+from the single block-program lowering.  The trace's makespan is pinned
+(by tests) to the analytic ``encoder_cycles`` estimate.
 """
 
 from __future__ import annotations
 
-from repro.hw.kernels import (
-    Fabric,
-    mm1_cycles,
-    mm2_cycles,
-    mm3_cycles,
-    mm4_cycles,
-    mm5_cycles,
-    mm6_cycles,
+from repro.hw.kernels import Fabric
+from repro.hw.program import (
+    lower_attention_head_program,
+    lower_encoder_layer_program,
+    trace_block,
 )
-from repro.hw.systolic import ceil_div
 from repro.hw.trace import Timeline
 
 
@@ -38,35 +34,26 @@ def trace_attention_head(
     label_prefix: str = "",
 ) -> float:
     """Append one head's Fig 4.13 schedule; returns its finish time."""
-    units = fabric.units
-    t_mm1_q = mm1_cycles(fabric, s_q, d_model, d_k, concurrent_psas)
-    t_mm1_kv = mm1_cycles(fabric, s_k, d_model, d_k, concurrent_psas)
-    t = start
-
-    timeline.add(psa, f"{label_prefix}MM1(K)", t, t + t_mm1_kv)
-    t += t_mm1_kv
-    # B(K) on the adder, overlapped with MM1(Q) on the PSA.
-    bias_k = units.bias_cycles(s_k, d_k)
-    timeline.add(adder, f"{label_prefix}B(K)", t, t + bias_k)
-    timeline.add(psa, f"{label_prefix}MM1(Q)", t, t + t_mm1_q)
-    t += max(bias_k, t_mm1_q)
-    bias_q = units.bias_cycles(s_q, d_k)
-    timeline.add(adder, f"{label_prefix}B(Q)", t, t + bias_q)
-    t += bias_q
-    t_mm2 = mm2_cycles(fabric, s_q, s_k, d_k)
-    timeline.add(psa, f"{label_prefix}MM2", t, t + t_mm2)
-    t += t_mm2
-    # Sc + Sm on the function unit, overlapped with MM1(V) on the PSA.
-    sc_sm = units.scale_cycles(s_q, s_k) + units.softmax_cycles(s_q, s_k)
-    timeline.add(sm_unit, f"{label_prefix}Sc+Sm", t, t + sc_sm)
-    timeline.add(psa, f"{label_prefix}MM1(V)", t, t + t_mm1_kv)
-    t += max(sc_sm, t_mm1_kv)
-    bias_v = units.bias_cycles(s_k, d_k)
-    timeline.add(adder, f"{label_prefix}B(V)", t, t + bias_v)
-    t += bias_v
-    t_mm3 = mm3_cycles(fabric, s_q, s_k, d_k)
-    timeline.add(psa, f"{label_prefix}MM3", t, t + t_mm3)
-    return t + t_mm3
+    program = lower_attention_head_program(
+        fabric,
+        s_q,
+        s_k,
+        d_model,
+        d_k,
+        concurrent_psas=concurrent_psas,
+        engines=(psa, adder, sm_unit),
+        label_prefix=label_prefix,
+    )
+    head = trace_block(program)
+    for event in head.events:
+        timeline.add(
+            event.engine,
+            event.label,
+            start + event.start,
+            start + event.end,
+            kind=event.kind,
+        )
+    return start + head.makespan
 
 
 def trace_encoder_block(
@@ -78,79 +65,8 @@ def trace_encoder_block(
     parallel_heads: int | None = None,
 ) -> Timeline:
     """Full per-engine trace of one encoder (MHA + FFN + Add-Norms)."""
-    hw = fabric.hardware
-    total_psas = hw.total_psas
-    if parallel_heads is None:
-        parallel_heads = min(num_heads, total_psas)
-    if parallel_heads < 1 or parallel_heads > total_psas:
-        raise ValueError(
-            f"parallel_heads must be in [1, {total_psas}]; got {parallel_heads}"
+    return trace_block(
+        lower_encoder_layer_program(
+            fabric, s, num_heads, d_model, d_ff, parallel_heads
         )
-    concurrent = max(total_psas // parallel_heads, 1)
-    waves = ceil_div(num_heads, parallel_heads)
-    d_k = d_model // num_heads
-    units = fabric.units
-    timeline = Timeline()
-
-    def engines(slot: int) -> tuple[str, str, str]:
-        """PSA group / adder / softmax unit names for one head slot."""
-        psa_index = slot * concurrent
-        slr = psa_index // hw.psas_per_slr
-        return (
-            f"slr{slr}.psa{psa_index}"
-            + (f"-{psa_index + concurrent - 1}" if concurrent > 1 else ""),
-            f"slr{slr}.adder{psa_index}",
-            f"slr{slr}.sm{slot}",
-        )
-
-    # ---- MHA: heads in waves across the PSA groups.
-    t = 0.0
-    for wave in range(waves):
-        wave_end = t
-        for slot in range(parallel_heads):
-            head = wave * parallel_heads + slot
-            if head >= num_heads:
-                break
-            psa, adder, sm = engines(slot)
-            end = trace_attention_head(
-                fabric, timeline, t, psa, adder, sm,
-                s, s, d_model, d_k, concurrent,
-                label_prefix=f"h{head}:",
-            )
-            wave_end = max(wave_end, end)
-        t = wave_end
-
-    # ---- MM4 across all PSAs, bias, Add-Norm.
-    t_mm4 = mm4_cycles(fabric, s, num_heads, d_k, d_model)
-    for slot in range(parallel_heads):
-        psa, _, _ = engines(slot)
-        timeline.add(psa, "MM4", t, t + t_mm4)
-    t += t_mm4
-    bias = units.bias_cycles(s, d_model)
-    timeline.add("slr0.adder0", "B_A", t, t + bias)
-    t += bias
-    add = units.bias_cycles(s, d_model // hw.num_slrs)
-    norm = units.add_norm_cycles(s, d_model)
-    timeline.add("slr0.norm", "Add-Norm1", t, t + add + norm)
-    t += add + norm
-
-    # ---- FFN: MM5, bias + ReLU, MM6, bias, Add-Norm.
-    t_mm5 = mm5_cycles(fabric, s, d_model, d_ff)
-    for slot in range(parallel_heads):
-        psa, _, _ = engines(slot)
-        timeline.add(psa, "MM5", t, t + t_mm5)
-    t += t_mm5
-    b1 = units.bias_cycles(s, d_ff)
-    r1 = units.relu_cycles(s, d_ff)
-    timeline.add("slr0.adder0", "B_1F+ReLU", t, t + b1 + r1)
-    t += b1 + r1
-    t_mm6 = mm6_cycles(fabric, s, d_ff, d_model)
-    for slot in range(parallel_heads):
-        psa, _, _ = engines(slot)
-        timeline.add(psa, "MM6", t, t + t_mm6)
-    t += t_mm6
-    b2 = units.bias_cycles(s, d_model)
-    timeline.add("slr0.adder0", "B_2F", t, t + b2)
-    t += b2
-    timeline.add("slr0.norm", "Add-Norm2", t, t + add + norm)
-    return timeline
+    )

@@ -13,6 +13,13 @@ Implements the block-wise scheduling of Fig 4.13:
 
 Each function returns the functional output (fp32, hardware dataflow)
 and the block's compute-cycle count.
+
+The functional bodies are façades over :mod:`repro.hw.program`: each
+block lowers (once, cached) to the op-level block program and runs
+through its functional executor, so the dataflow, the cycle counts, and
+the Gantt trace all come from the same encoding of the schedule.  The
+analytic estimators below remain the closed-form reference that the
+program's ASAP makespans are pinned against.
 """
 
 from __future__ import annotations
@@ -23,25 +30,23 @@ import numpy as np
 
 from repro.hw.kernels import (
     Fabric,
-    mm1,
     mm1_cycles,
-    mm2,
     mm2_cycles,
-    mm3,
     mm3_cycles,
-    mm4,
     mm4_cycles,
-    mm5,
     mm5_cycles,
-    mm6,
     mm6_cycles,
 )
-from repro.hw.nonlinear import (
-    add_norm_unit,
-    bias_unit,
-    relu_unit,
-    scale_scores,
-    softmax_unit,
+from repro.hw.nonlinear import add_norm_unit
+from repro.hw.program import (
+    execute_program,
+    lower_attention_head_program,
+    lower_decoder_layer_program,
+    lower_decoder_step_layer_program,
+    lower_encoder_layer_program,
+    lower_ffn_program,
+    lower_mha_program,
+    lower_mha_step_program,
 )
 from repro.hw.systolic import ceil_div
 from repro.model.params import (
@@ -296,25 +301,24 @@ def attention_head_block(
     """
     if not 0 <= head < params.num_heads:
         raise ValueError(f"head must be in [0, {params.num_heads})")
-    s_q = x_q.shape[0]
-    s_k = x_kv.shape[0]
-    d_k = params.d_k
-
-    k_res = mm1(fabric, x_kv, params.wk[head], concurrent_psas)
-    k = bias_unit(k_res.output, params.bk[head])
-    q_res = mm1(fabric, x_q, params.wq[head], concurrent_psas)
-    q = bias_unit(q_res.output, params.bq[head])
-    scores_res = mm2(fabric, q, k)
-    scaled = scale_scores(scores_res.output, d_k)
-    weights = softmax_unit(scaled, mask=mask)
-    v_res = mm1(fabric, x_kv, params.wv[head], concurrent_psas)
-    v = bias_unit(v_res.output, params.bv[head])
-    out_res = mm3(fabric, weights, v)
-
-    cycles = attention_head_cycles(
-        fabric, s_q, s_k, params.d_model, d_k, concurrent_psas
+    program = lower_attention_head_program(
+        fabric,
+        x_q.shape[0],
+        x_kv.shape[0],
+        params.d_model,
+        params.d_k,
+        head=head,
+        concurrent_psas=concurrent_psas,
     )
-    return BlockResult(output=out_res.output, cycles=cycles)
+    run = execute_program(
+        program,
+        root=params,
+        inputs={"x_q": x_q, "x_kv": x_kv, "mask": mask},
+    )
+    return BlockResult(
+        output=run.outputs["output"],
+        cycles=run.block_compute_cycles["attn_head"],
+    )
 
 
 def mha_block(
@@ -332,25 +336,7 @@ def mha_block(
     ``total_psas / parallel_heads`` concurrent PSAs for its MM1s and run
     the heads in waves (Table 5.3 design points).
     """
-    total_psas = fabric.hardware.total_psas
-    if parallel_heads is None:
-        parallel_heads = min(params.num_heads, total_psas)
-    if parallel_heads < 1 or parallel_heads > total_psas:
-        raise ValueError(
-            f"parallel_heads must be in [1, {total_psas}]; got {parallel_heads}"
-        )
-    concurrent_psas = max(total_psas // parallel_heads, 1)
-    waves = ceil_div(params.num_heads, parallel_heads)
-
-    head_results = [
-        attention_head_block(
-            fabric, x_q, x_kv, params, h, mask=mask, concurrent_psas=concurrent_psas
-        )
-        for h in range(params.num_heads)
-    ]
-    out_res = mm4(fabric, [r.output for r in head_results], params.wo)
-    out = bias_unit(out_res.output, params.bo)
-    cycles = mha_cycles(
+    program = lower_mha_program(
         fabric,
         x_q.shape[0],
         x_kv.shape[0],
@@ -358,20 +344,25 @@ def mha_block(
         params.d_model,
         parallel_heads,
     )
-    return BlockResult(output=out, cycles=cycles)
+    run = execute_program(
+        program,
+        root=params,
+        inputs={"x_q": x_q, "x_kv": x_kv, "mask": mask},
+    )
+    return BlockResult(
+        output=run.outputs["output"], cycles=run.block_compute_cycles["mha"]
+    )
 
 
 def ffn_block(
     fabric: Fabric, x: np.ndarray, params: FeedForwardParams
 ) -> BlockResult:
     """FFN: MM5 + B_1F + ReLU (streamed) + MM6 + B_2F."""
-    s = x.shape[0]
-    h_res = mm5(fabric, x, params.w1)
-    hidden = relu_unit(bias_unit(h_res.output, params.b1))
-    out_res = mm6(fabric, hidden, params.w2)
-    out = bias_unit(out_res.output, params.b2)
-    cycles = ffn_cycles(fabric, s, params.d_model, params.d_ff)
-    return BlockResult(output=out, cycles=cycles)
+    program = lower_ffn_program(fabric, x.shape[0], params.d_model, params.d_ff)
+    run = execute_program(program, root=params, inputs={"x": x})
+    return BlockResult(
+        output=run.outputs["output"], cycles=run.block_compute_cycles["ffn"]
+    )
 
 
 def add_norm_block(
@@ -395,16 +386,18 @@ def encoder_block(
     parallel_heads: int | None = None,
 ) -> BlockResult:
     """One encoder layer on the fabric: MHA, Add-Norm, FFN, Add-Norm."""
-    mha = mha_block(fabric, x, x, params.mha, mask=mask, parallel_heads=parallel_heads)
-    norm1 = add_norm_block(
-        fabric, mha.output, x, params.norm1.weight, params.norm1.bias
+    program = lower_encoder_layer_program(
+        fabric,
+        x.shape[0],
+        params.mha.num_heads,
+        params.mha.d_model,
+        params.ffn.d_ff,
+        parallel_heads,
     )
-    ffn = ffn_block(fabric, norm1.output, params.ffn)
-    norm2 = add_norm_block(
-        fabric, ffn.output, norm1.output, params.norm2.weight, params.norm2.bias
+    run = execute_program(program, root=params, inputs={"x": x, "mask": mask})
+    return BlockResult(
+        output=run.outputs["output"], cycles=run.block_compute_cycles["enc1"]
     )
-    cycles = mha.cycles + norm1.cycles + ffn.cycles + norm2.cycles
-    return BlockResult(output=norm2.output, cycles=cycles)
 
 
 @dataclass(frozen=True)
@@ -433,31 +426,29 @@ def decoder_block(
     """One decoder layer: M-MHA, Add-Norm, cross MHA, Add-Norm, FFN,
     Add-Norm.  ``self_mask`` must already include the look-ahead mask
     (the controller owns mask construction)."""
-    m_mha = mha_block(
-        fabric, x, x, params.self_mha, mask=self_mask, parallel_heads=parallel_heads
-    )
-    norm1 = add_norm_block(
-        fabric, m_mha.output, x, params.norm1.weight, params.norm1.bias
-    )
-    cross = mha_block(
+    program = lower_decoder_layer_program(
         fabric,
-        norm1.output,
-        memory,
-        params.cross_mha,
-        mask=memory_mask,
-        parallel_heads=parallel_heads,
+        x.shape[0],
+        memory.shape[0],
+        params.self_mha.num_heads,
+        params.self_mha.d_model,
+        params.ffn.d_ff,
+        parallel_heads,
     )
-    norm2 = add_norm_block(
-        fabric, cross.output, norm1.output, params.norm2.weight, params.norm2.bias
+    run = execute_program(
+        program,
+        root=params,
+        inputs={
+            "x": x,
+            "memory": memory,
+            "self_mask": self_mask,
+            "memory_mask": memory_mask,
+        },
     )
-    ffn = ffn_block(fabric, norm2.output, params.ffn)
-    norm3 = add_norm_block(
-        fabric, ffn.output, norm2.output, params.norm3.weight, params.norm3.bias
-    )
-    mha_cycles = m_mha.cycles + norm1.cycles + cross.cycles + norm2.cycles
-    ffn_cycles = ffn.cycles + norm3.cycles
     return DecoderBlockResult(
-        output=norm3.output, mha_cycles=mha_cycles, ffn_cycles=ffn_cycles
+        output=run.outputs["output"],
+        mha_cycles=run.block_compute_cycles["dec1m"],
+        ffn_cycles=run.block_compute_cycles["dec1f"],
     )
 
 
@@ -465,14 +456,9 @@ def _resolve_head_parallelism(
     fabric: Fabric, num_heads: int, parallel_heads: int | None
 ) -> int:
     """Concurrent PSAs each head gets under ``parallel_heads``."""
-    total_psas = fabric.hardware.total_psas
-    if parallel_heads is None:
-        parallel_heads = min(num_heads, total_psas)
-    if parallel_heads < 1 or parallel_heads > total_psas:
-        raise ValueError(
-            f"parallel_heads must be in [1, {total_psas}]; got {parallel_heads}"
-        )
-    return max(total_psas // parallel_heads, 1)
+    from repro.hw.program import resolve_head_parallelism
+
+    return resolve_head_parallelism(fabric, num_heads, parallel_heads)[1]
 
 
 def mha_self_step_block(
@@ -489,30 +475,17 @@ def mha_self_step_block(
     ``x`` is the (1, d_model) decoder activation; ``cache`` a
     :class:`repro.hw.kv_cache.LayerKVCache` that is extended in place.
     """
-    concurrent_psas = _resolve_head_parallelism(
-        fabric, params.num_heads, parallel_heads
-    )
-    head_outputs: list[np.ndarray] = []
-    for h in range(params.num_heads):
-        k_row = bias_unit(
-            mm1(fabric, x, params.wk[h], concurrent_psas).output, params.bk[h]
-        )
-        v_row = bias_unit(
-            mm1(fabric, x, params.wv[h], concurrent_psas).output, params.bv[h]
-        )
-        cache.append_self(h, k_row, v_row)
-        q = bias_unit(
-            mm1(fabric, x, params.wq[h], concurrent_psas).output, params.bq[h]
-        )
-        scores = mm2(fabric, q, cache.self_k[h]).output
-        weights = softmax_unit(scale_scores(scores, params.d_k))
-        head_outputs.append(mm3(fabric, weights, cache.self_v[h]).output)
-    out = bias_unit(mm4(fabric, head_outputs, params.wo).output, params.bo)
-    t_keys = cache.self_k[0].shape[0]
-    cycles = mha_step_cycles(
+    t_keys = (cache.self_k[0].shape[0] + 1) if cache.self_k else 1
+    program = lower_mha_step_program(
         fabric, t_keys, params.num_heads, params.d_model, parallel_heads
     )
-    return BlockResult(output=out, cycles=cycles)
+    run = execute_program(
+        program, root=params, inputs={"x": x}, caches=[cache]
+    )
+    return BlockResult(
+        output=run.outputs["output"],
+        cycles=run.block_compute_cycles["mha_step"],
+    )
 
 
 def mha_cross_step_block(
@@ -526,20 +499,8 @@ def mha_cross_step_block(
     """Cross MHA for one cached step: the K/V projections of the
     encoder memory were banked at prefill, so only the query row is
     projected and attended over the fixed cache."""
-    concurrent_psas = _resolve_head_parallelism(
-        fabric, params.num_heads, parallel_heads
-    )
-    head_outputs: list[np.ndarray] = []
-    for h in range(params.num_heads):
-        q = bias_unit(
-            mm1(fabric, x, params.wq[h], concurrent_psas).output, params.bq[h]
-        )
-        scores = mm2(fabric, q, cache.cross_k[h]).output
-        weights = softmax_unit(scale_scores(scores, params.d_k), mask=memory_mask)
-        head_outputs.append(mm3(fabric, weights, cache.cross_v[h]).output)
-    out = bias_unit(mm4(fabric, head_outputs, params.wo).output, params.bo)
     s_keys = cache.cross_k[0].shape[0]
-    cycles = mha_step_cycles(
+    program = lower_mha_step_program(
         fabric,
         s_keys,
         params.num_heads,
@@ -547,7 +508,16 @@ def mha_cross_step_block(
         parallel_heads,
         project_kv=False,
     )
-    return BlockResult(output=out, cycles=cycles)
+    run = execute_program(
+        program,
+        root=params,
+        inputs={"x": x, "memory_mask": memory_mask},
+        caches=[cache],
+    )
+    return BlockResult(
+        output=run.outputs["output"],
+        cycles=run.block_compute_cycles["mha_step"],
+    )
 
 
 def decoder_step_block(
@@ -561,30 +531,9 @@ def decoder_step_block(
     """One decoder layer for one cached step: M-MHA over the growing
     self cache, Add-Norm, cross MHA over the prefilled memory cache,
     Add-Norm, FFN, Add-Norm — all on a single (1, d_model) row."""
-    m_mha = mha_self_step_block(
-        fabric, x, params.self_mha, cache, parallel_heads=parallel_heads
-    )
-    norm1 = add_norm_block(
-        fabric, m_mha.output, x, params.norm1.weight, params.norm1.bias
-    )
-    cross = mha_cross_step_block(
-        fabric,
-        norm1.output,
-        params.cross_mha,
-        cache,
-        memory_mask=memory_mask,
-        parallel_heads=parallel_heads,
-    )
-    norm2 = add_norm_block(
-        fabric, cross.output, norm1.output, params.norm2.weight, params.norm2.bias
-    )
-    ffn = ffn_block(fabric, norm2.output, params.ffn)
-    norm3 = add_norm_block(
-        fabric, ffn.output, norm2.output, params.norm3.weight, params.norm3.bias
-    )
-    t_keys = cache.self_k[0].shape[0]
+    t_keys = (cache.self_k[0].shape[0] + 1) if cache.self_k else 1
     s_keys = cache.cross_k[0].shape[0]
-    step_mha, step_ffn = decoder_step_cycles(
+    program = lower_decoder_step_layer_program(
         fabric,
         t_keys,
         s_keys,
@@ -593,6 +542,14 @@ def decoder_step_block(
         params.ffn.d_ff,
         parallel_heads,
     )
+    run = execute_program(
+        program,
+        root=params,
+        inputs={"x": x, "memory_mask": memory_mask},
+        caches=[cache],
+    )
     return DecoderBlockResult(
-        output=norm3.output, mha_cycles=step_mha, ffn_cycles=step_ffn
+        output=run.outputs["output"],
+        mha_cycles=run.block_compute_cycles["dec1m"],
+        ffn_cycles=run.block_compute_cycles["dec1f"],
     )

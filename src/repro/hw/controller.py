@@ -21,14 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import CalibrationConfig, HardwareConfig, ModelConfig
-from repro.hw.blocks import (
-    decoder_block,
-    decoder_cycles,
-    decoder_step_block,
-    decoder_step_cycles,
-    encoder_block,
-    encoder_cycles,
-)
+from repro.hw.blocks import decoder_cycles, decoder_step_cycles, encoder_cycles
 from repro.hw.kernels import Fabric
 from repro.hw.kv_cache import DecoderKVCache
 from repro.hw.memory import (
@@ -38,6 +31,15 @@ from repro.hw.memory import (
     decoder_mha_weight_bytes,
     decoder_weight_bytes,
     encoder_weight_bytes,
+)
+from repro.hw.program import (
+    BlockProgram,
+    execute_program,
+    lower_decode_step,
+    lower_decoder_stack,
+    lower_encoder_stack,
+    lower_full_pass,
+    program_block_work,
 )
 from repro.hw.scheduler import Architecture, BlockWork, ScheduleResult, schedule
 from repro.model.params import TransformerParams
@@ -167,50 +169,28 @@ class LatencyModel:
                 return s
         raise ValueError(f"no crossover found up to s={max_s}")
 
+    # -------------------------------------------------------- programs
+    def full_pass_program(self, s: int, t: int | None = None) -> BlockProgram:
+        """The lowered block program of one full encoder/decoder pass
+        (cached; the same lowering feeds blocks, schedules and traces)."""
+        return lower_full_pass(self.model, self.fabric, s, t, self.parallel_heads)
+
+    def decode_step_program(self, t: int, s: int) -> BlockProgram:
+        """The lowered block program of one KV-cached decode step."""
+        return lower_decode_step(self.model, self.fabric, t, s, self.parallel_heads)
+
     # --------------------------------------------------------- blocks
     def build_blocks(
         self, s: int, architecture: Architecture | str, t: int | None = None
     ) -> list[BlockWork]:
-        """Per-block load/compute work items for one architecture.
+        """Per-block load/compute work items for one architecture,
+        derived from the block program.
 
         Encoders are single units.  Under A3 each decoder splits into
         its MHA part (HBM channel 0) and FFN part (channel 1), per
         Fig 4.11; under A1/A2 a decoder is one unit.
         """
-        arch = Architecture(architecture)
-        cfg = self.model
-        t = s if t is None else t
-        enc_load = self.encoder_load_cycles()
-        enc_comp = self.encoder_compute_cycles(s)
-        dec_mha_comp, dec_ffn_comp = self.decoder_compute_cycles(s, t)
-
-        blocks = [
-            BlockWork(f"enc{i + 1}", enc_load, enc_comp)
-            for i in range(cfg.num_encoders)
-        ]
-        if arch is Architecture.A3:
-            mha_load, ffn_load = self.decoder_part_load_cycles()
-            for i in range(cfg.num_decoders):
-                blocks.append(
-                    BlockWork(f"dec{i + 1}m", mha_load, dec_mha_comp, channel_hint=0)
-                )
-                blocks.append(
-                    BlockWork(
-                        f"dec{i + 1}f",
-                        ffn_load,
-                        dec_ffn_comp,
-                        channel_hint=1,
-                        overhead_override=0,
-                    )
-                )
-        else:
-            dec_load = self.decoder_load_cycles()
-            dec_comp = dec_mha_comp + dec_ffn_comp
-            blocks.extend(
-                BlockWork(f"dec{i + 1}", dec_load, dec_comp)
-                for i in range(cfg.num_decoders)
-            )
-        return blocks
+        return program_block_work(self.full_pass_program(s, t), architecture)
 
     # ---------------------------------------------------------- report
     def io_transfer_cycles(self, s: int) -> tuple[int, int]:
@@ -268,34 +248,19 @@ class LatencyModel:
         """
         if t <= 0 or s <= 0:
             raise ValueError("t and s must be positive")
-        arch = Architecture(architecture)
-        cfg = self.model
-        mha_comp, ffn_comp = self.decoder_step_compute_cycles(t, s)
-        blocks: list[BlockWork] = []
-        if arch is Architecture.A3:
-            mha_load, ffn_load = self.decoder_part_load_cycles()
-            for i in range(cfg.num_decoders):
-                blocks.append(
-                    BlockWork(
-                        f"{tag}dec{i + 1}m", mha_load, mha_comp, channel_hint=0
-                    )
-                )
-                blocks.append(
-                    BlockWork(
-                        f"{tag}dec{i + 1}f",
-                        ffn_load,
-                        ffn_comp,
-                        channel_hint=1,
-                        overhead_override=0,
-                    )
-                )
-        else:
-            dec_load = self.decoder_load_cycles()
-            blocks.extend(
-                BlockWork(f"{tag}dec{i + 1}", dec_load, mha_comp + ffn_comp)
-                for i in range(cfg.num_decoders)
+        blocks = program_block_work(self.decode_step_program(t, s), architecture)
+        if not tag:
+            return blocks
+        return [
+            BlockWork(
+                f"{tag}{b.label}",
+                b.load_cycles,
+                b.compute_cycles,
+                channel_hint=b.channel_hint,
+                overhead_override=b.overhead_override,
             )
-        return blocks
+            for b in blocks
+        ]
 
     def decode_step_cycles(
         self,
@@ -449,14 +414,13 @@ class AcceleratorController:
         self, x: np.ndarray, mask: np.ndarray | None = None
     ) -> tuple[np.ndarray, dict[str, int]]:
         """Execute all encoder layers; returns (output, cycles/block)."""
-        cycles: dict[str, int] = {}
-        for i, layer in enumerate(self.params.encoders):
-            result = encoder_block(
-                self.fabric, x, layer, mask=mask, parallel_heads=self.parallel_heads
-            )
-            x = result.output
-            cycles[f"enc{i + 1}"] = result.cycles
-        return x, cycles
+        program = lower_encoder_stack(
+            self.params.config, self.fabric, x.shape[0], self.parallel_heads
+        )
+        run = execute_program(
+            program, root=self.params, inputs={"x": x, "enc_mask": mask}
+        )
+        return run.outputs["output"], run.block_compute_cycles
 
     def run_decoder_stack(
         self,
@@ -466,21 +430,24 @@ class AcceleratorController:
         memory_mask: np.ndarray | None = None,
     ) -> tuple[np.ndarray, dict[str, int]]:
         """Execute all decoder layers; returns (output, cycles/block)."""
-        cycles: dict[str, int] = {}
-        for i, layer in enumerate(self.params.decoders):
-            result = decoder_block(
-                self.fabric,
-                x,
-                memory,
-                layer,
-                self_mask=self_mask,
-                memory_mask=memory_mask,
-                parallel_heads=self.parallel_heads,
-            )
-            x = result.output
-            cycles[f"dec{i + 1}m"] = result.mha_cycles
-            cycles[f"dec{i + 1}f"] = result.ffn_cycles
-        return x, cycles
+        program = lower_decoder_stack(
+            self.params.config,
+            self.fabric,
+            x.shape[0],
+            memory.shape[0],
+            self.parallel_heads,
+        )
+        run = execute_program(
+            program,
+            root=self.params,
+            inputs={
+                "x": x,
+                "memory": memory,
+                "self_mask": self_mask,
+                "memory_mask": memory_mask,
+            },
+        )
+        return run.outputs["output"], run.block_compute_cycles
 
     def build_kv_cache(self, memory: np.ndarray) -> DecoderKVCache:
         """Prefill the decoder K/V cache from the encoder memory: the
@@ -507,24 +474,21 @@ class AcceleratorController:
             raise ValueError(f"x must be ({d_model},); got {x.shape}")
         if len(cache.layers) != len(self.params.decoders):
             raise ValueError("cache does not match this parameter set")
-        row = x[None, :]
-        cycles: dict[str, int] = {}
-        for i, (layer, layer_cache) in enumerate(
-            zip(self.params.decoders, cache.layers)
-        ):
-            result = decoder_step_block(
-                self.fabric,
-                row,
-                layer,
-                layer_cache,
-                memory_mask=memory_mask,
-                parallel_heads=self.parallel_heads,
-            )
-            row = result.output
-            cycles[f"dec{i + 1}m"] = result.mha_cycles
-            cycles[f"dec{i + 1}f"] = result.ffn_cycles
+        program = lower_decode_step(
+            self.params.config,
+            self.fabric,
+            cache.length + 1,
+            cache.memory_len,
+            self.parallel_heads,
+        )
+        run = execute_program(
+            program,
+            root=self.params,
+            inputs={"x": x[None, :], "memory_mask": memory_mask},
+            caches=cache.layers,
+        )
         cache.advance()
-        return row[0], cycles
+        return run.outputs["output"][0], run.block_compute_cycles
 
     def run(
         self,
@@ -551,16 +515,26 @@ class AcceleratorController:
             raise ValueError(
                 f"decoder input must be (t, {d_model}); got {dec_input.shape}"
             )
-        memory, enc_cycles = self.run_encoder_stack(enc_input, mask=enc_mask)
-        dec_out, dec_cycles = self.run_decoder_stack(
-            dec_input, memory, self_mask=dec_self_mask, memory_mask=dec_memory_mask
+        program = self.latency_model.full_pass_program(
+            enc_input.shape[0], dec_input.shape[0]
+        )
+        run = execute_program(
+            program,
+            root=self.params,
+            inputs={
+                "x": enc_input,
+                "dec_in": dec_input,
+                "enc_mask": enc_mask,
+                "dec_self_mask": dec_self_mask,
+                "dec_memory_mask": dec_memory_mask,
+            },
         )
         report = self.latency_model.latency_report(
             enc_input.shape[0], architecture
         )
         return ControllerRun(
-            encoder_output=memory,
-            decoder_output=dec_out,
+            encoder_output=run.outputs["encoder_output"],
+            decoder_output=run.outputs["decoder_output"],
             report=report,
-            block_compute_cycles={**enc_cycles, **dec_cycles},
+            block_compute_cycles=run.block_compute_cycles,
         )

@@ -33,6 +33,11 @@ class DesignPoint:
     psa_cols: int
     latency_ms: float
     resources: ResourceEstimate
+    #: Op count of the lowered block program behind the latency figure.
+    #: Head parallelism reshapes the dependency waves and engine
+    #: placement but not the op count, so this stays constant across a
+    #: sweep — a structural invariant the DSE tests pin.
+    num_program_ops: int = 0
 
     @property
     def synthesizable(self) -> bool:
@@ -70,6 +75,7 @@ def head_parallelism_sweep(
                     hardware, seq_len=s, d_model=model.d_model, d_ff=model.d_ff,
                     num_softmax_units=model.num_heads,
                 ),
+                num_program_ops=lm.full_pass_program(s).num_ops,
             )
         )
         parallel //= 2
@@ -109,6 +115,7 @@ def psa_dimension_sweep(
                     hw, seq_len=s, d_model=model.d_model, d_ff=model.d_ff,
                     num_softmax_units=model.num_heads,
                 ),
+                num_program_ops=lm.full_pass_program(s).num_ops,
             )
         )
     return points
@@ -146,6 +153,7 @@ def psa_grid_sweep(
                         hw, seq_len=s, d_model=model.d_model, d_ff=model.d_ff,
                         num_softmax_units=model.num_heads,
                     ),
+                    num_program_ops=lm.full_pass_program(s).num_ops,
                 )
             )
     return points

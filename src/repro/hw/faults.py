@@ -73,6 +73,46 @@ def inject_faults(
     return corrupted
 
 
+def _target_path(target: str) -> tuple:
+    """Dotted fault target -> block-program ``ParamRef`` path, e.g.
+    ``"enc0.ffn.w1"`` -> ``("encoders", 0, "ffn", "w1")``."""
+    parts: list = []
+    for part in target.split("."):
+        if part.startswith("enc") and part[3:].isdigit():
+            parts.extend(("encoders", int(part[3:])))
+        elif part.startswith("dec") and part[3:].isdigit():
+            parts.extend(("decoders", int(part[3:])))
+        else:
+            parts.append(part)
+    return tuple(parts)
+
+
+def program_fault_hook(faults: list[FaultSpec]):
+    """Fault injection as a block-program transform.
+
+    Returns a ``weight_hook`` for :func:`repro.hw.program.
+    execute_program`: every resolved parameter array whose path matches
+    a fault target comes back with the requested bits flipped (on a
+    copy — the clean parameters are never mutated).  The hook sees the
+    whole array before any per-head slicing, so the flat element
+    indices address the same layout :func:`inject_faults` targets.
+    """
+    by_path: dict[tuple, list[FaultSpec]] = {}
+    for fault in faults:
+        by_path.setdefault(_target_path(fault.target), []).append(fault)
+
+    def hook(ref, array: np.ndarray) -> np.ndarray:
+        hits = by_path.get(tuple(ref.path))
+        if not hits:
+            return array
+        corrupted = np.array(array, copy=True)
+        for fault in hits:
+            flip_bit(corrupted, fault.index, fault.bit)
+        return corrupted
+
+    return hook
+
+
 @dataclass(frozen=True)
 class FaultImpact:
     """Logit divergence caused by one fault set."""

@@ -53,14 +53,25 @@ class LayerKVCache:
     cross_k: list[np.ndarray] = field(default_factory=list)
     cross_v: list[np.ndarray] = field(default_factory=list)
 
-    def append_self(self, head: int, k_row: np.ndarray, v_row: np.ndarray) -> None:
-        """Bank this step's K/V row for one head."""
+    def append_self_k(self, head: int, k_row: np.ndarray) -> None:
+        """Bank this step's key row for one head (the program IR's
+        ``cache_append_k`` op lands here)."""
         if head == len(self.self_k):
             self.self_k.append(k_row)
-            self.self_v.append(v_row)
         else:
             self.self_k[head] = np.concatenate([self.self_k[head], k_row], axis=0)
+
+    def append_self_v(self, head: int, v_row: np.ndarray) -> None:
+        """Bank this step's value row for one head."""
+        if head == len(self.self_v):
+            self.self_v.append(v_row)
+        else:
             self.self_v[head] = np.concatenate([self.self_v[head], v_row], axis=0)
+
+    def append_self(self, head: int, k_row: np.ndarray, v_row: np.ndarray) -> None:
+        """Bank this step's K/V row for one head."""
+        self.append_self_k(head, k_row)
+        self.append_self_v(head, v_row)
 
     def rewind(self, length: int) -> None:
         """Drop cached self-attention rows beyond ``length``."""

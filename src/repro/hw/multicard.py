@@ -38,7 +38,13 @@ def multicard_throughput(
     architecture: Architecture | str = Architecture.A3,
     host_pcie_gbps: float | None = None,
 ) -> MultiCardPoint:
-    """Aggregate throughput of ``num_cards`` cards behind one host."""
+    """Aggregate throughput of ``num_cards`` cards behind one host.
+
+    The per-card rate is ``LatencyModel.steady_state_throughput``,
+    which schedules the lowered block program (:mod:`repro.hw.program`)
+    under the chosen architecture — the same program every other
+    latency figure in the repo is derived from.
+    """
     if num_cards < 1:
         raise ValueError("num_cards must be >= 1")
     lm = latency_model or LatencyModel()

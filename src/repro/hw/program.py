@@ -1,0 +1,1526 @@
+"""The block-program IR: one lowering of the Fig 4.13 schedule.
+
+The accelerator executes a single dataflow — MM1..MM6 on the PSAs,
+bias/softmax/Add-Norm on the vector units, weight bundles streamed from
+HBM — but the repo historically encoded that schedule several times
+(analytic estimators, functional blocks, the hand-built block trace,
+and the ``BlockWork`` plumbing of the controller).  This module lowers
+the model + hardware configuration **once** into a typed op-level
+program and derives every execution mode from it:
+
+* :func:`execute_program` — the functional executor: runs the numpy
+  dataflow through the :mod:`repro.hw.kernels` / :mod:`repro.hw.
+  nonlinear` implementations, bit-identical to the legacy block bodies.
+* :func:`program_block_work` / :func:`schedule_program` — the cycle
+  executor: per-block makespans fall out of an integer ASAP pass over
+  the dependency edges, then the A1/A2/A3 schedulers place the
+  load/compute chain exactly as before.
+* :func:`trace_block` / :func:`trace_program` — the trace executor:
+  emits per-engine :class:`repro.hw.trace.Timeline` events (the Gantt
+  view), whose makespan equals the cycle executor's total.
+
+Ops carry their engine placement (PSA group, vector adder, softmax
+unit, HBM channel hint), explicit dependency edges, and — for the
+functional executor — value references plus parameter paths into a
+:class:`repro.model.params.TransformerParams` tree (the same dotted
+paths :mod:`repro.hw.faults` targets, so fault injection becomes a
+program transform via ``weight_hook``).
+
+Lowerings exist for the full encoder/decoder pass, the per-stack
+sub-programs, the single-token KV-cache decode step, and the individual
+blocks that :mod:`repro.hw.blocks` exposes as its public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import lru_cache
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.hw.kernels import (
+    Fabric,
+    mm1,
+    mm1_cycles,
+    mm2,
+    mm2_cycles,
+    mm3,
+    mm3_cycles,
+    mm4,
+    mm4_cycles,
+    mm5,
+    mm5_cycles,
+    mm6,
+    mm6_cycles,
+)
+from repro.hw.kv_cache import kv_stream_cycles
+from repro.hw.memory import (
+    HbmModel,
+    decoder_ffn_weight_bytes,
+    decoder_mha_weight_bytes,
+    decoder_weight_bytes,
+    encoder_weight_bytes,
+)
+from repro.hw.nonlinear import (
+    add_norm_unit,
+    bias_unit,
+    relu_unit,
+    scale_scores,
+    softmax_unit,
+)
+from repro.hw.scheduler import (
+    Architecture,
+    BlockWork,
+    ScheduleResult,
+    schedule,
+)
+from repro.hw.systolic import ceil_div
+from repro.hw.trace import Timeline
+
+
+class OpKind(str, Enum):
+    """Engine class of one program op."""
+
+    LOAD = "load"  # HBM weight-bundle stream
+    MATMUL = "matmul"  # a PSA (group) pass
+    VECTOR = "vector"  # bias / softmax / ReLU / Add-Norm unit work
+    STREAM = "stream"  # KV-cache rows streamed into a PSA
+    CACHE = "cache"  # zero-cycle cache bank bookkeeping
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """Reference to a runtime value: an op output (``op``), an external
+    program input (``ext``), or a KV-cache tensor (``cache``, keyed by
+    (attribute, layer, head))."""
+
+    kind: str
+    key: Any
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("op", "ext", "cache"):
+            raise ValueError(f"unknown ValueRef kind '{self.kind}'")
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """Path into the parameter tree, e.g. ``("encoders", 0, "mha",
+    "wq")``.  Per-head stacks are referenced whole — the consuming op's
+    ``head`` attribute selects the slice — so the path matches the
+    dotted targets of :mod:`repro.hw.faults` exactly."""
+
+    path: tuple
+
+    def resolve(self, root: Any) -> np.ndarray:
+        obj = root
+        for part in self.path:
+            obj = obj[part] if isinstance(part, int) else getattr(obj, part)
+        return obj
+
+    @property
+    def dotted(self) -> str:
+        parts: list[str] = []
+        for part in self.path:
+            if isinstance(part, int):
+                parts[-1] += f"[{part}]"
+            else:
+                parts.append(str(part))
+        return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled unit of work with explicit dependency edges."""
+
+    op_id: int
+    kind: OpKind
+    label: str
+    #: Engine names the op occupies (MM4/MM5/MM6 span every PSA group).
+    engines: tuple[str, ...]
+    cycles: int
+    #: Op ids that must finish before this op may start.
+    deps: tuple[int, ...]
+    #: Label of the BlockIR this op belongs to.
+    block: str
+    #: Kernel dispatched by the functional executor (None = timing-only).
+    semantic: str | None = None
+    inputs: tuple[ValueRef, ...] = ()
+    params: tuple[ParamRef, ...] = ()
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("op cycles must be non-negative")
+
+
+@dataclass(frozen=True)
+class BlockIR:
+    """One schedulable block: a weight bundle plus its compute ops.
+
+    ``merge_group`` names the work unit the block joins under A1/A2
+    (decoder m/f parts fuse back into one ``dec{i}`` load+compute);
+    ``merged_load_cycles`` carries the whole-bundle load, which is not
+    the sum of the part loads because HBM transfer cycles round.
+    """
+
+    label: str
+    op_ids: tuple[int, ...]
+    load_cycles: int = 0
+    channel_hint: int | None = None
+    overhead_override: int | None = None
+    merge_group: str | None = None
+    merged_load_cycles: int | None = None
+
+
+@dataclass(frozen=True)
+class BlockProgram:
+    """A lowered program: ops, blocks, named outputs, and the fabric
+    the cycle formulas were evaluated against."""
+
+    fabric: Fabric
+    ops: tuple[Op, ...]
+    blocks: tuple[BlockIR, ...]
+    outputs: dict[str, ValueRef]
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    def block(self, label: str) -> BlockIR:
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(f"no block labelled '{label}'")
+
+
+@dataclass
+class ProgramRun:
+    """Result of one functional execution of a program."""
+
+    outputs: dict[str, np.ndarray]
+    #: Per-block ASAP makespans (the cycle executor's block computes).
+    block_compute_cycles: dict[str, int]
+    #: Every op output, keyed by op id (diagnostics / testing).
+    values: dict[int, np.ndarray]
+
+
+# ------------------------------------------------------------ lowering
+def resolve_head_parallelism(
+    fabric: Fabric, num_heads: int, parallel_heads: int | None
+) -> tuple[int, int]:
+    """(parallel_heads, concurrent PSAs per head) after defaulting."""
+    total_psas = fabric.hardware.total_psas
+    if parallel_heads is None:
+        parallel_heads = min(num_heads, total_psas)
+    if parallel_heads < 1 or parallel_heads > total_psas:
+        raise ValueError(
+            f"parallel_heads must be in [1, {total_psas}]; got {parallel_heads}"
+        )
+    return parallel_heads, max(total_psas // parallel_heads, 1)
+
+
+def _slot_engines(fabric: Fabric, slot: int, concurrent: int) -> tuple[str, str, str]:
+    """PSA group / vector adder / softmax unit names for one head slot."""
+    hw = fabric.hardware
+    psa_index = slot * concurrent
+    slr = psa_index // hw.psas_per_slr
+    psa = f"slr{slr}.psa{psa_index}" + (
+        f"-{psa_index + concurrent - 1}" if concurrent > 1 else ""
+    )
+    return psa, f"slr{slr}.adder{psa_index}", f"slr{slr}.sm{slot}"
+
+
+def _opref(op_id: int) -> ValueRef:
+    return ValueRef("op", op_id)
+
+
+def _ext(name: str) -> ValueRef:
+    return ValueRef("ext", name)
+
+
+def _cacheref(which: str, layer: int, head: int) -> ValueRef:
+    return ValueRef("cache", (which, layer, head))
+
+
+class _Builder:
+    """Accumulates ops and blocks during lowering."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        self.ops: list[Op] = []
+        self.blocks: list[BlockIR] = []
+
+    def op(
+        self,
+        kind: OpKind,
+        label: str,
+        engines: Sequence[str],
+        cycles: int,
+        deps: Sequence[int],
+        block: str,
+        semantic: str | None = None,
+        inputs: Sequence[ValueRef] = (),
+        params: Sequence[tuple] = (),
+        **attrs: Any,
+    ) -> int:
+        op_id = len(self.ops)
+        self.ops.append(
+            Op(
+                op_id=op_id,
+                kind=kind,
+                label=label,
+                engines=tuple(engines),
+                cycles=int(cycles),
+                deps=tuple(deps),
+                block=block,
+                semantic=semantic,
+                inputs=tuple(inputs),
+                params=tuple(ParamRef(tuple(p)) for p in params),
+                attrs=attrs,
+            )
+        )
+        return op_id
+
+    def mark(self) -> int:
+        return len(self.ops)
+
+    def close_block(
+        self,
+        label: str,
+        mark: int,
+        load_cycles: int = 0,
+        channel_hint: int | None = None,
+        overhead_override: int | None = None,
+        merge_group: str | None = None,
+        merged_load_cycles: int | None = None,
+    ) -> BlockIR:
+        blk = BlockIR(
+            label=label,
+            op_ids=tuple(range(mark, len(self.ops))),
+            load_cycles=load_cycles,
+            channel_hint=channel_hint,
+            overhead_override=overhead_override,
+            merge_group=merge_group,
+            merged_load_cycles=merged_load_cycles,
+        )
+        self.blocks.append(blk)
+        return blk
+
+    def finish(
+        self, outputs: dict[str, ValueRef | int], **meta: Any
+    ) -> BlockProgram:
+        return BlockProgram(
+            fabric=self.fabric,
+            ops=tuple(self.ops),
+            blocks=tuple(self.blocks),
+            outputs={
+                name: _opref(ref) if isinstance(ref, int) else ref
+                for name, ref in outputs.items()
+            },
+            meta=meta,
+        )
+
+
+def _load_op(b: _Builder, block: str, cycles: int, channel_hint: int | None) -> int:
+    return b.op(
+        OpKind.LOAD,
+        f"LW:{block}",
+        ("hbm",),
+        cycles,
+        (),
+        block,
+        channel_hint=channel_hint,
+    )
+
+
+def _lower_attention_head(
+    b: _Builder,
+    block: str,
+    x_q: ValueRef,
+    x_kv: ValueRef,
+    prefix: tuple,
+    head: int,
+    s_q: int,
+    s_k: int,
+    d_model: int,
+    d_k: int,
+    concurrent: int,
+    engines: tuple[str, str, str],
+    mask: str | None,
+    entry_deps: tuple[int, ...],
+    label_prefix: str,
+) -> int:
+    """Ops of one attention head per Fig 4.13; returns the MM3 op id.
+
+    The dependency edges reproduce the analytic overlap rules under
+    ASAP scheduling: B(K) runs on the adder while MM1(Q) holds the PSA,
+    Sc+Sm runs on the softmax unit while MM1(V) holds the PSA.
+    """
+    fabric = b.fabric
+    units = fabric.units
+    psa, adder, sm = engines
+    lp = label_prefix
+    t_q = mm1_cycles(fabric, s_q, d_model, d_k, concurrent)
+    t_kv = mm1_cycles(fabric, s_k, d_model, d_k, concurrent)
+
+    mm1_k = b.op(
+        OpKind.MATMUL, f"{lp}MM1(K)", (psa,), t_kv, entry_deps, block,
+        semantic="mm1", inputs=(x_kv,), params=(prefix + ("wk",),),
+        head=head, concurrent_psas=concurrent,
+    )
+    b_k = b.op(
+        OpKind.VECTOR, f"{lp}B(K)", (adder,), units.bias_cycles(s_k, d_k),
+        (mm1_k,), block, semantic="bias", inputs=(_opref(mm1_k),),
+        params=(prefix + ("bk",),), head=head,
+    )
+    mm1_q = b.op(
+        OpKind.MATMUL, f"{lp}MM1(Q)", (psa,), t_q, (mm1_k,), block,
+        semantic="mm1", inputs=(x_q,), params=(prefix + ("wq",),),
+        head=head, concurrent_psas=concurrent,
+    )
+    b_q = b.op(
+        OpKind.VECTOR, f"{lp}B(Q)", (adder,), units.bias_cycles(s_q, d_k),
+        (b_k, mm1_q), block, semantic="bias", inputs=(_opref(mm1_q),),
+        params=(prefix + ("bq",),), head=head,
+    )
+    mm2_op = b.op(
+        OpKind.MATMUL, f"{lp}MM2", (psa,), mm2_cycles(fabric, s_q, s_k, d_k),
+        (b_q, b_k), block, semantic="mm2",
+        inputs=(_opref(b_q), _opref(b_k)),
+    )
+    sc_sm = b.op(
+        OpKind.VECTOR, f"{lp}Sc+Sm", (sm,),
+        units.scale_cycles(s_q, s_k) + units.softmax_cycles(s_q, s_k),
+        (mm2_op,), block, semantic="scsm", inputs=(_opref(mm2_op),),
+        d_k=d_k, mask=mask,
+    )
+    mm1_v = b.op(
+        OpKind.MATMUL, f"{lp}MM1(V)", (psa,), t_kv, (mm2_op,), block,
+        semantic="mm1", inputs=(x_kv,), params=(prefix + ("wv",),),
+        head=head, concurrent_psas=concurrent,
+    )
+    b_v = b.op(
+        OpKind.VECTOR, f"{lp}B(V)", (adder,), units.bias_cycles(s_k, d_k),
+        (sc_sm, mm1_v), block, semantic="bias", inputs=(_opref(mm1_v),),
+        params=(prefix + ("bv",),), head=head,
+    )
+    return b.op(
+        OpKind.MATMUL, f"{lp}MM3", (psa,), mm3_cycles(fabric, s_q, s_k, d_k),
+        (b_v, sc_sm), block, semantic="mm3",
+        inputs=(_opref(sc_sm), _opref(b_v)),
+    )
+
+
+def _lower_attention_step_head(
+    b: _Builder,
+    block: str,
+    x: ValueRef,
+    prefix: tuple,
+    layer: int,
+    head: int,
+    t_keys: int,
+    d_model: int,
+    d_k: int,
+    concurrent: int,
+    engines: tuple[str, str, str],
+    project_kv: bool,
+    mask: str | None,
+    entry_deps: tuple[int, ...],
+    label_prefix: str,
+) -> int:
+    """One head of a KV-cached decode step (s_q = 1); returns MM3's id.
+
+    ``project_kv`` lowers the self-attention form — project and bank
+    this position's K/V rows, then attend over the grown cache — while
+    the cross-attention form streams the prefilled cache directly.
+    """
+    fabric = b.fabric
+    units = fabric.units
+    psa, adder, sm = engines
+    lp = label_prefix
+    t_row = mm1_cycles(fabric, 1, d_model, d_k, concurrent)
+    stream = kv_stream_cycles(t_keys, d_k)
+    which = "self" if project_kv else "cross"
+
+    if project_kv:
+        mm1_k = b.op(
+            OpKind.MATMUL, f"{lp}MM1(K)", (psa,), t_row, entry_deps, block,
+            semantic="mm1", inputs=(x,), params=(prefix + ("wk",),),
+            head=head, concurrent_psas=concurrent,
+        )
+        b_k = b.op(
+            OpKind.VECTOR, f"{lp}B(K)", (adder,), units.bias_cycles(1, d_k),
+            (mm1_k,), block, semantic="bias", inputs=(_opref(mm1_k),),
+            params=(prefix + ("bk",),), head=head,
+        )
+        bank_k = b.op(
+            OpKind.CACHE, f"{lp}bank(K)", (), 0, (b_k,), block,
+            semantic="cache_append_k", inputs=(_opref(b_k),),
+            layer=layer, head=head,
+        )
+        mm1_q = b.op(
+            OpKind.MATMUL, f"{lp}MM1(Q)", (psa,), t_row, (mm1_k,), block,
+            semantic="mm1", inputs=(x,), params=(prefix + ("wq",),),
+            head=head, concurrent_psas=concurrent,
+        )
+        b_q = b.op(
+            OpKind.VECTOR, f"{lp}B(Q)", (adder,), units.bias_cycles(1, d_k),
+            (b_k, mm1_q), block, semantic="bias", inputs=(_opref(mm1_q),),
+            params=(prefix + ("bq",),), head=head,
+        )
+        stream_deps: tuple[int, ...] = (b_q, bank_k)
+    else:
+        mm1_q = b.op(
+            OpKind.MATMUL, f"{lp}MM1(Q)", (psa,), t_row, entry_deps, block,
+            semantic="mm1", inputs=(x,), params=(prefix + ("wq",),),
+            head=head, concurrent_psas=concurrent,
+        )
+        b_q = b.op(
+            OpKind.VECTOR, f"{lp}B(Q)", (adder,), units.bias_cycles(1, d_k),
+            (mm1_q,), block, semantic="bias", inputs=(_opref(mm1_q),),
+            params=(prefix + ("bq",),), head=head,
+        )
+        stream_deps = (b_q,)
+
+    st_k = b.op(
+        OpKind.STREAM, f"{lp}stream(K)", (psa,), stream, stream_deps, block,
+    )
+    mm2_op = b.op(
+        OpKind.MATMUL, f"{lp}MM2", (psa,), mm2_cycles(fabric, 1, t_keys, d_k),
+        (st_k,), block, semantic="mm2",
+        inputs=(_opref(b_q), _cacheref(f"{which}_k", layer, head)),
+    )
+    sc_sm = b.op(
+        OpKind.VECTOR, f"{lp}Sc+Sm", (sm,),
+        units.scale_cycles(1, t_keys) + units.softmax_cycles(1, t_keys),
+        (mm2_op,), block, semantic="scsm", inputs=(_opref(mm2_op),),
+        d_k=d_k, mask=mask,
+    )
+    if project_kv:
+        mm1_v = b.op(
+            OpKind.MATMUL, f"{lp}MM1(V)", (psa,), t_row, (mm2_op,), block,
+            semantic="mm1", inputs=(x,), params=(prefix + ("wv",),),
+            head=head, concurrent_psas=concurrent,
+        )
+        b_v = b.op(
+            OpKind.VECTOR, f"{lp}B(V)", (adder,), units.bias_cycles(1, d_k),
+            (sc_sm, mm1_v), block, semantic="bias", inputs=(_opref(mm1_v),),
+            params=(prefix + ("bv",),), head=head,
+        )
+        bank_v = b.op(
+            OpKind.CACHE, f"{lp}bank(V)", (), 0, (b_v,), block,
+            semantic="cache_append_v", inputs=(_opref(b_v),),
+            layer=layer, head=head,
+        )
+        st_v = b.op(
+            OpKind.STREAM, f"{lp}stream(V)", (psa,), stream, (b_v, bank_v), block,
+        )
+    else:
+        st_v = b.op(
+            OpKind.STREAM, f"{lp}stream(V)", (psa,), stream, (sc_sm,), block,
+        )
+    return b.op(
+        OpKind.MATMUL, f"{lp}MM3", (psa,), mm3_cycles(fabric, 1, t_keys, d_k),
+        (st_v, sc_sm), block, semantic="mm3",
+        inputs=(_opref(sc_sm), _cacheref(f"{which}_v", layer, head)),
+    )
+
+
+def _lower_mha(
+    b: _Builder,
+    block: str,
+    x_q: ValueRef,
+    x_kv: ValueRef,
+    prefix: tuple,
+    s_q: int,
+    s_k: int,
+    num_heads: int,
+    d_model: int,
+    parallel_heads: int | None,
+    mask: str | None,
+    entry_deps: tuple[int, ...],
+    label_extra: str = "",
+    step_layer: int | None = None,
+    project_kv: bool = True,
+    t_keys: int | None = None,
+) -> int:
+    """Lower a full MHA block (or a cached decode step when
+    ``step_layer`` is given): head waves, MM4 across every PSA group,
+    B_A.  Returns the B_A op id — the block's (s_q, d_model) output."""
+    fabric = b.fabric
+    parallel_heads, concurrent = resolve_head_parallelism(
+        fabric, num_heads, parallel_heads
+    )
+    waves = ceil_div(num_heads, parallel_heads)
+    d_k = d_model // num_heads
+
+    head_outs: list[int] = []
+    prev_wave = entry_deps
+    for wave in range(waves):
+        wave_outs: list[int] = []
+        for slot in range(parallel_heads):
+            head = wave * parallel_heads + slot
+            if head >= num_heads:
+                break
+            engines = _slot_engines(fabric, slot, concurrent)
+            lp = f"{label_extra}h{head}:"
+            if step_layer is None:
+                out = _lower_attention_head(
+                    b, block, x_q, x_kv, prefix, head, s_q, s_k, d_model,
+                    d_k, concurrent, engines, mask, prev_wave, lp,
+                )
+            else:
+                out = _lower_attention_step_head(
+                    b, block, x_q, prefix, step_layer, head,
+                    t_keys if t_keys is not None else s_k, d_model, d_k,
+                    concurrent, engines, project_kv, mask, prev_wave, lp,
+                )
+            wave_outs.append(out)
+        head_outs.extend(wave_outs)
+        prev_wave = tuple(wave_outs)
+
+    all_psas = tuple(
+        _slot_engines(fabric, slot, concurrent)[0]
+        for slot in range(parallel_heads)
+    )
+    mm4_op = b.op(
+        OpKind.MATMUL, f"{label_extra}MM4", all_psas,
+        mm4_cycles(fabric, s_q, num_heads, d_k, d_model),
+        tuple(head_outs), block, semantic="mm4",
+        inputs=tuple(_opref(h) for h in head_outs),
+        params=(prefix + ("wo",),),
+    )
+    return b.op(
+        OpKind.VECTOR, f"{label_extra}B_A", ("slr0.adder0",),
+        fabric.units.bias_cycles(s_q, d_model), (mm4_op,), block,
+        semantic="bias", inputs=(_opref(mm4_op),),
+        params=(prefix + ("bo",),),
+    )
+
+
+def _lower_add_norm(
+    b: _Builder,
+    block: str,
+    label: str,
+    sub: int,
+    residual: ValueRef,
+    norm_prefix: tuple,
+    s: int,
+    d_model: int,
+    extra_deps: tuple[int, ...] = (),
+) -> int:
+    """Residual add split over the SLRs, then Norm, as one vector op."""
+    fabric = b.fabric
+    units = fabric.units
+    cycles = units.bias_cycles(s, d_model // fabric.hardware.num_slrs)
+    cycles += units.add_norm_cycles(s, d_model)
+    return b.op(
+        OpKind.VECTOR, label, ("slr0.norm",), cycles, (sub,) + extra_deps,
+        block, semantic="add_norm", inputs=(_opref(sub), residual),
+        params=(norm_prefix + ("weight",), norm_prefix + ("bias",)),
+    )
+
+
+def _lower_ffn(
+    b: _Builder,
+    block: str,
+    x: ValueRef,
+    prefix: tuple,
+    s: int,
+    d_model: int,
+    d_ff: int,
+    num_heads: int,
+    parallel_heads: int | None,
+    entry_deps: tuple[int, ...],
+) -> int:
+    """MM5 / B_1F+ReLU / MM6 / B_2F; returns the B_2F op id."""
+    fabric = b.fabric
+    units = fabric.units
+    parallel_heads, concurrent = resolve_head_parallelism(
+        fabric, num_heads, parallel_heads
+    )
+    psas = tuple(
+        _slot_engines(fabric, slot, concurrent)[0]
+        for slot in range(parallel_heads)
+    )
+    mm5_op = b.op(
+        OpKind.MATMUL, "MM5", psas, mm5_cycles(fabric, s, d_model, d_ff),
+        entry_deps, block, semantic="mm5", inputs=(x,),
+        params=(prefix + ("w1",),),
+    )
+    b1 = b.op(
+        OpKind.VECTOR, "B_1F+ReLU", ("slr0.adder0",),
+        units.bias_cycles(s, d_ff) + units.relu_cycles(s, d_ff),
+        (mm5_op,), block, semantic="bias_relu", inputs=(_opref(mm5_op),),
+        params=(prefix + ("b1",),),
+    )
+    mm6_op = b.op(
+        OpKind.MATMUL, "MM6", psas, mm6_cycles(fabric, s, d_ff, d_model),
+        (b1,), block, semantic="mm6", inputs=(_opref(b1),),
+        params=(prefix + ("w2",),),
+    )
+    return b.op(
+        OpKind.VECTOR, "B_2F", ("slr0.adder0",),
+        units.bias_cycles(s, d_model), (mm6_op,), block, semantic="bias",
+        inputs=(_opref(mm6_op),), params=(prefix + ("b2",),),
+    )
+
+
+def _lower_encoder_layer(
+    b: _Builder,
+    block: str,
+    x: ValueRef,
+    prefix: tuple,
+    s: int,
+    num_heads: int,
+    d_model: int,
+    d_ff: int,
+    parallel_heads: int | None,
+    mask: str | None,
+    entry_deps: tuple[int, ...],
+) -> int:
+    """One encoder layer: MHA, Add-Norm, FFN, Add-Norm."""
+    b_a = _lower_mha(
+        b, block, x, x, prefix + ("mha",), s, s, num_heads, d_model,
+        parallel_heads, mask, entry_deps,
+    )
+    an1 = _lower_add_norm(
+        b, block, "Add-Norm1", b_a, x, prefix + ("norm1",), s, d_model
+    )
+    b2 = _lower_ffn(
+        b, block, _opref(an1), prefix + ("ffn",), s, d_model, d_ff,
+        num_heads, parallel_heads, (an1,),
+    )
+    return _lower_add_norm(
+        b, block, "Add-Norm2", b2, _opref(an1), prefix + ("norm2",), s,
+        d_model, extra_deps=(an1,),
+    )
+
+
+def _lower_decoder_layer(
+    b: _Builder,
+    m_block: str,
+    f_block: str,
+    x: ValueRef,
+    memory: ValueRef,
+    prefix: tuple,
+    t: int,
+    s: int,
+    num_heads: int,
+    d_model: int,
+    d_ff: int,
+    parallel_heads: int | None,
+    self_mask: str | None,
+    memory_mask: str | None,
+    entry_deps: tuple[int, ...],
+    mark_m: Callable[[], None] | None = None,
+) -> int:
+    """One decoder layer split per Fig 4.11: the masked self-MHA +
+    cross-MHA (with their Add-Norms) belong to ``m_block``, the FFN and
+    its Add-Norm to ``f_block``.  Returns the final Add-Norm op id."""
+    self_out = _lower_mha(
+        b, m_block, x, x, prefix + ("self_mha",), t, t, num_heads,
+        d_model, parallel_heads, self_mask, entry_deps, label_extra="self:",
+    )
+    an1 = _lower_add_norm(
+        b, m_block, "Add-Norm1", self_out, x, prefix + ("norm1",), t, d_model
+    )
+    cross_out = _lower_mha(
+        b, m_block, _opref(an1), memory, prefix + ("cross_mha",), t, s,
+        num_heads, d_model, parallel_heads, memory_mask, (an1,),
+        label_extra="cross:",
+    )
+    an2 = _lower_add_norm(
+        b, m_block, "Add-Norm2", cross_out, _opref(an1),
+        prefix + ("norm2",), t, d_model, extra_deps=(an1,),
+    )
+    if mark_m is not None:
+        mark_m()
+    b2 = _lower_ffn(
+        b, f_block, _opref(an2), prefix + ("ffn",), t, d_model, d_ff,
+        num_heads, parallel_heads, (an2,),
+    )
+    return _lower_add_norm(
+        b, f_block, "Add-Norm3", b2, _opref(an2), prefix + ("norm3",), t,
+        d_model, extra_deps=(an2,),
+    )
+
+
+def _lower_decoder_step_layer(
+    b: _Builder,
+    m_block: str,
+    f_block: str,
+    x: ValueRef,
+    prefix: tuple,
+    layer: int,
+    t: int,
+    s: int,
+    num_heads: int,
+    d_model: int,
+    d_ff: int,
+    parallel_heads: int | None,
+    memory_mask: str | None,
+    entry_deps: tuple[int, ...],
+    mark_m: Callable[[], None] | None = None,
+) -> int:
+    """One decoder layer for a single KV-cached step (1-row query)."""
+    self_out = _lower_mha(
+        b, m_block, x, x, prefix + ("self_mha",), 1, t, num_heads, d_model,
+        parallel_heads, None, entry_deps, label_extra="self:",
+        step_layer=layer, project_kv=True, t_keys=t,
+    )
+    an1 = _lower_add_norm(
+        b, m_block, "Add-Norm1", self_out, x, prefix + ("norm1",), 1, d_model
+    )
+    cross_out = _lower_mha(
+        b, m_block, _opref(an1), _opref(an1), prefix + ("cross_mha",), 1, s,
+        num_heads, d_model, parallel_heads, memory_mask, (an1,),
+        label_extra="cross:", step_layer=layer, project_kv=False, t_keys=s,
+    )
+    an2 = _lower_add_norm(
+        b, m_block, "Add-Norm2", cross_out, _opref(an1),
+        prefix + ("norm2",), 1, d_model, extra_deps=(an1,),
+    )
+    if mark_m is not None:
+        mark_m()
+    b2 = _lower_ffn(
+        b, f_block, _opref(an2), prefix + ("ffn",), 1, d_model, d_ff,
+        num_heads, parallel_heads, (an2,),
+    )
+    return _lower_add_norm(
+        b, f_block, "Add-Norm3", b2, _opref(an2), prefix + ("norm3",), 1,
+        d_model, extra_deps=(an2,),
+    )
+
+
+def _bundle_load_cycles(fabric: Fabric, num_bytes: int) -> int:
+    """Cycles to stream one weight bundle (each SLR kernel pulls its
+    half from one HBM channel, matching the LatencyModel)."""
+    hbm = HbmModel(fabric.hardware, fabric.calibration)
+    return hbm.transfer_cycles(num_bytes, channels=fabric.hardware.num_slrs)
+
+
+def _lower_encoder_stack_into(
+    b: _Builder,
+    model: ModelConfig,
+    s: int,
+    parallel_heads: int | None,
+    x: ValueRef,
+    mask: str | None,
+) -> ValueRef:
+    bpe = b.fabric.hardware.bytes_per_element
+    enc_load = (
+        _bundle_load_cycles(b.fabric, encoder_weight_bytes(model, bpe))
+        if model.num_encoders
+        else 0
+    )
+    prev_out: tuple[int, ...] = ()
+    for i in range(model.num_encoders):
+        label = f"enc{i + 1}"
+        mark = b.mark()
+        _load_op(b, label, enc_load, None)
+        out = _lower_encoder_layer(
+            b, label, x, ("encoders", i), s, model.num_heads,
+            model.d_model, model.d_ff, parallel_heads, mask, prev_out,
+        )
+        b.close_block(label, mark, load_cycles=enc_load)
+        x = _opref(out)
+        prev_out = (out,)
+    return x
+
+
+def _lower_decoder_stack_into(
+    b: _Builder,
+    model: ModelConfig,
+    t: int,
+    s: int,
+    parallel_heads: int | None,
+    x: ValueRef,
+    memory: ValueRef,
+    self_mask: str | None,
+    memory_mask: str | None,
+    tag: str = "",
+) -> ValueRef:
+    fabric = b.fabric
+    bpe = fabric.hardware.bytes_per_element
+    if not model.num_decoders:
+        return x
+    mha_load = _bundle_load_cycles(fabric, decoder_mha_weight_bytes(model, bpe))
+    ffn_load = _bundle_load_cycles(fabric, decoder_ffn_weight_bytes(model, bpe))
+    merged_load = _bundle_load_cycles(fabric, decoder_weight_bytes(model, bpe))
+    prev_out: tuple[int, ...] = ()
+    for i in range(model.num_decoders):
+        m_label = f"{tag}dec{i + 1}m"
+        f_label = f"{tag}dec{i + 1}f"
+        group = f"{tag}dec{i + 1}"
+        mark = b.mark()
+        _load_op(b, m_label, mha_load, 0)
+        m_end: list[int] = []
+        out = _lower_decoder_layer(
+            b, m_label, f_label, x, memory, ("decoders", i), t, s,
+            model.num_heads, model.d_model, model.d_ff, parallel_heads,
+            self_mask, memory_mask, prev_out,
+            mark_m=lambda: m_end.append(b.mark()),
+        )
+        b.blocks.append(
+            BlockIR(
+                label=m_label,
+                op_ids=tuple(range(mark, m_end[0])),
+                load_cycles=mha_load,
+                channel_hint=0,
+                merge_group=group,
+                merged_load_cycles=merged_load,
+            )
+        )
+        f_mark = b.mark()
+        _load_op(b, f_label, ffn_load, 1)
+        # The FFN ops were emitted before this load op by the layer
+        # lowering; rebuild the f-part id range to include both.
+        b.blocks.append(
+            BlockIR(
+                label=f_label,
+                op_ids=tuple(range(m_end[0], b.mark())),
+                load_cycles=ffn_load,
+                channel_hint=1,
+                overhead_override=0,
+                merge_group=group,
+                merged_load_cycles=merged_load,
+            )
+        )
+        del f_mark
+        x = _opref(out)
+        prev_out = (out,)
+    return x
+
+
+def _lower_decoder_step_stack_into(
+    b: _Builder,
+    model: ModelConfig,
+    t: int,
+    s: int,
+    parallel_heads: int | None,
+    x: ValueRef,
+    memory_mask: str | None,
+    tag: str = "",
+) -> ValueRef:
+    fabric = b.fabric
+    bpe = fabric.hardware.bytes_per_element
+    if not model.num_decoders:
+        return x
+    mha_load = _bundle_load_cycles(fabric, decoder_mha_weight_bytes(model, bpe))
+    ffn_load = _bundle_load_cycles(fabric, decoder_ffn_weight_bytes(model, bpe))
+    merged_load = _bundle_load_cycles(fabric, decoder_weight_bytes(model, bpe))
+    prev_out: tuple[int, ...] = ()
+    for i in range(model.num_decoders):
+        m_label = f"{tag}dec{i + 1}m"
+        f_label = f"{tag}dec{i + 1}f"
+        group = f"{tag}dec{i + 1}"
+        mark = b.mark()
+        _load_op(b, m_label, mha_load, 0)
+        m_end: list[int] = []
+        out = _lower_decoder_step_layer(
+            b, m_label, f_label, x, ("decoders", i), i, t, s,
+            model.num_heads, model.d_model, model.d_ff, parallel_heads,
+            memory_mask, prev_out, mark_m=lambda: m_end.append(b.mark()),
+        )
+        b.blocks.append(
+            BlockIR(
+                label=m_label,
+                op_ids=tuple(range(mark, m_end[0])),
+                load_cycles=mha_load,
+                channel_hint=0,
+                merge_group=group,
+                merged_load_cycles=merged_load,
+            )
+        )
+        _load_op(b, f_label, ffn_load, 1)
+        b.blocks.append(
+            BlockIR(
+                label=f_label,
+                op_ids=tuple(range(m_end[0], b.mark())),
+                load_cycles=ffn_load,
+                channel_hint=1,
+                overhead_override=0,
+                merge_group=group,
+                merged_load_cycles=merged_load,
+            )
+        )
+        x = _opref(out)
+        prev_out = (out,)
+    return x
+
+
+# ------------------------------------------------- program entry points
+@lru_cache(maxsize=128)
+def lower_full_pass(
+    model: ModelConfig,
+    fabric: Fabric,
+    s: int,
+    t: int | None = None,
+    parallel_heads: int | None = None,
+) -> BlockProgram:
+    """Lower the full encoder + decoder pass: the program behind the
+    Table 5.1 / Fig 5.2 latency numbers and the teacher-forced run."""
+    if s <= 0:
+        raise ValueError("s must be positive")
+    t = s if t is None else t
+    b = _Builder(fabric)
+    memory = _lower_encoder_stack_into(
+        b, model, s, parallel_heads, _ext("x"), "enc_mask"
+    )
+    out = _lower_decoder_stack_into(
+        b, model, t, s, parallel_heads, _ext("dec_in"), memory,
+        "dec_self_mask", "dec_memory_mask",
+    )
+    return b.finish(
+        {"encoder_output": memory, "decoder_output": out},
+        kind="full_pass", s=s, t=t, parallel_heads=parallel_heads,
+    )
+
+
+@lru_cache(maxsize=128)
+def lower_encoder_stack(
+    model: ModelConfig,
+    fabric: Fabric,
+    s: int,
+    parallel_heads: int | None = None,
+) -> BlockProgram:
+    """Lower the encoder stack alone (prefill / streaming chunks)."""
+    b = _Builder(fabric)
+    out = _lower_encoder_stack_into(b, model, s, parallel_heads, _ext("x"), "enc_mask")
+    return b.finish(
+        {"output": out}, kind="encoder_stack", s=s, parallel_heads=parallel_heads
+    )
+
+
+@lru_cache(maxsize=128)
+def lower_decoder_stack(
+    model: ModelConfig,
+    fabric: Fabric,
+    t: int,
+    s: int,
+    parallel_heads: int | None = None,
+) -> BlockProgram:
+    """Lower the decoder stack alone (teacher-forced / full-prefix)."""
+    b = _Builder(fabric)
+    out = _lower_decoder_stack_into(
+        b, model, t, s, parallel_heads, _ext("x"), _ext("memory"),
+        "self_mask", "memory_mask",
+    )
+    return b.finish(
+        {"output": out}, kind="decoder_stack", t=t, s=s,
+        parallel_heads=parallel_heads,
+    )
+
+
+@lru_cache(maxsize=512)
+def lower_decode_step(
+    model: ModelConfig,
+    fabric: Fabric,
+    t: int,
+    s: int,
+    parallel_heads: int | None = None,
+    tag: str = "",
+) -> BlockProgram:
+    """Lower one KV-cached decode step at prefix length ``t`` over an
+    ``s``-row memory: a 1-row query through every decoder layer."""
+    if t <= 0 or s <= 0:
+        raise ValueError("t and s must be positive")
+    b = _Builder(fabric)
+    out = _lower_decoder_step_stack_into(
+        b, model, t, s, parallel_heads, _ext("x"), "memory_mask", tag=tag
+    )
+    return b.finish(
+        {"output": out}, kind="decode_step", t=t, s=s,
+        parallel_heads=parallel_heads,
+    )
+
+
+@lru_cache(maxsize=256)
+def lower_attention_head_program(
+    fabric: Fabric,
+    s_q: int,
+    s_k: int,
+    d_model: int,
+    d_k: int,
+    head: int = 0,
+    concurrent_psas: int = 1,
+    engines: tuple[str, str, str] | None = None,
+    label_prefix: str = "",
+) -> BlockProgram:
+    """One attention head as a stand-alone program (root:
+    :class:`repro.model.params.AttentionParams`)."""
+    b = _Builder(fabric)
+    mark = b.mark()
+    out = _lower_attention_head(
+        b, "attn_head", _ext("x_q"), _ext("x_kv"), (), head, s_q, s_k,
+        d_model, d_k, concurrent_psas,
+        engines or _slot_engines(fabric, 0, concurrent_psas), "mask", (),
+        label_prefix,
+    )
+    b.close_block("attn_head", mark)
+    return b.finish({"output": out}, kind="attention_head", s_q=s_q, s_k=s_k)
+
+
+@lru_cache(maxsize=256)
+def lower_mha_program(
+    fabric: Fabric,
+    s_q: int,
+    s_k: int,
+    num_heads: int,
+    d_model: int,
+    parallel_heads: int | None = None,
+) -> BlockProgram:
+    """A full MHA block as a stand-alone program (root: AttentionParams)."""
+    b = _Builder(fabric)
+    mark = b.mark()
+    out = _lower_mha(
+        b, "mha", _ext("x_q"), _ext("x_kv"), (), s_q, s_k, num_heads,
+        d_model, parallel_heads, "mask", (),
+    )
+    b.close_block("mha", mark)
+    return b.finish({"output": out}, kind="mha", s_q=s_q, s_k=s_k)
+
+
+@lru_cache(maxsize=256)
+def lower_mha_step_program(
+    fabric: Fabric,
+    t_keys: int,
+    num_heads: int,
+    d_model: int,
+    parallel_heads: int | None = None,
+    project_kv: bool = True,
+) -> BlockProgram:
+    """An MHA decode step as a stand-alone program (root:
+    AttentionParams; cache layer 0 of the bound cache list)."""
+    if t_keys <= 0:
+        raise ValueError("t_keys must be positive")
+    b = _Builder(fabric)
+    mark = b.mark()
+    out = _lower_mha(
+        b, "mha_step", _ext("x"), _ext("x"), (), 1, t_keys, num_heads,
+        d_model, parallel_heads, "memory_mask" if not project_kv else None,
+        (), step_layer=0, project_kv=project_kv, t_keys=t_keys,
+    )
+    b.close_block("mha_step", mark)
+    return b.finish({"output": out}, kind="mha_step", t_keys=t_keys)
+
+
+@lru_cache(maxsize=256)
+def lower_ffn_program(
+    fabric: Fabric,
+    s: int,
+    d_model: int,
+    d_ff: int,
+    num_heads: int = 8,
+    parallel_heads: int | None = None,
+) -> BlockProgram:
+    """The FFN block as a stand-alone program (root: FeedForwardParams)."""
+    b = _Builder(fabric)
+    mark = b.mark()
+    out = _lower_ffn(
+        b, "ffn", _ext("x"), (), s, d_model, d_ff, num_heads,
+        parallel_heads, (),
+    )
+    b.close_block("ffn", mark)
+    return b.finish({"output": out}, kind="ffn", s=s)
+
+
+@lru_cache(maxsize=256)
+def lower_encoder_layer_program(
+    fabric: Fabric,
+    s: int,
+    num_heads: int = 8,
+    d_model: int = 512,
+    d_ff: int = 2048,
+    parallel_heads: int | None = None,
+) -> BlockProgram:
+    """One encoder layer (root: EncoderLayerParams) — the program the
+    legacy :func:`repro.hw.block_trace.trace_encoder_block` renders."""
+    b = _Builder(fabric)
+    mark = b.mark()
+    out = _lower_encoder_layer(
+        b, "enc1", _ext("x"), (), s, num_heads, d_model, d_ff,
+        parallel_heads, "mask", (),
+    )
+    b.close_block("enc1", mark)
+    return b.finish({"output": out}, kind="encoder_layer", s=s)
+
+
+@lru_cache(maxsize=256)
+def lower_decoder_layer_program(
+    fabric: Fabric,
+    t: int,
+    s: int,
+    num_heads: int = 8,
+    d_model: int = 512,
+    d_ff: int = 2048,
+    parallel_heads: int | None = None,
+) -> BlockProgram:
+    """One decoder layer (root: DecoderLayerParams), m/f split."""
+    b = _Builder(fabric)
+    out = _lower_decoder_stack_like_layer(
+        b, t, s, num_heads, d_model, d_ff, parallel_heads
+    )
+    return b.finish({"output": out}, kind="decoder_layer", t=t, s=s)
+
+
+def _lower_decoder_stack_like_layer(
+    b: _Builder,
+    t: int,
+    s: int,
+    num_heads: int,
+    d_model: int,
+    d_ff: int,
+    parallel_heads: int | None,
+) -> int:
+    mark = b.mark()
+    m_end: list[int] = []
+    out = _lower_decoder_layer(
+        b, "dec1m", "dec1f", _ext("x"), _ext("memory"), (), t, s,
+        num_heads, d_model, d_ff, parallel_heads, "self_mask",
+        "memory_mask", (), mark_m=lambda: m_end.append(b.mark()),
+    )
+    b.blocks.append(
+        BlockIR("dec1m", tuple(range(mark, m_end[0])), channel_hint=0,
+                merge_group="dec1")
+    )
+    b.blocks.append(
+        BlockIR("dec1f", tuple(range(m_end[0], b.mark())), channel_hint=1,
+                overhead_override=0, merge_group="dec1")
+    )
+    return out
+
+
+@lru_cache(maxsize=256)
+def lower_decoder_step_layer_program(
+    fabric: Fabric,
+    t: int,
+    s: int,
+    num_heads: int = 8,
+    d_model: int = 512,
+    d_ff: int = 2048,
+    parallel_heads: int | None = None,
+) -> BlockProgram:
+    """One decoder layer's KV-cached step (root: DecoderLayerParams,
+    cache layer 0 of the bound cache list), m/f split."""
+    if t <= 0 or s <= 0:
+        raise ValueError("t and s must be positive")
+    b = _Builder(fabric)
+    mark = b.mark()
+    m_end: list[int] = []
+    out = _lower_decoder_step_layer(
+        b, "dec1m", "dec1f", _ext("x"), (), 0, t, s, num_heads, d_model,
+        d_ff, parallel_heads, "memory_mask", (),
+        mark_m=lambda: m_end.append(b.mark()),
+    )
+    b.blocks.append(
+        BlockIR("dec1m", tuple(range(mark, m_end[0])), channel_hint=0,
+                merge_group="dec1")
+    )
+    b.blocks.append(
+        BlockIR("dec1f", tuple(range(m_end[0], b.mark())), channel_hint=1,
+                overhead_override=0, merge_group="dec1")
+    )
+    return b.finish({"output": out}, kind="decoder_step_layer", t=t, s=s)
+
+
+# ------------------------------------------------------- cycle executor
+def _asap_times(
+    program: BlockProgram, op_ids: Sequence[int]
+) -> dict[int, tuple[int, int]]:
+    """Integer ASAP (start, end) per compute op over the given id set.
+
+    Dependencies outside the set are treated as ready at time 0 — the
+    block-level schedulers serialize whole blocks, so cross-block edges
+    are satisfied by construction.
+    """
+    times: dict[int, tuple[int, int]] = {}
+    for op_id in op_ids:
+        op = program.ops[op_id]
+        if op.kind is OpKind.LOAD:
+            continue
+        start = max((times[d][1] for d in op.deps if d in times), default=0)
+        times[op_id] = (start, start + op.cycles)
+    return times
+
+
+def block_compute_cycles(program: BlockProgram, block: BlockIR | str) -> int:
+    """ASAP makespan of one block's compute ops (by label or BlockIR)."""
+    if isinstance(block, str):
+        block = program.block(block)
+    times = _asap_times(program, block.op_ids)
+    return max((end for _, end in times.values()), default=0)
+
+
+def _work_units(
+    program: BlockProgram, architecture: Architecture | str
+) -> list[tuple[BlockWork, tuple[BlockIR, ...]]]:
+    """Blocks folded into schedulable BlockWork units.
+
+    Under A3 every block is its own unit (per-part loads on their
+    hinted channels); under A1/A2 blocks sharing a ``merge_group`` fuse
+    into one unit with the merged load and the union makespan.
+    """
+    arch = Architecture(architecture)
+    units: list[tuple[BlockWork, tuple[BlockIR, ...]]] = []
+    blocks = program.blocks
+    i = 0
+    while i < len(blocks):
+        blk = blocks[i]
+        group = [blk]
+        if arch is not Architecture.A3 and blk.merge_group is not None:
+            while (
+                i + len(group) < len(blocks)
+                and blocks[i + len(group)].merge_group == blk.merge_group
+            ):
+                group.append(blocks[i + len(group)])
+        if len(group) > 1:
+            op_ids = [oid for g in group for oid in g.op_ids]
+            times = _asap_times(program, op_ids)
+            comp = max((end for _, end in times.values()), default=0)
+            load = (
+                blk.merged_load_cycles
+                if blk.merged_load_cycles is not None
+                else sum(g.load_cycles for g in group)
+            )
+            work = BlockWork(blk.merge_group, load, comp)
+        else:
+            work = BlockWork(
+                blk.label,
+                blk.load_cycles,
+                block_compute_cycles(program, blk),
+                channel_hint=blk.channel_hint if arch is Architecture.A3 else None,
+                overhead_override=(
+                    blk.overhead_override if arch is Architecture.A3 else None
+                ),
+            )
+        units.append((work, tuple(group)))
+        i += len(group)
+    return units
+
+
+def program_block_work(
+    program: BlockProgram, architecture: Architecture | str
+) -> list[BlockWork]:
+    """The cycle executor's view: per-unit load/compute work items,
+    identical to what the legacy ``LatencyModel.build_blocks`` chained
+    by hand."""
+    return [work for work, _ in _work_units(program, architecture)]
+
+
+def schedule_program(
+    program: BlockProgram,
+    architecture: Architecture | str = Architecture.A3,
+    block_overhead: int = 0,
+) -> ScheduleResult:
+    """Run the A1/A2/A3 schedule policy over the program's blocks."""
+    return schedule(
+        architecture, program_block_work(program, architecture), block_overhead
+    )
+
+
+# ------------------------------------------------------- trace executor
+def _emit_ops(
+    program: BlockProgram,
+    op_ids: Sequence[int],
+    offset: float,
+    timeline: Timeline,
+) -> int:
+    """Emit one work unit's op events at ``offset``; returns its span."""
+    times = _asap_times(program, op_ids)
+    span = 0
+    for op_id, (start, end) in times.items():
+        op = program.ops[op_id]
+        span = max(span, end)
+        if op.cycles <= 0:
+            continue
+        kind = "stream" if op.kind is OpKind.STREAM else "compute"
+        for engine in op.engines:
+            timeline.add(engine, op.label, offset + start, offset + end, kind=kind)
+    return span
+
+
+def trace_block(program: BlockProgram, block_label: str | None = None) -> Timeline:
+    """Op-level timeline of one block, starting at cycle 0 (the Fig
+    4.13 Gantt view; loads and dispatch overheads excluded)."""
+    blk = (
+        program.blocks[0] if block_label is None else program.block(block_label)
+    )
+    timeline = Timeline()
+    _emit_ops(program, blk.op_ids, 0.0, timeline)
+    return timeline
+
+
+def trace_program(
+    program: BlockProgram,
+    architecture: Architecture | str = Architecture.A3,
+    block_overhead: int = 0,
+) -> Timeline:
+    """Full-program timeline under one architecture: HBM channel lanes
+    from the block schedule, op-level engine lanes from the dependency
+    ASAP, and host dispatch overheads — with a makespan equal to the
+    cycle executor's ``total_cycles``."""
+    arch = Architecture(architecture)
+    units = _work_units(program, arch)
+    sched = schedule(arch, [w for w, _ in units], block_overhead)
+    starts: dict[str, float] = {}
+    for event in sched.timeline.events:
+        if event.engine == "compute" and event.label.startswith("C:"):
+            starts[event.label[2:]] = event.start
+    timeline = Timeline()
+    for event in sched.timeline.events:
+        if event.kind == "load":
+            timeline.add(event.engine, event.label, event.start, event.end, kind="load")
+    for work, group in units:
+        op_ids = [oid for blk in group for oid in blk.op_ids]
+        start = starts[work.label]
+        span = _emit_ops(program, op_ids, start, timeline)
+        overhead = work.overhead(block_overhead)
+        if overhead > 0:
+            timeline.add(
+                "host",
+                f"disp:{work.label}",
+                start + span,
+                start + span + overhead,
+                kind="overhead",
+            )
+    timeline.validate_no_engine_overlap()
+    return timeline
+
+
+# -------------------------------------------------- functional executor
+def execute_program(
+    program: BlockProgram,
+    root: Any = None,
+    inputs: dict[str, np.ndarray | None] | None = None,
+    caches: Sequence[Any] | None = None,
+    weight_hook: Callable[[ParamRef, np.ndarray], np.ndarray] | None = None,
+) -> ProgramRun:
+    """Run the numpy dataflow of a program.
+
+    ``root`` is the parameter tree the program's :class:`ParamRef`
+    paths resolve against; ``inputs`` binds the external names;
+    ``caches`` binds per-layer :class:`repro.hw.kv_cache.LayerKVCache`
+    objects for step programs.  ``weight_hook`` sees every resolved
+    parameter array (with its ref) before use — the fault-injection
+    transform plugs in here.
+    """
+    fabric = program.fabric
+    bound = inputs or {}
+    values: dict[int, np.ndarray] = {}
+
+    def value(ref: ValueRef) -> np.ndarray:
+        if ref.kind == "op":
+            return values[ref.key]
+        if ref.kind == "ext":
+            if ref.key not in bound:
+                raise KeyError(f"missing external input '{ref.key}'")
+            return bound[ref.key]
+        which, layer, head = ref.key
+        if caches is None:
+            raise ValueError("program references a KV cache but none was bound")
+        return getattr(caches[layer], which)[head]
+
+    def weight(op: Op, idx: int, sliced: bool = False) -> np.ndarray:
+        ref = op.params[idx]
+        arr = ref.resolve(root)
+        if weight_hook is not None:
+            arr = weight_hook(ref, arr)
+        head = op.attrs.get("head") if sliced else None
+        return arr if head is None else arr[head]
+
+    for op in program.ops:
+        sem = op.semantic
+        if sem is None:
+            continue
+        if sem == "mm1":
+            out = mm1(
+                fabric, value(op.inputs[0]), weight(op, 0, sliced=True),
+                op.attrs.get("concurrent_psas", 1),
+            ).output
+        elif sem == "bias":
+            out = bias_unit(value(op.inputs[0]), weight(op, 0, sliced=True))
+        elif sem == "mm2":
+            out = mm2(fabric, value(op.inputs[0]), value(op.inputs[1])).output
+        elif sem == "scsm":
+            mask_name = op.attrs.get("mask")
+            mask = bound.get(mask_name) if mask_name else None
+            out = softmax_unit(
+                scale_scores(value(op.inputs[0]), op.attrs["d_k"]), mask=mask
+            )
+        elif sem == "mm3":
+            out = mm3(fabric, value(op.inputs[0]), value(op.inputs[1])).output
+        elif sem == "mm4":
+            out = mm4(
+                fabric, [value(r) for r in op.inputs], weight(op, 0)
+            ).output
+        elif sem == "mm5":
+            out = mm5(fabric, value(op.inputs[0]), weight(op, 0)).output
+        elif sem == "bias_relu":
+            out = relu_unit(bias_unit(value(op.inputs[0]), weight(op, 0)))
+        elif sem == "mm6":
+            out = mm6(fabric, value(op.inputs[0]), weight(op, 0)).output
+        elif sem == "add_norm":
+            out = add_norm_unit(
+                value(op.inputs[0]), value(op.inputs[1]),
+                weight(op, 0), weight(op, 1),
+            )
+        elif sem == "cache_append_k":
+            if caches is None:
+                raise ValueError("cache op requires a bound cache")
+            caches[op.attrs["layer"]].append_self_k(
+                op.attrs["head"], value(op.inputs[0])
+            )
+            continue
+        elif sem == "cache_append_v":
+            if caches is None:
+                raise ValueError("cache op requires a bound cache")
+            caches[op.attrs["layer"]].append_self_v(
+                op.attrs["head"], value(op.inputs[0])
+            )
+            continue
+        else:
+            raise ValueError(f"unknown op semantic '{sem}'")
+        values[op.op_id] = out
+
+    outputs = {name: value(ref) for name, ref in program.outputs.items()}
+    block_cycles = {
+        blk.label: block_compute_cycles(program, blk) for blk in program.blocks
+    }
+    return ProgramRun(
+        outputs=outputs, block_compute_cycles=block_cycles, values=values
+    )
+
+
+__all__ = [
+    "OpKind",
+    "Op",
+    "ValueRef",
+    "ParamRef",
+    "BlockIR",
+    "BlockProgram",
+    "ProgramRun",
+    "resolve_head_parallelism",
+    "lower_full_pass",
+    "lower_encoder_stack",
+    "lower_decoder_stack",
+    "lower_decode_step",
+    "lower_attention_head_program",
+    "lower_mha_program",
+    "lower_mha_step_program",
+    "lower_ffn_program",
+    "lower_encoder_layer_program",
+    "lower_decoder_layer_program",
+    "lower_decoder_step_layer_program",
+    "block_compute_cycles",
+    "program_block_work",
+    "schedule_program",
+    "trace_block",
+    "trace_program",
+    "execute_program",
+]

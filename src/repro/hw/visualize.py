@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from repro.hw.trace import Timeline
 
-_KIND_CHARS = {"load": "=", "compute": "#", "store": "~", "overhead": "."}
+_KIND_CHARS = {
+    "load": "=",
+    "compute": "#",
+    "store": "~",
+    "overhead": ".",
+    "stream": "-",
+}
 
 
 def render_gantt(timeline: Timeline, width: int = 100) -> str:
@@ -42,6 +48,28 @@ def render_gantt(timeline: Timeline, width: int = 100) -> str:
         f"{span:.0f} cycles"
     )
     return "\n".join(lines)
+
+
+def render_program_gantt(
+    program,
+    architecture: str = "A3",
+    width: int = 100,
+    block_overhead: int | None = None,
+) -> str:
+    """Gantt of a lowered block program under one architecture.
+
+    Renders the trace executor's timeline: the HBM channel lanes come
+    first (A3's two-channel decoder prefetch of Fig 4.11 shows up as
+    interleaved ``hbm0``/``hbm1`` bars), then the per-engine op lanes
+    and the host dispatch lane.  ``block_overhead`` defaults to the
+    calibration value baked into the program's fabric.
+    """
+    from repro.hw.program import trace_program
+
+    if block_overhead is None:
+        block_overhead = program.fabric.calibration.block_overhead_cycles
+    timeline = trace_program(program, architecture, block_overhead)
+    return render_gantt(timeline, width=width)
 
 
 def render_platform_diagram(hardware=None) -> str:

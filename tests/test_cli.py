@@ -38,6 +38,23 @@ class TestCli:
         out = capsys.readouterr().out
         assert "W_Q/K/V" in out and "576" in out
 
+    def test_program(self, capsys):
+        assert main(["program", "--seq", "8", "--ops", "6", "--width", "80"]) == 0
+        out = capsys.readouterr().out
+        # Op table: header, a load op and an attention matmul.
+        assert "block program:" in out
+        assert "LW:enc1" in out and "h0:MM1(K)" in out
+        assert "more ops" in out  # truncation notice past --ops
+        # Gantt: both HBM channel lanes (A3 two-channel prefetch) plus
+        # compute engine lanes.
+        assert "hbm0" in out and "hbm1" in out
+        assert "slr0.psa0" in out and "slr1" in out
+
+    def test_program_a1(self, capsys):
+        assert main(["program", "--seq", "4", "--arch", "A1", "--ops", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "per-engine Gantt under A1" in out
+
     def test_transcribe_small(self, capsys):
         assert main(["transcribe", "--words", "1", "--seed", "3"]) == 0
         out = capsys.readouterr().out

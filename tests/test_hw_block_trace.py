@@ -2,8 +2,16 @@
 
 import pytest
 
+from repro.config import ModelConfig
 from repro.hw.block_trace import trace_encoder_block
-from repro.hw.blocks import encoder_cycles
+from repro.hw.blocks import decoder_cycles, decoder_step_cycles, encoder_cycles
+from repro.hw.program import (
+    block_compute_cycles,
+    lower_decode_step,
+    lower_full_pass,
+    schedule_program,
+    trace_program,
+)
 from repro.hw.visualize import render_gantt
 
 
@@ -66,3 +74,68 @@ class TestBlockTrace:
     def test_parallel_heads_validation(self, fabric):
         with pytest.raises(ValueError):
             trace_encoder_block(fabric, 8, parallel_heads=99)
+
+
+#: Small stack: the analytic numbers are per-layer, so two layers of
+#: each kind exercise the chaining without slowing the sweep down.
+_SWEEP_MODEL = ModelConfig(num_encoders=2, num_decoders=2)
+
+
+class TestDriftLock:
+    """The three executors may never drift apart: the trace-executor
+    makespan must stay integer-identical to the cycle schedule, and the
+    per-block compute cycles to the analytic estimators, across the
+    full s x head-parallelism x architecture sweep."""
+
+    @pytest.mark.parametrize("parallel_heads", [1, 2, 4, 8])
+    @pytest.mark.parametrize("s", [8, 18, 32, 64])
+    def test_block_cycles_match_analytic(self, fabric, s, parallel_heads):
+        m = _SWEEP_MODEL
+        program = lower_full_pass(m, fabric, s, parallel_heads=parallel_heads)
+        enc = encoder_cycles(
+            fabric, s, m.num_heads, m.d_model, m.d_ff, parallel_heads
+        )
+        mha_part, ffn_part = decoder_cycles(
+            fabric, s, s, m.num_heads, m.d_model, m.d_ff, parallel_heads
+        )
+        for i in range(m.num_encoders):
+            assert block_compute_cycles(program, f"enc{i + 1}") == enc
+        for i in range(m.num_decoders):
+            assert block_compute_cycles(program, f"dec{i + 1}m") == mha_part
+            assert block_compute_cycles(program, f"dec{i + 1}f") == ffn_part
+
+    @pytest.mark.parametrize("parallel_heads", [1, 2, 4, 8])
+    @pytest.mark.parametrize("s", [8, 18, 32, 64])
+    def test_step_block_cycles_match_analytic(self, fabric, s, parallel_heads):
+        m = _SWEEP_MODEL
+        t = max(s // 2, 1)
+        program = lower_decode_step(m, fabric, t, s, parallel_heads)
+        mha_part, ffn_part = decoder_step_cycles(
+            fabric, t, s, m.num_heads, m.d_model, m.d_ff, parallel_heads
+        )
+        for i in range(m.num_decoders):
+            assert block_compute_cycles(program, f"dec{i + 1}m") == mha_part
+            assert block_compute_cycles(program, f"dec{i + 1}f") == ffn_part
+
+    @pytest.mark.parametrize("architecture", ["A1", "A2", "A3"])
+    @pytest.mark.parametrize("parallel_heads", [1, 2, 4, 8])
+    @pytest.mark.parametrize("s", [8, 18, 32, 64])
+    def test_trace_makespan_equals_schedule(
+        self, fabric, s, parallel_heads, architecture
+    ):
+        program = lower_full_pass(
+            _SWEEP_MODEL, fabric, s, parallel_heads=parallel_heads
+        )
+        overhead = fabric.calibration.block_overhead_cycles
+        total = schedule_program(program, architecture, overhead).total_cycles
+        timeline = trace_program(program, architecture, overhead)
+        assert timeline.makespan == total
+        timeline.validate_no_engine_overlap()
+
+    @pytest.mark.parametrize("architecture", ["A1", "A2", "A3"])
+    @pytest.mark.parametrize("s", [8, 32])
+    def test_step_trace_makespan_equals_schedule(self, fabric, s, architecture):
+        program = lower_decode_step(_SWEEP_MODEL, fabric, max(s // 2, 1), s)
+        overhead = fabric.calibration.block_overhead_cycles
+        total = schedule_program(program, architecture, overhead).total_cycles
+        assert trace_program(program, architecture, overhead).makespan == total

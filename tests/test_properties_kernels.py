@@ -3,7 +3,7 @@ OpenCL runtime — the invariants that must hold for *any* shapes."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
@@ -96,7 +96,13 @@ class TestQuantizationProperties:
     )
     @settings(max_examples=30, deadline=None)
     def test_scale_equivariance(self, x, factor):
-        """Quantizing c*x has the same codes as x (symmetric scheme)."""
+        """Quantizing c*x has the same codes as x (symmetric scheme).
+
+        Equivariance only holds while the scale tracks the peak; below
+        the 1e-12 underflow clamp in ``_scales`` the scale goes flat and
+        the codes legitimately diverge, so that regime is excluded.
+        """
+        assume(np.max(np.abs(x)) * min(factor, 1.0) > 1e-9)
         q1, _ = quantize_symmetric(x, INT8)
         q2, _ = quantize_symmetric(x * factor, INT8)
         np.testing.assert_array_equal(q1, q2)
