@@ -32,6 +32,8 @@ from repro.hw.accelerator import TransformerAccelerator
 from repro.hw.controller import LatencyReport
 from repro.model.ops import MODEL_DTYPE
 from repro.model.params import TransformerParams
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 
 
 @dataclass(frozen=True)
@@ -219,9 +221,22 @@ class AsrPipeline:
         self, waveform: np.ndarray, beam_size: int | None = None
     ) -> TranscriptionResult:
         """Run the full E2E flow on one utterance."""
+        with obs_spans.tracer().span("asr.transcribe") as span:
+            result = self._transcribe(waveform, beam_size)
+            span.set(
+                sequence_length=result.sequence_length,
+                tokens=int(result.tokens.size),
+            )
+        self._record_metrics(result)
+        return result
+
+    def _transcribe(
+        self, waveform: np.ndarray, beam_size: int | None
+    ) -> TranscriptionResult:
         waveform = np.asarray(waveform, dtype=np.float64)
         start = time.perf_counter()
-        features = self.preprocessor(waveform)
+        with obs_spans.tracer().span("asr.preprocess"):
+            features = self.preprocessor(waveform)
         measured_host_ms = (time.perf_counter() - start) * 1e3
 
         s = features.shape[0]
@@ -249,22 +264,25 @@ class AsrPipeline:
             step = self.accelerator.step_fn(
                 features, use_kv_cache=self.decode_engine == "hw"
             )
-        if beam_size is not None:
-            hyps = beam_search(
-                step,
-                self.vocab.sos_id,
-                self.vocab.eos_id,
-                max_len=self.max_output_chars,
-                beam_size=beam_size,
-            )
-            tokens = np.asarray(hyps[0].tokens[1:], dtype=np.int64)
-        else:
-            tokens = greedy_decode(
-                step,
-                self.vocab.sos_id,
-                self.vocab.eos_id,
-                max_len=self.max_output_chars,
-            )
+        with obs_spans.tracer().span(
+            "asr.decode", engine=self.decode_engine
+        ):
+            if beam_size is not None:
+                hyps = beam_search(
+                    step,
+                    self.vocab.sos_id,
+                    self.vocab.eos_id,
+                    max_len=self.max_output_chars,
+                    beam_size=beam_size,
+                )
+                tokens = np.asarray(hyps[0].tokens[1:], dtype=np.int64)
+            else:
+                tokens = greedy_decode(
+                    step,
+                    self.vocab.sos_id,
+                    self.vocab.eos_id,
+                    max_len=self.max_output_chars,
+                )
         text = self.vocab.decode(tokens)
         # The synthesized hardware always processes its fixed sequence
         # length; shorter inputs are padded (Section 5.1.5), so the
@@ -290,3 +308,31 @@ class AsrPipeline:
                 "decode_steps": float(decode_steps),
             },
         )
+
+    def _record_metrics(self, result: TranscriptionResult) -> None:
+        """Publish the per-utterance latency account to the metrics
+        registry (no-op unless a telemetry session is active)."""
+        reg = obs_metrics.registry()
+        if not reg.enabled:
+            return
+        reg.counter("repro.asr.utterances").inc()
+        reg.counter("repro.asr.tokens").inc(int(result.tokens.size))
+        reg.counter("repro.asr.decode_steps").inc(
+            result.details.get("decode_steps", 0.0)
+        )
+        reg.histogram("repro.e2e_ms").observe(result.e2e_ms)
+        reg.gauge("repro.asr.host_ms").set(result.modeled_host_ms)
+        reg.gauge("repro.asr.host_measured_ms").set(result.measured_host_ms)
+        reg.gauge("repro.asr.accel_ms").set(result.accelerator_ms)
+        reg.gauge("repro.asr.decode_ms").set(result.decode_total_ms)
+        reg.gauge("repro.asr.throughput_seq_per_s").set(
+            result.throughput_seq_per_s
+        )
+        audio_seconds = result.details.get("audio_seconds", 0.0)
+        e2e_s = result.e2e_ms / 1e3
+        if audio_seconds > 0:
+            reg.gauge("repro.asr.rtf").set(e2e_s / audio_seconds)
+        if e2e_s > 0:
+            reg.gauge("repro.asr.frames_per_s").set(
+                result.sequence_length / e2e_s
+            )

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.asr.pipeline import AsrPipeline, TranscriptionResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 
 
 @dataclass(frozen=True)
@@ -108,9 +110,12 @@ class StreamingTranscriber:
         chunks = self.chunk(waveform)
         if not chunks:
             raise ValueError("waveform too short for even one chunk")
-        results = tuple(self.pipeline.transcribe(c) for c in chunks)
+        with obs_spans.tracer().span(
+            "asr.streaming.transcribe", chunks=len(chunks)
+        ):
+            results = tuple(self.pipeline.transcribe(c) for c in chunks)
         text = " ".join(r.text for r in results if r.text).strip()
-        return StreamingResult(
+        result = StreamingResult(
             text=text,
             chunk_results=results,
             audio_seconds=np.asarray(waveform).size / self._sample_rate,
@@ -122,3 +127,10 @@ class StreamingTranscriber:
                 ),
             },
         )
+        reg = obs_metrics.registry()
+        if reg.enabled:
+            reg.counter("repro.asr.streaming.utterances").inc()
+            reg.counter("repro.asr.streaming.chunks").inc(result.num_chunks)
+            if result.audio_seconds > 0:
+                reg.gauge("repro.asr.streaming.rtf").set(result.real_time_factor)
+        return result

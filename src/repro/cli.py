@@ -5,17 +5,23 @@
     repro-asr resources [--seq 32] [--psa-rows 2]
     repro-asr dse       [--seq 32]
     repro-asr precision
-    repro-asr transcribe [--words N] [--seed N] [--beam K]
+    repro-asr transcribe [--words N] [--seed N] [--beam K] [--json]
     repro-asr inventory
     repro-asr program   [--seq 32] [--arch A3] [--ops 24] [--width 100]
+    repro-asr profile   [--out DIR] [--words N] [--seed N] [--beam K] [--arch A3]
+    repro-asr metrics   [--words N] [--seed N] [--beam K] [--arch A3]
 
 Each subcommand prints one of the paper's analyses from the simulator;
 ``transcribe`` runs the full E2E pipeline on a synthetic utterance.
+``profile`` re-runs it inside a telemetry session and writes a
+Perfetto-loadable Chrome trace plus Prometheus/JSONL metric dumps;
+``metrics`` prints the Prometheus exposition text to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Sequence
 
 from repro.analysis.inventory import weight_inventory
@@ -94,7 +100,28 @@ def _cmd_precision(args: argparse.Namespace) -> int:
     return 0
 
 
+def _result_breakdown(result) -> dict:
+    """JSON-ready latency breakdown of one transcription result."""
+    return {
+        "text": result.text,
+        "espnet_text": result.espnet_text,
+        "tokens": [int(t) for t in result.tokens],
+        "sequence_length": result.sequence_length,
+        "latency_ms": {
+            "host_modeled": result.modeled_host_ms,
+            "host_measured": result.measured_host_ms,
+            "accelerator_prefill": result.accelerator_ms,
+            "decode_total": result.decode_total_ms,
+            "decode_per_token": result.decode_per_token_ms,
+            "e2e": result.e2e_ms,
+        },
+        "throughput_seq_per_s": result.throughput_seq_per_s,
+        "details": dict(result.details),
+    }
+
+
 def _cmd_transcribe(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.asr.dataset import LibriSpeechLikeDataset
     from repro.asr.pipeline import AsrPipeline
     from repro.model.params import init_transformer_params
@@ -104,13 +131,86 @@ def _cmd_transcribe(args: argparse.Namespace) -> int:
     utt = LibriSpeechLikeDataset(seed=args.seed).generate(
         1, min_words=args.words, max_words=args.words
     )[0]
-    result = pipeline.transcribe(
-        utt.waveform, beam_size=args.beam if args.beam > 1 else None
-    )
+    beam = args.beam if args.beam > 1 else None
+    if getattr(args, "json", False):
+        with obs.telemetry() as session:
+            result = pipeline.transcribe(utt.waveform, beam_size=beam)
+        payload = _result_breakdown(result)
+        payload["reference"] = utt.transcript
+        payload["metrics"] = session.metrics.as_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
+    result = pipeline.transcribe(utt.waveform, beam_size=beam)
     print(f"reference:  {utt.transcript!r}")
     print(f"recognized: {result.text!r}   ({result.espnet_text})")
     print(f"s={result.sequence_length}  host {result.modeled_host_ms:.1f} ms  "
           f"accel {result.accelerator_ms:.1f} ms  e2e {result.e2e_ms:.1f} ms")
+    return 0
+
+
+def _profiled_run(args: argparse.Namespace):
+    """One synthetic utterance under a telemetry session, plus the
+    trace-executor probe of the accelerator's block program.  Returns
+    (result, session, timeline, pipeline)."""
+    from repro import obs
+    from repro.asr.dataset import LibriSpeechLikeDataset
+    from repro.asr.pipeline import AsrPipeline
+    from repro.model.params import init_transformer_params
+
+    params = init_transformer_params(seed=args.seed)
+    pipeline = AsrPipeline(params, hw_seq_len=32, architecture=args.arch)
+    utt = LibriSpeechLikeDataset(seed=args.seed).generate(
+        1, min_words=args.words, max_words=args.words
+    )[0]
+    with obs.telemetry() as session:
+        result = pipeline.transcribe(
+            utt.waveform, beam_size=args.beam if args.beam > 1 else None
+        )
+        timeline = obs.record_program_metrics(
+            pipeline.accelerator.program(), architecture=args.arch
+        )
+    return result, session, timeline, pipeline
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro import obs
+
+    result, session, timeline, pipeline = _profiled_run(args)
+    hardware = pipeline.accelerator.latency_model.hardware
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / "trace.json"
+    trace_path.write_text(
+        obs.chrome_trace_json(
+            timeline,
+            session.spans.records,
+            clock_mhz=hardware.clock_mhz,
+            metadata={"architecture": args.arch, "seed": args.seed},
+        )
+    )
+    prom_path = out / "metrics.prom"
+    prom_path.write_text(obs.prometheus_text(session.metrics))
+    jsonl_path = out / "events.jsonl"
+    jsonl_path.write_text(
+        "".join(f"{line}\n" for line in obs.jsonl_lines(
+            session.metrics, session.spans.records
+        ))
+    )
+    print(f"recognized: {result.text!r}  "
+          f"(s={result.sequence_length}, e2e {result.e2e_ms:.1f} ms)")
+    print(f"chrome trace: {trace_path}  (open in https://ui.perfetto.dev)")
+    print(f"prometheus:   {prom_path}")
+    print(f"jsonl:        {jsonl_path}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    _, session, _, _ = _profiled_run(args)
+    print(obs.prometheus_text(session.metrics), end="")
     return 0
 
 
@@ -221,7 +321,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--words", type=int, default=3)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--beam", type=int, default=1)
+    p.add_argument("--json", action="store_true",
+                   help="emit the result breakdown + metrics as JSON")
     p.set_defaults(func=_cmd_transcribe)
+
+    p = sub.add_parser(
+        "profile",
+        help="profiled E2E run: Chrome trace (Perfetto) + metric dumps",
+    )
+    p.add_argument("--out", default="profile_out",
+                   help="output directory for trace.json / metrics.prom / "
+                        "events.jsonl")
+    p.add_argument("--words", type=int, default=3)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--beam", type=int, default=1)
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "metrics", help="Prometheus exposition text of a profiled E2E run"
+    )
+    p.add_argument("--words", type=int, default=3)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--beam", type=int, default=1)
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("inventory", help="Table 4.1 weight inventory")
     p.set_defaults(func=_cmd_inventory)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.decoding.greedy import StepFn
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass(order=True)
@@ -56,12 +57,14 @@ def beam_search(
     if max_len <= 0:
         raise ValueError("max_len must be positive")
 
+    reg = obs_metrics.registry()
     live = [BeamHypothesis(score=0.0, tokens=[sos_id])]
     finished: list[BeamHypothesis] = []
 
     for _ in range(max_len):
         candidates: list[BeamHypothesis] = []
         for hyp in live:
+            reg.counter("repro.decoding.beam.hypotheses_expanded").inc()
             log_probs = np.asarray(
                 step_fn(np.asarray(hyp.tokens, dtype=np.int64))
             )
@@ -100,8 +103,10 @@ def beam_search(
                 h.best_achievable_score(length_penalty, max_len) for h in live
             )
             if best_live < best_finished:
+                reg.counter("repro.decoding.beam.early_stops").inc()
                 break
 
+    reg.counter("repro.decoding.beam.finished").inc(len(finished))
     result = finished if finished else live
     result.sort(key=lambda h: h.normalized_score(length_penalty), reverse=True)
     return result

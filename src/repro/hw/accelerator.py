@@ -26,6 +26,7 @@ from repro.hw.scheduler import Architecture
 from repro.model.masks import causal_mask, combine_masks
 from repro.model.ops import MODEL_DTYPE, linear, log_softmax
 from repro.model.params import TransformerParams
+from repro.obs import spans as obs_spans
 
 
 @dataclass(frozen=True)
@@ -150,14 +151,15 @@ class TransformerAccelerator:
         dec_self_mask = combine_masks(
             causal_mask(self.hw_seq_len), self._key_mask(t_valid)
         )
-        run: ControllerRun = self.controller.run(
-            enc_in,
-            dec_in,
-            enc_mask=enc_mask,
-            dec_self_mask=dec_self_mask,
-            dec_memory_mask=self._key_mask(s_valid),
-            architecture=arch,
-        )
+        with obs_spans.tracer().span("hw.forward", s=s_valid, t=t_valid):
+            run: ControllerRun = self.controller.run(
+                enc_in,
+                dec_in,
+                enc_mask=enc_mask,
+                dec_self_mask=dec_self_mask,
+                dec_memory_mask=self._key_mask(s_valid),
+                architecture=arch,
+            )
         logits = self.output_logits(run.decoder_output[:t_valid])
         return AcceleratorOutput(
             logits=logits,
@@ -269,7 +271,8 @@ class HwDecodeSession:
         s_valid = features.shape[0]
         enc_in = accel._pad_rows(features)
         enc_mask = accel._key_mask(s_valid)
-        memory, _ = accel.controller.run_encoder_stack(enc_in, mask=enc_mask)
+        with obs_spans.tracer().span("hw.encoder_prefill", s=s_valid):
+            memory, _ = accel.controller.run_encoder_stack(enc_in, mask=enc_mask)
         self.memory = memory[:s_valid]
         self.memory_mask = accel._key_mask(s_valid)
         self.cache = accel.controller.build_kv_cache(memory)

@@ -43,6 +43,8 @@ from repro.hw.program import (
 )
 from repro.hw.scheduler import Architecture, BlockWork, ScheduleResult, schedule
 from repro.model.params import TransformerParams
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 
 
 @dataclass(frozen=True)
@@ -453,7 +455,8 @@ class AcceleratorController:
         """Prefill the decoder K/V cache from the encoder memory: the
         cross-attention projections of every layer run once through the
         MM1 kernels and stay resident for the whole utterance."""
-        return DecoderKVCache(self.fabric, self.params, memory)
+        with obs_spans.tracer().span("hw.kv_prefill"):
+            return DecoderKVCache(self.fabric, self.params, memory)
 
     def run_decoder_step(
         self,
@@ -481,13 +484,15 @@ class AcceleratorController:
             cache.memory_len,
             self.parallel_heads,
         )
-        run = execute_program(
-            program,
-            root=self.params,
-            inputs={"x": x[None, :], "memory_mask": memory_mask},
-            caches=cache.layers,
-        )
-        cache.advance()
+        with obs_spans.tracer().span("hw.decode_step", t=cache.length + 1):
+            run = execute_program(
+                program,
+                root=self.params,
+                inputs={"x": x[None, :], "memory_mask": memory_mask},
+                caches=cache.layers,
+            )
+            cache.advance()
+        obs_metrics.registry().counter("repro.hw.decode.steps").inc()
         return run.outputs["output"][0], run.block_compute_cycles
 
     def run(

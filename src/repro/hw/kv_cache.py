@@ -26,6 +26,7 @@ from repro.hw.kernels import Fabric, mm1
 from repro.hw.nonlinear import bias_unit
 from repro.hw.systolic import ceil_div
 from repro.model.params import AttentionParams, TransformerParams
+from repro.obs import metrics as obs_metrics
 
 
 def kv_stream_cycles(t: int, d_k: int) -> int:
@@ -60,6 +61,7 @@ class LayerKVCache:
             self.self_k.append(k_row)
         else:
             self.self_k[head] = np.concatenate([self.self_k[head], k_row], axis=0)
+        obs_metrics.registry().counter("repro.hw.kv_cache.appends").inc()
 
     def append_self_v(self, head: int, v_row: np.ndarray) -> None:
         """Bank this step's value row for one head."""
@@ -67,6 +69,7 @@ class LayerKVCache:
             self.self_v.append(v_row)
         else:
             self.self_v[head] = np.concatenate([self.self_v[head], v_row], axis=0)
+        obs_metrics.registry().counter("repro.hw.kv_cache.appends").inc()
 
     def append_self(self, head: int, k_row: np.ndarray, v_row: np.ndarray) -> None:
         """Bank this step's K/V row for one head."""
@@ -140,15 +143,30 @@ class DecoderKVCache:
             )
             self.prefill_cycles += cyc
         self._length = 0
+        reg = obs_metrics.registry()
+        if reg.enabled:
+            reg.counter("repro.hw.kv_cache.prefills").inc()
+            reg.gauge("repro.hw.kv_cache.resident_bytes").set(self.resident_bytes())
 
     @property
     def length(self) -> int:
         """Decoder positions banked so far."""
         return self._length
 
+    def resident_bytes(self) -> int:
+        """Bytes currently held in the BRAM cache banks (self + cross)."""
+        total = 0
+        for cache in self.layers:
+            for bank in (cache.self_k, cache.self_v, cache.cross_k, cache.cross_v):
+                total += sum(arr.nbytes for arr in bank)
+        return total
+
     def advance(self) -> None:
         """Record that one position's K/V rows were banked everywhere."""
         self._length += 1
+        reg = obs_metrics.registry()
+        if reg.enabled:
+            reg.gauge("repro.hw.kv_cache.resident_bytes").set(self.resident_bytes())
 
     def rewind(self, length: int) -> None:
         """Truncate all self-attention caches back to ``length``
@@ -162,3 +180,7 @@ class DecoderKVCache:
         for cache in self.layers:
             cache.rewind(length)
         self._length = length
+        reg = obs_metrics.registry()
+        if reg.enabled:
+            reg.counter("repro.hw.kv_cache.rewinds").inc()
+            reg.gauge("repro.hw.kv_cache.resident_bytes").set(self.resident_bytes())

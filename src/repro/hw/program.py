@@ -79,6 +79,8 @@ from repro.hw.scheduler import (
 )
 from repro.hw.systolic import ceil_div
 from repro.hw.trace import Timeline
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 
 
 class OpKind(str, Enum):
@@ -173,6 +175,9 @@ class BlockIR:
     overhead_override: int | None = None
     merge_group: str | None = None
     merged_load_cycles: int | None = None
+    #: Bytes of the weight bundle behind ``load_cycles`` (exact, from
+    #: the model configuration; telemetry accounts HBM traffic with it).
+    load_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -297,6 +302,7 @@ class _Builder:
         overhead_override: int | None = None,
         merge_group: str | None = None,
         merged_load_cycles: int | None = None,
+        load_bytes: int = 0,
     ) -> BlockIR:
         blk = BlockIR(
             label=label,
@@ -306,6 +312,7 @@ class _Builder:
             overhead_override=overhead_override,
             merge_group=merge_group,
             merged_load_cycles=merged_load_cycles,
+            load_bytes=load_bytes,
         )
         self.blocks.append(blk)
         return blk
@@ -813,11 +820,8 @@ def _lower_encoder_stack_into(
     mask: str | None,
 ) -> ValueRef:
     bpe = b.fabric.hardware.bytes_per_element
-    enc_load = (
-        _bundle_load_cycles(b.fabric, encoder_weight_bytes(model, bpe))
-        if model.num_encoders
-        else 0
-    )
+    enc_bytes = encoder_weight_bytes(model, bpe) if model.num_encoders else 0
+    enc_load = _bundle_load_cycles(b.fabric, enc_bytes) if enc_bytes else 0
     prev_out: tuple[int, ...] = ()
     for i in range(model.num_encoders):
         label = f"enc{i + 1}"
@@ -827,7 +831,7 @@ def _lower_encoder_stack_into(
             b, label, x, ("encoders", i), s, model.num_heads,
             model.d_model, model.d_ff, parallel_heads, mask, prev_out,
         )
-        b.close_block(label, mark, load_cycles=enc_load)
+        b.close_block(label, mark, load_cycles=enc_load, load_bytes=enc_bytes)
         x = _opref(out)
         prev_out = (out,)
     return x
@@ -849,8 +853,10 @@ def _lower_decoder_stack_into(
     bpe = fabric.hardware.bytes_per_element
     if not model.num_decoders:
         return x
-    mha_load = _bundle_load_cycles(fabric, decoder_mha_weight_bytes(model, bpe))
-    ffn_load = _bundle_load_cycles(fabric, decoder_ffn_weight_bytes(model, bpe))
+    mha_bytes = decoder_mha_weight_bytes(model, bpe)
+    ffn_bytes = decoder_ffn_weight_bytes(model, bpe)
+    mha_load = _bundle_load_cycles(fabric, mha_bytes)
+    ffn_load = _bundle_load_cycles(fabric, ffn_bytes)
     merged_load = _bundle_load_cycles(fabric, decoder_weight_bytes(model, bpe))
     prev_out: tuple[int, ...] = ()
     for i in range(model.num_decoders):
@@ -874,6 +880,7 @@ def _lower_decoder_stack_into(
                 channel_hint=0,
                 merge_group=group,
                 merged_load_cycles=merged_load,
+                load_bytes=mha_bytes,
             )
         )
         f_mark = b.mark()
@@ -889,6 +896,7 @@ def _lower_decoder_stack_into(
                 overhead_override=0,
                 merge_group=group,
                 merged_load_cycles=merged_load,
+                load_bytes=ffn_bytes,
             )
         )
         del f_mark
@@ -911,8 +919,10 @@ def _lower_decoder_step_stack_into(
     bpe = fabric.hardware.bytes_per_element
     if not model.num_decoders:
         return x
-    mha_load = _bundle_load_cycles(fabric, decoder_mha_weight_bytes(model, bpe))
-    ffn_load = _bundle_load_cycles(fabric, decoder_ffn_weight_bytes(model, bpe))
+    mha_bytes = decoder_mha_weight_bytes(model, bpe)
+    ffn_bytes = decoder_ffn_weight_bytes(model, bpe)
+    mha_load = _bundle_load_cycles(fabric, mha_bytes)
+    ffn_load = _bundle_load_cycles(fabric, ffn_bytes)
     merged_load = _bundle_load_cycles(fabric, decoder_weight_bytes(model, bpe))
     prev_out: tuple[int, ...] = ()
     for i in range(model.num_decoders):
@@ -935,6 +945,7 @@ def _lower_decoder_step_stack_into(
                 channel_hint=0,
                 merge_group=group,
                 merged_load_cycles=merged_load,
+                load_bytes=mha_bytes,
             )
         )
         _load_op(b, f_label, ffn_load, 1)
@@ -947,6 +958,7 @@ def _lower_decoder_step_stack_into(
                 overhead_override=0,
                 merge_group=group,
                 merged_load_cycles=merged_load,
+                load_bytes=ffn_bytes,
             )
         )
         x = _opref(out)
@@ -1257,6 +1269,85 @@ def block_compute_cycles(program: BlockProgram, block: BlockIR | str) -> int:
     return max((end for _, end in times.values()), default=0)
 
 
+#: Every lru_cache'd lowering entry point, for cache-pressure telemetry.
+_CACHED_LOWERINGS = (
+    lower_full_pass,
+    lower_encoder_stack,
+    lower_decoder_stack,
+    lower_decode_step,
+    lower_attention_head_program,
+    lower_mha_program,
+    lower_mha_step_program,
+    lower_ffn_program,
+    lower_encoder_layer_program,
+    lower_decoder_layer_program,
+    lower_decoder_step_layer_program,
+)
+
+
+def lowering_cache_info() -> dict[str, Any]:
+    """``functools.lru_cache`` statistics per lowering entry point."""
+    return {fn.__name__: fn.cache_info() for fn in _CACHED_LOWERINGS}
+
+
+def record_lowering_cache_metrics(
+    registry: "obs_metrics.MetricsRegistry | None" = None,
+) -> None:
+    """Publish lowering-cache hit/miss gauges to the metrics registry."""
+    reg = registry if registry is not None else obs_metrics.registry()
+    if not reg.enabled:
+        return
+    for name, info in lowering_cache_info().items():
+        reg.gauge("repro.hw.program.lower.cache_hits", lowering=name).set(info.hits)
+        reg.gauge("repro.hw.program.lower.cache_misses", lowering=name).set(
+            info.misses
+        )
+
+
+def program_op_counts(program: BlockProgram) -> dict[str, int]:
+    """Op count per :class:`OpKind` value, sorted by kind name.
+
+    The same lowering feeds every executor, so this count is exact for
+    the functional, cycle and trace views alike.
+    """
+    counts: dict[str, int] = {}
+    for op in program.ops:
+        counts[op.kind.value] = counts.get(op.kind.value, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def program_load_bytes(program: BlockProgram) -> int:
+    """Total weight bytes the program streams from HBM."""
+    return sum(blk.load_bytes for blk in program.blocks)
+
+
+def program_hbm_bytes(
+    program: BlockProgram, architecture: Architecture | str = Architecture.A3
+) -> dict[int, int]:
+    """Weight bytes per HBM channel under one architecture's placement.
+
+    Replays the block schedule and attributes each work unit's bytes to
+    the channel its load actually landed on, so the per-channel sums
+    always total :func:`program_load_bytes`.
+    """
+    arch = Architecture(architecture)
+    units = _work_units(program, arch)
+    bytes_by_label = {
+        work.label: sum(blk.load_bytes for blk in group) for work, group in units
+    }
+    sched = schedule(arch, [work for work, _ in units], 0)
+    per_channel: dict[int, int] = {}
+    for event in sched.timeline.events:
+        if event.kind != "load" or not event.engine.startswith("hbm"):
+            continue
+        label = event.label[3:] if event.label.startswith("LW:") else event.label
+        channel = int(event.engine[len("hbm"):])
+        per_channel[channel] = per_channel.get(channel, 0) + bytes_by_label.get(
+            label, 0
+        )
+    return dict(sorted(per_channel.items()))
+
+
 def _work_units(
     program: BlockProgram, architecture: Architecture | str
 ) -> list[tuple[BlockWork, tuple[BlockIR, ...]]]:
@@ -1410,6 +1501,26 @@ def execute_program(
     parameter array (with its ref) before use — the fault-injection
     transform plugs in here.
     """
+    program_kind = str(program.meta.get("kind", "unknown"))
+    with obs_spans.tracer().span("hw.execute_program", kind=program_kind):
+        run = _execute_ops(program, root, inputs, caches, weight_hook)
+    reg = obs_metrics.registry()
+    if reg.enabled:
+        reg.counter("repro.hw.program.executions", kind=program_kind).inc()
+        for op_kind, count in program_op_counts(program).items():
+            reg.counter("repro.hw.program.ops", kind=op_kind).inc(count)
+        reg.counter("repro.hw.hbm.bytes_streamed").inc(program_load_bytes(program))
+        record_lowering_cache_metrics(reg)
+    return run
+
+
+def _execute_ops(
+    program: BlockProgram,
+    root: Any,
+    inputs: dict[str, np.ndarray | None] | None,
+    caches: Sequence[Any] | None,
+    weight_hook: Callable[[ParamRef, np.ndarray], np.ndarray] | None,
+) -> ProgramRun:
     fabric = program.fabric
     bound = inputs or {}
     values: dict[int, np.ndarray] = {}
@@ -1519,6 +1630,11 @@ __all__ = [
     "lower_decoder_step_layer_program",
     "block_compute_cycles",
     "program_block_work",
+    "program_op_counts",
+    "program_load_bytes",
+    "program_hbm_bytes",
+    "lowering_cache_info",
+    "record_lowering_cache_metrics",
     "schedule_program",
     "trace_block",
     "trace_program",

@@ -11,6 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+#: Every lane style the renderers and exporters know how to draw.
+#: ("stream" covers KV-cache rows fed from BRAM banks into a PSA.)
+VALID_EVENT_KINDS = frozenset({"load", "compute", "store", "overhead", "stream"})
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """A half-open interval [start, end) of work on one engine."""
@@ -19,13 +24,18 @@ class TraceEvent:
     label: str
     start: float
     end: float
-    kind: str = "compute"  # "load" | "compute" | "store" | "overhead"
+    kind: str = "compute"  # one of VALID_EVENT_KINDS
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValueError(
                 f"event '{self.label}' ends ({self.end}) before it "
                 f"starts ({self.start})"
+            )
+        if self.kind not in VALID_EVENT_KINDS:
+            raise ValueError(
+                f"event '{self.label}' has unknown kind '{self.kind}'; "
+                f"expected one of {sorted(VALID_EVENT_KINDS)}"
             )
 
     @property

@@ -1,0 +1,114 @@
+"""Unified telemetry for the simulator stack.
+
+Three dependency-free pieces:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms with stable dotted names (schema in
+  :data:`METRIC_HELP` and docs/ARCHITECTURE.md §7).
+* :mod:`repro.obs.spans` — a :class:`Tracer` of nested wall-clock
+  spans over the host pipeline.
+* :mod:`repro.obs.export` — Prometheus text exposition, JSONL event
+  log, and Chrome-trace JSON (Perfetto) built from metrics, spans and
+  the trace executor's :class:`repro.hw.trace.Timeline`.
+
+Telemetry is **off by default**: the process-wide registry and tracer
+are shared no-ops, so the instrumented layers (asr, hw, decoding) pay
+a couple of attribute lookups and nothing else — pinned paper numbers
+are unaffected.  Turn it on for a bounded scope with::
+
+    from repro import obs
+
+    with obs.telemetry() as session:
+        pipeline.transcribe(waveform)
+    print(obs.export.prometheus_text(session.metrics))
+
+``repro-asr profile`` wraps exactly this around one utterance and dumps
+chrome-trace + Prometheus + JSONL artifacts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs import export
+from repro.obs.export import chrome_trace, chrome_trace_json, jsonl_lines, prometheus_text
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRIC_HELP,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    enabled,
+    registry,
+    set_registry,
+)
+from repro.obs.probe import record_program_metrics
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    set_tracer,
+    tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "METRIC_HELP",
+    "DEFAULT_BUCKETS",
+    "registry",
+    "set_registry",
+    "enabled",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "tracer",
+    "set_tracer",
+    "export",
+    "prometheus_text",
+    "chrome_trace",
+    "chrome_trace_json",
+    "jsonl_lines",
+    "record_program_metrics",
+    "TelemetrySession",
+    "telemetry",
+]
+
+
+@dataclass(frozen=True)
+class TelemetrySession:
+    """Handle yielded by :func:`telemetry`: the live registry + tracer."""
+
+    metrics: MetricsRegistry
+    spans: Tracer
+
+
+@contextmanager
+def telemetry(
+    metrics: MetricsRegistry | None = None,
+    spans: Tracer | None = None,
+) -> Iterator[TelemetrySession]:
+    """Install a live registry and tracer for the ``with`` body, then
+    restore whatever was active before (the no-op defaults, usually)."""
+    reg = metrics if metrics is not None else MetricsRegistry()
+    tr = spans if spans is not None else Tracer()
+    prev_reg = set_registry(reg)
+    prev_tr = set_tracer(tr)
+    try:
+        yield TelemetrySession(metrics=reg, spans=tr)
+    finally:
+        set_registry(prev_reg)
+        set_tracer(prev_tr)

@@ -1,0 +1,258 @@
+"""Exporters: Prometheus text exposition, JSONL event log, and
+Chrome-trace JSON (Perfetto-loadable).
+
+The Chrome trace merges two time sources into one view:
+
+* the simulated accelerator — a :class:`repro.hw.trace.Timeline` whose
+  events are in fabric cycles; they are converted to microseconds at
+  the fabric clock and rendered as one "accelerator" process with one
+  thread lane per engine (HBM channels, PSAs, vector units, host
+  dispatch);
+* the measured host — :class:`repro.obs.spans.SpanRecord` wall-clock
+  spans, rendered as a second "host" process with one lane per Python
+  thread.
+
+Load the resulting JSON at https://ui.perfetto.dev (or
+``chrome://tracing``) directly.
+
+Everything here is duck-typed over the trace/span/metric objects so the
+``obs`` package stays dependency-free and import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Sequence
+
+from repro.obs.metrics import METRIC_HELP, Histogram, MetricsRegistry
+
+__all__ = [
+    "prometheus_name",
+    "prometheus_text",
+    "chrome_trace",
+    "chrome_trace_json",
+    "jsonl_lines",
+]
+
+
+# ----------------------------------------------------------- Prometheus
+def prometheus_name(name: str) -> str:
+    """Dotted metric name -> Prometheus exposition name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    The HELP line carries the original dotted name (Prometheus names
+    cannot contain dots) followed by the schema description from
+    :data:`repro.obs.metrics.METRIC_HELP`.
+    """
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for inst in registry.collect():
+        pname = prometheus_name(inst.name)
+        if pname not in seen_header:
+            seen_header.add(pname)
+            help_text = METRIC_HELP.get(inst.name, "")
+            lines.append(f"# HELP {pname} {inst.name} {help_text}".rstrip())
+            lines.append(f"# TYPE {pname} {inst.kind}")
+        if isinstance(inst, Histogram):
+            for bound, cum in inst.cumulative_buckets():
+                le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                lines.append(
+                    f"{pname}_bucket{_label_str(inst.labels, {'le': le})} {cum}"
+                )
+            lines.append(
+                f"{pname}_sum{_label_str(inst.labels)} {_format_value(inst.sum)}"
+            )
+            lines.append(f"{pname}_count{_label_str(inst.labels)} {inst.count}")
+        else:
+            lines.append(
+                f"{pname}{_label_str(inst.labels)} {_format_value(inst.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------- Chrome trace
+_ACCEL_PID = 1
+_HOST_PID = 2
+
+
+def _engine_sort_key(engine: str) -> tuple:
+    """HBM channels first, then PSAs, vector units, host dispatch."""
+    order = ("hbm", "slr", "host")
+    for rank, prefix in enumerate(order):
+        if engine.startswith(prefix):
+            return (rank, engine)
+    return (len(order), engine)
+
+
+def chrome_trace(
+    timeline=None,
+    spans: Sequence | None = None,
+    clock_mhz: float = 300.0,
+    metadata: dict | None = None,
+) -> dict:
+    """Build a Chrome-trace (Perfetto-loadable) JSON object.
+
+    ``timeline`` is a :class:`repro.hw.trace.Timeline` in fabric
+    cycles; ``spans`` an iterable of completed
+    :class:`repro.obs.spans.SpanRecord`.  Either may be omitted.
+    """
+    if clock_mhz <= 0:
+        raise ValueError("clock_mhz must be positive")
+    events: list[dict] = []
+
+    def meta_event(pid: int, tid: int | None, name: str, value: str, sort: int | None = None) -> None:
+        ev = {"ph": "M", "pid": pid, "name": name, "args": {"name": value}}
+        if tid is not None:
+            ev["tid"] = tid
+        events.append(ev)
+        if sort is not None:
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": sort},
+                }
+            )
+
+    if timeline is not None and timeline.events:
+        meta_event(_ACCEL_PID, None, "process_name", "accelerator (simulated)")
+        engines = sorted(timeline.engines(), key=_engine_sort_key)
+        tid_of = {engine: tid for tid, engine in enumerate(engines, start=1)}
+        for engine, tid in tid_of.items():
+            meta_event(_ACCEL_PID, tid, "thread_name", engine, sort=tid)
+        # One fabric cycle at clock_mhz MHz is (1 / clock_mhz) µs.
+        scale = 1.0 / clock_mhz
+        for event in timeline.events:
+            events.append(
+                {
+                    "name": event.label,
+                    "cat": event.kind,
+                    "ph": "X",
+                    "pid": _ACCEL_PID,
+                    "tid": tid_of[event.engine],
+                    "ts": event.start * scale,
+                    "dur": event.duration * scale,
+                    "args": {
+                        "engine": event.engine,
+                        "cycles": event.duration,
+                        "kind": event.kind,
+                    },
+                }
+            )
+
+    span_list = list(spans or [])
+    if span_list:
+        meta_event(_HOST_PID, None, "process_name", "host (measured)")
+        threads = sorted({rec.thread_id for rec in span_list})
+        tid_of_thread = {t: tid for tid, t in enumerate(threads, start=1)}
+        for t, tid in tid_of_thread.items():
+            meta_event(_HOST_PID, tid, "thread_name", f"python-thread-{tid}")
+        for rec in span_list:
+            args = {"depth": rec.depth}
+            args.update(rec.attrs)
+            events.append(
+                {
+                    "name": rec.name,
+                    "cat": "host",
+                    "ph": "X",
+                    "pid": _HOST_PID,
+                    "tid": tid_of_thread[rec.thread_id],
+                    "ts": rec.start_us,
+                    "dur": rec.duration_us,
+                    "args": args,
+                }
+            )
+
+    trace = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock_mhz": clock_mhz},
+    }
+    if metadata:
+        trace["otherData"].update(metadata)
+    return trace
+
+
+def chrome_trace_json(
+    timeline=None,
+    spans: Sequence | None = None,
+    clock_mhz: float = 300.0,
+    metadata: dict | None = None,
+) -> str:
+    """:func:`chrome_trace`, serialized."""
+    return json.dumps(
+        chrome_trace(timeline, spans, clock_mhz, metadata), indent=None
+    )
+
+
+# ----------------------------------------------------------------- JSONL
+def jsonl_lines(
+    registry: MetricsRegistry | None = None,
+    spans: Sequence | None = None,
+) -> Iterable[str]:
+    """One JSON object per line: every metric sample, then every span.
+
+    The machine-readable twin of the Prometheus exposition — greppable,
+    appendable, and schema-tagged via the ``type`` field.
+    """
+    if registry is not None:
+        for inst in registry.collect():
+            record: dict = {
+                "type": "metric",
+                "kind": inst.kind,
+                "name": inst.name,
+                "labels": inst.labels,
+            }
+            if isinstance(inst, Histogram):
+                record["count"] = inst.count
+                record["sum"] = inst.sum
+                record["buckets"] = [
+                    ["+Inf" if math.isinf(b) else b, n]
+                    for b, n in inst.cumulative_buckets()
+                ]
+            else:
+                record["value"] = inst.value
+            yield json.dumps(record, sort_keys=True)
+    for rec in spans or []:
+        yield json.dumps(
+            {
+                "type": "span",
+                "name": rec.name,
+                "start_us": rec.start_us,
+                "duration_us": rec.duration_us,
+                "depth": rec.depth,
+                "attrs": rec.attrs,
+            },
+            sort_keys=True,
+        )

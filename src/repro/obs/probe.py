@@ -1,0 +1,77 @@
+"""Deep accelerator probes: derive per-engine metrics from a lowered
+block program via the trace executor.
+
+The functional executor records *what ran* (op counts, bytes streamed);
+this probe records *where the cycles went*: busy cycles per engine
+lane, PSA occupancy, HBM bytes per channel and the schedule totals —
+the quantities Table 5.1 / Fig 4.11 reason about.  It runs the trace
+executor once, so it is used by ``repro-asr profile`` rather than on
+every transcription.
+
+Hardware imports stay inside the functions so ``repro.obs`` remains a
+leaf package (the hw layer imports it for instrumentation).
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["record_program_metrics"]
+
+
+def record_program_metrics(
+    program,
+    architecture: str = "A3",
+    registry: _metrics.MetricsRegistry | None = None,
+    block_overhead: int | None = None,
+):
+    """Trace one :class:`repro.hw.program.BlockProgram` and record:
+
+    * ``repro.hw.engine.busy_cycles{engine=...}`` — per-lane busy cycles
+    * ``repro.hw.psa.occupancy`` — mean busy fraction of the PSA lanes
+    * ``repro.hw.hbm.bytes{channel=...}`` — weight bytes per HBM channel
+      under the architecture's actual load placement
+    * ``repro.hw.schedule.total_cycles`` / ``.stall_cycles``
+    * ``repro.hw.program.trace_ops{kind=...}`` — the trace executor's
+      op account, comparable against the functional executor's
+      ``repro.hw.program.ops`` counters
+
+    Returns the traced :class:`repro.hw.trace.Timeline` (also the input
+    to the Chrome-trace exporter), or None when telemetry is disabled.
+    """
+    from repro.hw.program import (
+        program_hbm_bytes,
+        program_op_counts,
+        schedule_program,
+        trace_program,
+    )
+
+    reg = registry if registry is not None else _metrics.registry()
+    if not reg.enabled:
+        return None
+    if block_overhead is None:
+        block_overhead = program.fabric.calibration.block_overhead_cycles
+
+    timeline = trace_program(program, architecture, block_overhead)
+    psa_busy = 0.0
+    psa_lanes = 0
+    for engine in timeline.engines():
+        busy = timeline.busy_time(engine)
+        reg.gauge("repro.hw.engine.busy_cycles", engine=engine).set(busy)
+        if ".psa" in engine:
+            psa_busy += busy
+            psa_lanes += 1
+    makespan = timeline.makespan
+    if psa_lanes and makespan > 0:
+        reg.gauge("repro.hw.psa.occupancy").set(psa_busy / (psa_lanes * makespan))
+
+    for channel, num_bytes in program_hbm_bytes(program, architecture).items():
+        reg.gauge("repro.hw.hbm.bytes", channel=str(channel)).set(num_bytes)
+
+    sched = schedule_program(program, architecture, block_overhead)
+    reg.gauge("repro.hw.schedule.total_cycles").set(sched.total_cycles)
+    reg.gauge("repro.hw.schedule.stall_cycles").set(sched.stall_cycles)
+
+    for kind, count in program_op_counts(program).items():
+        reg.gauge("repro.hw.program.trace_ops", kind=kind).set(count)
+    return timeline

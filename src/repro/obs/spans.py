@@ -1,0 +1,178 @@
+"""Span tracing: nested wall-clock intervals over the host pipeline.
+
+A :class:`Tracer` records :class:`SpanRecord` intervals via the
+``with tracer().span("asr.transcribe"):`` context manager.  Spans nest
+per thread (the record carries its depth and thread id), so the
+exporter can rebuild the host-side flame graph next to the simulated
+accelerator lanes in one Chrome trace.
+
+Like the metrics registry, the process-wide default is a no-op
+:class:`NullTracer`; a real tracer is installed for the duration of a
+profiling run (see :func:`repro.obs.telemetry`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "tracer",
+    "set_tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, in microseconds from the tracer's epoch."""
+
+    name: str
+    start_us: float
+    duration_us: float
+    depth: int
+    thread_id: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+class Span:
+    """The live handle yielded inside a ``with tracer.span(...)`` body."""
+
+    __slots__ = ("name", "attrs", "_start", "_depth")
+
+    def __init__(self, name: str, attrs: dict, start: float, depth: int) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._start = start
+        self._depth = depth
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to the span record."""
+        self.attrs.update(attrs)
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._span = Span(name, attrs, 0.0, 0)
+
+    def __enter__(self) -> Span:
+        stack = self._tracer._stack()
+        self._span._depth = len(stack)
+        stack.append(self._span)
+        self._span._start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        span = self._span
+        self._tracer._stack().pop()
+        self._tracer._record(
+            SpanRecord(
+                name=span.name,
+                start_us=(span._start - self._tracer.epoch) * 1e6,
+                duration_us=(end - span._start) * 1e6,
+                depth=span._depth,
+                thread_id=threading.get_ident(),
+                attrs=dict(span.attrs),
+            )
+        )
+
+
+class Tracer:
+    """Collects spans; thread-safe, with a per-thread nesting stack."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a nested span; completed on context exit."""
+        return _SpanContext(self, name, attrs)
+
+    @property
+    def records(self) -> list[SpanRecord]:
+        """Completed spans in completion order (children before parents)."""
+        with self._lock:
+            return list(self._records)
+
+
+class _NullSpan(Span):
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Reentrant shared no-op context manager."""
+
+    __slots__ = ()
+    _NULL_SPAN = _NullSpan("null", {}, 0.0, 0)
+
+    def __enter__(self) -> Span:
+        return self._NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """The disabled default: spans cost one call and no state."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **attrs: object) -> _NullSpanContext:  # type: ignore[override]
+        return _NULL_SPAN_CONTEXT
+
+
+NULL_TRACER = NullTracer()
+
+_active: Tracer = NULL_TRACER
+
+
+def tracer() -> Tracer:
+    """The process-wide active tracer (a no-op unless installed)."""
+    return _active
+
+
+def set_tracer(tr: Tracer | None) -> Tracer:
+    """Install ``tr`` (None restores the no-op default); returns the
+    previously active tracer."""
+    global _active
+    previous = _active
+    _active = tr if tr is not None else NULL_TRACER
+    return previous

@@ -60,6 +60,49 @@ class TestCli:
         out = capsys.readouterr().out
         assert "recognized:" in out and "e2e" in out
 
+    def test_transcribe_json(self, capsys):
+        import json
+
+        assert main(["transcribe", "--words", "1", "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {
+            "text", "tokens", "sequence_length", "latency_ms", "metrics",
+            "reference",
+        }
+        assert payload["latency_ms"]["e2e"] > 0
+        assert payload["metrics"]["repro.asr.utterances"] == 1
+        assert payload["metrics"]["repro.e2e_ms"]["count"] == 1
+
+    def test_profile_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "prof"
+        assert main([
+            "profile", "--out", str(out_dir), "--words", "1", "--seed", "3",
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "perfetto" in stdout.lower()
+        trace = json.loads((out_dir / "trace.json").read_text())
+        lanes = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert {"hbm0", "hbm1", "host"} <= lanes
+        assert any(lane.startswith("slr0.psa") for lane in lanes)
+        prom = (out_dir / "metrics.prom").read_text()
+        for expected in (
+            "repro_e2e_ms", "repro_hw_engine_busy_cycles", "repro_hw_hbm_bytes",
+        ):
+            assert expected in prom
+        assert (out_dir / "events.jsonl").read_text().strip()
+
+    def test_metrics_exposition(self, capsys):
+        assert main(["metrics", "--words", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_e2e_ms histogram" in out
+        assert "repro_asr_utterances 1" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["no-such-command"])

@@ -16,6 +16,19 @@ class TestTraceEvent:
         with pytest.raises(ValueError):
             TraceEvent("psa0", "mm1", 10, 5)
 
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            TraceEvent("psa0", "mm1", 0, 5, kind="bogus")
+
+    def test_accepts_every_documented_kind(self):
+        from repro.hw.trace import VALID_EVENT_KINDS
+
+        assert VALID_EVENT_KINDS == {
+            "load", "compute", "store", "overhead", "stream",
+        }
+        for kind in VALID_EVENT_KINDS:
+            TraceEvent("psa0", "mm1", 0, 5, kind=kind)
+
     def test_overlap_detection(self):
         a = TraceEvent("e", "a", 0, 10)
         b = TraceEvent("e", "b", 5, 15)

@@ -1,0 +1,168 @@
+"""Tests for the telemetry exporters, plus the pinned metric-name
+schema that downstream dashboards rely on."""
+
+import json
+
+import pytest
+
+from repro.hw.trace import Timeline
+from repro.obs import chrome_trace, chrome_trace_json, jsonl_lines, prometheus_text
+from repro.obs.export import prometheus_name
+from repro.obs.metrics import METRIC_HELP, MetricsRegistry
+from repro.obs.spans import Tracer
+
+#: The exported metric-name schema.  This list is a contract: renaming
+#: or removing a metric breaks dashboards and scrapers, so changes here
+#: must be deliberate (update docs/ARCHITECTURE.md §7 alongside).
+PINNED_METRIC_NAMES = frozenset({
+    "repro.e2e_ms",
+    "repro.asr.utterances",
+    "repro.asr.tokens",
+    "repro.asr.decode_steps",
+    "repro.asr.host_ms",
+    "repro.asr.host_measured_ms",
+    "repro.asr.accel_ms",
+    "repro.asr.decode_ms",
+    "repro.asr.rtf",
+    "repro.asr.frames_per_s",
+    "repro.asr.throughput_seq_per_s",
+    "repro.asr.streaming.chunks",
+    "repro.asr.streaming.utterances",
+    "repro.asr.streaming.rtf",
+    "repro.hw.program.executions",
+    "repro.hw.program.ops",
+    "repro.hw.program.trace_ops",
+    "repro.hw.program.lower.cache_hits",
+    "repro.hw.program.lower.cache_misses",
+    "repro.hw.hbm.bytes_streamed",
+    "repro.hw.hbm.bytes",
+    "repro.hw.engine.busy_cycles",
+    "repro.hw.psa.occupancy",
+    "repro.hw.schedule.total_cycles",
+    "repro.hw.schedule.stall_cycles",
+    "repro.hw.decode.steps",
+    "repro.hw.kv_cache.prefills",
+    "repro.hw.kv_cache.appends",
+    "repro.hw.kv_cache.rewinds",
+    "repro.hw.kv_cache.resident_bytes",
+    "repro.decoding.beam.hypotheses_expanded",
+    "repro.decoding.beam.early_stops",
+    "repro.decoding.beam.finished",
+})
+
+
+class TestMetricSchemaPin:
+    def test_schema_is_pinned(self):
+        assert set(METRIC_HELP) == PINNED_METRIC_NAMES
+
+    def test_prometheus_names_unique_after_sanitization(self):
+        sanitized = {prometheus_name(n) for n in METRIC_HELP}
+        assert len(sanitized) == len(METRIC_HELP)
+
+
+class TestPrometheusText:
+    def test_name_sanitization(self):
+        assert prometheus_name("repro.hw.hbm.bytes") == "repro_hw_hbm_bytes"
+
+    def test_counter_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.asr.utterances").inc(2)
+        text = prometheus_text(reg)
+        assert "# HELP repro_asr_utterances repro.asr.utterances " in text
+        assert "# TYPE repro_asr_utterances counter" in text
+        assert "repro_asr_utterances 2" in text
+
+    def test_labels_rendered(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro.hw.hbm.bytes", channel="0").set(1024)
+        assert 'repro_hw_hbm_bytes{channel="0"} 1024' in prometheus_text(reg)
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro.e2e_ms", buckets=(1.0, 10.0)).observe(5.0)
+        text = prometheus_text(reg)
+        assert 'repro_e2e_ms_bucket{le="1"} 0' in text
+        assert 'repro_e2e_ms_bucket{le="10"} 1' in text
+        assert 'repro_e2e_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_e2e_ms_sum 5" in text
+        assert "repro_e2e_ms_count 1" in text
+
+    def test_help_text_from_schema(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro.e2e_ms").observe(1.0)
+        assert METRIC_HELP["repro.e2e_ms"] in prometheus_text(reg)
+
+    def test_deterministic_output(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("repro.asr.tokens").inc(3)
+            reg.gauge("repro.hw.hbm.bytes", channel="1").set(7)
+            reg.gauge("repro.hw.hbm.bytes", channel="0").set(9)
+            return prometheus_text(reg)
+
+        assert build() == build()
+
+
+class TestChromeTrace:
+    def _timeline(self) -> Timeline:
+        tl = Timeline()
+        tl.add("hbm0", "LW:enc1", 0, 100, kind="load")
+        tl.add("slr0.psa0", "mm1", 100, 300)
+        tl.add("host", "disp:enc1", 300, 320, kind="overhead")
+        return tl
+
+    def test_events_and_lanes(self):
+        trace = chrome_trace(self._timeline(), clock_mhz=100.0)
+        events = trace["traceEvents"]
+        lanes = {
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        }
+        assert {"hbm0", "slr0.psa0", "host"} <= lanes
+        durations = [e for e in events if e["ph"] == "X"]
+        assert len(durations) == 3
+        # cycles -> microseconds at the given clock
+        load = next(e for e in durations if e["name"] == "LW:enc1")
+        assert load["ts"] == pytest.approx(0.0)
+        assert load["dur"] == pytest.approx(1.0)  # 100 cycles @ 100 MHz
+
+    def test_spans_on_host_process(self):
+        tr = Tracer()
+        with tr.span("asr.transcribe"):
+            pass
+        trace = chrome_trace(None, tr.records)
+        durs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(durs) == 1
+        accel_pids = {
+            e["pid"] for e in trace["traceEvents"]
+            if e.get("name") == "process_name"
+            and "accelerator" in e["args"]["name"]
+        }
+        assert durs[0]["pid"] not in accel_pids
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            chrome_trace(self._timeline(), clock_mhz=0)
+
+    def test_json_round_trip(self):
+        parsed = json.loads(chrome_trace_json(self._timeline()))
+        assert parsed["displayTimeUnit"] == "ms"
+        assert parsed["otherData"]["clock_mhz"] == 300.0
+
+
+class TestJsonl:
+    def test_metric_and_span_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.asr.tokens").inc(4)
+        reg.histogram("repro.e2e_ms", buckets=(1.0,)).observe(0.5)
+        tr = Tracer()
+        with tr.span("asr.transcribe"):
+            pass
+        lines = [json.loads(line) for line in jsonl_lines(reg, tr.records)]
+        types = [rec["type"] for rec in lines]
+        assert types.count("metric") == 2
+        assert types.count("span") == 1
+        counter = next(r for r in lines if r.get("name") == "repro.asr.tokens")
+        assert counter["value"] == 4
+        span = next(r for r in lines if r["type"] == "span")
+        assert span["name"] == "asr.transcribe"
+        assert span["duration_us"] >= 0

@@ -1,0 +1,189 @@
+"""Tests for the telemetry core: registry, instruments, spans, and the
+session context manager."""
+
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    METRIC_HELP,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import NULL_TRACER, Tracer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro.test.hits")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("repro.test.hits")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro.test.hits") is reg.counter("repro.test.hits")
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.test.ops", kind="load").inc()
+        reg.counter("repro.test.ops", kind="matmul").inc(3)
+        assert reg.value("repro.test.ops", kind="load") == 1
+        assert reg.value("repro.test.ops", kind="matmul") == 3
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("repro.test.depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("repro.test.ms", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        cumulative = h.cumulative_buckets()
+        assert cumulative == [(1.0, 1), (10.0, 2), (100.0, 3), (math.inf, 4)]
+
+    def test_boundary_value_is_le(self):
+        # Prometheus buckets are <= upper bound.
+        h = Histogram("repro.test.ms", buckets=(1.0, 10.0))
+        h.observe(10.0)
+        assert h.cumulative_buckets()[1] == (10.0, 1)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("repro.test.ms", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("repro.test.ms", buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("repro.test.ms", buckets=(1.0, math.inf))
+
+
+class TestRegistry:
+    def test_rejects_malformed_names(self):
+        reg = MetricsRegistry()
+        for bad in ("Repro.x", "repro..x", "repro.x-", "1repro", ""):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.test.x")
+        with pytest.raises(ValueError):
+            reg.gauge("repro.test.x")
+
+    def test_collect_is_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.z")
+        reg.counter("repro.a")
+        assert [i.name for i in reg.collect()] == ["repro.a", "repro.z"]
+
+    def test_as_dict_renders_labels_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.test.ops", kind="load").inc(2)
+        reg.histogram("repro.test.ms", buckets=(1.0,)).observe(0.5)
+        d = reg.as_dict()
+        assert d["repro.test.ops{kind=load}"] == 2
+        assert d["repro.test.ms"]["count"] == 1
+
+    def test_thread_safety_of_counter(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("repro.test.hits").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.value("repro.test.hits") == 4000
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert not NULL_REGISTRY.enabled
+        c = NULL_REGISTRY.counter("repro.test.hits")
+        c.inc()
+        NULL_REGISTRY.gauge("repro.test.depth").set(9)
+        NULL_REGISTRY.histogram("repro.test.ms").observe(1.0)
+        assert c.value == 0.0
+        assert NULL_REGISTRY.collect() == []
+
+    def test_shared_instrument(self):
+        a = NULL_REGISTRY.counter("repro.a")
+        b = NULL_REGISTRY.gauge("repro.b")
+        assert a is b
+
+
+class TestSpans:
+    def test_nesting_depth_and_attrs(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            outer.set(s=32)
+            with tr.span("inner"):
+                pass
+        names = {r.name: r for r in tr.records}
+        assert names["outer"].depth == 0
+        assert names["inner"].depth == 1
+        assert names["outer"].attrs == {"s": 32}
+        # children complete (and record) before their parents
+        assert [r.name for r in tr.records] == ["inner", "outer"]
+        assert names["outer"].duration_us >= names["inner"].duration_us
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("x") as span:
+            span.set(a=1)  # must not leak state into the shared span
+        with NULL_TRACER.span("y") as span:
+            assert span.attrs == {}
+        assert NULL_TRACER.records == []
+
+
+class TestTelemetrySession:
+    def test_installs_and_restores_globals(self):
+        assert not obs.enabled()
+        with obs.telemetry() as session:
+            assert obs.enabled()
+            assert obs.registry() is session.metrics
+            assert obs.tracer() is session.spans
+        assert not obs.enabled()
+        assert obs.registry() is NULL_REGISTRY
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.telemetry():
+                raise RuntimeError("boom")
+        assert not obs.enabled()
+
+    def test_nested_sessions_restore_outer(self):
+        with obs.telemetry() as outer:
+            with obs.telemetry() as inner:
+                assert obs.registry() is inner.metrics
+            assert obs.registry() is outer.metrics
+
+
+class TestMetricHelpSchema:
+    def test_all_names_valid(self):
+        reg = MetricsRegistry()
+        for name in METRIC_HELP:
+            reg.gauge(name)  # raises if any schema name is malformed
+
+    def test_help_strings_non_empty(self):
+        assert all(text.strip() for text in METRIC_HELP.values())
