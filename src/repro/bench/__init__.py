@@ -1,0 +1,73 @@
+"""Performance-trajectory harness: scenario runner, snapshots,
+regression gating and bottleneck attribution.
+
+The paper's evaluation is an analysis of where cycles go (Fig 5.2,
+§4.2, Table 5.1); :mod:`repro.bench` turns that one-shot analysis into
+a trajectory that can be tracked across changes:
+
+* :mod:`repro.bench.scenarios` — a declarative scenario suite (encoder
+  prefill, KV-cached decode, streaming, the A1/A2/A3 × sequence-length
+  sweep).  Each scenario runs under :func:`repro.obs.telemetry`,
+  collecting median-of-k wall-clock timings with a robust spread plus
+  the simulator's *deterministic* cycle metrics.
+* :mod:`repro.bench.snapshot` — schema-versioned ``BENCH_<n>.json``
+  snapshots with an environment fingerprint.
+* :mod:`repro.bench.compare` — diffs a snapshot against a committed
+  baseline: exact-match gating for cycle counts, noise-aware
+  thresholds for wall-clock.
+* :mod:`repro.bench.attribution` — classifies each block as load- or
+  compute-bound, locates the Fig 5.2 crossover from the model, and
+  builds the §4.2 roofline table per matmul MM1–MM6.
+
+CLI surface: ``repro-asr bench run|compare|report``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.attribution import (
+    AttributionReport,
+    BlockAttribution,
+    MatmulRoofline,
+    build_attribution_report,
+)
+from repro.bench.compare import ComparisonReport, Finding, compare_snapshots
+from repro.bench.scenarios import (
+    Scenario,
+    ScenarioResult,
+    default_scenarios,
+    run_scenario,
+    run_suite,
+)
+from repro.bench.snapshot import (
+    SNAPSHOT_SCHEMA,
+    WallStats,
+    build_snapshot,
+    environment_fingerprint,
+    latest_snapshot_path,
+    load_snapshot,
+    next_snapshot_path,
+    write_snapshot,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "default_scenarios",
+    "run_scenario",
+    "run_suite",
+    "SNAPSHOT_SCHEMA",
+    "WallStats",
+    "build_snapshot",
+    "environment_fingerprint",
+    "latest_snapshot_path",
+    "load_snapshot",
+    "next_snapshot_path",
+    "write_snapshot",
+    "ComparisonReport",
+    "Finding",
+    "compare_snapshots",
+    "AttributionReport",
+    "BlockAttribution",
+    "MatmulRoofline",
+    "build_attribution_report",
+]

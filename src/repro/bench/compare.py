@@ -1,0 +1,216 @@
+"""Snapshot comparator: exact-match gating for cycle metrics,
+noise-aware thresholds for wall-clock.
+
+The two metric classes fail differently by design:
+
+* **Cycle metrics** are pure arithmetic over the configuration — any
+  change is a real change to the modeled hardware (or a bug), so the
+  gate is exact equality and a mismatch is a hard failure.
+* **Wall-clock medians** carry scheduler noise, turbo states and
+  machine differences, so a drift only *warns* unless it exceeds a
+  threshold that accounts for both the configured tolerance and the
+  measured spread of the two runs — and even then it stays a warning
+  unless ``fail_on_wall`` is set (CI compares cross-machine, where
+  wall numbers are indicative at best).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.bench.snapshot import SNAPSHOT_SCHEMA
+
+__all__ = ["Finding", "ComparisonReport", "compare_snapshots"]
+
+#: Spread multiplier: a drift below ``_SIGMAS`` robust standard
+#: deviations of either run is indistinguishable from noise.
+_SIGMAS = 4.0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparator observation."""
+
+    severity: str  # "fail" | "warn" | "info"
+    scenario: str
+    metric: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in ("fail", "warn", "info"):
+            raise ValueError(f"unknown severity '{self.severity}'")
+
+
+@dataclass
+class ComparisonReport:
+    """All findings of one baseline-vs-current diff."""
+
+    baseline_env: dict = field(default_factory=dict)
+    current_env: dict = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, severity: str, scenario: str, metric: str, message: str) -> None:
+        self.findings.append(Finding(severity, scenario, metric, message))
+
+    @property
+    def failures(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "fail"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warn"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines: list[str] = []
+        if self.baseline_env and self.current_env:
+            same = self.baseline_env == self.current_env
+            lines.append(
+                "environment: "
+                + ("same fingerprint as baseline"
+                   if same else "DIFFERS from baseline (wall-clock drift "
+                                "is expected; cycle counts must still match)")
+            )
+        order = {"fail": 0, "warn": 1, "info": 2}
+        for f in sorted(self.findings, key=lambda f: (order[f.severity], f.scenario)):
+            lines.append(
+                f"[{f.severity.upper():4s}] {f.scenario} :: {f.metric}: {f.message}"
+            )
+        lines.append(
+            f"result: {'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.failures)} failure(s), {len(self.warnings)} warning(s))"
+        )
+        return "\n".join(lines)
+
+
+def _compare_cycles(
+    report: ComparisonReport,
+    scenario: str,
+    base: Mapping[str, float],
+    cur: Mapping[str, float],
+) -> None:
+    for metric in sorted(set(base) | set(cur)):
+        if metric not in cur:
+            report.add("fail", scenario, metric,
+                       f"cycle metric removed (baseline {base[metric]:g})")
+            continue
+        if metric not in base:
+            report.add("warn", scenario, metric,
+                       f"new cycle metric (current {cur[metric]:g}); "
+                       f"refresh the baseline to start gating it")
+            continue
+        b, c = float(base[metric]), float(cur[metric])
+        if b != c:
+            rel = (c - b) / b if b else math.inf
+            report.add(
+                "fail", scenario, metric,
+                f"cycle count changed: {b:g} -> {c:g} ({rel:+.4%})",
+            )
+
+
+def _compare_wall(
+    report: ComparisonReport,
+    scenario: str,
+    base: Mapping[str, object],
+    cur: Mapping[str, object],
+    tolerance: float,
+    min_wall_ms: float,
+    fail_on_wall: bool,
+) -> None:
+    b_invalid = int(base.get("invalid_samples", 0) or 0)
+    c_invalid = int(cur.get("invalid_samples", 0) or 0)
+    if b_invalid:
+        report.add("warn", scenario, "wall",
+                   f"baseline has {b_invalid} non-finite wall sample(s)")
+    if c_invalid:
+        report.add("warn", scenario, "wall",
+                   f"current run has {c_invalid} non-finite wall sample(s)")
+
+    b_med = float(base.get("median_ms", math.nan))
+    c_med = float(cur.get("median_ms", math.nan))
+    if not math.isfinite(b_med) or not math.isfinite(c_med):
+        which = "baseline" if not math.isfinite(b_med) else "current"
+        report.add("warn", scenario, "wall",
+                   f"{which} wall median is not finite; drift not comparable")
+        return
+
+    b_spread = float(base.get("spread_ms", 0.0) or 0.0)
+    c_spread = float(cur.get("spread_ms", 0.0) or 0.0)
+    if not math.isfinite(b_spread):
+        b_spread = 0.0
+    if not math.isfinite(c_spread):
+        c_spread = 0.0
+    # A drift must clear the relative tolerance, the noise floor of
+    # both runs, and an absolute floor (sub-millisecond scenarios are
+    # all noise) before it means anything.
+    threshold = max(
+        tolerance * b_med, _SIGMAS * max(b_spread, c_spread), min_wall_ms
+    )
+    delta = c_med - b_med
+    desc = (f"median {b_med:.2f} ms -> {c_med:.2f} ms "
+            f"({delta:+.2f} ms, threshold {threshold:.2f} ms)")
+    if delta > threshold:
+        report.add("fail" if fail_on_wall else "warn", scenario, "wall",
+                   f"wall-clock regression: {desc}")
+    elif delta < -threshold:
+        report.add("info", scenario, "wall", f"wall-clock improvement: {desc}")
+
+
+def compare_snapshots(
+    baseline: dict,
+    current: dict,
+    wall_tolerance: float = 0.25,
+    min_wall_ms: float = 1.0,
+    fail_on_wall: bool = False,
+) -> ComparisonReport:
+    """Diff ``current`` against ``baseline``.
+
+    ``wall_tolerance`` is the fractional wall-clock drift considered
+    meaningful (before the spread-based noise floor); ``min_wall_ms``
+    an absolute floor below which drift is ignored entirely.
+    """
+    if wall_tolerance < 0 or min_wall_ms < 0:
+        raise ValueError("tolerances must be non-negative")
+    report = ComparisonReport(
+        baseline_env=dict(baseline.get("env", {})),
+        current_env=dict(current.get("env", {})),
+    )
+    b_schema = baseline.get("schema")
+    c_schema = current.get("schema")
+    if b_schema != SNAPSHOT_SCHEMA or c_schema != SNAPSHOT_SCHEMA:
+        report.add(
+            "fail", "-", "schema",
+            f"schema mismatch: baseline '{b_schema}', current '{c_schema}', "
+            f"comparator speaks '{SNAPSHOT_SCHEMA}'",
+        )
+        return report
+
+    b_scenarios = baseline.get("scenarios", {})
+    c_scenarios = current.get("scenarios", {})
+    for name in sorted(set(b_scenarios) | set(c_scenarios)):
+        if name not in c_scenarios:
+            report.add("fail", name, "-",
+                       "scenario present in baseline but missing from current run")
+            continue
+        if name not in b_scenarios:
+            report.add("warn", name, "-",
+                       "new scenario (not in baseline); refresh the baseline "
+                       "to start gating it")
+            continue
+        _compare_cycles(
+            report, name,
+            b_scenarios[name].get("cycles", {}),
+            c_scenarios[name].get("cycles", {}),
+        )
+        _compare_wall(
+            report, name,
+            b_scenarios[name].get("wall", {}),
+            c_scenarios[name].get("wall", {}),
+            wall_tolerance, min_wall_ms, fail_on_wall,
+        )
+    return report

@@ -1,0 +1,313 @@
+"""Declarative benchmark scenarios and their runner.
+
+A :class:`Scenario` names a *kind* (one of :data:`RUNNERS`) plus its
+parameters; :func:`run_scenario` executes it ``repeats`` times inside a
+fresh :func:`repro.obs.telemetry` session each time, records the
+wall-clock of every repeat, and keeps the scenario's cycle metrics.
+
+Two metric classes come out of a run:
+
+* ``cycles`` — simulated-cycle quantities from the cycle model
+  (schedule totals, stalls, load bytes...).  These are pure arithmetic
+  over the configuration, identical on every machine, and the runner
+  *verifies* they are identical across repeats — the comparator then
+  gates them with exact equality.
+* ``info`` — everything else worth recording but not gating: modeled
+  latencies that depend on data-dependent token counts (BLAS rounding
+  can flip a greedy argmax across platforms), measured host times, RTF.
+
+Wall-clock is always reported as a median-of-k with a robust spread
+(:class:`repro.bench.snapshot.WallStats`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.bench.snapshot import WallStats
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "RUNNERS",
+    "default_scenarios",
+    "run_scenario",
+    "run_suite",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative benchmark case."""
+
+    name: str
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in RUNNERS:
+            raise ValueError(
+                f"unknown scenario kind '{self.kind}'; "
+                f"expected one of {sorted(RUNNERS)}"
+            )
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    name: str
+    kind: str
+    params: Mapping[str, object]
+    wall: WallStats
+    #: Deterministic simulated-cycle metrics (exact-match gated).
+    cycles: dict[str, float]
+    #: Informational metrics (recorded, never gated).
+    info: dict[str, float]
+
+
+# --------------------------------------------------------------- runners
+def _run_arch_sweep(params: Mapping[str, object], session) -> tuple[dict, dict]:
+    """One (architecture, s) cell of the Table 5.1 sweep: the data-free
+    cycle model's end-to-end latency report."""
+    from repro.hw.controller import LatencyModel
+
+    s = int(params.get("s", 32))
+    arch = str(params.get("arch", "A3"))
+    report = LatencyModel().latency_report(s, arch)
+    cycles = {
+        "total_cycles": float(report.total_cycles),
+        "schedule_cycles": float(report.schedule_cycles),
+        "stall_cycles": float(report.schedule.stall_cycles),
+        "load_cycles_total": float(report.schedule.load_cycles_total),
+        "compute_cycles_total": float(report.schedule.compute_cycles_total),
+        "io_cycles": float(
+            report.input_transfer_cycles + report.output_transfer_cycles
+        ),
+    }
+    info = {"latency_ms": report.latency_ms}
+    return cycles, info
+
+
+def _run_encoder_prefill(params: Mapping[str, object], session) -> tuple[dict, dict]:
+    """Trace-executor probe of the full prefill pass: where the cycles
+    go per engine under one architecture."""
+    from repro import obs
+    from repro.hw.controller import LatencyModel
+    from repro.hw.program import program_load_bytes
+
+    s = int(params.get("s", 32))
+    arch = str(params.get("arch", "A3"))
+    lm = LatencyModel()
+    program = lm.full_pass_program(s)
+    timeline = obs.record_program_metrics(program, architecture=arch)
+    cycles = {
+        "program_ops": float(program.num_ops),
+        "program_blocks": float(len(program.blocks)),
+        "load_bytes": float(program_load_bytes(program)),
+        "schedule_total_cycles": session.metrics.value(
+            "repro.hw.schedule.total_cycles"
+        ),
+        "schedule_stall_cycles": session.metrics.value(
+            "repro.hw.schedule.stall_cycles"
+        ),
+        "trace_makespan_cycles": float(timeline.makespan),
+    }
+    for key, value in session.metrics.as_dict().items():
+        if key.startswith("repro.hw.hbm.bytes{"):
+            channel = key[key.index("{") + 1 : -1].split("=")[1]
+            cycles[f"hbm_bytes_ch{channel}"] = float(value)
+    info = {"psa_occupancy": session.metrics.value("repro.hw.psa.occupancy")}
+    return cycles, info
+
+
+def _run_kv_decode(params: Mapping[str, object], session) -> tuple[dict, dict]:
+    """Modeled KV-cached autoregressive decode of a fixed token budget
+    (data-free, so the step count cannot drift with BLAS rounding)."""
+    from repro.hw.controller import LatencyModel
+
+    num_tokens = int(params.get("num_tokens", 8))
+    s = int(params.get("s", 32))
+    arch = str(params.get("arch", "A3"))
+    report = LatencyModel().autoregressive_report(num_tokens, s, arch)
+    cycles = {
+        "decode_total_cycles": report.details["decode_total_cycles"],
+        "decode_first_step_cycles": report.details["decode_first_step_cycles"],
+        "decode_last_step_cycles": report.details["decode_last_step_cycles"],
+        "decode_stall_cycles": report.details["decode_stall_cycles"],
+    }
+    info = {
+        "decode_per_token_cycles": report.details["decode_per_token_cycles"],
+        "decode_steady_tokens_per_s": report.details["decode_steady_tokens_per_s"],
+        "latency_ms": report.latency_ms,
+    }
+    return cycles, info
+
+
+def _run_e2e_transcribe(params: Mapping[str, object], session) -> tuple[dict, dict]:
+    """The full functional pipeline on one synthetic utterance — the
+    wall-clock-heavy scenario.  Gated cycles cover only the padded
+    prefill pass (data-independent); token-count-dependent results are
+    informational."""
+    from repro.asr.dataset import LibriSpeechLikeDataset
+    from repro.asr.pipeline import AsrPipeline
+    from repro.model.params import init_transformer_params
+
+    words = int(params.get("words", 2))
+    seed = int(params.get("seed", 42))
+    beam = params.get("beam")
+    arch = str(params.get("arch", "A3"))
+    params_set = init_transformer_params(seed=seed)
+    pipeline = AsrPipeline(params_set, hw_seq_len=32, architecture=arch)
+    utt = LibriSpeechLikeDataset(seed=seed).generate(
+        1, min_words=words, max_words=words
+    )[0]
+    result = pipeline.transcribe(
+        utt.waveform, beam_size=int(beam) if beam else None
+    )
+    cycles = {
+        "prefill_total_cycles": float(result.accelerator_report.total_cycles),
+        "prefill_stall_cycles": float(
+            result.accelerator_report.schedule.stall_cycles
+        ),
+        "sequence_length": float(result.sequence_length),
+    }
+    info = {
+        "tokens": float(result.tokens.size),
+        "decode_steps": result.details.get("decode_steps", 0.0),
+        "e2e_ms_modeled": result.e2e_ms,
+        "host_ms_measured": result.measured_host_ms,
+        "decode_ms_modeled": result.decode_total_ms,
+    }
+    return cycles, info
+
+
+def _run_streaming(params: Mapping[str, object], session) -> tuple[dict, dict]:
+    """Chunked long-form transcription through the fixed-s hardware."""
+    import numpy as np
+
+    from repro.asr.dataset import LibriSpeechLikeDataset
+    from repro.asr.pipeline import AsrPipeline
+    from repro.asr.streaming import StreamingTranscriber
+    from repro.model.params import init_transformer_params
+
+    seed = int(params.get("seed", 7))
+    num_utts = int(params.get("num_utts", 2))
+    params_set = init_transformer_params(seed=seed)
+    pipeline = AsrPipeline(params_set, hw_seq_len=32)
+    utts = LibriSpeechLikeDataset(seed=seed).generate(
+        num_utts, min_words=2, max_words=2
+    )
+    waveform = np.concatenate([u.waveform for u in utts])
+    transcriber = StreamingTranscriber(pipeline)
+    result = transcriber.transcribe(waveform)
+    cycles = {
+        "chunks": float(result.num_chunks),
+        "chunk_samples": float(transcriber.chunk_samples),
+        "program_ops_per_chunk": result.details["program_ops_per_chunk"],
+    }
+    info = {
+        "rtf_modeled": result.real_time_factor,
+        "audio_seconds": result.audio_seconds,
+        "e2e_ms_modeled": result.total_e2e_ms,
+    }
+    return cycles, info
+
+
+#: kind -> runner(params, telemetry session) -> (cycles, info).
+RUNNERS: dict[str, Callable[[Mapping[str, object], object], tuple[dict, dict]]] = {
+    "arch_sweep": _run_arch_sweep,
+    "encoder_prefill": _run_encoder_prefill,
+    "kv_decode": _run_kv_decode,
+    "e2e_transcribe": _run_e2e_transcribe,
+    "streaming": _run_streaming,
+}
+
+
+def default_scenarios(quick: bool = False, repeats: int = 3) -> list[Scenario]:
+    """The standard suite: the A1/A2/A3 × s sweep plus the prefill
+    probe, fixed-budget KV decode, one functional E2E utterance and one
+    streaming run.  ``quick`` trims to one repeat and drops the
+    functional scenarios (useful in tests and smoke runs)."""
+    if quick:
+        repeats = 1
+    scenarios = [
+        Scenario(
+            f"sweep_{arch.lower()}_s{s}",
+            "arch_sweep",
+            {"arch": arch, "s": s},
+            repeats=repeats,
+        )
+        for arch in ("A1", "A2", "A3")
+        for s in ((32,) if quick else (4, 32))
+    ]
+    scenarios += [
+        Scenario("encoder_prefill_a3_s32", "encoder_prefill",
+                 {"arch": "A3", "s": 32}, repeats=repeats),
+        Scenario("kv_decode_a3_t8", "kv_decode",
+                 {"arch": "A3", "s": 32, "num_tokens": 8}, repeats=repeats),
+    ]
+    if not quick:
+        scenarios += [
+            Scenario("e2e_greedy_w2", "e2e_transcribe",
+                     {"words": 2, "seed": 42}, repeats=repeats),
+            Scenario("streaming_2utt", "streaming",
+                     {"seed": 7, "num_utts": 2}, repeats=repeats),
+        ]
+    return scenarios
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute one scenario ``repeats`` times under telemetry.
+
+    The cycle metrics must come out identical on every repeat — the
+    simulator is deterministic — and the runner enforces that, so a
+    nondeterministic metric can never silently reach the exact-match
+    comparator gate.
+    """
+    from repro import obs
+
+    samples: list[float] = []
+    cycles: dict[str, float] | None = None
+    info: dict[str, float] = {}
+    for _ in range(scenario.repeats):
+        with obs.telemetry() as session:
+            start = time.perf_counter()
+            run_cycles, run_info = RUNNERS[scenario.kind](
+                scenario.params, session
+            )
+            samples.append((time.perf_counter() - start) * 1e3)
+        if cycles is not None and run_cycles != cycles:
+            changed = sorted(
+                k for k in set(cycles) | set(run_cycles)
+                if cycles.get(k) != run_cycles.get(k)
+            )
+            raise RuntimeError(
+                f"scenario '{scenario.name}' produced nondeterministic "
+                f"cycle metrics across repeats: {changed}"
+            )
+        cycles = run_cycles
+        info = run_info
+    assert cycles is not None
+    return ScenarioResult(
+        name=scenario.name,
+        kind=scenario.kind,
+        params=dict(scenario.params),
+        wall=WallStats.from_samples(samples),
+        cycles=cycles,
+        info=info,
+    )
+
+
+def run_suite(scenarios: list[Scenario] | None = None) -> dict[str, ScenarioResult]:
+    """Run a scenario list (default: :func:`default_scenarios`)."""
+    scenarios = default_scenarios() if scenarios is None else scenarios
+    names = [sc.name for sc in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError("scenario names must be unique")
+    return {sc.name: run_scenario(sc) for sc in scenarios}

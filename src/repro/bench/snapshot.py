@@ -1,0 +1,173 @@
+"""Schema-versioned benchmark snapshots (``BENCH_<n>.json``).
+
+A snapshot records one run of the scenario suite: per-scenario
+wall-clock statistics (median-of-k with a robust spread), the
+deterministic simulated-cycle metrics, and an environment fingerprint
+identifying the machine/interpreter the wall-clock numbers came from.
+Cycle metrics are machine-independent (the cycle model is pure
+arithmetic) and are gated exactly by the comparator; wall-clock is
+machine-dependent and only ever compared with noise-aware thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: Bumped whenever the snapshot layout changes incompatibly.  The
+#: comparator refuses to diff snapshots with different schemas.
+SNAPSHOT_SCHEMA = "repro.bench/1"
+
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class WallStats:
+    """Robust wall-clock statistics of one scenario's repeats.
+
+    ``median``/``spread`` are computed over the *finite* samples only
+    (``spread`` is the normalized median absolute deviation, which
+    estimates a standard deviation without being wrecked by one slow
+    outlier).  Non-finite samples are preserved in ``samples`` and
+    counted in ``invalid`` so the comparator can flag them.
+    """
+
+    samples: tuple[float, ...]
+    median: float
+    spread: float
+    invalid: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "WallStats":
+        samples = tuple(float(x) for x in samples)
+        finite = sorted(x for x in samples if math.isfinite(x))
+        invalid = len(samples) - len(finite)
+        if not finite:
+            return cls(samples=samples, median=math.nan, spread=math.nan,
+                       invalid=invalid)
+        med = _median(finite)
+        mad = _median(sorted(abs(x - med) for x in finite))
+        return cls(
+            samples=samples,
+            median=med,
+            # 1.4826 scales the MAD to a normal-distribution sigma.
+            spread=1.4826 * mad,
+            invalid=invalid,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "samples_ms": list(self.samples),
+            "median_ms": self.median,
+            "spread_ms": self.spread,
+            "repeats": len(self.samples),
+            "invalid_samples": self.invalid,
+        }
+
+
+def _median(ordered: Sequence[float]) -> float:
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def environment_fingerprint() -> dict:
+    """Where the wall-clock numbers came from.
+
+    Deliberately excludes anything volatile (load average, free
+    memory): two runs on the same machine should fingerprint
+    identically so the comparator can tell "same box, got slower"
+    from "different box, numbers incomparable".
+    """
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_snapshot(
+    results: Mapping[str, "object"],
+    config: Mapping[str, object] | None = None,
+) -> dict:
+    """Assemble the JSON-ready snapshot from scenario results
+    (``name -> ScenarioResult``; duck-typed to stay import-light)."""
+    scenarios = {}
+    for name in sorted(results):
+        r = results[name]
+        scenarios[name] = {
+            "kind": r.kind,
+            "params": dict(r.params),
+            "wall": r.wall.as_dict(),
+            "cycles": {k: r.cycles[k] for k in sorted(r.cycles)},
+            "info": {k: r.info[k] for k in sorted(r.info)},
+        }
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "created_unix": time.time(),
+        "env": environment_fingerprint(),
+        "config": dict(config or {}),
+        "scenarios": scenarios,
+    }
+
+
+def next_snapshot_path(directory: str | Path) -> Path:
+    """The next free ``BENCH_<n>.json`` in ``directory`` (1-based)."""
+    directory = Path(directory)
+    highest = 0
+    if directory.exists():
+        for entry in directory.iterdir():
+            m = _SNAPSHOT_RE.match(entry.name)
+            if m:
+                highest = max(highest, int(m.group(1)))
+    return directory / f"BENCH_{highest + 1}.json"
+
+
+def latest_snapshot_path(directory: str | Path) -> Path | None:
+    """The highest-numbered ``BENCH_<n>.json``, or None when empty."""
+    directory = Path(directory)
+    best: tuple[int, Path] | None = None
+    if directory.exists():
+        for entry in directory.iterdir():
+            m = _SNAPSHOT_RE.match(entry.name)
+            if m and (best is None or int(m.group(1)) > best[0]):
+                best = (int(m.group(1)), entry)
+    return best[1] if best else None
+
+
+def write_snapshot(snapshot: dict, directory: str | Path) -> Path:
+    """Write the snapshot as the next ``BENCH_<n>.json``; returns the
+    path."""
+    path = next_snapshot_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read one snapshot; raises ``FileNotFoundError`` /
+    ``ValueError`` on missing or malformed files."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no snapshot at {path}")
+    try:
+        snapshot = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"snapshot {path} is not valid JSON: {exc}") from exc
+    if not isinstance(snapshot, dict) or "schema" not in snapshot:
+        raise ValueError(f"snapshot {path} has no 'schema' field")
+    return snapshot

@@ -10,12 +10,19 @@
     repro-asr program   [--seq 32] [--arch A3] [--ops 24] [--width 100]
     repro-asr profile   [--out DIR] [--words N] [--seed N] [--beam K] [--arch A3]
     repro-asr metrics   [--words N] [--seed N] [--beam K] [--arch A3]
+    repro-asr bench run     [--out DIR] [--repeats K] [--quick]
+    repro-asr bench compare BASELINE CURRENT [--wall-tol F] [--fail-on-wall]
+    repro-asr bench report  [--seq 32] [--arch A3]
 
 Each subcommand prints one of the paper's analyses from the simulator;
 ``transcribe`` runs the full E2E pipeline on a synthetic utterance.
 ``profile`` re-runs it inside a telemetry session and writes a
 Perfetto-loadable Chrome trace plus Prometheus/JSONL metric dumps;
-``metrics`` prints the Prometheus exposition text to stdout.
+``metrics`` prints the Prometheus exposition text to stdout.  ``bench``
+is the performance-trajectory harness: ``run`` writes a
+schema-versioned ``BENCH_<n>.json`` snapshot, ``compare`` gates it
+against a baseline (exact-match on cycle counts, noise-aware on
+wall-clock), ``report`` prints the bottleneck attribution.
 """
 
 from __future__ import annotations
@@ -214,6 +221,70 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import build_snapshot, default_scenarios, run_suite, write_snapshot
+
+    scenarios = default_scenarios(quick=args.quick, repeats=args.repeats)
+    results = run_suite(scenarios)
+    snapshot = build_snapshot(
+        results,
+        config={"repeats": args.repeats, "quick": bool(args.quick)},
+    )
+    path = write_snapshot(snapshot, args.out)
+    rows = [
+        [
+            r.name,
+            f"{r.wall.median:.2f}",
+            f"{r.wall.spread:.2f}",
+            len(r.cycles),
+        ]
+        for r in (results[name] for name in sorted(results))
+    ]
+    print(format_table(
+        ["scenario", "wall median ms", "spread ms", "cycle metrics"], rows
+    ))
+    print(f"snapshot: {path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.bench import compare_snapshots, latest_snapshot_path, load_snapshot
+
+    current = pathlib.Path(args.current)
+    if current.is_dir():
+        found = latest_snapshot_path(current)
+        if found is None:
+            print(f"no BENCH_<n>.json snapshot found in {current}")
+            return 2
+        current = found
+    try:
+        baseline_snap = load_snapshot(args.baseline)
+        current_snap = load_snapshot(current)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    report = compare_snapshots(
+        baseline_snap,
+        current_snap,
+        wall_tolerance=args.wall_tol,
+        fail_on_wall=args.fail_on_wall,
+    )
+    print(f"baseline: {args.baseline}")
+    print(f"current:  {current}")
+    print(report.format())
+    return 0 if report.passed else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.bench import build_attribution_report
+
+    report = build_attribution_report(s=args.seq, architecture=args.arch)
+    print(report.format())
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.hw.verification import verify_equivalence
 
@@ -346,6 +417,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--beam", type=int, default=1)
     p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "bench",
+        help="performance-trajectory harness: snapshot, gate, attribute",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser(
+        "run", help="run the scenario suite and write a BENCH_<n>.json snapshot"
+    )
+    b.add_argument("--out", default="benchmarks/snapshots",
+                   help="directory receiving the next BENCH_<n>.json")
+    b.add_argument("--repeats", type=int, default=3,
+                   help="wall-clock samples per scenario (median-of-k)")
+    b.add_argument("--quick", action="store_true",
+                   help="trimmed suite, one repeat (smoke runs / tests)")
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "compare", help="diff a snapshot against a baseline (exit 1 on failure)"
+    )
+    b.add_argument("baseline", help="committed baseline snapshot path")
+    b.add_argument("current",
+                   help="fresh snapshot path, or a directory holding "
+                        "BENCH_<n>.json files (highest n wins)")
+    b.add_argument("--wall-tol", type=float, default=0.25,
+                   help="fractional wall-clock drift considered meaningful")
+    b.add_argument("--fail-on-wall", action="store_true",
+                   help="escalate wall-clock regressions to failures")
+    b.set_defaults(func=_cmd_bench_compare)
+
+    b = bench_sub.add_parser(
+        "report", help="bottleneck attribution: block bounds, crossover, roofline"
+    )
+    b.add_argument("--seq", type=int, default=32)
+    b.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    b.set_defaults(func=_cmd_bench_report)
 
     p = sub.add_parser("inventory", help="Table 4.1 weight inventory")
     p.set_defaults(func=_cmd_inventory)

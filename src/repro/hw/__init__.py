@@ -52,6 +52,7 @@ from repro.hw.program import (
     program_block_work,
     schedule_program,
     trace_program,
+    trace_program_with_schedule,
 )
 from repro.hw.resources import ResourceEstimate, check_synthesizable, estimate_resources
 from repro.hw.scheduler import (
@@ -110,6 +111,7 @@ __all__ = [
     "program_block_work",
     "schedule_program",
     "trace_program",
+    "trace_program_with_schedule",
     "ResourceEstimate",
     "check_synthesizable",
     "estimate_resources",

@@ -1447,15 +1447,16 @@ def trace_block(program: BlockProgram, block_label: str | None = None) -> Timeli
     return timeline
 
 
-def trace_program(
+def trace_program_with_schedule(
     program: BlockProgram,
     architecture: Architecture | str = Architecture.A3,
     block_overhead: int = 0,
-) -> Timeline:
-    """Full-program timeline under one architecture: HBM channel lanes
-    from the block schedule, op-level engine lanes from the dependency
-    ASAP, and host dispatch overheads — with a makespan equal to the
-    cycle executor's ``total_cycles``."""
+) -> tuple[Timeline, ScheduleResult]:
+    """:func:`trace_program` plus the :class:`ScheduleResult` it is
+    built from.  The trace executor already runs the block scheduler to
+    place the HBM lanes, so callers needing both views (the telemetry
+    probe, ``repro-asr profile``) get them from one scheduling pass
+    instead of paying :func:`schedule_program` again."""
     arch = Architecture(architecture)
     units = _work_units(program, arch)
     sched = schedule(arch, [w for w, _ in units], block_overhead)
@@ -1481,6 +1482,19 @@ def trace_program(
                 kind="overhead",
             )
     timeline.validate_no_engine_overlap()
+    return timeline, sched
+
+
+def trace_program(
+    program: BlockProgram,
+    architecture: Architecture | str = Architecture.A3,
+    block_overhead: int = 0,
+) -> Timeline:
+    """Full-program timeline under one architecture: HBM channel lanes
+    from the block schedule, op-level engine lanes from the dependency
+    ASAP, and host dispatch overheads — with a makespan equal to the
+    cycle executor's ``total_cycles``."""
+    timeline, _ = trace_program_with_schedule(program, architecture, block_overhead)
     return timeline
 
 
@@ -1638,5 +1652,6 @@ __all__ = [
     "schedule_program",
     "trace_block",
     "trace_program",
+    "trace_program_with_schedule",
     "execute_program",
 ]

@@ -194,6 +194,34 @@ class Histogram:
             out.append((bound, running))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile (Prometheus histogram_quantile
+        semantics): locate the bucket holding the q-th observation and
+        interpolate linearly between its bounds.  The lowest bucket
+        interpolates from 0; ranks landing in the +Inf bucket clamp to
+        the highest finite bound.  NaN when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]; got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return math.nan
+        rank = q * total
+        bounds = self.bounds + (math.inf,)
+        cumulative = 0
+        for i, n in enumerate(counts):
+            below = cumulative
+            cumulative += n
+            if cumulative >= rank and n > 0:
+                upper = bounds[i]
+                if math.isinf(upper):
+                    return self.bounds[-1]
+                lower = bounds[i - 1] if i > 0 else 0.0
+                return lower + (upper - lower) * ((rank - below) / n)
+        return self.bounds[-1]
+
 
 class MetricsRegistry:
     """Thread-safe home of every instrument, keyed by (name, labels).
@@ -273,6 +301,10 @@ class MetricsRegistry:
                         ("+Inf" if math.isinf(b) else repr(b)): n
                         for b, n in inst.cumulative_buckets()
                     },
+                    "quantiles": {
+                        f"p{int(q * 100)}": inst.quantile(q)
+                        for q in (0.5, 0.95, 0.99)
+                    },
                 }
             else:
                 out[key] = inst.value
@@ -304,6 +336,9 @@ class _NullInstrument:
 
     def cumulative_buckets(self) -> list:
         return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 _NULL_INSTRUMENT = _NullInstrument()

@@ -42,8 +42,7 @@ def record_program_metrics(
     from repro.hw.program import (
         program_hbm_bytes,
         program_op_counts,
-        schedule_program,
-        trace_program,
+        trace_program_with_schedule,
     )
 
     reg = registry if registry is not None else _metrics.registry()
@@ -52,7 +51,12 @@ def record_program_metrics(
     if block_overhead is None:
         block_overhead = program.fabric.calibration.block_overhead_cycles
 
-    timeline = trace_program(program, architecture, block_overhead)
+    # One scheduling pass yields both the op-level timeline and the
+    # block-schedule totals (it used to run trace_program *and*
+    # schedule_program, scheduling the same blocks twice).
+    timeline, sched = trace_program_with_schedule(
+        program, architecture, block_overhead
+    )
     psa_busy = 0.0
     psa_lanes = 0
     for engine in timeline.engines():
@@ -68,7 +72,6 @@ def record_program_metrics(
     for channel, num_bytes in program_hbm_bytes(program, architecture).items():
         reg.gauge("repro.hw.hbm.bytes", channel=str(channel)).set(num_bytes)
 
-    sched = schedule_program(program, architecture, block_overhead)
     reg.gauge("repro.hw.schedule.total_cycles").set(sched.total_cycles)
     reg.gauge("repro.hw.schedule.stall_cycles").set(sched.stall_cycles)
 

@@ -1,0 +1,263 @@
+"""Comparator edge cases: missing baselines, metric churn, zero-valued
+baselines, non-finite wall samples, and the gating semantics."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.compare import ComparisonReport, Finding, compare_snapshots
+from repro.bench.snapshot import (
+    SNAPSHOT_SCHEMA,
+    WallStats,
+    load_snapshot,
+)
+
+
+def make_snapshot(
+    cycles=None,
+    wall=None,
+    name="scn",
+    schema=SNAPSHOT_SCHEMA,
+    env=None,
+):
+    return {
+        "schema": schema,
+        "created_unix": 0.0,
+        "env": env or {"python": "3.12.0"},
+        "config": {},
+        "scenarios": {
+            name: {
+                "kind": "arch_sweep",
+                "params": {},
+                "cycles": dict(cycles or {"total_cycles": 100.0}),
+                "wall": dict(
+                    wall
+                    or {
+                        "median_ms": 10.0,
+                        "spread_ms": 0.1,
+                        "samples_ms": [10.0, 10.1, 9.9],
+                        "repeats": 3,
+                        "invalid_samples": 0,
+                    }
+                ),
+            }
+        },
+    }
+
+
+class TestExactCycleGate:
+    def test_identical_snapshots_pass(self):
+        report = compare_snapshots(make_snapshot(), make_snapshot())
+        assert report.passed
+        assert report.findings == []
+
+    def test_any_cycle_delta_fails(self):
+        report = compare_snapshots(
+            make_snapshot({"total_cycles": 100.0}),
+            make_snapshot({"total_cycles": 100.0001}),
+        )
+        assert not report.passed
+        assert "cycle count changed" in report.failures[0].message
+
+    def test_zero_valued_baseline_cycle_change_fails_without_crash(self):
+        report = compare_snapshots(
+            make_snapshot({"stall_cycles": 0.0}),
+            make_snapshot({"stall_cycles": 7.0}),
+        )
+        assert not report.passed
+        assert "0 -> 7" in report.failures[0].message
+
+    def test_zero_stays_zero_passes(self):
+        report = compare_snapshots(
+            make_snapshot({"stall_cycles": 0.0}),
+            make_snapshot({"stall_cycles": 0.0}),
+        )
+        assert report.passed
+
+    def test_removed_cycle_metric_fails(self):
+        report = compare_snapshots(
+            make_snapshot({"a": 1.0, "b": 2.0}), make_snapshot({"a": 1.0})
+        )
+        assert not report.passed
+        assert report.failures[0].metric == "b"
+        assert "removed" in report.failures[0].message
+
+    def test_added_cycle_metric_warns_only(self):
+        report = compare_snapshots(
+            make_snapshot({"a": 1.0}), make_snapshot({"a": 1.0, "b": 2.0})
+        )
+        assert report.passed
+        assert len(report.warnings) == 1
+        assert "new cycle metric" in report.warnings[0].message
+
+
+class TestScenarioChurn:
+    def test_missing_scenario_fails(self):
+        baseline = make_snapshot()
+        current = make_snapshot()
+        current["scenarios"] = {}
+        report = compare_snapshots(baseline, current)
+        assert not report.passed
+        assert "missing from current" in report.failures[0].message
+
+    def test_new_scenario_warns_only(self):
+        baseline = make_snapshot()
+        current = make_snapshot()
+        current["scenarios"]["extra"] = current["scenarios"]["scn"]
+        report = compare_snapshots(baseline, current)
+        assert report.passed
+        assert any("new scenario" in w.message for w in report.warnings)
+
+    def test_schema_mismatch_fails_immediately(self):
+        report = compare_snapshots(
+            make_snapshot(schema="repro.bench/0"), make_snapshot()
+        )
+        assert not report.passed
+        assert "schema mismatch" in report.failures[0].message
+        # No per-scenario findings after a schema failure.
+        assert len(report.findings) == 1
+
+
+class TestWallClock:
+    def test_within_noise_is_silent(self):
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": 10.0, "spread_ms": 0.1}),
+            make_snapshot(wall={"median_ms": 10.5, "spread_ms": 0.1}),
+        )
+        assert report.passed
+        assert report.findings == []
+
+    def test_regression_warns_by_default(self):
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": 10.0, "spread_ms": 0.1}),
+            make_snapshot(wall={"median_ms": 20.0, "spread_ms": 0.1}),
+        )
+        assert report.passed  # warning, not failure
+        assert any("wall-clock regression" in w.message for w in report.warnings)
+
+    def test_fail_on_wall_escalates(self):
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": 10.0, "spread_ms": 0.1}),
+            make_snapshot(wall={"median_ms": 20.0, "spread_ms": 0.1}),
+            fail_on_wall=True,
+        )
+        assert not report.passed
+
+    def test_improvement_is_informational(self):
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": 20.0, "spread_ms": 0.1}),
+            make_snapshot(wall={"median_ms": 10.0, "spread_ms": 0.1}),
+        )
+        assert report.passed
+        assert any(
+            f.severity == "info" and "improvement" in f.message
+            for f in report.findings
+        )
+
+    def test_large_spread_raises_the_threshold(self):
+        # A 50% drift that sits inside 4 sigma of a noisy baseline does
+        # not warn.
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": 10.0, "spread_ms": 2.0}),
+            make_snapshot(wall={"median_ms": 15.0, "spread_ms": 2.0}),
+        )
+        assert report.findings == []
+
+    def test_sub_millisecond_drift_is_ignored(self):
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": 0.2, "spread_ms": 0.0}),
+            make_snapshot(wall={"median_ms": 0.9, "spread_ms": 0.0}),
+        )
+        assert report.findings == []
+
+    def test_zero_baseline_median_uses_absolute_floor(self):
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": 0.0, "spread_ms": 0.0}),
+            make_snapshot(wall={"median_ms": 5.0, "spread_ms": 0.0}),
+        )
+        assert any("wall-clock regression" in w.message for w in report.warnings)
+
+    def test_nan_median_warns_without_crash(self):
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": math.nan, "spread_ms": math.nan}),
+            make_snapshot(wall={"median_ms": 10.0, "spread_ms": 0.1}),
+        )
+        assert report.passed
+        assert any("not finite" in w.message for w in report.warnings)
+
+    def test_invalid_samples_are_flagged(self):
+        report = compare_snapshots(
+            make_snapshot(
+                wall={"median_ms": 10.0, "spread_ms": 0.1, "invalid_samples": 2}
+            ),
+            make_snapshot(wall={"median_ms": 10.0, "spread_ms": 0.1}),
+        )
+        assert any("non-finite wall sample" in w.message for w in report.warnings)
+
+    def test_infinite_spread_falls_back_to_tolerance(self):
+        report = compare_snapshots(
+            make_snapshot(wall={"median_ms": 10.0, "spread_ms": math.inf}),
+            make_snapshot(wall={"median_ms": 100.0, "spread_ms": 0.1}),
+        )
+        assert any("wall-clock regression" in w.message for w in report.warnings)
+
+
+class TestWallStats:
+    def test_nan_and_inf_samples_are_counted_not_aggregated(self):
+        stats = WallStats.from_samples([10.0, math.nan, math.inf, 12.0])
+        assert stats.invalid == 2
+        assert stats.median == pytest.approx(11.0)
+        assert math.isfinite(stats.spread)
+
+    def test_all_invalid_yields_nan_median(self):
+        stats = WallStats.from_samples([math.nan, math.inf])
+        assert stats.invalid == 2
+        assert math.isnan(stats.median)
+
+    def test_robust_to_one_outlier(self):
+        calm = WallStats.from_samples([10.0, 10.1, 9.9, 10.05, 9.95])
+        spiky = WallStats.from_samples([10.0, 10.1, 9.9, 10.05, 500.0])
+        assert spiky.median == pytest.approx(calm.median, rel=0.01)
+        assert spiky.spread < 1.0
+
+
+class TestSnapshotIo:
+    def test_missing_baseline_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_snapshot(tmp_path / "nope.json")
+
+    def test_malformed_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_snapshot(path)
+
+    def test_schemaless_payload_raises_value_error(self, tmp_path):
+        path = tmp_path / "noschema.json"
+        path.write_text(json.dumps({"scenarios": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(path)
+
+
+class TestReportRendering:
+    def test_format_orders_failures_first_and_states_result(self):
+        report = compare_snapshots(
+            make_snapshot({"a": 1.0}, env={"python": "3.12"}),
+            make_snapshot({"a": 2.0}, env={"python": "3.13"}),
+        )
+        text = report.format()
+        assert "DIFFERS from baseline" in text
+        assert "[FAIL]" in text
+        assert text.strip().endswith("1 failure(s), 0 warning(s))")
+
+    def test_finding_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Finding("nope", "s", "m", "msg")
+
+    def test_report_add_and_passed(self):
+        report = ComparisonReport()
+        report.add("warn", "s", "m", "w")
+        assert report.passed
+        report.add("fail", "s", "m", "f")
+        assert not report.passed

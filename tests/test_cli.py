@@ -109,3 +109,53 @@ class TestCli:
 
     def test_parser_program_name(self):
         assert build_parser().prog == "repro-asr"
+
+
+class TestBenchCli:
+    def test_run_writes_snapshot_and_self_compares_clean(self, capsys, tmp_path):
+        out = tmp_path / "snaps"
+        assert main(["bench", "run", "--out", str(out), "--quick"]) == 0
+        stdout = capsys.readouterr().out
+        assert "BENCH_1.json" in stdout
+        assert (out / "BENCH_1.json").is_file()
+        # A snapshot compared against itself passes with no findings.
+        assert main(
+            ["bench", "compare", str(out / "BENCH_1.json"), str(out)]
+        ) == 0
+        assert "result: PASS" in capsys.readouterr().out
+
+    def test_compare_fails_on_injected_cycle_regression(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "snaps"
+        assert main(["bench", "run", "--out", str(out), "--quick"]) == 0
+        capsys.readouterr()
+        baseline = out / "BENCH_1.json"
+        snapshot = json.loads(baseline.read_text())
+        scenario = snapshot["scenarios"]["sweep_a3_s32"]
+        scenario["cycles"]["total_cycles"] += 1000
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(snapshot))
+        assert main(["bench", "compare", str(baseline), str(regressed)]) == 1
+        stdout = capsys.readouterr().out
+        assert "[FAIL]" in stdout
+        assert "cycle count changed" in stdout
+
+    def test_compare_missing_baseline_is_usage_error(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "compare", str(missing), str(missing)]) == 2
+        assert "nope.json" in capsys.readouterr().out
+
+    def test_compare_empty_snapshot_dir_is_usage_error(self, capsys, tmp_path):
+        baseline = tmp_path / "b.json"
+        baseline.write_text("{}")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["bench", "compare", str(baseline), str(empty)]) == 2
+
+    def test_report_names_crossover_and_roofline(self, capsys):
+        assert main(["bench", "report", "--seq", "32", "--arch", "A3"]) == 0
+        out = capsys.readouterr().out
+        assert "s = 19" in out
+        assert "compute-bound" in out
+        assert "MM6" in out

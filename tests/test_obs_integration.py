@@ -158,6 +158,30 @@ class TestProbeMetrics:
     def test_probe_disabled_returns_none(self, accel):
         assert obs.record_program_metrics(accel.program()) is None
 
+    def test_schedule_gauges_come_from_the_traced_pass(self, accel):
+        # The probe schedules the program exactly once: the schedule
+        # gauges must agree with an independent schedule_program() call
+        # and with the traced makespan.
+        from repro.hw.program import schedule_program
+
+        program = accel.program()
+        overhead = program.fabric.calibration.block_overhead_cycles
+        with obs.telemetry() as session:
+            timeline = obs.record_program_metrics(program)
+        sched = schedule_program(program, "A3", block_overhead=overhead)
+        metrics = session.metrics.as_dict()
+        assert metrics["repro.hw.schedule.total_cycles"] == sched.total_cycles
+        assert metrics["repro.hw.schedule.stall_cycles"] == sched.stall_cycles
+        assert timeline.makespan == sched.total_cycles
+
+    def test_trace_with_schedule_matches_plain_trace(self, accel):
+        from repro.hw.program import trace_program_with_schedule
+
+        program = accel.program()
+        timeline, sched = trace_program_with_schedule(program, "A3")
+        assert timeline.makespan == trace_program(program, "A3").makespan
+        assert sched.total_cycles == timeline.makespan
+
 
 class TestKvCacheCounters:
     def test_prefill_append_rewind_account(self, accel, params):

@@ -75,6 +75,52 @@ class TestHistogram:
             Histogram("repro.test.ms", buckets=(1.0, math.inf))
 
 
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        h = Histogram("repro.test.ms", buckets=(1.0, 10.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_interpolates_inside_bucket(self):
+        # Four observations, all in the (0, 10] bucket: Prometheus-style
+        # linear interpolation puts the median halfway through it.
+        h = Histogram("repro.test.ms", buckets=(10.0, 100.0))
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_lower_edge_uses_previous_bound(self):
+        h = Histogram("repro.test.ms", buckets=(1.0, 10.0))
+        h.observe(0.5)   # (0, 1]
+        h.observe(5.0)   # (1, 10]
+        # p75: rank 1.5 lands halfway into the second bucket.
+        assert h.quantile(0.75) == pytest.approx(1.0 + 9.0 * 0.5)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        h = Histogram("repro.test.ms", buckets=(1.0, 10.0))
+        h.observe(500.0)
+        assert h.quantile(0.99) == 10.0
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("repro.test.ms", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_as_dict_exposes_standard_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro.test.ms", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 3.0):
+            h.observe(v)
+        entry = reg.as_dict()["repro.test.ms"]
+        assert set(entry["quantiles"]) == {"p50", "p95", "p99"}
+        assert entry["quantiles"]["p50"] == pytest.approx(h.quantile(0.5))
+
+    def test_null_histogram_quantile_is_zero(self):
+        assert NULL_REGISTRY.histogram("repro.test.ms").quantile(0.99) == 0.0
+
+
 class TestRegistry:
     def test_rejects_malformed_names(self):
         reg = MetricsRegistry()
