@@ -17,17 +17,19 @@ rather than from hardcoded paper numbers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
 from repro.baselines.roofline import RooflineModel, accelerator_roofline
 from repro.hw.controller import LatencyModel
+from repro.hw.introspect import STALL_CAUSES, classify_stalls
 from repro.hw.kernels import matmul_dims
 from repro.hw.program import program_block_work
 
 __all__ = [
     "BlockAttribution",
     "MatmulRoofline",
+    "ArchStallSummary",
     "AttributionReport",
     "build_attribution_report",
 ]
@@ -73,6 +75,24 @@ class MatmulRoofline:
     bound: str = "on-chip"
 
 
+@dataclass(frozen=True)
+class ArchStallSummary:
+    """One architecture's per-cause stall account at the report's s.
+
+    ``psa_totals`` restricts the account to the PSA lanes — the Table
+    5.1 quantity (how long the matrix engines sat idle, and why).
+    """
+
+    architecture: str
+    makespan: float
+    totals: dict[str, float]
+    psa_totals: dict[str, float]
+    psa_dominant: str | None
+
+    def psa_stall_cycles(self, cause: str) -> float:
+        return self.psa_totals.get(cause, 0.0)
+
+
 @dataclass
 class AttributionReport:
     """The full bottleneck-attribution account at one design point."""
@@ -83,6 +103,14 @@ class AttributionReport:
     blocks: list[BlockAttribution]
     roofline: RooflineModel
     matmuls: list[MatmulRoofline]
+    #: Per-architecture stall-cause account (A1, A2, A3 order).
+    stalls: list[ArchStallSummary] = field(default_factory=list)
+
+    def stall_summary(self, architecture: str) -> ArchStallSummary:
+        for summary in self.stalls:
+            if summary.architecture == architecture:
+                return summary
+        raise KeyError(f"no stall summary for architecture '{architecture}'")
 
     @property
     def load_bound_blocks(self) -> list[BlockAttribution]:
@@ -144,6 +172,41 @@ class AttributionReport:
              "attainable GF/s", "bound"],
             rows,
         ))
+        if self.stalls:
+            lines.append("")
+            lines.append(
+                f"stall-cause attribution at s={self.s} "
+                "(PSA-lane idle cycles by cause; Table 5.1 causality):"
+            )
+            lines.append(format_table(
+                ["arch", *STALL_CAUSES, "dominant"],
+                [
+                    [
+                        summ.architecture,
+                        *(f"{summ.psa_totals[c]:.0f}" for c in STALL_CAUSES),
+                        summ.psa_dominant or "-",
+                    ]
+                    for summ in self.stalls
+                ],
+            ))
+            try:
+                a1 = self.stall_summary("A1")
+                a3 = self.stall_summary("A3")
+            except KeyError:
+                pass
+            else:
+                delta = (
+                    a1.psa_stall_cycles("load_starved")
+                    - a3.psa_stall_cycles("load_starved")
+                )
+                lines.append(
+                    "A1->A3 shift: two-channel prefetch hides "
+                    f"{delta:.0f} PSA load-starved cycles "
+                    f"({a1.psa_stall_cycles('load_starved'):.0f} -> "
+                    f"{a3.psa_stall_cycles('load_starved'):.0f}); dominant "
+                    f"PSA stall moves {a1.psa_dominant or '-'} -> "
+                    f"{a3.psa_dominant or '-'}."
+                )
         return "\n".join(lines)
 
 
@@ -189,6 +252,17 @@ def build_attribution_report(
             hbm_bytes=hbm_bytes, intensity=intensity,
             attainable_gflops=attainable, bound=bound,
         ))
+    stalls = []
+    for arch in ("A1", "A2", "A3"):
+        report = classify_stalls(program, arch)
+        report.verify_conservation()
+        stalls.append(ArchStallSummary(
+            architecture=arch,
+            makespan=report.makespan,
+            totals=report.totals(),
+            psa_totals=report.totals(".psa"),
+            psa_dominant=report.dominant_cause(".psa"),
+        ))
     return AttributionReport(
         architecture=str(architecture),
         s=s,
@@ -196,4 +270,5 @@ def build_attribution_report(
         blocks=blocks,
         roofline=roofline,
         matmuls=matmuls,
+        stalls=stalls,
     )

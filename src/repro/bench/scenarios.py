@@ -118,10 +118,22 @@ def _run_encoder_prefill(params: Mapping[str, object], session) -> tuple[dict, d
         ),
         "trace_makespan_cycles": float(timeline.makespan),
     }
+    stall_by_cause: dict[str, float] = {}
     for key, value in session.metrics.as_dict().items():
         if key.startswith("repro.hw.hbm.bytes{"):
             channel = key[key.index("{") + 1 : -1].split("=")[1]
             cycles[f"hbm_bytes_ch{channel}"] = float(value)
+        elif key.startswith("repro.hw.stall.cycles{"):
+            labels = dict(
+                part.split("=", 1)
+                for part in key[key.index("{") + 1 : -1].split(",")
+            )
+            cause = labels.get("cause", "unknown")
+            stall_by_cause[cause] = stall_by_cause.get(cause, 0.0) + float(value)
+    # Per-cause stall totals over all lanes are exact cycle metrics
+    # (they partition makespan), so they ride the exact-match gate.
+    for cause, total in sorted(stall_by_cause.items()):
+        cycles[f"stall_{cause}_cycles"] = total
     info = {"psa_occupancy": session.metrics.value("repro.hw.psa.occupancy")}
     return cycles, info
 

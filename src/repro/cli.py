@@ -188,6 +188,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     hardware = pipeline.accelerator.latency_model.hardware
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    from repro.hw.introspect import counter_tracks
+
     trace_path = out / "trace.json"
     trace_path.write_text(
         obs.chrome_trace_json(
@@ -195,6 +197,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             session.spans.records,
             clock_mhz=hardware.clock_mhz,
             metadata={"architecture": args.arch, "seed": args.seed},
+            counters=counter_tracks(timeline) if timeline is not None else None,
         )
     )
     prom_path = out / "metrics.prom"
@@ -360,6 +363,52 @@ def _cmd_program(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.hw.introspect import (
+        classify_stalls,
+        default_watchpoints,
+        render_stall_dashboard,
+        run_watchpoints,
+    )
+    from repro.hw.program import trace_program_with_schedule
+    from repro.hw.visualize import render_program_gantt
+
+    lm = LatencyModel()
+    program = lm.full_pass_program(args.seq)
+    overhead = lm.calibration.block_overhead_cycles
+    timeline, sched = trace_program_with_schedule(program, args.arch, overhead)
+    report = classify_stalls(
+        program, args.arch, overhead, timeline=timeline, sched=sched
+    )
+    report.verify_conservation()
+    hits = run_watchpoints(
+        timeline, default_watchpoints(timeline, idle_fraction=args.watch_idle)
+    )
+    crossover = lm.crossover_sequence_length()
+    if args.json:
+        payload = report.as_dict()
+        payload["s"] = args.seq
+        payload["crossover_s"] = crossover
+        payload["watchpoint_hits"] = [h.as_dict() for h in hits]
+        print(_json.dumps(payload, indent=2))
+        return 0
+    print(render_stall_dashboard(report, hits, width=max(args.width // 3, 10)))
+    print()
+    side = "compute" if args.seq >= crossover else "load"
+    print(f"Fig 5.2 context: encoder compute overtakes its weight load at "
+          f"s = {crossover} (paper: s > 18); at s={args.seq} the encoder is "
+          f"{side}-bound under {args.arch}.")
+    if args.gantt:
+        print()
+        print(f"stall-annotated Gantt ({args.arch}):")
+        print(render_program_gantt(
+            program, args.arch, width=args.width, annotate_stalls=True
+        ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-asr",
@@ -467,6 +516,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of ops to list (the Gantt always covers all)")
     p.add_argument("--width", type=int, default=100)
     p.set_defaults(func=_cmd_program)
+
+    p = sub.add_parser(
+        "inspect",
+        help="ILA-style stall dashboard: utilization bars, stall causes, "
+             "watchpoint hits",
+    )
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--watch-idle", type=float, default=0.05,
+                   help="idle watchpoint threshold, as a fraction of the "
+                        "makespan")
+    p.add_argument("--gantt", action="store_true",
+                   help="append the stall-annotated per-engine Gantt")
+    p.add_argument("--json", action="store_true",
+                   help="emit the stall report + watchpoint hits as JSON")
+    p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser("verify", help="accelerator vs golden-model battery")
     p.set_defaults(func=_cmd_verify)

@@ -39,6 +39,21 @@ from repro.hw.dse import (
     psa_grid_sweep,
 )
 from repro.hw.faults import program_fault_hook
+from repro.hw.introspect import (
+    STALL_CAUSES,
+    EngineStallBreakdown,
+    FlightRecorder,
+    StallInterval,
+    StallReport,
+    Watchpoint,
+    WatchpointHit,
+    classify_stalls,
+    counter_tracks,
+    default_watchpoints,
+    render_stall_dashboard,
+    run_watchpoints,
+    utilization_counters,
+)
 from repro.hw.kernels import Fabric, KernelResult, matmul_dims
 from repro.hw.program import (
     BlockIR,
@@ -46,10 +61,12 @@ from repro.hw.program import (
     Op,
     OpKind,
     ProgramRun,
+    UnitSpan,
     execute_program,
     lower_decode_step,
     lower_full_pass,
     program_block_work,
+    program_unit_spans,
     schedule_program,
     trace_program,
     trace_program_with_schedule,
@@ -100,15 +117,30 @@ __all__ = [
     "Fabric",
     "KernelResult",
     "matmul_dims",
+    "STALL_CAUSES",
+    "EngineStallBreakdown",
+    "FlightRecorder",
+    "StallInterval",
+    "StallReport",
+    "Watchpoint",
+    "WatchpointHit",
+    "classify_stalls",
+    "counter_tracks",
+    "default_watchpoints",
+    "render_stall_dashboard",
+    "run_watchpoints",
+    "utilization_counters",
     "BlockIR",
     "BlockProgram",
     "Op",
     "OpKind",
     "ProgramRun",
+    "UnitSpan",
     "execute_program",
     "lower_decode_step",
     "lower_full_pass",
     "program_block_work",
+    "program_unit_spans",
     "schedule_program",
     "trace_program",
     "trace_program_with_schedule",

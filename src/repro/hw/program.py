@@ -1485,6 +1485,79 @@ def trace_program_with_schedule(
     return timeline, sched
 
 
+@dataclass(frozen=True)
+class UnitSpan:
+    """Where one schedulable work unit landed under an architecture.
+
+    A unit is a :class:`BlockWork` item (one block under A3, a fused
+    merge group under A1/A2).  The compute chain is strictly serial, so
+    consecutive ``compute_end``/``compute_start`` pairs bound the
+    exposed load stalls — the quantities the stall classifier in
+    :mod:`repro.hw.introspect` attributes per cause.
+    """
+
+    label: str
+    #: Labels of the BlockIRs folded into this unit.
+    blocks: tuple[str, ...]
+    #: When the unit's ops begin executing (global cycle).
+    compute_start: float
+    #: ASAP makespan of the unit's compute ops.
+    compute_span: int
+    #: Host dispatch overhead serialized after the ops.
+    overhead: int
+    #: ``compute_start + compute_span + overhead``.
+    compute_end: float
+    load_start: float
+    load_end: float
+    #: HBM lane the unit's weight load ran on ("" when it has no load).
+    load_engine: str
+
+
+def program_unit_spans(
+    program: BlockProgram,
+    architecture: Architecture | str = Architecture.A3,
+    block_overhead: int = 0,
+    sched: ScheduleResult | None = None,
+) -> tuple[list[UnitSpan], ScheduleResult]:
+    """Per-unit placement under one architecture's block schedule.
+
+    Pass an existing ``sched`` (from the same program, architecture and
+    overhead) to reuse its scheduling pass instead of paying another.
+    """
+    arch = Architecture(architecture)
+    units = _work_units(program, arch)
+    if sched is None:
+        sched = schedule(arch, [w for w, _ in units], block_overhead)
+    loads: dict[str, Any] = {}
+    comps: dict[str, Any] = {}
+    for event in sched.timeline.events:
+        label = event.label
+        if event.kind == "load":
+            loads[label[3:] if label.startswith("LW:") else label] = event
+        elif event.engine == "compute" and label.startswith("C:"):
+            comps[label[2:]] = event
+    spans: list[UnitSpan] = []
+    for work, group in units:
+        comp = comps[work.label]
+        load = loads.get(work.label)
+        op_ids = [oid for blk in group for oid in blk.op_ids]
+        times = _asap_times(program, op_ids)
+        spans.append(
+            UnitSpan(
+                label=work.label,
+                blocks=tuple(blk.label for blk in group),
+                compute_start=comp.start,
+                compute_span=max((end for _, end in times.values()), default=0),
+                overhead=work.overhead(block_overhead),
+                compute_end=comp.end,
+                load_start=load.start if load is not None else comp.start,
+                load_end=load.end if load is not None else comp.start,
+                load_engine=load.engine if load is not None else "",
+            )
+        )
+    return spans, sched
+
+
 def trace_program(
     program: BlockProgram,
     architecture: Architecture | str = Architecture.A3,
@@ -1653,5 +1726,7 @@ __all__ = [
     "trace_block",
     "trace_program",
     "trace_program_with_schedule",
+    "UnitSpan",
+    "program_unit_spans",
     "execute_program",
 ]

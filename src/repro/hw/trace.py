@@ -87,9 +87,56 @@ class Timeline:
             key=lambda e: (e.start, e.end),
         )
 
+    def busy_intervals(self, engine: str) -> list[tuple[float, float]]:
+        """Coalesced [start, end) busy intervals on one engine.
+
+        Overlapping and touching events merge into one interval;
+        zero-duration events occupy nothing and are dropped.  This is
+        the occupancy the stall classifier and ``busy_time`` reason
+        over, so a double-booked engine can never count the same cycle
+        twice.
+        """
+        merged: list[list[float]] = []
+        for e in self.on_engine(engine):
+            if e.end <= e.start:
+                continue
+            if merged and e.start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], e.end)
+            else:
+                merged.append([e.start, e.end])
+        return [(s, e) for s, e in merged]
+
     def busy_time(self, engine: str) -> float:
-        """Total busy time on an engine (assumes no self-overlap)."""
-        return sum(e.duration for e in self.events if e.engine == engine)
+        """Total busy time on an engine (self-overlap coalesced)."""
+        return sum(e - s for s, e in self.busy_intervals(engine))
+
+    def idle_gaps(
+        self, engine: str, until: float | None = None
+    ) -> list[tuple[float, float]]:
+        """Idle [start, end) intervals on one engine, from cycle 0.
+
+        Includes the lead-in before the engine's first event; pass
+        ``until`` (e.g. the timeline makespan) to also include the tail
+        after its last event.  An engine with no (positive-duration)
+        events is idle for the whole ``[0, until)`` window.
+        """
+        gaps: list[tuple[float, float]] = []
+        cursor = 0.0
+        for start, end in self.busy_intervals(engine):
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = end
+        if until is not None and until > cursor:
+            gaps.append((cursor, until))
+        return gaps
+
+    def utilization(self, engine: str) -> float:
+        """Busy fraction of one engine over the timeline makespan
+        (0.0 for an empty timeline)."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return self.busy_time(engine) / span
 
     def validate_no_engine_overlap(self) -> None:
         """Raise if any engine executes two events simultaneously."""

@@ -17,9 +17,30 @@ _KIND_CHARS = {
     "stream": "-",
 }
 
+#: Idle-gap markers for the classified stall causes (``no_work`` stays
+#: blank — a drained lane needs no explanation).
+_STALL_CHARS = {
+    "load_starved": "L",
+    "dependency": "d",
+    "channel_contention": "x",
+    "overhead": "o",
+}
 
-def render_gantt(timeline: Timeline, width: int = 100) -> str:
-    """Render a timeline as an ASCII Gantt chart."""
+_STALL_LEGEND = (
+    "stalls: L=load_starved d=dependency x=channel_contention o=overhead"
+)
+
+
+def render_gantt(
+    timeline: Timeline, width: int = 100, annotations=None
+) -> str:
+    """Render a timeline as an ASCII Gantt chart.
+
+    ``annotations`` is an optional iterable of classified idle
+    intervals (objects with ``engine``/``start``/``end``/``cause``
+    attributes, e.g. :class:`repro.hw.introspect.StallInterval`);
+    their cause markers are drawn into the otherwise-blank idle cells.
+    """
     if width < 20:
         raise ValueError("width must be at least 20 characters")
     span = timeline.makespan
@@ -27,6 +48,14 @@ def render_gantt(timeline: Timeline, width: int = 100) -> str:
         return "(empty timeline)"
     label_pad = max((len(e) for e in timeline.engines()), default=0) + 1
     scale = width / span
+    marks: dict[str, list[tuple[int, int, str]]] = {}
+    for iv in annotations or ():
+        ch = _STALL_CHARS.get(iv.cause)
+        if ch is None:
+            continue
+        start = int(iv.start * scale)
+        end = min(max(int(iv.end * scale), start + 1), width)
+        marks.setdefault(iv.engine, []).append((start, end, ch))
     lines = []
     for engine in timeline.engines():
         row = [" "] * width
@@ -42,11 +71,18 @@ def render_gantt(timeline: Timeline, width: int = 100) -> str:
             if end - start >= len(name) + 2:
                 for j, c in enumerate(name):
                     row[start + 1 + j] = c
+        # Stall markers only claim cells no event bar painted.
+        for start, end, ch in marks.get(engine, ()):
+            for i in range(start, end):
+                if row[i] == " ":
+                    row[i] = ch
         lines.append(f"{engine.rjust(label_pad)} |{''.join(row)}|")
     lines.append(
         f"{' ' * label_pad}  0{' ' * (width - 2 - len(f'{span:.0f}'))}"
         f"{span:.0f} cycles"
     )
+    if marks:
+        lines.append(f"{' ' * label_pad}  {_STALL_LEGEND}")
     return "\n".join(lines)
 
 
@@ -55,6 +91,7 @@ def render_program_gantt(
     architecture: str = "A3",
     width: int = 100,
     block_overhead: int | None = None,
+    annotate_stalls: bool = False,
 ) -> str:
     """Gantt of a lowered block program under one architecture.
 
@@ -63,13 +100,28 @@ def render_program_gantt(
     interleaved ``hbm0``/``hbm1`` bars), then the per-engine op lanes
     and the host dispatch lane.  ``block_overhead`` defaults to the
     calibration value baked into the program's fabric.
+
+    With ``annotate_stalls=True`` every idle gap is marked with its
+    classified cause (plus a legend line), turning the chart into the
+    Figs 4.8–4.11 narrative: A1's lanes fill with ``L`` between loads,
+    A2's with ``x`` where its single channel serializes.
     """
-    from repro.hw.program import trace_program
+    from repro.hw.program import trace_program_with_schedule
 
     if block_overhead is None:
         block_overhead = program.fabric.calibration.block_overhead_cycles
-    timeline = trace_program(program, architecture, block_overhead)
-    return render_gantt(timeline, width=width)
+    timeline, sched = trace_program_with_schedule(
+        program, architecture, block_overhead
+    )
+    annotations = None
+    if annotate_stalls:
+        from repro.hw.introspect import classify_stalls
+
+        annotations = classify_stalls(
+            program, architecture, block_overhead,
+            timeline=timeline, sched=sched,
+        ).intervals
+    return render_gantt(timeline, width=width, annotations=annotations)
 
 
 def render_platform_diagram(hardware=None) -> str:

@@ -118,12 +118,16 @@ def chrome_trace(
     spans: Sequence | None = None,
     clock_mhz: float = 300.0,
     metadata: dict | None = None,
+    counters: dict | None = None,
 ) -> dict:
     """Build a Chrome-trace (Perfetto-loadable) JSON object.
 
     ``timeline`` is a :class:`repro.hw.trace.Timeline` in fabric
     cycles; ``spans`` an iterable of completed
     :class:`repro.obs.spans.SpanRecord`.  Either may be omitted.
+    ``counters`` maps a track name to ``[(cycle, value), ...]`` samples
+    (e.g. from :func:`repro.hw.introspect.counter_tracks`) and renders
+    as Perfetto counter tracks on the accelerator process.
     """
     if clock_mhz <= 0:
         raise ValueError("clock_mhz must be positive")
@@ -171,6 +175,23 @@ def chrome_trace(
                 }
             )
 
+    if counters:
+        if not (timeline is not None and timeline.events):
+            meta_event(_ACCEL_PID, None, "process_name", "accelerator (simulated)")
+        scale = 1.0 / clock_mhz
+        for track, samples in counters.items():
+            for cycle, value in samples:
+                events.append(
+                    {
+                        "name": track,
+                        "cat": "counter",
+                        "ph": "C",
+                        "pid": _ACCEL_PID,
+                        "ts": cycle * scale,
+                        "args": {"value": value},
+                    }
+                )
+
     span_list = list(spans or [])
     if span_list:
         meta_event(_HOST_PID, None, "process_name", "host (measured)")
@@ -209,10 +230,12 @@ def chrome_trace_json(
     spans: Sequence | None = None,
     clock_mhz: float = 300.0,
     metadata: dict | None = None,
+    counters: dict | None = None,
 ) -> str:
     """:func:`chrome_trace`, serialized."""
     return json.dumps(
-        chrome_trace(timeline, spans, clock_mhz, metadata), indent=None
+        chrome_trace(timeline, spans, clock_mhz, metadata, counters),
+        indent=None,
     )
 
 

@@ -79,6 +79,7 @@ METRIC_HELP = {
     "repro.hw.psa.occupancy": "Mean PSA-lane busy fraction of the profiled program",
     "repro.hw.schedule.total_cycles": "Scheduled cycles of the profiled program",
     "repro.hw.schedule.stall_cycles": "Compute stall cycles of the profiled program",
+    "repro.hw.stall.cycles": "Idle cycles per engine lane by attributed stall cause of the profiled program",
     "repro.hw.decode.steps": "KV-cached decoder steps executed on the fabric",
     # ---- KV cache (repro.hw.kv_cache.*)
     "repro.hw.kv_cache.prefills": "Cross-attention K/V cache prefills",

@@ -32,6 +32,9 @@ def record_program_metrics(
     * ``repro.hw.hbm.bytes{channel=...}`` — weight bytes per HBM channel
       under the architecture's actual load placement
     * ``repro.hw.schedule.total_cycles`` / ``.stall_cycles``
+    * ``repro.hw.stall.cycles{engine=,cause=}`` — the stall
+      classifier's per-cause account of every idle cycle
+      (:func:`repro.hw.introspect.classify_stalls`)
     * ``repro.hw.program.trace_ops{kind=...}`` — the trace executor's
       op account, comparable against the functional executor's
       ``repro.hw.program.ops`` counters
@@ -74,6 +77,23 @@ def record_program_metrics(
 
     reg.gauge("repro.hw.schedule.total_cycles").set(sched.total_cycles)
     reg.gauge("repro.hw.schedule.stall_cycles").set(sched.stall_cycles)
+
+    # Per-cause stall attribution, reusing the scheduling pass above.
+    from repro.hw.introspect import classify_stalls
+
+    stall_report = classify_stalls(
+        program, architecture, block_overhead, timeline=timeline, sched=sched
+    )
+    for engine, breakdown in stall_report.engines.items():
+        for cause, cycles in breakdown.stalls.items():
+            if cycles > 0:
+                reg.gauge(
+                    "repro.hw.stall.cycles", engine=engine, cause=cause
+                ).set(cycles)
+        if breakdown.no_work_cycles > 0:
+            reg.gauge(
+                "repro.hw.stall.cycles", engine=engine, cause="no_work"
+            ).set(breakdown.no_work_cycles)
 
     for kind, count in program_op_counts(program).items():
         reg.gauge("repro.hw.program.trace_ops", kind=kind).set(count)

@@ -60,6 +60,20 @@ class TestTimeline:
         tl.add("e", "b", 20, 25)
         assert tl.busy_time("e") == 15
 
+    def test_busy_time_coalesces_overlap(self):
+        # Overlapping events must not double-count the shared cycles.
+        tl = Timeline()
+        tl.add("e", "a", 0, 10)
+        tl.add("e", "b", 5, 15)
+        assert tl.busy_time("e") == 15
+        assert tl.busy_intervals("e") == [(0, 15)]
+
+    def test_busy_intervals_merge_touching(self):
+        tl = Timeline()
+        tl.add("e", "a", 0, 10)
+        tl.add("e", "b", 10, 20)
+        assert tl.busy_intervals("e") == [(0, 20)]
+
     def test_overlap_validation(self):
         tl = Timeline()
         tl.add("e", "a", 0, 10)
@@ -73,6 +87,49 @@ class TestTimeline:
         b.add("y", "2", 0, 2)
         a.extend(b)
         assert len(a.events) == 2
+
+
+class TestIdleGapsAndUtilization:
+    def test_empty_timeline(self):
+        tl = Timeline()
+        assert tl.idle_gaps("e") == []
+        assert tl.idle_gaps("e", until=10) == [(0.0, 10)]
+        assert tl.utilization("e") == 0.0
+
+    def test_single_event_with_lead_in_and_tail(self):
+        tl = Timeline()
+        tl.add("e", "a", 5, 10)
+        assert tl.idle_gaps("e") == [(0.0, 5)]
+        assert tl.idle_gaps("e", until=20) == [(0.0, 5), (10, 20)]
+
+    def test_zero_duration_events_are_idle(self):
+        tl = Timeline()
+        tl.add("e", "a", 5, 5)
+        assert tl.busy_time("e") == 0
+        assert tl.idle_gaps("e", until=10) == [(0.0, 10)]
+
+    def test_unsorted_insertion_order(self):
+        tl = Timeline()
+        tl.add("e", "late", 20, 30)
+        tl.add("e", "early", 0, 10)
+        assert tl.idle_gaps("e") == [(10, 20)]
+        assert tl.busy_time("e") == 20
+
+    def test_utilization_over_makespan(self):
+        tl = Timeline()
+        tl.add("e", "a", 0, 10)
+        tl.add("other", "b", 0, 40)
+        assert tl.utilization("e") == 0.25
+        assert tl.utilization("other") == 1.0
+
+    def test_gaps_and_busy_partition_makespan(self):
+        tl = Timeline()
+        tl.add("e", "a", 3, 7)
+        tl.add("e", "b", 12, 18)
+        tl.add("other", "c", 0, 25)
+        span = tl.makespan
+        gap_total = sum(e - s for s, e in tl.idle_gaps("e", until=span))
+        assert tl.busy_time("e") + gap_total == span
 
 
 class TestGantt:
@@ -98,6 +155,32 @@ class TestGantt:
         tl.add("compute", "C", 50, 100, kind="compute")
         art = render_gantt(tl, width=40)
         assert "=" in art and "#" in art
+
+    def test_stall_annotations_fill_idle_cells(self):
+        from repro.hw.introspect import StallInterval
+
+        tl = Timeline()
+        tl.add("hbm", "LW", 0, 50, kind="load")
+        tl.add("compute", "C", 50, 100, kind="compute")
+        art = render_gantt(
+            tl,
+            width=40,
+            annotations=[StallInterval("compute", 0, 50, "load_starved")],
+        )
+        compute_row = next(line for line in art.splitlines() if "compute" in line)
+        assert "L" in compute_row
+        assert "L=load_starved" in art  # legend
+
+    def test_annotated_program_gantt(self):
+        from repro.hw.visualize import render_program_gantt
+
+        program = LatencyModel().full_pass_program(8)
+        art = render_program_gantt(
+            program, "A1", width=80, annotate_stalls=True
+        )
+        assert "L" in art and "L=load_starved" in art
+        plain = render_program_gantt(program, "A1", width=80)
+        assert "L=load_starved" not in plain
 
     def test_comparison_stacks_architectures(self):
         lm = LatencyModel()

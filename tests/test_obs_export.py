@@ -40,6 +40,7 @@ PINNED_METRIC_NAMES = frozenset({
     "repro.hw.psa.occupancy",
     "repro.hw.schedule.total_cycles",
     "repro.hw.schedule.stall_cycles",
+    "repro.hw.stall.cycles",
     "repro.hw.decode.steps",
     "repro.hw.kv_cache.prefills",
     "repro.hw.kv_cache.appends",
@@ -147,6 +148,30 @@ class TestChromeTrace:
         parsed = json.loads(chrome_trace_json(self._timeline()))
         assert parsed["displayTimeUnit"] == "ms"
         assert parsed["otherData"]["clock_mhz"] == 300.0
+
+    def test_counter_tracks(self):
+        trace = chrome_trace(
+            self._timeline(),
+            clock_mhz=100.0,
+            counters={"utilization:slr0.psa0": [(0, 0.0), (100, 1.0)]},
+        )
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 2
+        assert all(e["name"] == "utilization:slr0.psa0" for e in counters)
+        # cycle timestamps scale by the clock like duration events
+        assert counters[1]["ts"] == pytest.approx(1.0)
+        assert counters[1]["args"]["value"] == pytest.approx(1.0)
+
+    def test_counter_tracks_without_timeline(self):
+        trace = chrome_trace(counters={"bandwidth:hbm0": [(0, 0.5)]})
+        events = trace["traceEvents"]
+        assert any(e["ph"] == "C" for e in events)
+        # the accelerator process is still named for the counter rows
+        assert any(
+            e.get("name") == "process_name"
+            and "accelerator" in e["args"]["name"]
+            for e in events
+        )
 
 
 class TestJsonl:
