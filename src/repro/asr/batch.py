@@ -41,11 +41,17 @@ class BatchResult:
     def pipelining_gain(self) -> float:
         """single-shot / pipelined; >= 1."""
         if self.pipelined_ms <= 0:
-            raise ValueError("empty batch")
+            raise ValueError(
+                f"pipelined_ms must be positive; got {self.pipelined_ms}"
+            )
         return self.single_shot_ms / self.pipelined_ms
 
     @property
     def throughput_seq_per_s(self) -> float:
+        if self.pipelined_ms <= 0:
+            raise ValueError(
+                f"pipelined_ms must be positive; got {self.pipelined_ms}"
+            )
         return self.num_utterances / (self.pipelined_ms / 1e3)
 
 

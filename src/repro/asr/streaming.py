@@ -13,6 +13,7 @@ exactly that per-chunk latency (~120 ms) stays far below chunk duration
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,6 +52,43 @@ class StreamingResult:
         return (self.total_e2e_ms / 1e3) / self.audio_seconds
 
 
+def dedup_join(
+    texts: list[str],
+    overlap_fractions: list[float],
+) -> tuple[str, int]:
+    """Join per-chunk transcripts, trimming words re-recognized from
+    re-covered audio.
+
+    ``overlap_fractions[i]`` is the fraction of chunk ``i``'s audio that
+    was already covered by its predecessor (0 for the first chunk).  A
+    chunk's leading words that exactly repeat the tail of the running
+    transcript are dropped, up to the word count its overlap fraction
+    can account for — so a genuine repetition in non-overlapping audio
+    is never trimmed.  Returns (joined_text, words_trimmed).
+    """
+    if len(texts) != len(overlap_fractions):
+        raise ValueError("texts and overlap_fractions must align")
+    joined: list[str] = []
+    trimmed = 0
+    for text, fraction in zip(texts, overlap_fractions):
+        words = text.split()
+        if not words:
+            continue
+        if joined and fraction > 0:
+            # The overlap can account for at most this many of the
+            # chunk's words (plus one for a word straddling the seam).
+            cap = min(len(words), int(math.ceil(fraction * len(words))) + 1)
+            drop = 0
+            for k in range(min(cap, len(joined)), 0, -1):
+                if joined[-k:] == words[:k]:
+                    drop = k
+                    break
+            words = words[drop:]
+            trimmed += drop
+        joined.extend(words)
+    return " ".join(joined), trimmed
+
+
 class StreamingTranscriber:
     """Chunk a long waveform to fit the fixed-s hardware."""
 
@@ -84,15 +122,15 @@ class StreamingTranscriber:
                 hi = mid - 1
         return lo
 
-    def chunk(self, waveform: np.ndarray) -> list[np.ndarray]:
-        """Split a waveform into hardware-sized chunks."""
+    def chunk_spans(self, waveform: np.ndarray) -> list[tuple[int, int]]:
+        """Sample spans ``[start, end)`` of the hardware-sized chunks."""
         w = np.asarray(waveform, dtype=np.float64)
         if w.ndim != 1:
             raise ValueError("waveform must be one-dimensional")
         if w.size == 0:
             raise ValueError("waveform is empty")
         if w.size <= self.chunk_samples:
-            return [w]
+            return [(0, int(w.size))]
         starts: list[int] = []
         start = 0
         while start + self.chunk_samples < w.size:
@@ -103,18 +141,36 @@ class StreamingTranscriber:
         final = w.size - self.chunk_samples
         if not starts or final > starts[-1]:
             starts.append(final)
-        return [w[s0 : s0 + self.chunk_samples] for s0 in starts]
+        return [(s0, s0 + self.chunk_samples) for s0 in starts]
+
+    def chunk(self, waveform: np.ndarray) -> list[np.ndarray]:
+        """Split a waveform into hardware-sized chunks."""
+        w = np.asarray(waveform, dtype=np.float64)
+        return [w[s0:s1] for s0, s1 in self.chunk_spans(w)]
 
     def transcribe(self, waveform: np.ndarray) -> StreamingResult:
         """Transcribe a waveform of arbitrary length chunk by chunk."""
-        chunks = self.chunk(waveform)
+        w = np.asarray(waveform, dtype=np.float64)
+        spans = self.chunk_spans(w)
+        chunks = [w[s0:s1] for s0, s1 in spans]
         if not chunks:
             raise ValueError("waveform too short for even one chunk")
         with obs_spans.tracer().span(
             "asr.streaming.transcribe", chunks=len(chunks)
         ):
             results = tuple(self.pipeline.transcribe(c) for c in chunks)
-        text = " ".join(r.text for r in results if r.text).strip()
+        # Chunks re-cover audio both by the configured overlap and by
+        # the final flush; words re-recognized from re-covered samples
+        # must not appear twice in the joined transcript.
+        overlap_fractions = [0.0]
+        overlap_samples_total = 0
+        for (prev_s0, prev_s1), (s0, s1) in zip(spans, spans[1:]):
+            overlap = max(prev_s1 - s0, 0)
+            overlap_samples_total += overlap
+            overlap_fractions.append(overlap / max(s1 - s0, 1))
+        text, dedup_words = dedup_join(
+            [r.text for r in results], overlap_fractions
+        )
         result = StreamingResult(
             text=text,
             chunk_results=results,
@@ -125,6 +181,8 @@ class StreamingTranscriber:
                 "program_ops_per_chunk": float(
                     self.pipeline.accelerator.program().num_ops
                 ),
+                "overlap_samples_total": float(overlap_samples_total),
+                "dedup_words": float(dedup_words),
             },
         )
         reg = obs_metrics.registry()

@@ -231,6 +231,50 @@ def _run_streaming(params: Mapping[str, object], session) -> tuple[dict, dict]:
     return cycles, info
 
 
+def _run_serving_load(params: Mapping[str, object], session) -> tuple[dict, dict]:
+    """Multi-tenant serving sweep: the same request population replayed
+    at a ladder of offered loads through the continuous-batching
+    scheduler.  Virtual time is integer cycles and arrivals come from
+    ``random.Random``, so every cycle-domain quantity is bit-identical
+    across repeats and platforms; latency quantiles and goodput are
+    reported as informational metrics."""
+    from repro.serving import ServingConfig, find_saturation, sweep_offered_load
+
+    loads = [float(x) for x in params.get("loads_rps", (0.5, 2.0, 8.0))]
+    num_requests = int(params.get("num_requests", 16))
+    arrival = str(params.get("arrival", "poisson"))
+    seed = int(params.get("seed", 11))
+    config = ServingConfig(
+        s=int(params.get("s", 32)),
+        architecture=str(params.get("arch", "A3")),
+        max_batch=int(params.get("max_batch", 4)),
+        slo_ms=float(params.get("slo_ms", 1500.0)),
+    )
+    sweep = sweep_offered_load(
+        loads, num_requests=num_requests, arrival_kind=arrival,
+        config=config, seed=seed,
+    )
+    cycles: dict[str, float] = {}
+    info: dict[str, float] = {}
+    for point in sweep.points:
+        tag = f"load{point.offered_rps:g}"
+        cycles[f"{tag}_device_cycles"] = float(point.device_cycles)
+        cycles[f"{tag}_completed"] = float(point.completed)
+        cycles[f"{tag}_preemptions"] = float(point.preemptions)
+        cycles[f"{tag}_replayed_steps"] = float(point.replayed_steps)
+        cycles[f"{tag}_peak_kv_bytes"] = float(point.peak_kv_bytes)
+        info[f"{tag}_p50_ms"] = point.p50_ms
+        info[f"{tag}_p95_ms"] = point.p95_ms
+        info[f"{tag}_p99_ms"] = point.p99_ms
+        info[f"{tag}_goodput_rps"] = point.goodput_rps
+    knee = find_saturation(sweep.points)
+    info["saturation_rps"] = knee.offered_rps if knee else 0.0
+    att = sweep.attribution
+    info[f"bottleneck_is_{att['bottleneck']}"] = 1.0
+    info[f"psa_dominant_is_{att['psa_dominant_cause']}"] = 1.0
+    return cycles, info
+
+
 #: kind -> runner(params, telemetry session) -> (cycles, info).
 RUNNERS: dict[str, Callable[[Mapping[str, object], object], tuple[dict, dict]]] = {
     "arch_sweep": _run_arch_sweep,
@@ -238,6 +282,7 @@ RUNNERS: dict[str, Callable[[Mapping[str, object], object], tuple[dict, dict]]] 
     "kv_decode": _run_kv_decode,
     "e2e_transcribe": _run_e2e_transcribe,
     "streaming": _run_streaming,
+    "serving_load": _run_serving_load,
 }
 
 
@@ -263,6 +308,18 @@ def default_scenarios(quick: bool = False, repeats: int = 3) -> list[Scenario]:
                  {"arch": "A3", "s": 32}, repeats=repeats),
         Scenario("kv_decode_a3_t8", "kv_decode",
                  {"arch": "A3", "s": 32, "num_tokens": 8}, repeats=repeats),
+        Scenario(
+            "serving_load_poisson",
+            "serving_load",
+            {
+                "arrival": "poisson",
+                "loads_rps": (0.5, 2.0, 8.0),
+                "num_requests": 8 if quick else 16,
+                "max_batch": 4,
+                "seed": 11,
+            },
+            repeats=repeats,
+        ),
     ]
     if not quick:
         scenarios += [

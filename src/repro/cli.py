@@ -13,6 +13,9 @@
     repro-asr bench run     [--out DIR] [--repeats K] [--quick]
     repro-asr bench compare BASELINE CURRENT [--wall-tol F] [--fail-on-wall]
     repro-asr bench report  [--seq 32] [--arch A3]
+    repro-asr serve-sim [--arrival poisson] [--loads 0.5,2,8] [--requests N]
+                        [--max-batch B] [--kv-budget-bytes N] [--slo-ms F]
+                        [--json PATH]
 
 Each subcommand prints one of the paper's analyses from the simulator;
 ``transcribe`` runs the full E2E pipeline on a synthetic utterance.
@@ -23,6 +26,9 @@ is the performance-trajectory harness: ``run`` writes a
 schema-versioned ``BENCH_<n>.json`` snapshot, ``compare`` gates it
 against a baseline (exact-match on cycle counts, noise-aware on
 wall-clock), ``report`` prints the bottleneck attribution.
+``serve-sim`` sweeps the multi-tenant serving simulator over offered
+loads and reports p50/p95/p99 latency, goodput and the saturation
+bottleneck.
 """
 
 from __future__ import annotations
@@ -280,6 +286,48 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.serving import ServingConfig, render_sweep, sweep_offered_load
+
+    loads = sorted(float(x) for x in args.loads.split(","))
+    if len(loads) < 3:
+        print("error: need at least 3 offered loads for a sweep")
+        return 2
+    config = ServingConfig(
+        s=args.seq,
+        architecture=args.arch,
+        max_batch=args.max_batch,
+        kv_budget_bytes=args.kv_budget_bytes,
+        slo_ms=args.slo_ms,
+    )
+    sweep = sweep_offered_load(
+        loads,
+        num_requests=args.requests,
+        arrival_kind=args.arrival,
+        config=config,
+        seed=args.seed,
+    )
+    print(render_sweep(sweep))
+    if args.json:
+        import dataclasses
+        import json
+        import pathlib
+
+        payload = {
+            "config": dataclasses.asdict(config),
+            "arrival": args.arrival,
+            "num_requests": args.requests,
+            "seed": args.seed,
+            "points": [dataclasses.asdict(p) for p in sweep.points],
+            "attribution": sweep.attribution,
+        }
+        out = pathlib.Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
 def _cmd_bench_report(args: argparse.Namespace) -> int:
     from repro.bench import build_attribution_report
 
@@ -503,6 +551,29 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--seq", type=int, default=32)
     b.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
     b.set_defaults(func=_cmd_bench_report)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="multi-tenant serving simulator: latency vs offered load",
+    )
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "diurnal"])
+    p.add_argument("--loads", default="0.5,2,8",
+                   help="comma-separated offered loads, requests/s (>=3)")
+    p.add_argument("--requests", type=int, default=16,
+                   help="requests simulated per load level")
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    p.add_argument("--max-batch", type=int, default=4,
+                   help="decode-iteration width (continuous batch size)")
+    p.add_argument("--kv-budget-bytes", type=int, default=None,
+                   help="K/V BRAM budget; default fits max-batch full caches")
+    p.add_argument("--slo-ms", type=float, default=1500.0,
+                   help="latency SLO for goodput accounting (virtual ms)")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the sweep + attribution as JSON")
+    p.set_defaults(func=_cmd_serve_sim)
 
     p = sub.add_parser("inventory", help="Table 4.1 weight inventory")
     p.set_defaults(func=_cmd_inventory)

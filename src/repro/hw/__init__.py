@@ -19,7 +19,13 @@ Layers (bottom-up):
   design-space exploration.
 """
 
-from repro.hw.accelerator import AcceleratorOutput, TransformerAccelerator
+from repro.hw.accelerator import (
+    AcceleratorOutput,
+    HwDecodeSession,
+    TransformerAccelerator,
+    step_batch,
+)
+from repro.hw.kv_cache import DecoderKVCache, modeled_resident_bytes
 from repro.hw.adder import VectorAdder
 from repro.hw.block_trace import trace_attention_head, trace_encoder_block
 from repro.hw.faults import FaultSpec, inject_faults, measure_impact
@@ -92,7 +98,11 @@ from repro.hw.visualize import (
 
 __all__ = [
     "AcceleratorOutput",
+    "DecoderKVCache",
+    "HwDecodeSession",
     "TransformerAccelerator",
+    "modeled_resident_bytes",
+    "step_batch",
     "VectorAdder",
     "trace_attention_head",
     "trace_encoder_block",

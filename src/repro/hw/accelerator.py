@@ -12,6 +12,7 @@ token embedding and the final output projection + softmax, then hands
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -313,6 +314,20 @@ class HwDecodeSession:
         self.cache.rewind(length)
         self._tokens = self._tokens[:length]
 
+    def resident_bytes(self) -> int:
+        """Bytes this session's K/V caches hold in the BRAM banks —
+        the serving scheduler's cache-pressure admission signal."""
+        return self.cache.resident_bytes()
+
+    def preempt(self) -> list[int]:
+        """Evict the self-attention state (cache pressure): rewind the
+        caches to zero and return the token prefix needed to replay.
+        Feeding the returned prefix back through :meth:`step_fn` (or
+        :func:`step_batch`) reproduces the evicted state exactly."""
+        prefix = self.tokens
+        self.rewind(0)
+        return prefix
+
     def step_fn(self):
         """Adapter for :mod:`repro.decoding`: prefix -> next log-probs."""
 
@@ -340,3 +355,40 @@ class HwDecodeSession:
             return out
 
         return step
+
+
+def step_batch(
+    sessions: Sequence["HwDecodeSession"],
+    tokens: Sequence[int],
+    share_weights: bool = True,
+) -> tuple[list[np.ndarray], int]:
+    """One continuous-batching decode iteration over open sessions.
+
+    Every session advances one KV-cached step at its own prefix length
+    (the iteration-level scheduling of Orca-style serving): session
+    ``i`` consumes ``tokens[i]`` and the functional outputs are exactly
+    the per-session :meth:`HwDecodeSession.step` results.  The returned
+    cycle count is the *batched* iteration cost from
+    :meth:`repro.hw.controller.LatencyModel.decode_iteration_cycles` —
+    with ``share_weights``, the decoder panels stream from HBM once for
+    the whole batch instead of once per member.
+    """
+    if not sessions:
+        raise ValueError("batch must contain at least one session")
+    if len(sessions) != len(tokens):
+        raise ValueError("one token per session required")
+    accel = sessions[0].accel
+    if any(s.accel is not accel for s in sessions):
+        raise ValueError("all sessions must share one accelerator")
+    outputs = [
+        session.step(int(token)) for session, token in zip(sessions, tokens)
+    ]
+    # Each executed step ran the t = (new prefix length) program, the
+    # same length run_decoder_step lowered for it.
+    cycles = accel.latency_model.decode_iteration_cycles(
+        [len(s.tokens) for s in sessions],
+        accel.hw_seq_len,
+        accel.architecture,
+        share_weights=share_weights,
+    )
+    return outputs, cycles

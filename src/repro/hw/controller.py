@@ -17,6 +17,7 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -278,6 +279,48 @@ class LatencyModel:
         result = schedule(arch, blocks, self.calibration.block_overhead_cycles)
         t_in, t_out = self.io_transfer_cycles(1)
         return result.total_cycles + t_in + t_out
+
+    def decode_iteration_cycles(
+        self,
+        prefix_lengths: Sequence[int],
+        s: int,
+        architecture: Architecture | str = Architecture.A3,
+        share_weights: bool = True,
+    ) -> int:
+        """Scheduled cycles of one continuous-batching decode iteration.
+
+        Each member of the batch advances one KV-cached step at its own
+        prefix length.  With ``share_weights`` (the serving default) the
+        decoder weight panels are streamed from HBM once per iteration
+        and every member's 1-row query computes against the resident
+        panels — the load amortizes across the batch, which is exactly
+        the continuous-batching win.  Without it, each member re-streams
+        every panel (the back-to-back chain of
+        :meth:`autoregressive_report`).  Per-member host I/O (token in,
+        log-probs out) is charged either way.
+        """
+        lengths = [int(t) for t in prefix_lengths]
+        if not lengths:
+            raise ValueError("prefix_lengths must be non-empty")
+        if any(t <= 0 for t in lengths):
+            raise ValueError("prefix lengths must be positive")
+        arch = Architecture(architecture)
+        chain: list[BlockWork] = []
+        for i, t in enumerate(lengths):
+            for b in self.build_decode_step_blocks(t, s, arch, tag=f"r{i}:"):
+                load = b.load_cycles if (i == 0 or not share_weights) else 0
+                chain.append(
+                    BlockWork(
+                        b.label,
+                        load,
+                        b.compute_cycles,
+                        channel_hint=b.channel_hint,
+                        overhead_override=b.overhead_override,
+                    )
+                )
+        result = schedule(arch, chain, self.calibration.block_overhead_cycles)
+        t_in, t_out = self.io_transfer_cycles(1)
+        return result.total_cycles + (t_in + t_out) * len(lengths)
 
     def autoregressive_report(
         self,

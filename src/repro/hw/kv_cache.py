@@ -39,6 +39,23 @@ def kv_stream_cycles(t: int, d_k: int) -> int:
     return ceil_div(t * d_k, 16)
 
 
+def modeled_resident_bytes(config, s: int, t: int, bytes_per_element: int = 4) -> int:
+    """Bytes a :class:`DecoderKVCache` holds at memory length ``s`` and
+    prefix length ``t`` — the same arithmetic as
+    :meth:`DecoderKVCache.resident_bytes`, but data-free.
+
+    Cross-attention K/V are fixed at ``(s, d_k)`` per head; the
+    self-attention banks hold ``t`` rows.  The serving scheduler uses
+    this as its cache-pressure admission signal without materializing
+    caches (a test pins it against a live cache).
+    """
+    if s < 0 or t < 0:
+        raise ValueError("s and t must be non-negative")
+    d_k = config.d_model // config.num_heads
+    per_layer = 2 * config.num_heads * d_k * (s + t) * bytes_per_element
+    return config.num_decoders * per_layer
+
+
 @dataclass
 class LayerKVCache:
     """Cached state of one decoder layer.
@@ -54,9 +71,28 @@ class LayerKVCache:
     cross_k: list[np.ndarray] = field(default_factory=list)
     cross_v: list[np.ndarray] = field(default_factory=list)
 
+    @staticmethod
+    def _validate_append(bank: list[np.ndarray], head: int, row: np.ndarray, what: str) -> None:
+        if not 0 <= head <= len(bank):
+            raise ValueError(
+                f"cannot append {what} row for head {head}: banks must be "
+                f"appended in order and only {len(bank)} head bank(s) exist"
+            )
+        if row.ndim != 2 or row.shape[0] != 1:
+            raise ValueError(
+                f"{what} row must have shape (1, d_k); got {row.shape}"
+            )
+        if head < len(bank) and row.shape[1] != bank[head].shape[1]:
+            raise ValueError(
+                f"{what} row width {row.shape[1]} does not match head "
+                f"{head}'s bank width {bank[head].shape[1]}"
+            )
+
     def append_self_k(self, head: int, k_row: np.ndarray) -> None:
         """Bank this step's key row for one head (the program IR's
         ``cache_append_k`` op lands here)."""
+        k_row = np.asarray(k_row)
+        self._validate_append(self.self_k, head, k_row, "key")
         if head == len(self.self_k):
             self.self_k.append(k_row)
         else:
@@ -65,6 +101,8 @@ class LayerKVCache:
 
     def append_self_v(self, head: int, v_row: np.ndarray) -> None:
         """Bank this step's value row for one head."""
+        v_row = np.asarray(v_row)
+        self._validate_append(self.self_v, head, v_row, "value")
         if head == len(self.self_v):
             self.self_v.append(v_row)
         else:

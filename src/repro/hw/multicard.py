@@ -94,11 +94,26 @@ def saturation_point(
     host_pcie_gbps: float | None = None,
     max_cards: int = 4096,
 ) -> int:
-    """Smallest fleet size at which the host PCIe link binds."""
+    """Smallest fleet size at which the host PCIe link binds.
+
+    ``pcie_bound`` is monotone in the fleet size (per-card rate is
+    fixed, the host link is shared), so the knee is found by bisection
+    rather than a linear scan over thousands of candidate fleets.
+    """
     lm = latency_model or LatencyModel()
-    for n in range(1, max_cards + 1):
-        if multicard_throughput(
+
+    def bound(n: int) -> bool:
+        return multicard_throughput(
             n, lm, s=s, architecture=architecture, host_pcie_gbps=host_pcie_gbps
-        ).pcie_bound:
-            return n
-    raise ValueError(f"no PCIe saturation up to {max_cards} cards")
+        ).pcie_bound
+
+    if not bound(max_cards):
+        raise ValueError(f"no PCIe saturation up to {max_cards} cards")
+    lo, hi = 1, max_cards
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if bound(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -86,6 +86,18 @@ METRIC_HELP = {
     "repro.hw.kv_cache.appends": "K/V rows appended to decoder cache banks",
     "repro.hw.kv_cache.rewinds": "Cache rewinds (beam-search branching)",
     "repro.hw.kv_cache.resident_bytes": "Bytes resident in the decoder K/V cache banks",
+    # ---- serving simulator (repro.serving.*) — virtual-time quantities
+    "repro.serving.requests": "Requests that arrived at the serving simulator",
+    "repro.serving.completions": "Requests fully decoded by the serving simulator",
+    "repro.serving.prefills": "Prefill passes scheduled on the simulated accelerator",
+    "repro.serving.decode_iterations": "Continuous-batching decode iterations executed",
+    "repro.serving.preemptions": "Active requests preempted to relieve KV-cache pressure",
+    "repro.serving.replayed_steps": "Decode steps replayed after preemption rewinds",
+    "repro.serving.queue_depth": "Requests waiting for admission at the last scheduler event",
+    "repro.serving.batch_size": "Decode batch size at the last scheduler event",
+    "repro.serving.kv_resident_bytes": "Modeled bytes resident across all active KV caches",
+    "repro.serving.e2e_ms": "Virtual-time end-to-end request latency, ms",
+    "repro.serving.queue_ms": "Virtual-time queueing delay before prefill, ms",
     # ---- decoding (repro.decoding.*)
     "repro.decoding.beam.hypotheses_expanded": "Beam hypotheses expanded (step-function calls)",
     "repro.decoding.beam.early_stops": "Beam searches ended by the early-stop bound",

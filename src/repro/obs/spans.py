@@ -117,6 +117,35 @@ class Tracer:
         """Open a nested span; completed on context exit."""
         return _SpanContext(self, name, attrs)
 
+    def record_span(
+        self,
+        name: str,
+        start_us: float,
+        duration_us: float,
+        thread_id: int = 0,
+        depth: int = 0,
+        **attrs: object,
+    ) -> None:
+        """Record a span with explicit timestamps.
+
+        Simulators operating on a *virtual* clock (the serving
+        scheduler) use this to emit per-request lifecycle spans whose
+        times are simulated microseconds rather than host wall-clock;
+        the exporter treats them like any other record.
+        """
+        if duration_us < 0:
+            raise ValueError("duration_us must be non-negative")
+        self._record(
+            SpanRecord(
+                name=name,
+                start_us=float(start_us),
+                duration_us=float(duration_us),
+                depth=depth,
+                thread_id=thread_id,
+                attrs=dict(attrs),
+            )
+        )
+
     @property
     def records(self) -> list[SpanRecord]:
         """Completed spans in completion order (children before parents)."""
@@ -157,6 +186,9 @@ class NullTracer(Tracer):
 
     def span(self, name: str, **attrs: object) -> _NullSpanContext:  # type: ignore[override]
         return _NULL_SPAN_CONTEXT
+
+    def record_span(self, name, start_us, duration_us, thread_id=0, depth=0, **attrs):  # type: ignore[override]
+        pass
 
 
 NULL_TRACER = NullTracer()

@@ -1,0 +1,62 @@
+"""Multi-tenant serving simulator over the modeled accelerator.
+
+Virtual-time, request-level scheduling of the transformer ASR
+accelerator: open-loop arrivals (:mod:`repro.serving.arrival`),
+continuous batching with cache-pressure admission control and priority
+preemption (:mod:`repro.serving.scheduler`), and latency-vs-load
+sweeps with saturation attribution (:mod:`repro.serving.analysis`).
+"""
+
+from repro.serving.arrival import (
+    ArrivalModel,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrival_model,
+)
+from repro.serving.analysis import (
+    LoadPoint,
+    ServingSweep,
+    attribute_saturation,
+    find_saturation,
+    render_sweep,
+    sweep_offered_load,
+)
+from repro.serving.request import (
+    RequestRecord,
+    RequestState,
+    UtteranceRequest,
+    synthesize_requests,
+)
+from repro.serving.scheduler import (
+    ContinuousBatchingScheduler,
+    FunctionalExecutor,
+    ModeledExecutor,
+    ServingConfig,
+    ServingResult,
+    simulate,
+)
+
+__all__ = [
+    "ArrivalModel",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "make_arrival_model",
+    "RequestState",
+    "UtteranceRequest",
+    "RequestRecord",
+    "synthesize_requests",
+    "ServingConfig",
+    "ServingResult",
+    "ModeledExecutor",
+    "FunctionalExecutor",
+    "ContinuousBatchingScheduler",
+    "simulate",
+    "LoadPoint",
+    "ServingSweep",
+    "sweep_offered_load",
+    "find_saturation",
+    "attribute_saturation",
+    "render_sweep",
+]

@@ -1,0 +1,247 @@
+"""Load sweeps, saturation detection and bottleneck attribution.
+
+The serving question the paper's accelerator ultimately has to answer
+is *"how much traffic can one card carry before latency collapses?"*.
+:func:`sweep_offered_load` replays the same request population at a
+ladder of offered loads, :func:`find_saturation` locates the knee
+(first load whose goodput falls measurably short of what was offered),
+and :func:`attribute_saturation` explains the knee twice over:
+
+* **macro**: how the device spent its cycles at the knee (prefill vs
+  decode vs idle) plus the cache-pressure counters (peak resident
+  bytes against budget, preemptions, replayed steps);
+* **micro**: the PR-5 stall taxonomy (:func:`repro.hw.introspect.
+  classify_stalls`) run over the dominant phase's block program, naming
+  the cycle-level cause (``load_starved``, ``dependency``, ...) that
+  bounds the phase the device spends most of its time in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.introspect import classify_stalls
+from repro.serving.arrival import make_arrival_model
+from repro.serving.request import synthesize_requests
+from repro.serving.scheduler import (
+    ContinuousBatchingScheduler,
+    ModeledExecutor,
+    ServingConfig,
+    ServingResult,
+)
+
+__all__ = [
+    "LoadPoint",
+    "ServingSweep",
+    "sweep_offered_load",
+    "find_saturation",
+    "attribute_saturation",
+    "render_sweep",
+]
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One offered-load level of a sweep, fully aggregated."""
+
+    offered_rps: float
+    completed: int
+    throughput_rps: float
+    goodput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    queue_p95_ms: float
+    preemptions: int
+    replayed_steps: int
+    peak_kv_bytes: int
+    peak_queue_depth: int
+    peak_batch: int
+    device_cycles: int
+    prefill_frac: float
+    decode_frac: float
+    idle_frac: float
+
+    @classmethod
+    def from_result(cls, offered_rps: float, result: ServingResult) -> "LoadPoint":
+        span = max(result.device_end_cycles, 1)
+        return cls(
+            offered_rps=offered_rps,
+            completed=len(result.completed),
+            throughput_rps=result.throughput_rps,
+            goodput_rps=result.goodput_rps,
+            p50_ms=result.latency_quantile(0.50),
+            p95_ms=result.latency_quantile(0.95),
+            p99_ms=result.latency_quantile(0.99),
+            queue_p95_ms=result.latency_quantile(0.95, which="queue"),
+            preemptions=result.preemptions,
+            replayed_steps=result.replayed_steps,
+            peak_kv_bytes=result.peak_kv_bytes,
+            peak_queue_depth=result.peak_queue_depth,
+            peak_batch=result.peak_batch,
+            device_cycles=result.device_end_cycles,
+            prefill_frac=result.prefill_cycles_total / span,
+            decode_frac=result.decode_cycles_total / span,
+            idle_frac=result.idle_cycles_total / span,
+        )
+
+
+@dataclass
+class ServingSweep:
+    """A full latency-vs-load curve plus its saturation attribution."""
+
+    config: ServingConfig
+    arrival_kind: str
+    num_requests: int
+    seed: int
+    points: list[LoadPoint]
+    attribution: dict = field(default_factory=dict)
+
+    @property
+    def saturation_rps(self) -> float | None:
+        return self.attribution.get("saturation_rps")
+
+
+def sweep_offered_load(
+    loads_rps: list[float],
+    num_requests: int = 24,
+    arrival_kind: str = "poisson",
+    config: ServingConfig | None = None,
+    seed: int = 0,
+    executor: ModeledExecutor | None = None,
+) -> ServingSweep:
+    """Replay the same request population at each offered load.
+
+    The token budgets and priorities are drawn once (same ``seed``), so
+    the only thing that changes along the sweep is arrival spacing —
+    the curve isolates load, not workload."""
+    if not loads_rps:
+        raise ValueError("need at least one offered load")
+    if sorted(loads_rps) != list(loads_rps):
+        raise ValueError("offered loads must be sorted ascending")
+    config = config or ServingConfig()
+    points: list[LoadPoint] = []
+    for rate in loads_rps:
+        arrival = make_arrival_model(arrival_kind, rate, seed=seed)
+        requests = synthesize_requests(arrival, num_requests, seed=seed)
+        sched = ContinuousBatchingScheduler(config, executor)
+        result = sched.run(requests)
+        points.append(LoadPoint.from_result(rate, result))
+    sweep = ServingSweep(
+        config=config,
+        arrival_kind=arrival_kind,
+        num_requests=num_requests,
+        seed=seed,
+        points=points,
+    )
+    sweep.attribution = attribute_saturation(sweep, executor)
+    return sweep
+
+
+def find_saturation(
+    points: list[LoadPoint], goodput_ratio: float = 0.95
+) -> LoadPoint | None:
+    """First point whose goodput falls below ``goodput_ratio`` of the
+    offered load — the knee of the latency-vs-load curve."""
+    if not 0 < goodput_ratio <= 1:
+        raise ValueError("goodput_ratio must be in (0, 1]")
+    for point in points:
+        if point.goodput_rps < goodput_ratio * point.offered_rps:
+            return point
+    return None
+
+
+def attribute_saturation(
+    sweep: ServingSweep, executor: ModeledExecutor | None = None
+) -> dict:
+    """Explain the saturation knee (or its absence) of a sweep.
+
+    Returns a plain dict (bench-info friendly) with the macro split at
+    the knee, the cache-pressure counters, and the stall-taxonomy
+    verdict for the dominant device phase."""
+    ex = executor or ModeledExecutor(sweep.config)
+    knee = find_saturation(sweep.points)
+    out: dict = {"saturated": knee is not None}
+    point = knee or sweep.points[-1]
+    out["at_rps"] = point.offered_rps
+    if knee is not None:
+        out["saturation_rps"] = knee.offered_rps
+
+    # Macro: where did the device cycles go at (or nearest) the knee?
+    out["prefill_frac"] = round(point.prefill_frac, 4)
+    out["decode_frac"] = round(point.decode_frac, 4)
+    out["idle_frac"] = round(point.idle_frac, 4)
+    kv_budget = sweep.config.kv_budget_bytes
+    if kv_budget is None:
+        kv_budget = sweep.config.max_batch * ex.resident_bytes(sweep.config.s)
+    kv_pressured = (
+        point.preemptions > 0
+        or (point.peak_queue_depth > 0 and point.peak_batch < sweep.config.max_batch
+            and point.peak_kv_bytes > 0.8 * kv_budget)
+    )
+    if knee is None:
+        bottleneck = "arrival_bound"
+    elif kv_pressured:
+        bottleneck = "kv_pressure"
+    elif point.idle_frac > max(point.prefill_frac, point.decode_frac):
+        # Goodput fell short of the offered rate while the device sat
+        # mostly idle: the arrival draws (bursty/diurnal quiet spells)
+        # never delivered the nominal load, so the knee is not a
+        # device limit.
+        bottleneck = "arrival_bound"
+    elif point.prefill_frac >= point.decode_frac:
+        bottleneck = "prefill_bound"
+    else:
+        bottleneck = "decode_bound"
+    out["bottleneck"] = bottleneck
+
+    # Micro: the stall taxonomy of the dominant phase's block program.
+    lm = ex.lm
+    s = sweep.config.s
+    if point.prefill_frac >= point.decode_frac:
+        program = lm.full_pass_program(s)
+        out["stall_program"] = f"full_pass(s={s})"
+    else:
+        t_repr = max(s // 2, 1)
+        program = lm.decode_step_program(t_repr, s)
+        out["stall_program"] = f"decode_step(t={t_repr}, s={s})"
+    report = classify_stalls(program, sweep.config.architecture)
+    report.verify_conservation()
+    totals = report.totals(".psa")
+    out["psa_dominant_cause"] = report.dominant_cause(".psa") or "none"
+    out["psa_stall_cycles"] = {k: v for k, v in totals.items() if v > 0}
+    return out
+
+
+def render_sweep(sweep: ServingSweep) -> str:
+    """A fixed-width latency-vs-load table plus the attribution verdict."""
+    lines = [
+        f"serving sweep: {sweep.arrival_kind} arrivals, "
+        f"{sweep.num_requests} requests/level, arch {sweep.config.architecture}, "
+        f"batch<={sweep.config.max_batch}",
+        f"{'offered':>9} {'goodput':>9} {'p50 ms':>10} {'p95 ms':>10} "
+        f"{'p99 ms':>10} {'preempt':>8} {'peak kv':>12}",
+    ]
+    for p in sweep.points:
+        lines.append(
+            f"{p.offered_rps:>9.3f} {p.goodput_rps:>9.3f} {p.p50_ms:>10.1f} "
+            f"{p.p95_ms:>10.1f} {p.p99_ms:>10.1f} {p.preemptions:>8d} "
+            f"{p.peak_kv_bytes:>12d}"
+        )
+    att = sweep.attribution
+    if att.get("saturated"):
+        lines.append(
+            f"saturates at {att['saturation_rps']:.3f} req/s: "
+            f"{att['bottleneck']} (prefill {att['prefill_frac']:.0%} / "
+            f"decode {att['decode_frac']:.0%} / idle {att['idle_frac']:.0%})"
+        )
+    else:
+        lines.append(
+            f"no saturation up to {att['at_rps']:.3f} req/s "
+            f"(idle {att['idle_frac']:.0%})"
+        )
+    lines.append(
+        f"stall taxonomy [{att['stall_program']}]: PSA lanes dominated by "
+        f"{att['psa_dominant_cause']}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Request arrival models for the serving simulator.
+
+Three open-loop traffic shapes cover the load regimes a transcription
+service sees:
+
+* :class:`PoissonArrivals` — memoryless steady-state traffic; the
+  M/·/1 baseline every queueing result is stated against.
+* :class:`BurstyArrivals` — a two-state Markov-modulated Poisson
+  process (quiet/burst), the "everyone hits enter at once" shape that
+  stresses admission control far harder than its mean rate suggests.
+* :class:`DiurnalArrivals` — a sinusoidally rate-modulated process
+  (thinning construction) approximating the day/night cycle of a
+  user-facing service, compressed to simulation scale.
+
+All models draw from :class:`random.Random`, whose sequence is
+guaranteed reproducible across Python versions and platforms — the
+bench harness gates the serving scenario's cycle metrics exactly, so
+the arrival trace must be bit-stable (NumPy generators make no such
+cross-version promise).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "ArrivalModel",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "make_arrival_model",
+]
+
+
+class ArrivalModel:
+    """Base: a seeded generator of monotone arrival times (seconds)."""
+
+    #: Mean offered load, requests/second (subclasses must set).
+    rate_per_s: float
+
+    def times(self, n: int) -> list[float]:
+        """The first ``n`` arrival times, seconds from simulation start."""
+        raise NotImplementedError
+
+    def _check(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalModel):
+    """Homogeneous Poisson process: i.i.d. exponential gaps."""
+
+    rate_per_s: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+
+    def times(self, n: int) -> list[float]:
+        self._check(n)
+        rng = random.Random(self.seed)
+        t = 0.0
+        out: list[float] = []
+        for _ in range(n):
+            t += rng.expovariate(self.rate_per_s)
+            out.append(t)
+        return out
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalModel):
+    """Two-state MMPP: quiet periods punctuated by high-rate bursts.
+
+    ``rate_per_s`` is the *mean* rate; during a burst the instantaneous
+    rate is ``burst_factor`` times the quiet rate.  ``burst_fraction``
+    is the long-run fraction of time spent bursting, and
+    ``mean_burst_s`` the expected burst dwell time.
+    """
+
+    rate_per_s: float
+    burst_factor: float = 8.0
+    burst_fraction: float = 0.2
+    mean_burst_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.mean_burst_s <= 0:
+            raise ValueError("mean_burst_s must be positive")
+
+    def times(self, n: int) -> list[float]:
+        self._check(n)
+        rng = random.Random(self.seed)
+        # Solve the quiet rate so the time-weighted mean matches
+        # rate_per_s: mean = q * (1 - f + f * factor).
+        quiet_rate = self.rate_per_s / (
+            1.0 - self.burst_fraction + self.burst_fraction * self.burst_factor
+        )
+        burst_rate = quiet_rate * self.burst_factor
+        mean_quiet_s = self.mean_burst_s * (1 - self.burst_fraction) / self.burst_fraction
+        t = 0.0
+        bursting = False
+        phase_end = rng.expovariate(1.0 / mean_quiet_s)
+        out: list[float] = []
+        while len(out) < n:
+            rate = burst_rate if bursting else quiet_rate
+            gap = rng.expovariate(rate)
+            if t + gap >= phase_end:
+                # Phase flips before the next arrival; restart the
+                # (memoryless) arrival draw from the phase boundary.
+                t = phase_end
+                bursting = not bursting
+                dwell = self.mean_burst_s if bursting else mean_quiet_s
+                phase_end = t + rng.expovariate(1.0 / dwell)
+                continue
+            t += gap
+            out.append(t)
+        return out
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalModel):
+    """Sinusoidally modulated Poisson process via Lewis-Shedler thinning.
+
+    Instantaneous rate ``rate_per_s * (1 + amplitude * sin(2*pi*t /
+    period_s))``, so the mean over a full period is ``rate_per_s``.
+    """
+
+    rate_per_s: float
+    amplitude: float = 0.6
+    period_s: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if not 0 <= self.amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+    def rate_at(self, t: float) -> float:
+        return self.rate_per_s * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period_s)
+        )
+
+    def times(self, n: int) -> list[float]:
+        self._check(n)
+        rng = random.Random(self.seed)
+        rate_max = self.rate_per_s * (1.0 + self.amplitude)
+        t = 0.0
+        out: list[float] = []
+        while len(out) < n:
+            t += rng.expovariate(rate_max)
+            if rng.random() * rate_max <= self.rate_at(t):
+                out.append(t)
+        return out
+
+
+def make_arrival_model(kind: str, rate_per_s: float, seed: int = 0) -> ArrivalModel:
+    """Factory keyed by the CLI/scenario ``--arrival`` name."""
+    if kind == "poisson":
+        return PoissonArrivals(rate_per_s, seed=seed)
+    if kind == "bursty":
+        return BurstyArrivals(rate_per_s, seed=seed)
+    if kind == "diurnal":
+        return DiurnalArrivals(rate_per_s, seed=seed)
+    raise ValueError(
+        f"unknown arrival model '{kind}'; expected poisson, bursty or diurnal"
+    )

@@ -53,6 +53,19 @@ class TestBatchTranscriber:
         with pytest.raises(ValueError):
             transcriber.transcribe_batch([])
 
+    def test_nonpositive_pipelined_ms_raises_clearly(self):
+        """Regression: a zero/negative pipelined time used to surface as
+        a ZeroDivisionError (or a misleading "empty batch" message) from
+        the throughput property; both accessors must name the actual
+        invariant instead."""
+        from repro.asr.batch import BatchResult
+
+        broken = BatchResult(results=(), single_shot_ms=1.0, pipelined_ms=0.0)
+        with pytest.raises(ValueError, match="pipelined_ms must be positive"):
+            broken.throughput_seq_per_s
+        with pytest.raises(ValueError, match="pipelined_ms must be positive"):
+            broken.pipelining_gain
+
     def test_single_shot_reuses_per_result_reports(
         self, transcriber, batch_waveforms
     ):

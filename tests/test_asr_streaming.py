@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from types import SimpleNamespace
+
 from repro.asr.dataset import LibriSpeechLikeDataset
 from repro.asr.pipeline import AsrPipeline
-from repro.asr.streaming import StreamingTranscriber
+from repro.asr.streaming import StreamingTranscriber, dedup_join
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +55,71 @@ class TestChunking:
             StreamingTranscriber(pipeline, overlap_s=-1.0)
         with pytest.raises(ValueError):
             StreamingTranscriber(pipeline, overlap_s=100.0)
+
+
+class TestDedupJoin:
+    def test_overlap_duplicate_trimmed(self):
+        text, trimmed = dedup_join(
+            ["alpha bravo charlie delta", "charlie delta echo"], [0.0, 0.5]
+        )
+        assert text == "alpha bravo charlie delta echo"
+        assert trimmed == 2
+
+    def test_no_overlap_keeps_genuine_repetition(self):
+        """Repetition in non-overlapping audio is real speech."""
+        text, trimmed = dedup_join(["the cat", "the cat"], [0.0, 0.0])
+        assert text == "the cat the cat"
+        assert trimmed == 0
+
+    def test_cap_limits_trim_to_overlap_fraction(self):
+        """A repeat longer than the overlap can explain is kept."""
+        text, trimmed = dedup_join(["a b c d", "a b c d"], [0.0, 0.25])
+        assert text == "a b c d a b c d"
+        assert trimmed == 0
+
+    def test_empty_chunk_skipped(self):
+        text, trimmed = dedup_join(["hello", "", "world"], [0.0, 0.5, 0.5])
+        assert text == "hello world"
+        assert trimmed == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            dedup_join(["a"], [0.0, 0.5])
+
+
+class TestFinalFlushDedup:
+    """Regression for the transcript-duplication bug: the final chunk is
+    flushed to the end of the waveform, re-covering the tail of its
+    predecessor, and the old naive join emitted the re-recognized words
+    twice."""
+
+    def test_final_flush_overlaps_predecessor(self, transcriber):
+        wav = np.zeros(int(transcriber.chunk_samples * 1.5))
+        spans = transcriber.chunk_spans(wav)
+        assert len(spans) == 2
+        assert spans[1][0] < spans[0][1]  # re-covered samples
+        assert spans[1][1] == wav.size  # no dropped tail
+
+    def test_overlap_words_not_duplicated(self, transcriber, monkeypatch):
+        wav = np.zeros(int(transcriber.chunk_samples * 1.5))
+        spans = transcriber.chunk_spans(wav)
+        assert len(spans) == 2
+        # The final flush re-recognizes its predecessor's tail words;
+        # exactly what a fixed-window recognizer emits on re-covered
+        # audio.  The old " ".join of chunk texts fails this test with
+        # "... charlie delta charlie delta echo".
+        texts = iter(["alpha bravo charlie delta", "charlie delta echo"])
+        monkeypatch.setattr(
+            transcriber.pipeline,
+            "transcribe",
+            lambda chunk: SimpleNamespace(text=next(texts)),
+        )
+        result = transcriber.transcribe(wav)
+        assert result.text == "alpha bravo charlie delta echo"
+        assert result.details["dedup_words"] == 2.0
+        assert result.details["overlap_samples_total"] == float(
+            spans[0][1] - spans[1][0]
+        )
 
 
 class TestStreamingTranscription:

@@ -45,7 +45,7 @@ class TestScenarioDeclarations:
         suite = default_scenarios(quick=True)
         assert all(s.repeats == 1 for s in suite)
         assert {s.kind for s in suite} == {
-            "arch_sweep", "encoder_prefill", "kv_decode"
+            "arch_sweep", "encoder_prefill", "kv_decode", "serving_load"
         }
 
 

@@ -8,7 +8,7 @@ import pytest
 from repro.config import ModelConfig
 from repro.decoding.greedy import greedy_decode
 from repro.hw.accelerator import TransformerAccelerator
-from repro.hw.kv_cache import kv_stream_cycles
+from repro.hw.kv_cache import LayerKVCache, kv_stream_cycles
 from repro.model.incremental import IncrementalDecoder
 from repro.model.params import init_transformer_params
 
@@ -103,6 +103,40 @@ class TestKvStreamCycles:
             kv_stream_cycles(-1, 64)
         with pytest.raises(ValueError):
             kv_stream_cycles(1, 0)
+
+
+class TestLayerCacheAppendValidation:
+    """Regression: appends used to accept out-of-range head indices and
+    mis-shaped rows silently (corrupting the banks or IndexError-ing
+    later); they must fail fast with a clear message."""
+
+    def test_out_of_order_head_rejected(self):
+        cache = LayerKVCache()
+        with pytest.raises(ValueError, match="appended in order"):
+            cache.append_self_k(1, np.zeros((1, 4)))
+        with pytest.raises(ValueError, match="appended in order"):
+            cache.append_self_v(-1, np.zeros((1, 4)))
+
+    def test_bad_row_shape_rejected(self):
+        cache = LayerKVCache()
+        with pytest.raises(ValueError, match=r"shape \(1, d_k\)"):
+            cache.append_self_k(0, np.zeros(4))
+        with pytest.raises(ValueError, match=r"shape \(1, d_k\)"):
+            cache.append_self_v(0, np.zeros((2, 4)))
+
+    def test_width_mismatch_rejected(self):
+        cache = LayerKVCache()
+        cache.append_self_k(0, np.zeros((1, 4)))
+        with pytest.raises(ValueError, match="width"):
+            cache.append_self_k(0, np.zeros((1, 5)))
+
+    def test_valid_appends_accumulate(self):
+        cache = LayerKVCache()
+        cache.append_self(0, np.zeros((1, 4)), np.zeros((1, 4)))
+        cache.append_self(0, np.ones((1, 4)), np.ones((1, 4)))
+        cache.append_self(1, np.ones((1, 4)), np.ones((1, 4)))
+        assert cache.self_k[0].shape == (2, 4)
+        assert cache.self_v[1].shape == (1, 4)
 
 
 class TestDecodeSession:

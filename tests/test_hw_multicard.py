@@ -58,3 +58,14 @@ class TestMultiCard:
             multicard_throughput(2, lm, host_pcie_gbps=0.0)
         with pytest.raises(ValueError):
             saturation_point(lm, max_cards=2)  # never binds that early
+
+    def test_saturation_bisection_returns_minimal_knee(self, lm):
+        """The bisection must land exactly where the linear scan did:
+        the smallest fleet that is PCIe-bound (knee bound, knee-1 not)."""
+        for gbps in (0.02, 0.05, 0.1):
+            knee = saturation_point(lm, host_pcie_gbps=gbps)
+            assert multicard_throughput(knee, lm, host_pcie_gbps=gbps).pcie_bound
+            if knee > 1:
+                assert not multicard_throughput(
+                    knee - 1, lm, host_pcie_gbps=gbps
+                ).pcie_bound

@@ -49,6 +49,17 @@ PINNED_METRIC_NAMES = frozenset({
     "repro.decoding.beam.hypotheses_expanded",
     "repro.decoding.beam.early_stops",
     "repro.decoding.beam.finished",
+    "repro.serving.requests",
+    "repro.serving.completions",
+    "repro.serving.prefills",
+    "repro.serving.decode_iterations",
+    "repro.serving.preemptions",
+    "repro.serving.replayed_steps",
+    "repro.serving.queue_depth",
+    "repro.serving.batch_size",
+    "repro.serving.kv_resident_bytes",
+    "repro.serving.e2e_ms",
+    "repro.serving.queue_ms",
 })
 
 
