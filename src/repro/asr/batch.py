@@ -62,13 +62,42 @@ class BatchTranscriber:
         self.pipeline = pipeline
 
     def transcribe_batch(
-        self, waveforms: list[np.ndarray], beam_size: int | None = None
+        self,
+        waveforms: list[np.ndarray],
+        beam_size: int | None = None,
+        batched_prefill: bool = True,
     ) -> BatchResult:
+        """Transcribe ``waveforms``; with ``batched_prefill`` (default)
+        and the KV-cached hardware engine, all encoder prefills run as
+        ONE batched (B, S, d_model) pass through the fabric — the MM
+        stages execute as single large GEMMs — before the per-utterance
+        decodes.  Functionally identical to the sequential path (the
+        batched kernels are bit-exact); only wall clock changes.
+        """
         if not waveforms:
             raise ValueError("batch must contain at least one waveform")
-        results = tuple(
-            self.pipeline.transcribe(w, beam_size=beam_size) for w in waveforms
+        use_batched = (
+            batched_prefill
+            and len(waveforms) > 1
+            and self.pipeline.decode_engine == "hw"
         )
+        if use_batched:
+            feats = [
+                self.pipeline.preprocessor(np.asarray(w, dtype=np.float64))
+                for w in waveforms
+            ]
+            sessions = self.pipeline.accelerator.decode_sessions_batch(feats)
+            results = tuple(
+                self.pipeline.transcribe(
+                    w, beam_size=beam_size, features=f, session=sess
+                )
+                for w, f, sess in zip(waveforms, feats, sessions)
+            )
+        else:
+            results = tuple(
+                self.pipeline.transcribe(w, beam_size=beam_size)
+                for w in waveforms
+            )
         accel = self.pipeline.accelerator
         lm = accel.latency_model
         s = accel.hw_seq_len
@@ -91,4 +120,5 @@ class BatchTranscriber:
             results=results,
             single_shot_ms=sum(r.accelerator_ms for r in results),
             pipelined_ms=pipelined_ms,
+            details={"batched_prefill": float(use_batched)},
         )

@@ -218,11 +218,24 @@ class AsrPipeline:
         return self.accelerator.render_gantt(width=width)
 
     def transcribe(
-        self, waveform: np.ndarray, beam_size: int | None = None
+        self,
+        waveform: np.ndarray,
+        beam_size: int | None = None,
+        *,
+        features: np.ndarray | None = None,
+        session=None,
     ) -> TranscriptionResult:
-        """Run the full E2E flow on one utterance."""
+        """Run the full E2E flow on one utterance.
+
+        ``features`` and ``session`` let a batch driver inject
+        precomputed frontend features and an already-prefilled
+        :class:`repro.hw.accelerator.HwDecodeSession` (from a batched
+        encoder prefill); both default to per-utterance computation.
+        """
         with obs_spans.tracer().span("asr.transcribe") as span:
-            result = self._transcribe(waveform, beam_size)
+            result = self._transcribe(
+                waveform, beam_size, features=features, session=session
+            )
             span.set(
                 sequence_length=result.sequence_length,
                 tokens=int(result.tokens.size),
@@ -231,13 +244,23 @@ class AsrPipeline:
         return result
 
     def _transcribe(
-        self, waveform: np.ndarray, beam_size: int | None
+        self,
+        waveform: np.ndarray,
+        beam_size: int | None,
+        features: np.ndarray | None = None,
+        session=None,
     ) -> TranscriptionResult:
         waveform = np.asarray(waveform, dtype=np.float64)
-        start = time.perf_counter()
-        with obs_spans.tracer().span("asr.preprocess"):
-            features = self.preprocessor(waveform)
-        measured_host_ms = (time.perf_counter() - start) * 1e3
+        if features is None:
+            start = time.perf_counter()
+            with obs_spans.tracer().span("asr.preprocess"):
+                features = self.preprocessor(waveform)
+            measured_host_ms = (time.perf_counter() - start) * 1e3
+        else:
+            # Precomputed upstream (batched prefill); the host cost was
+            # paid there, so nothing is measured here.
+            features = np.asarray(features)
+            measured_host_ms = 0.0
 
         s = features.shape[0]
         if s > self.accelerator.hw_seq_len:
@@ -248,7 +271,14 @@ class AsrPipeline:
             )
         if beam_size is not None and beam_size <= 0:
             raise ValueError(f"beam_size must be positive; got {beam_size}")
-        if self.decode_engine == "incremental":
+        if session is not None:
+            if self.decode_engine != "hw":
+                raise ValueError(
+                    "a precomputed decode session requires decode_engine="
+                    f"'hw'; this pipeline uses '{self.decode_engine}'"
+                )
+            step = session.step_fn()
+        elif self.decode_engine == "incremental":
             if beam_size is not None:
                 raise ValueError(
                     "the incremental engine caches one hypothesis; use "

@@ -457,6 +457,62 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.hw.dse import synthesize_a4
+
+    result = synthesize_a4(s=args.seq, architecture=args.arch)
+    payload = result.as_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            _json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"A4 synthesis over {args.arch} at s={args.seq} "
+        f"({result.candidates_tried} candidate pipelines):"
+    )
+    print(f"  winning pipeline : {' -> '.join(result.pipeline.names)}")
+    print(f"  baseline cycles  : {result.baseline_cycles:>12,}")
+    print(f"  optimized cycles : {result.optimized_cycles:>12,}")
+    print(f"  saved            : {result.cycles_saved:>12,} "
+          f"({result.improvement_pct:.2f}%)")
+    print()
+    rows = [
+        [
+            p.name,
+            len(p.actions),
+            f"{p.cycles_before:,}",
+            f"{p.cycles_after:,}",
+            f"{p.cycles_before - p.cycles_after:,}",
+        ]
+        for p in result.report.passes
+    ]
+    print(format_table(
+        ["pass", "actions", "cycles before", "cycles after", "saved"], rows
+    ))
+    print()
+    print("PSA stall attribution (cycles):")
+    causes = sorted(
+        set(result.psa_stalls_before) | set(result.psa_stalls_after)
+    )
+    rows = [
+        [
+            cause,
+            f"{int(result.psa_stalls_before.get(cause, 0)):,}",
+            f"{int(result.psa_stalls_after.get(cause, 0)):,}",
+        ]
+        for cause in causes
+    ]
+    print(format_table(["cause", "A3", "A4"], rows))
+    if args.out:
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-asr",
@@ -604,6 +660,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the stall report + watchpoint hits as JSON")
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
+        "optimize",
+        help="search the pass pipeline space and synthesize the A4 "
+             "schedule (exact cycles + stall attribution)",
+    )
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    p.add_argument("--json", action="store_true",
+                   help="emit the full A4 report as JSON")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to this path (the CI "
+                        "pass-report artifact)")
+    p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser("verify", help="accelerator vs golden-model battery")
     p.set_defaults(func=_cmd_verify)

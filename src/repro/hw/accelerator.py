@@ -212,6 +212,34 @@ class TransformerAccelerator:
         per-token steps."""
         return HwDecodeSession(self, features)
 
+    def decode_sessions_batch(
+        self, features_list: Sequence[np.ndarray]
+    ) -> list["HwDecodeSession"]:
+        """Open decode sessions for several utterances at once.
+
+        The encoder prefill runs as ONE batched (B, S, d_model) pass —
+        MM1-MM6 execute as single large GEMMs over the shared weights —
+        and each session is then constructed from its slice of the
+        batched memory.  Functionally bit-identical to B independent
+        :meth:`decode_session` calls (the batched kernels preserve
+        per-row fp32 contraction order); the wall-clock win is the
+        whole point, which the bench's batched-prefill scenario
+        measures.
+        """
+        if not features_list:
+            raise ValueError("need at least one utterance to batch")
+        feats = [np.asarray(f, dtype=MODEL_DTYPE) for f in features_list]
+        enc_in = np.stack([self._pad_rows(f) for f in feats])
+        enc_mask = np.stack([self._key_mask(f.shape[0]) for f in feats])
+        with obs_spans.tracer().span(
+            "hw.encoder_prefill_batch", batch=len(feats)
+        ):
+            memory, _ = self.controller.run_encoder_stack(enc_in, mask=enc_mask)
+        return [
+            HwDecodeSession(self, f, memory=memory[i])
+            for i, f in enumerate(feats)
+        ]
+
     def autoregressive_report(
         self,
         num_tokens: int,
@@ -266,14 +294,32 @@ class HwDecodeSession:
     cost of the replayed steps, which :attr:`steps_executed` counts).
     """
 
-    def __init__(self, accel: TransformerAccelerator, features: np.ndarray) -> None:
+    def __init__(
+        self,
+        accel: TransformerAccelerator,
+        features: np.ndarray,
+        *,
+        memory: np.ndarray | None = None,
+    ) -> None:
         self.accel = accel
         features = np.asarray(features, dtype=MODEL_DTYPE)
         s_valid = features.shape[0]
-        enc_in = accel._pad_rows(features)
-        enc_mask = accel._key_mask(s_valid)
-        with obs_spans.tracer().span("hw.encoder_prefill", s=s_valid):
-            memory, _ = accel.controller.run_encoder_stack(enc_in, mask=enc_mask)
+        if memory is None:
+            enc_in = accel._pad_rows(features)
+            enc_mask = accel._key_mask(s_valid)
+            with obs_spans.tracer().span("hw.encoder_prefill", s=s_valid):
+                memory, _ = accel.controller.run_encoder_stack(
+                    enc_in, mask=enc_mask
+                )
+        else:
+            # Precomputed padded memory from a batched prefill
+            # (:meth:`TransformerAccelerator.decode_sessions_batch`).
+            memory = np.asarray(memory, dtype=MODEL_DTYPE)
+            if memory.shape != (accel.hw_seq_len, accel.config.d_model):
+                raise ValueError(
+                    f"memory must be ({accel.hw_seq_len}, "
+                    f"{accel.config.d_model}); got {memory.shape}"
+                )
         self.memory = memory[:s_valid]
         self.memory_mask = accel._key_mask(s_valid)
         self.cache = accel.controller.build_kv_cache(memory)
@@ -292,22 +338,32 @@ class HwDecodeSession:
         """One-time cycles spent projecting the cross-attention K/V."""
         return self.cache.prefill_cycles
 
-    def step(self, token: int) -> np.ndarray:
-        """Feed one token; returns log-probs over the next position."""
+    def _check_capacity(self) -> None:
         if len(self._tokens) + 1 > self.accel.hw_seq_len:
             raise ValueError(
                 f"decoder prefix would exceed the hardware length "
                 f"{self.accel.hw_seq_len}"
             )
+
+    def _absorb_step(
+        self, token: int, out: np.ndarray, compute_cycles: int
+    ) -> np.ndarray:
+        """Bookkeeping shared by the scalar and batched step paths:
+        record the token and cycles, project to log-probs."""
+        self._tokens.append(int(token))
+        self.step_compute_cycles.append(compute_cycles)
+        self.steps_executed += 1
+        logits = self.accel.output_logits(out)
+        return log_softmax(logits, axis=-1)
+
+    def step(self, token: int) -> np.ndarray:
+        """Feed one token; returns log-probs over the next position."""
+        self._check_capacity()
         embed = self.accel.embed_tokens(np.array([token]))[0]
         out, cycles = self.accel.controller.run_decoder_step(
             embed, self.cache, memory_mask=self.memory_mask
         )
-        self._tokens.append(int(token))
-        self.step_compute_cycles.append(sum(cycles.values()))
-        self.steps_executed += 1
-        logits = self.accel.output_logits(out)
-        return log_softmax(logits, axis=-1)
+        return self._absorb_step(token, out, sum(cycles.values()))
 
     def rewind(self, length: int) -> None:
         """Truncate the cached prefix back to ``length`` tokens."""
@@ -357,6 +413,51 @@ class HwDecodeSession:
         return step
 
 
+def step_sessions(
+    sessions: Sequence["HwDecodeSession"],
+    tokens: Sequence[int],
+) -> list[np.ndarray]:
+    """Advance every session one KV-cached step, batching where legal.
+
+    Sessions at the same prefix length share one decode-step program,
+    so each same-length group executes as a single batched program run
+    (:meth:`repro.hw.controller.AcceleratorController.
+    run_decoder_step_batch`); singleton groups take the scalar path.
+    Outputs, cache contents and per-session cycle bookkeeping are
+    bit-identical to per-session :meth:`HwDecodeSession.step` calls —
+    only the wall clock changes.
+    """
+    if len(sessions) != len(tokens):
+        raise ValueError("one token per session required")
+    outputs: list[np.ndarray | None] = [None] * len(sessions)
+    groups: dict[int, list[int]] = {}
+    for i, session in enumerate(sessions):
+        session._check_capacity()
+        groups.setdefault(len(session._tokens), []).append(i)
+    for idxs in groups.values():
+        if len(idxs) == 1:
+            i = idxs[0]
+            outputs[i] = sessions[i].step(int(tokens[i]))
+            continue
+        members = [sessions[i] for i in idxs]
+        accel = members[0].accel
+        embeds = np.stack(
+            [accel.embed_tokens(np.array([int(tokens[i])]))[0] for i in idxs]
+        )
+        masks = np.stack([m.memory_mask for m in members])
+        outs, cycles = accel.controller.run_decoder_step_batch(
+            embeds, [m.cache for m in members], memory_mask=masks
+        )
+        # The batched program is the same lowering as the scalar step's,
+        # so each member records the same per-step compute cycles.
+        per_member = sum(cycles.values())
+        for j, i in enumerate(idxs):
+            outputs[i] = members[j]._absorb_step(
+                int(tokens[i]), outs[j], per_member
+            )
+    return outputs  # type: ignore[return-value]
+
+
 def step_batch(
     sessions: Sequence["HwDecodeSession"],
     tokens: Sequence[int],
@@ -367,8 +468,10 @@ def step_batch(
     Every session advances one KV-cached step at its own prefix length
     (the iteration-level scheduling of Orca-style serving): session
     ``i`` consumes ``tokens[i]`` and the functional outputs are exactly
-    the per-session :meth:`HwDecodeSession.step` results.  The returned
-    cycle count is the *batched* iteration cost from
+    the per-session :meth:`HwDecodeSession.step` results — same-length
+    sessions run through the batched executor (:func:`step_sessions`),
+    which is bit-identical to the scalar loop.  The returned cycle
+    count is the *batched* iteration cost from
     :meth:`repro.hw.controller.LatencyModel.decode_iteration_cycles` —
     with ``share_weights``, the decoder panels stream from HBM once for
     the whole batch instead of once per member.
@@ -380,9 +483,7 @@ def step_batch(
     accel = sessions[0].accel
     if any(s.accel is not accel for s in sessions):
         raise ValueError("all sessions must share one accelerator")
-    outputs = [
-        session.step(int(token)) for session, token in zip(sessions, tokens)
-    ]
+    outputs = step_sessions(sessions, tokens)
     # Each executed step ran the t = (new prefix length) program, the
     # same length run_decoder_step lowered for it.
     cycles = accel.latency_model.decode_iteration_cycles(

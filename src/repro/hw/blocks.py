@@ -303,8 +303,8 @@ def attention_head_block(
         raise ValueError(f"head must be in [0, {params.num_heads})")
     program = lower_attention_head_program(
         fabric,
-        x_q.shape[0],
-        x_kv.shape[0],
+        x_q.shape[-2],
+        x_kv.shape[-2],
         params.d_model,
         params.d_k,
         head=head,
@@ -338,8 +338,8 @@ def mha_block(
     """
     program = lower_mha_program(
         fabric,
-        x_q.shape[0],
-        x_kv.shape[0],
+        x_q.shape[-2],
+        x_kv.shape[-2],
         params.num_heads,
         params.d_model,
         parallel_heads,
@@ -358,7 +358,7 @@ def ffn_block(
     fabric: Fabric, x: np.ndarray, params: FeedForwardParams
 ) -> BlockResult:
     """FFN: MM5 + B_1F + ReLU (streamed) + MM6 + B_2F."""
-    program = lower_ffn_program(fabric, x.shape[0], params.d_model, params.d_ff)
+    program = lower_ffn_program(fabric, x.shape[-2], params.d_model, params.d_ff)
     run = execute_program(program, root=params, inputs={"x": x})
     return BlockResult(
         output=run.outputs["output"], cycles=run.block_compute_cycles["ffn"]
@@ -374,7 +374,7 @@ def add_norm_block(
 ) -> BlockResult:
     """Add-Norm: residual add split over both SLRs, then Norm."""
     out = add_norm_unit(sublayer_out, residual, weight, bias)
-    s, d = sublayer_out.shape
+    s, d = sublayer_out.shape[-2:]
     return BlockResult(output=out, cycles=add_norm_cycles(fabric, s, d))
 
 
@@ -388,7 +388,7 @@ def encoder_block(
     """One encoder layer on the fabric: MHA, Add-Norm, FFN, Add-Norm."""
     program = lower_encoder_layer_program(
         fabric,
-        x.shape[0],
+        x.shape[-2],
         params.mha.num_heads,
         params.mha.d_model,
         params.ffn.d_ff,
@@ -428,8 +428,8 @@ def decoder_block(
     (the controller owns mask construction)."""
     program = lower_decoder_layer_program(
         fabric,
-        x.shape[0],
-        memory.shape[0],
+        x.shape[-2],
+        memory.shape[-2],
         params.self_mha.num_heads,
         params.self_mha.d_model,
         params.ffn.d_ff,

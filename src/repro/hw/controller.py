@@ -24,7 +24,7 @@ import numpy as np
 from repro.config import CalibrationConfig, HardwareConfig, ModelConfig
 from repro.hw.blocks import decoder_cycles, decoder_step_cycles, encoder_cycles
 from repro.hw.kernels import Fabric
-from repro.hw.kv_cache import DecoderKVCache
+from repro.hw.kv_cache import DecoderKVCache, batch_layer_caches
 from repro.hw.memory import (
     HbmModel,
     PcieModel,
@@ -458,9 +458,14 @@ class AcceleratorController:
     def run_encoder_stack(
         self, x: np.ndarray, mask: np.ndarray | None = None
     ) -> tuple[np.ndarray, dict[str, int]]:
-        """Execute all encoder layers; returns (output, cycles/block)."""
+        """Execute all encoder layers; returns (output, cycles/block).
+
+        ``x`` may be ``(s, d_model)`` or batched ``(B, s, d_model)`` —
+        the lowering keys on the sequence length only, and the batched
+        kernels run the MM stages as single large GEMMs.
+        """
         program = lower_encoder_stack(
-            self.params.config, self.fabric, x.shape[0], self.parallel_heads
+            self.params.config, self.fabric, x.shape[-2], self.parallel_heads
         )
         run = execute_program(
             program, root=self.params, inputs={"x": x, "enc_mask": mask}
@@ -478,8 +483,8 @@ class AcceleratorController:
         program = lower_decoder_stack(
             self.params.config,
             self.fabric,
-            x.shape[0],
-            memory.shape[0],
+            x.shape[-2],
+            memory.shape[-2],
             self.parallel_heads,
         )
         run = execute_program(
@@ -538,6 +543,60 @@ class AcceleratorController:
         obs_metrics.registry().counter("repro.hw.decode.steps").inc()
         return run.outputs["output"][0], run.block_compute_cycles
 
+    def run_decoder_step_batch(
+        self,
+        xs: np.ndarray,
+        caches: list[DecoderKVCache],
+        memory_mask: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, dict[str, int]]:
+        """One KV-cached decode step for a whole group of sessions.
+
+        ``xs`` is ``(B, d_model)`` — one embedded token per session —
+        and ``caches`` the matching per-session caches, all at the same
+        prefix length (:func:`repro.hw.kv_cache.batch_layer_caches`
+        enforces this).  The *same* decode-step program as the scalar
+        path executes once with a leading batch axis: MM1/MM4-MM6 run
+        as single ``(B·1)``-row GEMMs, attention loops member-wise, and
+        cache appends fan back out so every session's cache ends up
+        bit-identical to B scalar :meth:`run_decoder_step` calls.
+        ``memory_mask``, if given, is ``(B, 1, S)`` (stacked per-session
+        masks) or a broadcastable ``(1, S)``.  Returns the ``(B,
+        d_model)`` output rows plus per-block compute cycles of the one
+        batched program execution.
+        """
+        xs = np.asarray(xs)
+        d_model = self.params.config.d_model
+        if xs.ndim != 2 or xs.shape[1] != d_model:
+            raise ValueError(f"xs must be (B, {d_model}); got {xs.shape}")
+        if xs.shape[0] != len(caches):
+            raise ValueError(
+                f"got {xs.shape[0]} token rows for {len(caches)} caches"
+            )
+        for cache in caches:
+            if len(cache.layers) != len(self.params.decoders):
+                raise ValueError("cache does not match this parameter set")
+        batched_layers = batch_layer_caches(caches)
+        program = lower_decode_step(
+            self.params.config,
+            self.fabric,
+            caches[0].length + 1,
+            caches[0].memory_len,
+            self.parallel_heads,
+        )
+        with obs_spans.tracer().span(
+            "hw.decode_step_batch", t=caches[0].length + 1, batch=len(caches)
+        ):
+            run = execute_program(
+                program,
+                root=self.params,
+                inputs={"x": xs[:, None, :], "memory_mask": memory_mask},
+                caches=batched_layers,
+            )
+            for cache in caches:
+                cache.advance()
+        obs_metrics.registry().counter("repro.hw.decode.steps").inc(len(caches))
+        return run.outputs["output"][:, 0, :], run.block_compute_cycles
+
     def run(
         self,
         enc_input: np.ndarray,
@@ -555,16 +614,23 @@ class AcceleratorController:
         enc_input = np.asarray(enc_input)
         dec_input = np.asarray(dec_input)
         d_model = self.params.config.d_model
-        if enc_input.ndim != 2 or enc_input.shape[1] != d_model:
+        if enc_input.ndim not in (2, 3) or enc_input.shape[-1] != d_model:
             raise ValueError(
-                f"encoder input must be (s, {d_model}); got {enc_input.shape}"
+                f"encoder input must be (s, {d_model}) or (B, s, {d_model}); "
+                f"got {enc_input.shape}"
             )
-        if dec_input.ndim != 2 or dec_input.shape[1] != d_model:
+        if dec_input.ndim not in (2, 3) or dec_input.shape[-1] != d_model:
             raise ValueError(
-                f"decoder input must be (t, {d_model}); got {dec_input.shape}"
+                f"decoder input must be (t, {d_model}) or (B, t, {d_model}); "
+                f"got {dec_input.shape}"
+            )
+        if enc_input.ndim != dec_input.ndim:
+            raise ValueError(
+                "encoder and decoder inputs must both be batched or both "
+                f"unbatched; got {enc_input.shape} vs {dec_input.shape}"
             )
         program = self.latency_model.full_pass_program(
-            enc_input.shape[0], dec_input.shape[0]
+            enc_input.shape[-2], dec_input.shape[-2]
         )
         run = execute_program(
             program,
@@ -578,7 +644,7 @@ class AcceleratorController:
             },
         )
         report = self.latency_model.latency_report(
-            enc_input.shape[0], architecture
+            enc_input.shape[-2], architecture
         )
         return ControllerRun(
             encoder_output=run.outputs["encoder_output"],

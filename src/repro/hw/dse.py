@@ -16,6 +16,7 @@ Two axes are explored, exactly as in the thesis:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 from repro.config import CalibrationConfig, HardwareConfig, ModelConfig
 from repro.hw.controller import LatencyModel
@@ -184,3 +185,151 @@ def best_synthesizable(points: list[DesignPoint]) -> DesignPoint:
     if not feasible:
         raise ValueError("no synthesizable design point in the sweep")
     return min(feasible, key=lambda p: p.latency_ms)
+
+
+# --------------------------------------------------- A4 pass synthesis
+@dataclass(frozen=True)
+class A4Result:
+    """The winning pass pipeline over A3 and its exact cycle evidence.
+
+    "A4" is not a fourth hand-written architecture: it is whatever the
+    optimizer found — an A3 schedule rewritten by the pass pipeline that
+    minimized exact simulated cycles over the searched space.
+    """
+
+    s: int
+    architecture: str
+    pipeline: object  # PassPipeline (typed loosely to avoid an import cycle)
+    baseline_cycles: int
+    optimized_cycles: int
+    #: PSA-lane stall attribution (cause -> cycles) before/after, from
+    #: ``hw.introspect.classify_stalls`` — the evidence that the win
+    #: comes out of ``load_starved``/``channel_contention``.
+    psa_stalls_before: dict[str, float]
+    psa_stalls_after: dict[str, float]
+    report: object  # PipelineReport for the winning pipeline
+    program: object  # optimized BlockProgram
+    baseline_program: object
+    candidates_tried: int
+
+    @property
+    def cycles_saved(self) -> int:
+        return self.baseline_cycles - self.optimized_cycles
+
+    @property
+    def improvement_pct(self) -> float:
+        if self.baseline_cycles == 0:
+            return 0.0
+        return 100.0 * self.cycles_saved / self.baseline_cycles
+
+    def as_dict(self) -> dict:
+        """JSON-ready report (programs omitted) — the artifact behind
+        ``repro-asr optimize`` and the CI pass-report upload."""
+        return {
+            "s": self.s,
+            "architecture": self.architecture,
+            "pipeline": list(self.pipeline.names),
+            "candidates_tried": self.candidates_tried,
+            "baseline_cycles": self.baseline_cycles,
+            "optimized_cycles": self.optimized_cycles,
+            "cycles_saved": self.cycles_saved,
+            "improvement_pct": self.improvement_pct,
+            "psa_stalls_before": dict(self.psa_stalls_before),
+            "psa_stalls_after": dict(self.psa_stalls_after),
+            "report": self.report.as_dict(),
+        }
+
+
+def a4_candidate_pipelines(architecture: str = "A3") -> list:
+    """The bounded pipeline grid :func:`synthesize_a4` searches: every
+    combination of split depth x coalescing x prefetch depth x
+    reordering over :func:`repro.hw.passes.default_pipeline`."""
+    from repro.hw.passes import default_pipeline
+
+    return [
+        default_pipeline(
+            split_limit=split_limit,
+            coalesce=coalesce,
+            num_weight_buffers=num_weight_buffers,
+            reorder=reorder,
+            architecture=architecture,
+        )
+        for split_limit in (0, 1, 2)
+        for coalesce in (False, True)
+        for num_weight_buffers in (None, 4)
+        for reorder in (False, True)
+    ]
+
+
+@lru_cache(maxsize=8)
+def synthesize_a4(
+    model: ModelConfig | None = None,
+    hardware: HardwareConfig | None = None,
+    calibration: CalibrationConfig | None = None,
+    s: int = 32,
+    t: int | None = None,
+    parallel_heads: int | None = None,
+    architecture: str = "A3",
+) -> A4Result:
+    """Search the pass/parameter space for the cheapest schedule of the
+    full prefill pass and call the winner "A4".
+
+    Every candidate pipeline is semantics-preserving by construction
+    (the passes are individually verified bit-identical); the search
+    therefore only has to compare exact simulated cycles.  The winner
+    must *strictly* beat the untransformed A3 schedule — if nothing
+    does (e.g. a degenerate configuration with no exposed stalls), a
+    ``ValueError`` is raised, mirroring :func:`best_synthesizable`.
+
+    Cached: bench scenarios call this once per process and re-read the
+    result on every repeat.
+    """
+    from repro.hw.introspect import classify_stalls
+    from repro.hw.kernels import Fabric
+    from repro.hw.program import lower_full_pass, schedule_program
+
+    model = model or ModelConfig()
+    hardware = hardware or HardwareConfig()
+    calibration = calibration or CalibrationConfig()
+    fabric = Fabric(hardware, calibration)
+    overhead = calibration.block_overhead_cycles
+    base = lower_full_pass(model, fabric, s, t, parallel_heads)
+    baseline_cycles = schedule_program(base, architecture, overhead).total_cycles
+
+    best_pipeline = None
+    best_cycles = baseline_cycles
+    candidates = a4_candidate_pipelines(architecture)
+    for pipeline in candidates:
+        optimized = pipeline.apply_program(base)
+        cycles = schedule_program(optimized, architecture, overhead).total_cycles
+        # Strictly better wins; on a tie, prefer the shorter pipeline
+        # (deterministic because the grid order is fixed).
+        if cycles < best_cycles or (
+            best_pipeline is not None
+            and cycles == best_cycles
+            and len(pipeline.passes) < len(best_pipeline.passes)
+        ):
+            best_pipeline = pipeline
+            best_cycles = cycles
+    if best_pipeline is None:
+        raise ValueError(
+            f"no candidate pipeline strictly improves on {architecture} "
+            f"at s={s} ({baseline_cycles} cycles)"
+        )
+
+    program, report = best_pipeline.apply(base, collect_stalls=False)
+    stalls_before = classify_stalls(base, architecture, overhead).totals(".psa")
+    stalls_after = classify_stalls(program, architecture, overhead).totals(".psa")
+    return A4Result(
+        s=s,
+        architecture=architecture,
+        pipeline=best_pipeline,
+        baseline_cycles=baseline_cycles,
+        optimized_cycles=best_cycles,
+        psa_stalls_before=stalls_before,
+        psa_stalls_after=stalls_after,
+        report=report,
+        program=program,
+        baseline_program=base,
+        candidates_tried=len(candidates),
+    )

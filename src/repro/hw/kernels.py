@@ -187,6 +187,32 @@ def _check_2d(name: str, arr: np.ndarray, cols: int | None = None) -> np.ndarray
     return a
 
 
+def _check_activation(name: str, arr: np.ndarray) -> np.ndarray:
+    """An activation operand: 2-D (s, d) or batched 3-D (B, s, d).
+
+    Weights stay strictly 2-D (:func:`_check_2d`) — a batch shares one
+    parameter set, which is exactly why the batched kernels can flatten
+    the leading dimension into one large GEMM.
+    """
+    a = np.asarray(arr, dtype=MODEL_DTYPE)
+    if a.ndim not in (2, 3):
+        raise ValueError(f"{name} must be 2-D or 3-D; got shape {a.shape}")
+    if a.ndim == 3 and a.shape[0] < 1:
+        raise ValueError(f"{name} batch dimension must be >= 1; got {a.shape}")
+    return a
+
+
+def _single_row_batch(x: np.ndarray) -> bool:
+    """True for a batched activation carrying one row per member
+    ((B, 1, d) — a grouped decode step).  These must NOT be flattened
+    into a (B, d) GEMM: BLAS dispatches M=1 products to a gemv kernel
+    whose contraction order differs from sgemm's, so flattening would
+    break bit-identity with the scalar decode path.  M >= 2 row panels
+    are contraction-order-stable across M, which the equivalence tests
+    pin."""
+    return x.ndim == 3 and x.shape[1] == 1
+
+
 def mm1(
     fabric: Fabric,
     x: np.ndarray,
@@ -198,13 +224,27 @@ def mm1(
     ``concurrent_psas`` > 1 splits the stripes over several PSAs (the
     Table 5.3 design points); the partial products are still folded by
     the pipelined adder, so only the final fold is exposed.
+
+    A 3-D ``x`` of shape (B, s, d_model) runs as a single (B*s, d_model)
+    GEMM against the shared weight panel — each output row's fp32
+    contraction is unchanged, so the result is bit-identical to B
+    independent 2-D calls.
     """
-    x = _check_2d("x", x)
+    x = _check_activation("x", x)
     w = _check_2d("w", w)
-    if x.shape[1] != w.shape[0]:
+    if x.shape[-1] != w.shape[0]:
         raise ValueError(f"inner mismatch: {x.shape} @ {w.shape}")
     if concurrent_psas < 1:
         raise ValueError("concurrent_psas must be >= 1")
+    if _single_row_batch(x):
+        parts = [mm1(fabric, x[i], w, concurrent_psas) for i in range(x.shape[0])]
+        return KernelResult(
+            output=np.stack([p.output for p in parts]),
+            cycles=sum(p.cycles for p in parts),
+        )
+    batch = x.shape[0] if x.ndim == 3 else None
+    if batch is not None:
+        x = x.reshape(batch * x.shape[1], x.shape[2])
     s, d_model = x.shape
     d_k = w.shape[1]
     stripe = fabric.hardware.psa_cols
@@ -219,17 +259,49 @@ def mm1(
         for i in range(num_stripes)
     ]
     out = VectorAdder.accumulate(partials)
+    if batch is not None:
+        out = out.reshape(batch, -1, d_k)
 
     cycles = mm1_cycles(fabric, s, d_model, d_k, concurrent_psas)
     return KernelResult(output=out, cycles=cycles)
 
 
+def _paired_batch(name_a: str, a: np.ndarray, name_b: str, b: np.ndarray) -> int | None:
+    """Validate two activation operands batch together; returns B or
+    None (both 2-D).  MM2/MM3 take two *per-sequence* activations, so
+    batching loops member-wise instead of flattening."""
+    if a.ndim != b.ndim:
+        raise ValueError(
+            f"{name_a} and {name_b} must both be batched or both 2-D; "
+            f"got {a.shape} and {b.shape}"
+        )
+    if a.ndim == 2:
+        return None
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"{name_a} and {name_b} disagree on batch size: "
+            f"{a.shape} vs {b.shape}"
+        )
+    return a.shape[0]
+
+
 def mm2(fabric: Fabric, q: np.ndarray, k: np.ndarray) -> KernelResult:
-    """MM2: Q @ K^T with the K^T panel padded to the PSA tile width."""
-    q = _check_2d("q", q)
-    k = _check_2d("k", k)
-    if q.shape[1] != k.shape[1]:
+    """MM2: Q @ K^T with the K^T panel padded to the PSA tile width.
+
+    Batched (B, s_q, d_k) x (B, s_k, d_k) operands attend member-wise
+    (each sequence has its own keys); one padded pass per member.
+    """
+    q = _check_activation("q", q)
+    k = _check_activation("k", k)
+    if q.shape[-1] != k.shape[-1]:
         raise ValueError("q and k must share the key dimension")
+    batch = _paired_batch("q", q, "k", k)
+    if batch is not None:
+        parts = [mm2(fabric, q[i], k[i]) for i in range(batch)]
+        return KernelResult(
+            output=np.stack([p.output for p in parts]),
+            cycles=sum(p.cycles for p in parts),
+        )
     s_q, d_k = q.shape
     s_k = k.shape[0]
     out = fabric.psa.matmul(q, k.T)
@@ -237,11 +309,21 @@ def mm2(fabric: Fabric, q: np.ndarray, k: np.ndarray) -> KernelResult:
 
 
 def mm3(fabric: Fabric, attn: np.ndarray, v: np.ndarray) -> KernelResult:
-    """MM3: softmaxed scores @ V, inner dim padded to the tile width."""
-    attn = _check_2d("attn", attn)
-    v = _check_2d("v", v)
-    if attn.shape[1] != v.shape[0]:
+    """MM3: softmaxed scores @ V, inner dim padded to the tile width.
+
+    Batched operands multiply member-wise, mirroring :func:`mm2`.
+    """
+    attn = _check_activation("attn", attn)
+    v = _check_activation("v", v)
+    if attn.shape[-1] != v.shape[-2]:
         raise ValueError(f"inner mismatch: {attn.shape} @ {v.shape}")
+    batch = _paired_batch("attn", attn, "v", v)
+    if batch is not None:
+        parts = [mm3(fabric, attn[i], v[i]) for i in range(batch)]
+        return KernelResult(
+            output=np.stack([p.output for p in parts]),
+            cycles=sum(p.cycles for p in parts),
+        )
     s_q, s_k = attn.shape
     d_k = v.shape[1]
     out = fabric.psa.matmul(attn, v)
@@ -260,11 +342,25 @@ def mm4(
     if not head_outputs:
         raise ValueError("need at least one head output")
     wo = _check_2d("wo", wo)
-    heads = [_check_2d(f"head[{i}]", h) for i, h in enumerate(head_outputs)]
-    s, d_k = heads[0].shape
+    heads = [_check_activation(f"head[{i}]", h) for i, h in enumerate(head_outputs)]
+    shape = heads[0].shape
     for i, h in enumerate(heads):
-        if h.shape != (s, d_k):
-            raise ValueError(f"head[{i}] shape {h.shape} != ({s}, {d_k})")
+        if h.shape != shape:
+            raise ValueError(f"head[{i}] shape {h.shape} != {shape}")
+    if _single_row_batch(heads[0]):
+        parts = [
+            mm4(fabric, [h[i] for h in heads], wo) for i in range(shape[0])
+        ]
+        return KernelResult(
+            output=np.stack([p.output for p in parts]),
+            cycles=sum(p.cycles for p in parts),
+        )
+    batch = shape[0] if heads[0].ndim == 3 else None
+    if batch is not None:
+        # Shared W_A: flatten every head to (B*s, d_k) and run the
+        # per-head stripes as single large GEMMs (bit-identical rows).
+        heads = [h.reshape(batch * h.shape[1], h.shape[2]) for h in heads]
+    s, d_k = heads[0].shape
     if wo.shape[0] != d_k * len(heads):
         raise ValueError(
             f"wo must have {d_k * len(heads)} rows; got {wo.shape[0]}"
@@ -275,6 +371,8 @@ def mm4(
         psa.matmul(h, wo[i * d_k : (i + 1) * d_k]) for i, h in enumerate(heads)
     ]
     out = VectorAdder.accumulate(partials)
+    if batch is not None:
+        out = out.reshape(batch, -1, d_out)
 
     cycles = mm4_cycles(fabric, s, len(heads), d_k, d_out)
     return KernelResult(output=out, cycles=cycles)
@@ -314,13 +412,25 @@ def mm5(fabric: Fabric, x: np.ndarray, w1: np.ndarray) -> KernelResult:
 
     Inner dim split in two (s x 256 chunks), output columns split in
     four 512-wide panels (two per SLR); 8 PSAs run one partial each.
+    A 3-D input flattens to one (B*s, d_model) GEMM over the shared W1.
     """
-    x = _check_2d("x", x)
+    x = _check_activation("x", x)
     w1 = _check_2d("w1", w1)
-    if x.shape[1] != w1.shape[0]:
+    if x.shape[-1] != w1.shape[0]:
         raise ValueError(f"inner mismatch: {x.shape} @ {w1.shape}")
+    if _single_row_batch(x):
+        parts = [mm5(fabric, x[i], w1) for i in range(x.shape[0])]
+        return KernelResult(
+            output=np.stack([p.output for p in parts]),
+            cycles=sum(p.cycles for p in parts),
+        )
+    batch = x.shape[0] if x.ndim == 3 else None
+    if batch is not None:
+        x = x.reshape(batch * x.shape[1], x.shape[2])
     s = x.shape[0]
     out, _ = _split_inner_matmul(fabric, x, w1, inner_split=2, col_split=4)
+    if batch is not None:
+        out = out.reshape(batch, -1, w1.shape[1])
     cycles = mm5_cycles(fabric, s, x.shape[1], w1.shape[1])
     return KernelResult(output=out, cycles=cycles)
 
@@ -330,13 +440,25 @@ def mm6(fabric: Fabric, h: np.ndarray, w2: np.ndarray) -> KernelResult:
 
     Each SLR holds half the hidden activations and a 1024 x 512 weight
     panel, split into four s x 256 by 256 x 512 products; the two SLR
-    partials are added after an ISC transfer.
+    partials are added after an ISC transfer.  A 3-D input flattens to
+    one (B*s, d_ff) GEMM over the shared W2.
     """
-    h = _check_2d("h", h)
+    h = _check_activation("h", h)
     w2 = _check_2d("w2", w2)
-    if h.shape[1] != w2.shape[0]:
+    if h.shape[-1] != w2.shape[0]:
         raise ValueError(f"inner mismatch: {h.shape} @ {w2.shape}")
+    if _single_row_batch(h):
+        parts = [mm6(fabric, h[i], w2) for i in range(h.shape[0])]
+        return KernelResult(
+            output=np.stack([p.output for p in parts]),
+            cycles=sum(p.cycles for p in parts),
+        )
+    batch = h.shape[0] if h.ndim == 3 else None
+    if batch is not None:
+        h = h.reshape(batch * h.shape[1], h.shape[2])
     s = h.shape[0]
     out, _ = _split_inner_matmul(fabric, h, w2, inner_split=8, col_split=1)
+    if batch is not None:
+        out = out.reshape(batch, -1, w2.shape[1])
     cycles = mm6_cycles(fabric, s, h.shape[1], w2.shape[1])
     return KernelResult(output=out, cycles=cycles)

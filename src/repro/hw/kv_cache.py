@@ -120,6 +120,76 @@ class LayerKVCache:
         self.self_v = [v[:length] for v in self.self_v]
 
 
+class _StackedBank:
+    """Read view that presents one head's bank across a batch of
+    member caches as a single stacked ``(B, t, d_k)`` array."""
+
+    def __init__(self, members: list[LayerKVCache], which: str) -> None:
+        self._members = members
+        self._which = which
+
+    def __len__(self) -> int:
+        return min(len(getattr(m, self._which)) for m in self._members)
+
+    def __getitem__(self, head: int) -> np.ndarray:
+        return np.stack([getattr(m, self._which)[head] for m in self._members])
+
+
+class BatchedLayerKVCache:
+    """Batch adapter over one decoder layer's caches across sessions.
+
+    The program executor is batch-agnostic: it reads
+    ``caches[layer].self_k[head]`` and calls ``append_self_k(head, row)``
+    without caring about leading dimensions.  This adapter makes a group
+    of per-session :class:`LayerKVCache` objects look like one cache
+    whose banks carry a leading batch axis — reads stack the members'
+    ``(t, d_k)`` banks into ``(B, t, d_k)`` (every member must therefore
+    sit at the same prefix length; ``np.stack`` enforces it), and
+    appends split the executor's ``(B, 1, d_k)`` rows back out to the
+    members, so the underlying per-session caches stay bit-identical to
+    what individual :meth:`~repro.hw.controller.AcceleratorController.
+    run_decoder_step` calls would have banked.
+    """
+
+    def __init__(self, members: list[LayerKVCache]) -> None:
+        if not members:
+            raise ValueError("need at least one member cache")
+        self.members = list(members)
+
+    @property
+    def self_k(self) -> _StackedBank:
+        return _StackedBank(self.members, "self_k")
+
+    @property
+    def self_v(self) -> _StackedBank:
+        return _StackedBank(self.members, "self_v")
+
+    @property
+    def cross_k(self) -> _StackedBank:
+        return _StackedBank(self.members, "cross_k")
+
+    @property
+    def cross_v(self) -> _StackedBank:
+        return _StackedBank(self.members, "cross_v")
+
+    def _split_rows(self, rows: np.ndarray, what: str) -> np.ndarray:
+        rows = np.asarray(rows)
+        if rows.ndim != 3 or rows.shape[0] != len(self.members) or rows.shape[1] != 1:
+            raise ValueError(
+                f"batched {what} rows must have shape ({len(self.members)}, 1, d_k); "
+                f"got {rows.shape}"
+            )
+        return rows
+
+    def append_self_k(self, head: int, k_rows: np.ndarray) -> None:
+        for member, row in zip(self.members, self._split_rows(k_rows, "key")):
+            member.append_self_k(head, row)
+
+    def append_self_v(self, head: int, v_rows: np.ndarray) -> None:
+        for member, row in zip(self.members, self._split_rows(v_rows, "value")):
+            member.append_self_v(head, row)
+
+
 def project_cross_kv(
     fabric: Fabric,
     memory: np.ndarray,
@@ -222,3 +292,29 @@ class DecoderKVCache:
         if reg.enabled:
             reg.counter("repro.hw.kv_cache.rewinds").inc()
             reg.gauge("repro.hw.kv_cache.resident_bytes").set(self.resident_bytes())
+
+
+def batch_layer_caches(caches: list[DecoderKVCache]) -> list[BatchedLayerKVCache]:
+    """Zip whole-stack caches of a step group into per-layer adapters.
+
+    Every member must sit at the same prefix length and memory length —
+    a batched decode step runs one program for the whole group, so the
+    group must be shape-homogeneous (the scheduler groups by ``t``).
+    """
+    if not caches:
+        raise ValueError("need at least one cache to batch")
+    first = caches[0]
+    for cache in caches[1:]:
+        if len(cache.layers) != len(first.layers):
+            raise ValueError("caches span different decoder depths")
+        if cache.length != first.length:
+            raise ValueError(
+                "all caches in a batched step must share the prefix length; "
+                f"got {cache.length} vs {first.length}"
+            )
+        if cache.memory_len != first.memory_len:
+            raise ValueError("caches span different memory lengths")
+    return [
+        BatchedLayerKVCache([cache.layers[i] for cache in caches])
+        for i in range(len(first.layers))
+    ]

@@ -133,6 +133,19 @@ def encoder_weight_bytes(cfg, bytes_per_element: int = 4) -> int:
     ) * bytes_per_element
 
 
+def encoder_mha_weight_bytes(cfg, bytes_per_element: int = 4) -> int:
+    """Bytes of one encoder's MHA + Norm1 weights — the attention-side
+    sub-bundle a load-staging pass can fetch ahead of the FFN panel
+    (the encoder analogue of the decoder's ``LWi_m``)."""
+    return (_attention_elements(cfg) + _norm_elements(cfg)) * bytes_per_element
+
+
+def encoder_ffn_weight_bytes(cfg, bytes_per_element: int = 4) -> int:
+    """Bytes of one encoder's FFN + Norm2 weights (the ``LWi_f``
+    analogue); always ``encoder_weight_bytes - encoder_mha_weight_bytes``."""
+    return (_ffn_elements(cfg) + _norm_elements(cfg)) * bytes_per_element
+
+
 def decoder_mha_weight_bytes(cfg, bytes_per_element: int = 4) -> int:
     """Bytes of one decoder's M-MHA + cross-MHA weights (``LWi_m``)."""
     return (2 * _attention_elements(cfg) + 2 * _norm_elements(cfg)) * bytes_per_element

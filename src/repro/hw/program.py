@@ -991,6 +991,7 @@ def lower_full_pass(
     return b.finish(
         {"encoder_output": memory, "decoder_output": out},
         kind="full_pass", s=s, t=t, parallel_heads=parallel_heads,
+        model=model,
     )
 
 
@@ -1005,7 +1006,8 @@ def lower_encoder_stack(
     b = _Builder(fabric)
     out = _lower_encoder_stack_into(b, model, s, parallel_heads, _ext("x"), "enc_mask")
     return b.finish(
-        {"output": out}, kind="encoder_stack", s=s, parallel_heads=parallel_heads
+        {"output": out}, kind="encoder_stack", s=s,
+        parallel_heads=parallel_heads, model=model,
     )
 
 
@@ -1025,7 +1027,7 @@ def lower_decoder_stack(
     )
     return b.finish(
         {"output": out}, kind="decoder_stack", t=t, s=s,
-        parallel_heads=parallel_heads,
+        parallel_heads=parallel_heads, model=model,
     )
 
 
@@ -1048,7 +1050,7 @@ def lower_decode_step(
     )
     return b.finish(
         {"output": out}, kind="decode_step", t=t, s=s,
-        parallel_heads=parallel_heads,
+        parallel_heads=parallel_heads, model=model,
     )
 
 
@@ -1270,7 +1272,7 @@ def block_compute_cycles(program: BlockProgram, block: BlockIR | str) -> int:
 
 
 #: Every lru_cache'd lowering entry point, for cache-pressure telemetry.
-_CACHED_LOWERINGS = (
+_CACHED_LOWERINGS = [
     lower_full_pass,
     lower_encoder_stack,
     lower_decoder_stack,
@@ -1282,7 +1284,18 @@ _CACHED_LOWERINGS = (
     lower_encoder_layer_program,
     lower_decoder_layer_program,
     lower_decoder_step_layer_program,
-)
+]
+
+
+def register_cached_lowering(fn: Any) -> Any:
+    """Register an external ``lru_cache``'d lowering (e.g. the optimized
+    lowering in :mod:`repro.hw.passes`) with the cache telemetry;
+    usable as a decorator, returns ``fn`` unchanged."""
+    if not hasattr(fn, "cache_info"):
+        raise TypeError("cached lowering must expose cache_info()")
+    if fn not in _CACHED_LOWERINGS:
+        _CACHED_LOWERINGS.append(fn)
+    return fn
 
 
 def lowering_cache_info() -> dict[str, Any]:
@@ -1335,7 +1348,9 @@ def program_hbm_bytes(
     bytes_by_label = {
         work.label: sum(blk.load_bytes for blk in group) for work, group in units
     }
-    sched = schedule(arch, [work for work, _ in units], 0)
+    sched = schedule(
+        arch, [work for work, _ in units], 0, **schedule_params_for(program, arch)
+    )
     per_channel: dict[int, int] = {}
     for event in sched.timeline.events:
         if event.kind != "load" or not event.engine.startswith("hbm"):
@@ -1404,6 +1419,34 @@ def program_block_work(
     return [work for work, _ in _work_units(program, architecture)]
 
 
+#: Scheduler keyword parameters each architecture understands; the
+#: meta-driven ``schedule_params`` entries outside this set are dropped
+#: when scheduling under that architecture (a prefetch-depth choice is
+#: meaningless to A1 and must not break A1/A2 equivalence runs).
+_ARCH_SCHEDULE_PARAMS = {
+    Architecture.A1: frozenset(),
+    Architecture.A2: frozenset({"num_weight_buffers"}),
+    Architecture.A3: frozenset({"num_channels", "num_weight_buffers"}),
+}
+
+
+def schedule_params_for(
+    program: BlockProgram, architecture: Architecture | str
+) -> dict[str, int]:
+    """The program's ``meta["schedule_params"]`` filtered down to the
+    parameters the requested architecture's scheduler accepts.
+
+    Optimizer passes record their prefetch-depth / channel choices in
+    program meta; every scheduling entry point funnels through this so
+    a transformed program is *self-scheduling* — callers never need to
+    thread pass parameters alongside the program.
+    """
+    arch = Architecture(architecture)
+    params = program.meta.get("schedule_params") or {}
+    allowed = _ARCH_SCHEDULE_PARAMS[arch]
+    return {k: int(v) for k, v in params.items() if k in allowed}
+
+
 def schedule_program(
     program: BlockProgram,
     architecture: Architecture | str = Architecture.A3,
@@ -1411,7 +1454,10 @@ def schedule_program(
 ) -> ScheduleResult:
     """Run the A1/A2/A3 schedule policy over the program's blocks."""
     return schedule(
-        architecture, program_block_work(program, architecture), block_overhead
+        architecture,
+        program_block_work(program, architecture),
+        block_overhead,
+        **schedule_params_for(program, architecture),
     )
 
 
@@ -1459,7 +1505,12 @@ def trace_program_with_schedule(
     instead of paying :func:`schedule_program` again."""
     arch = Architecture(architecture)
     units = _work_units(program, arch)
-    sched = schedule(arch, [w for w, _ in units], block_overhead)
+    sched = schedule(
+        arch,
+        [w for w, _ in units],
+        block_overhead,
+        **schedule_params_for(program, arch),
+    )
     starts: dict[str, float] = {}
     for event in sched.timeline.events:
         if event.engine == "compute" and event.label.startswith("C:"):
@@ -1527,7 +1578,12 @@ def program_unit_spans(
     arch = Architecture(architecture)
     units = _work_units(program, arch)
     if sched is None:
-        sched = schedule(arch, [w for w, _ in units], block_overhead)
+        sched = schedule(
+            arch,
+            [w for w, _ in units],
+            block_overhead,
+            **schedule_params_for(program, arch),
+        )
     loads: dict[str, Any] = {}
     comps: dict[str, Any] = {}
     for event in sched.timeline.events:
@@ -1722,6 +1778,8 @@ __all__ = [
     "program_hbm_bytes",
     "lowering_cache_info",
     "record_lowering_cache_metrics",
+    "register_cached_lowering",
+    "schedule_params_for",
     "schedule_program",
     "trace_block",
     "trace_program",

@@ -173,18 +173,27 @@ def schedule_a3(
     blocks: list[BlockWork],
     block_overhead: int = 0,
     num_channels: int = 2,
+    num_weight_buffers: int | None = None,
 ) -> ScheduleResult:
     """Multi-channel overlapped prefetch (Figs 4.10 / 4.11).
 
     Block ``i`` loads on its hinted channel (default: round-robin);
     the load may start once the previous load on that channel finished
-    *and* block ``i - num_channels``'s compute released its weight
-    buffer.  The paper's A3 uses two channels; more channels model the
-    natural extension onto additional HBM ports.
+    *and* block ``i - num_weight_buffers``'s compute released its
+    weight buffer.  The paper's A3 uses two channels with one buffer
+    per channel (``num_weight_buffers = num_channels``, the default);
+    more buffers model deeper prefetch on the same ports, more channels
+    the natural extension onto additional HBM ports.
     """
     _validate(blocks, block_overhead)
     if num_channels < 1:
         raise ValueError("num_channels must be >= 1")
+    nb = num_channels if num_weight_buffers is None else num_weight_buffers
+    if nb < num_channels:
+        raise ValueError(
+            "num_weight_buffers must be >= num_channels (each in-flight "
+            f"load needs a buffer); got {nb} < {num_channels}"
+        )
     timeline = Timeline()
     load_end = [0.0] * len(blocks)
     comp_end = [0.0] * len(blocks)
@@ -198,7 +207,7 @@ def schedule_a3(
             raise ValueError(
                 f"channel_hint must be in [0, {num_channels}); got {chan}"
             )
-        buffer_free = comp_end[i - num_channels] if i >= num_channels else 0.0
+        buffer_free = comp_end[i - nb] if i >= nb else 0.0
         start = max(chan_free[chan], buffer_free)
         load_end[i] = start + b.load_cycles
         timeline.add(f"hbm{chan}", f"LW:{b.label}", start, load_end[i], kind="load")
@@ -234,10 +243,19 @@ def schedule(
     architecture: Architecture | str,
     blocks: list[BlockWork],
     block_overhead: int = 0,
+    **params: int,
 ) -> ScheduleResult:
-    """Dispatch to the scheduler for the requested architecture."""
+    """Dispatch to the scheduler for the requested architecture.
+
+    Extra keyword ``params`` forward to the architecture's scheduler
+    (A2: ``num_weight_buffers``; A3: ``num_channels`` and
+    ``num_weight_buffers``); parameters a scheduler does not accept
+    raise ``TypeError``, so callers with architecture-agnostic
+    parameter sets must filter first (see
+    ``repro.hw.program.schedule_params_for``).
+    """
     arch = Architecture(architecture)
-    return _SCHEDULERS[arch](blocks, block_overhead)
+    return _SCHEDULERS[arch](blocks, block_overhead, **params)
 
 
 def _validate(blocks: list[BlockWork], block_overhead: int) -> None:

@@ -138,6 +138,13 @@ class ModeledExecutor:
     def step(self, record: RequestRecord, replay: bool) -> None:
         return None
 
+    def step_many(self, items: list[tuple[RequestRecord, bool]]) -> None:
+        """One decode iteration over the whole active batch.  The
+        modeled executor has no state to advance; the functional
+        executor overrides this with a batched fabric step."""
+        for record, replay in items:
+            self.step(record, replay)
+
     def preempt(self, record: RequestRecord) -> None:
         return None
 
@@ -151,11 +158,22 @@ class FunctionalExecutor(ModeledExecutor):
     sequence must be identical with and without preemption.
     """
 
-    def __init__(self, config, accelerator, features_of, start_token: int = 1):
+    def __init__(
+        self,
+        config,
+        accelerator,
+        features_of,
+        start_token: int = 1,
+        batched_steps: bool = True,
+    ):
         super().__init__(config, accelerator.latency_model)
         self.accelerator = accelerator
         self.features_of = features_of
         self.start_token = int(start_token)
+        #: Route decode iterations through the batched fabric executor
+        #: (bit-identical to the loop; ``False`` keeps the per-session
+        #: loop for wall-clock A/B comparison in the bench).
+        self.batched_steps = bool(batched_steps)
         self.emitted: dict[int, list[int]] = {}
         self._sessions: dict[int, object] = {}
 
@@ -166,15 +184,40 @@ class FunctionalExecutor(ModeledExecutor):
         )
         self.emitted.setdefault(rid, [])
 
+    def _feed_token(self, rid: int) -> int:
+        session = self._sessions[rid]
+        t = len(session.tokens)
+        return self.start_token if t == 0 else self.emitted[rid][t - 1]
+
     def step(self, record: RequestRecord, replay: bool) -> None:
         rid = record.request.request_id
-        session = self._sessions[rid]
-        tokens = self.emitted[rid]
-        t = len(session.tokens)
-        feed = self.start_token if t == 0 else tokens[t - 1]
-        out = session.step(int(feed))
+        out = self._sessions[rid].step(int(self._feed_token(rid)))
         if not replay:
-            tokens.append(int(np.argmax(out)))
+            self.emitted[rid].append(int(np.argmax(out)))
+
+    def step_many(self, items: list[tuple[RequestRecord, bool]]) -> None:
+        """One decode iteration through the batched fabric executor.
+
+        Same-prefix-length sessions advance as one batched program run
+        (:func:`repro.hw.accelerator.step_sessions` — bit-identical to
+        per-session steps), then the greedy/bookkeeping logic of
+        :meth:`step` applies per member.
+        """
+        from repro.hw.accelerator import step_sessions
+
+        if not items:
+            return
+        if not self.batched_steps:
+            for record, replay in items:
+                self.step(record, replay)
+            return
+        rids = [record.request.request_id for record, _ in items]
+        sessions = [self._sessions[rid] for rid in rids]
+        feeds = [self._feed_token(rid) for rid in rids]
+        outs = step_sessions(sessions, feeds)
+        for (record, replay), rid, out in zip(items, rids, outs):
+            if not replay:
+                self.emitted[rid].append(int(np.argmax(out)))
 
     def preempt(self, record: RequestRecord) -> None:
         self._sessions[record.request.request_id].preempt()
@@ -414,8 +457,14 @@ class ContinuousBatchingScheduler:
                     replay_cycles_total += cycles
                 now_s = now / clock_hz
                 finished: list[_Active] = []
-                for entry, replay in zip(list(active), is_replay):
-                    ex.step(entry.record, replay)
+                snapshot = list(active)
+                # One executor call for the whole iteration: the
+                # functional executor batches same-length sessions
+                # through the fabric instead of stepping one by one.
+                ex.step_many(
+                    [(e.record, r) for e, r in zip(snapshot, is_replay)]
+                )
+                for entry, replay in zip(snapshot, is_replay):
                     entry.t += 1
                     if replay:
                         replayed_steps += 1
