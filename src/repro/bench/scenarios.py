@@ -275,6 +275,66 @@ def _run_serving_load(params: Mapping[str, object], session) -> tuple[dict, dict
     return cycles, info
 
 
+def _run_serving_slo(params: Mapping[str, object], session) -> tuple[dict, dict]:
+    """Instrumented serving run held to a latency SLO: lifecycle event
+    counts from the vtrace recorder, sampler depth, and the SLO
+    monitor's violation/alert counts.  Every gated quantity is an
+    integer derived from the integer-cycle event stream, so the
+    exact-match gate pins the whole observability pipeline — a change
+    in scheduler event emission, sampler cadence handling or SLO
+    arithmetic shows up as a bench diff."""
+    from repro.obs.vtrace import VSampler, VTraceRecorder
+    from repro.serving import (
+        ContinuousBatchingScheduler,
+        ServingConfig,
+        SloObjective,
+        evaluate_slo,
+        make_arrival_model,
+        synthesize_requests,
+    )
+
+    load = float(params.get("load_rps", 8.0))
+    num_requests = int(params.get("num_requests", 16))
+    arrival_kind = str(params.get("arrival", "poisson"))
+    seed = int(params.get("seed", 11))
+    config = ServingConfig(
+        s=int(params.get("s", 32)),
+        architecture=str(params.get("arch", "A3")),
+        max_batch=int(params.get("max_batch", 4)),
+        slo_ms=float(params.get("slo_ms", 1500.0)),
+    )
+    arrival = make_arrival_model(arrival_kind, load, seed=seed)
+    requests = synthesize_requests(arrival, num_requests, seed=seed)
+    recorder = VTraceRecorder()
+    sampler = VSampler(cadence_cycles=int(params.get("sample_cycles", 100_000)))
+    result = ContinuousBatchingScheduler(
+        config, vtrace=recorder, sampler=sampler
+    ).run(requests)
+    objective = SloObjective(
+        latency_ms=config.slo_ms, target=float(params.get("target", 0.9))
+    )
+    report = evaluate_slo(result, recorder.events, objective, recorder=recorder)
+
+    cycles: dict[str, float] = {
+        "device_end_cycles": float(result.device_end_cycles),
+        "slo_violations": float(report.violated),
+        "slo_alerts": float(len(report.alerts)),
+        "sample_count": float(
+            len(next(iter(sampler.series().values())))
+            if sampler.series() else 0
+        ),
+    }
+    for kind, count in sorted(recorder.counts().items()):
+        cycles[f"events_{kind}"] = float(count)
+    info = {
+        "attainment": report.attainment,
+        "error_budget_consumed": report.error_budget_consumed,
+    }
+    for name, value in report.burn.items():
+        info[f"burn_{name}"] = value
+    return cycles, info
+
+
 def _run_a4_optimized(params: Mapping[str, object], session) -> tuple[dict, dict]:
     """The A4 pass-pipeline synthesis: exact A3 vs A4 cycles plus the
     PSA stall attribution the win comes out of.  ``synthesize_a4`` is
@@ -382,6 +442,7 @@ RUNNERS: dict[str, Callable[[Mapping[str, object], object], tuple[dict, dict]]] 
     "e2e_transcribe": _run_e2e_transcribe,
     "streaming": _run_streaming,
     "serving_load": _run_serving_load,
+    "serving_slo": _run_serving_slo,
     "a4_optimized": _run_a4_optimized,
     "batched_serving": _run_batched_serving,
 }
@@ -434,6 +495,20 @@ def default_scenarios(quick: bool = False, repeats: int = 3) -> list[Scenario]:
                 "batched_serving_b4",
                 "batched_serving",
                 {"s": 16, "num_requests": 4, "decode_tokens": 6, "seed": 5},
+                repeats=repeats,
+            ),
+            Scenario(
+                "serving_slo_poisson",
+                "serving_slo",
+                {
+                    "arrival": "poisson",
+                    "load_rps": 8.0,
+                    "num_requests": 16,
+                    "max_batch": 4,
+                    "slo_ms": 1500.0,
+                    "target": 0.9,
+                    "seed": 11,
+                },
                 repeats=repeats,
             ),
         ]

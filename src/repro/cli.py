@@ -15,7 +15,10 @@
     repro-asr bench report  [--seq 32] [--arch A3]
     repro-asr serve-sim [--arrival poisson] [--loads 0.5,2,8] [--requests N]
                         [--max-batch B] [--kv-budget-bytes N] [--slo-ms F]
-                        [--json PATH]
+                        [--json PATH] [--trace PATH] [--timeseries PATH]
+                        [--slo-report PATH]
+    repro-asr slo       [--load 8] [--requests N] [--slo-ms F]
+                        [--slo-target F] [--json]
 
 Each subcommand prints one of the paper's analyses from the simulator;
 ``transcribe`` runs the full E2E pipeline on a synthetic utterance.
@@ -28,7 +31,12 @@ against a baseline (exact-match on cycle counts, noise-aware on
 wall-clock), ``report`` prints the bottleneck attribution.
 ``serve-sim`` sweeps the multi-tenant serving simulator over offered
 loads and reports p50/p95/p99 latency, goodput and the saturation
-bottleneck.
+bottleneck; with ``--trace/--timeseries/--slo-report`` it re-runs the
+heaviest load instrumented and writes a merged Perfetto trace (device
+lanes + per-request lifecycle tracks), a deterministic JSONL event
+log, sampled virtual-time series and the SLO report.  ``slo`` prints
+the SLO dashboard for one offered load (exit 1 if burn-rate alerts
+fired).
 """
 
 from __future__ import annotations
@@ -286,8 +294,146 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _instrumented_serving_run(
+    config,
+    arrival_kind: str,
+    load_rps: float,
+    num_requests: int,
+    seed: int,
+    sample_cycles: int,
+    slo_target: float,
+):
+    """One serving run with the vtrace recorder + sampler installed,
+    held to an SLO objective.  Returns (result, recorder, sampler,
+    slo_report) — the raw material of every serving observability
+    artifact (merged Perfetto trace, JSONL event log, time series,
+    SLO report)."""
+    from repro.obs.vtrace import VSampler, VTraceRecorder
+    from repro.serving import (
+        ContinuousBatchingScheduler,
+        SloObjective,
+        evaluate_slo,
+        make_arrival_model,
+        synthesize_requests,
+    )
+
+    arrival = make_arrival_model(arrival_kind, load_rps, seed=seed)
+    requests = synthesize_requests(arrival, num_requests, seed=seed)
+    recorder = VTraceRecorder()
+    sampler = VSampler(cadence_cycles=sample_cycles)
+    sched = ContinuousBatchingScheduler(
+        config, vtrace=recorder, sampler=sampler
+    )
+    result = sched.run(requests)
+    objective = SloObjective(latency_ms=config.slo_ms, target=slo_target)
+    report = evaluate_slo(result, recorder.events, objective, recorder=recorder)
+    return result, recorder, sampler, report
+
+
+def _serving_stall_rate_tracks(result, sampler) -> dict:
+    """Perfetto counter tracks of PSA stall-cause *rates*: the PR-5
+    per-cause lane-time fraction of each phase's block program, scaled
+    by the instantaneous rate at which the device runs that phase
+    (from the sampler's cumulative cycle series)."""
+    from repro.obs.vtrace import rate_series
+    from repro.serving import phase_stall_report
+
+    lm = LatencyModel()
+    tracks: dict = {}
+    for phase, cum_name in (
+        ("prefill", "prefill_cycles"),
+        ("decode", "decode_cycles"),
+    ):
+        series = sampler.get(cum_name)
+        if series is None or len(series) < 2:
+            continue
+        rates = rate_series(series)
+        _, report = phase_stall_report(
+            lm, phase, result.config.s, result.config.architecture
+        )
+        psa_lanes = sum(1 for name in report.engines if ".psa" in name)
+        lane_time = report.makespan * max(psa_lanes, 1)
+        for cause, cycles in report.totals(".psa").items():
+            if cycles <= 0:
+                continue
+            frac = cycles / lane_time
+            tracks[f"serving:stall_rate:{phase}:{cause}"] = [
+                (cycle, rate * frac) for cycle, rate in rates
+            ]
+    return tracks
+
+
+def _write_serving_artifacts(args, result, recorder, sampler, report) -> None:
+    """Write the --trace / --timeseries / --slo-report artifacts."""
+    import pathlib
+
+    from repro import obs
+    from repro.obs.vtrace import (
+        device_timeline,
+        request_track_events,
+        vtrace_jsonl_lines,
+    )
+
+    clock_mhz = result.clock_hz / 1e6
+    meta = {
+        "architecture": result.config.architecture,
+        "seed": args.seed,
+        "arrival": args.arrival,
+        "offered_rps": args.trace_load,
+        "slo_ms": result.config.slo_ms,
+    }
+    if args.trace:
+        trace_path = pathlib.Path(args.trace)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        counters = sampler.counter_tracks()
+        counters.update(_serving_stall_rate_tracks(result, sampler))
+        trace_path.write_text(
+            obs.chrome_trace_json(
+                device_timeline(recorder.events),
+                clock_mhz=clock_mhz,
+                metadata=meta,
+                counters=counters,
+                extra_events=request_track_events(
+                    recorder.events, clock_mhz=clock_mhz
+                ),
+            )
+        )
+        events_path = trace_path.with_suffix(".events.jsonl")
+        events_path.write_text(
+            "".join(
+                f"{line}\n"
+                for line in vtrace_jsonl_lines(recorder.events, metadata=meta)
+            )
+        )
+        print(f"merged trace: {trace_path}  (open in https://ui.perfetto.dev)")
+        print(f"event log:    {events_path}")
+    if args.timeseries:
+        ts_path = pathlib.Path(args.timeseries)
+        ts_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cadence_cycles": sampler.cadence_cycles,
+            "clock_mhz": clock_mhz,
+            "series": {
+                name: {"samples": ts.samples, "dropped": ts.dropped}
+                for name, ts in sorted(sampler.series().items())
+            },
+        }
+        ts_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"time series:  {ts_path}")
+    if args.slo_report:
+        slo_path = pathlib.Path(args.slo_report)
+        slo_path.parent.mkdir(parents=True, exist_ok=True)
+        slo_path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"slo report:   {slo_path}")
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
-    from repro.serving import ServingConfig, render_sweep, sweep_offered_load
+    from repro.serving import (
+        ServingConfig,
+        render_slo_dashboard,
+        render_sweep,
+        sweep_offered_load,
+    )
 
     loads = sorted(float(x) for x in args.loads.split(","))
     if len(loads) < 3:
@@ -310,7 +456,6 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     print(render_sweep(sweep))
     if args.json:
         import dataclasses
-        import json
         import pathlib
 
         payload = {
@@ -325,7 +470,64 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {out}")
+    if args.trace or args.timeseries or args.slo_report:
+        # Instrumented re-run of the heaviest offered load: that is
+        # where the lifecycle (queueing, preemption, SLO misses) is.
+        args.trace_load = loads[-1]
+        result, recorder, sampler, report = _instrumented_serving_run(
+            config,
+            args.arrival,
+            loads[-1],
+            args.requests,
+            args.seed,
+            args.sample_cycles,
+            args.slo_target,
+        )
+        print()
+        print(f"instrumented run at {loads[-1]:g} req/s:")
+        print(render_slo_dashboard(report))
+        _write_serving_artifacts(args, result, recorder, sampler, report)
     return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.serving import ServingConfig, render_slo_dashboard
+
+    config = ServingConfig(
+        s=args.seq,
+        architecture=args.arch,
+        max_batch=args.max_batch,
+        kv_budget_bytes=args.kv_budget_bytes,
+        slo_ms=args.slo_ms,
+    )
+    result, recorder, _, report = _instrumented_serving_run(
+        config,
+        args.arrival,
+        args.load,
+        args.requests,
+        args.seed,
+        args.sample_cycles,
+        args.slo_target,
+    )
+    if args.json:
+        payload = report.as_dict()
+        payload["offered_rps"] = args.load
+        payload["event_counts"] = recorder.counts()
+        payload["device_end_cycles"] = result.device_end_cycles
+        print(json.dumps(payload, indent=2))
+        return 0 if not report.alerts else 1
+    print(
+        f"serving SLO dashboard: {args.arrival} arrivals at {args.load:g} "
+        f"req/s, {args.requests} requests, arch {config.architecture}, "
+        f"batch<={config.max_batch}"
+    )
+    print(render_slo_dashboard(report))
+    counts = recorder.counts()
+    print(
+        "events: "
+        + ", ".join(f"{kind}={counts[kind]}" for kind in sorted(counts))
+    )
+    return 0 if not report.alerts else 1
 
 
 def _cmd_bench_report(args: argparse.Namespace) -> int:
@@ -629,7 +831,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the sweep + attribution as JSON")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a merged Perfetto trace (device lanes + "
+                        "per-request lifecycle tracks) of an instrumented "
+                        "re-run at the highest load, plus a JSONL event "
+                        "log next to it")
+    p.add_argument("--timeseries", default=None, metavar="PATH",
+                   help="write the sampled virtual-time series "
+                        "(batch, queue depth, KV bytes, cycle accounts) "
+                        "as JSON")
+    p.add_argument("--slo-report", default=None, metavar="PATH",
+                   help="write the SLO report (attainment, burn rates, "
+                        "per-violation attribution) as JSON")
+    p.add_argument("--slo-target", type=float, default=0.95,
+                   help="SLO attainment target in (0,1) for the "
+                        "instrumented run")
+    p.add_argument("--sample-cycles", type=int, default=100_000,
+                   help="virtual-time sampler cadence, fabric cycles")
     p.set_defaults(func=_cmd_serve_sim)
+
+    p = sub.add_parser(
+        "slo",
+        help="serving SLO dashboard: attainment, error budget, burn-rate "
+             "alerts, per-violation phase + stall-cause attribution",
+    )
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "diurnal"])
+    p.add_argument("--load", type=float, default=8.0,
+                   help="offered load, requests/s")
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--kv-budget-bytes", type=int, default=None)
+    p.add_argument("--slo-ms", type=float, default=1500.0,
+                   help="latency SLO (virtual ms)")
+    p.add_argument("--slo-target", type=float, default=0.95,
+                   help="SLO attainment target in (0,1)")
+    p.add_argument("--sample-cycles", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--json", action="store_true",
+                   help="emit the SLO report + event counts as JSON")
+    p.set_defaults(func=_cmd_slo)
 
     p = sub.add_parser("inventory", help="Table 4.1 weight inventory")
     p.set_defaults(func=_cmd_inventory)

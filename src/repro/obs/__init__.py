@@ -57,6 +57,23 @@ from repro.obs.spans import (
     set_tracer,
     tracer,
 )
+from repro.obs.vtrace import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    NULL_SAMPLER,
+    NULL_VTRACE,
+    NullVSampler,
+    NullVTraceRecorder,
+    TimeSeries,
+    VEvent,
+    VSampler,
+    VTraceRecorder,
+    device_timeline,
+    rate_series,
+    request_phases,
+    request_track_events,
+    vtrace_jsonl_lines,
+)
 
 __all__ = [
     "Counter",
@@ -83,6 +100,21 @@ __all__ = [
     "chrome_trace_json",
     "jsonl_lines",
     "record_program_metrics",
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "VEvent",
+    "VTraceRecorder",
+    "NullVTraceRecorder",
+    "NULL_VTRACE",
+    "TimeSeries",
+    "VSampler",
+    "NullVSampler",
+    "NULL_SAMPLER",
+    "rate_series",
+    "request_phases",
+    "request_track_events",
+    "device_timeline",
+    "vtrace_jsonl_lines",
     "TelemetrySession",
     "telemetry",
 ]

@@ -54,6 +54,12 @@ def _escape_label(value: object) -> str:
     return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the Prometheus text exposition format:
+    only backslash and newline (quotes stay literal, unlike labels)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels: dict, extra: dict | None = None) -> str:
     merged = dict(labels)
     if extra:
@@ -79,7 +85,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         pname = prometheus_name(inst.name)
         if pname not in seen_header:
             seen_header.add(pname)
-            help_text = METRIC_HELP.get(inst.name, "")
+            help_text = _escape_help(METRIC_HELP.get(inst.name, ""))
             lines.append(f"# HELP {pname} {inst.name} {help_text}".rstrip())
             lines.append(f"# TYPE {pname} {inst.kind}")
         if isinstance(inst, Histogram):
@@ -119,6 +125,7 @@ def chrome_trace(
     clock_mhz: float = 300.0,
     metadata: dict | None = None,
     counters: dict | None = None,
+    extra_events: Sequence | None = None,
 ) -> dict:
     """Build a Chrome-trace (Perfetto-loadable) JSON object.
 
@@ -128,6 +135,10 @@ def chrome_trace(
     ``counters`` maps a track name to ``[(cycle, value), ...]`` samples
     (e.g. from :func:`repro.hw.introspect.counter_tracks`) and renders
     as Perfetto counter tracks on the accelerator process.
+    ``extra_events`` are pre-built raw Chrome-trace event dicts merged
+    verbatim — the hook through which the virtual-time request lanes
+    (:func:`repro.obs.vtrace.request_track_events`, already scaled to
+    the same ``clock_mhz`` axis) join the device lanes in one trace.
     """
     if clock_mhz <= 0:
         raise ValueError("clock_mhz must be positive")
@@ -215,6 +226,9 @@ def chrome_trace(
                 }
             )
 
+    if extra_events:
+        events.extend(dict(ev) for ev in extra_events)
+
     trace = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -231,10 +245,11 @@ def chrome_trace_json(
     clock_mhz: float = 300.0,
     metadata: dict | None = None,
     counters: dict | None = None,
+    extra_events: Sequence | None = None,
 ) -> str:
     """:func:`chrome_trace`, serialized."""
     return json.dumps(
-        chrome_trace(timeline, spans, clock_mhz, metadata, counters),
+        chrome_trace(timeline, spans, clock_mhz, metadata, counters, extra_events),
         indent=None,
     )
 

@@ -98,6 +98,12 @@ METRIC_HELP = {
     "repro.serving.kv_resident_bytes": "Modeled bytes resident across all active KV caches",
     "repro.serving.e2e_ms": "Virtual-time end-to-end request latency, ms",
     "repro.serving.queue_ms": "Virtual-time queueing delay before prefill, ms",
+    # ---- serving SLO monitor (repro.serving.slo.*)
+    "repro.serving.slo.attainment": "Fraction of completed requests meeting the latency SLO",
+    "repro.serving.slo.violations": "Completed requests that missed the latency SLO",
+    "repro.serving.slo.error_budget_consumed": "Fraction of the SLO error budget consumed by the run",
+    "repro.serving.slo.burn_rate": "Error-budget burn rate over the trailing window (label: window)",
+    "repro.serving.slo.alerts": "Multi-window burn-rate alerts fired (rising edges)",
     # ---- decoding (repro.decoding.*)
     "repro.decoding.beam.hypotheses_expanded": "Beam hypotheses expanded (step-function calls)",
     "repro.decoding.beam.early_stops": "Beam searches ended by the early-stop bound",

@@ -80,6 +80,13 @@ class _SpanContext:
         end = time.perf_counter()
         span = self._span
         self._tracer._stack().pop()
+        attrs = dict(span.attrs)
+        if exc_type is not None:
+            # Failed spans stay distinguishable in every export: the
+            # exception propagates (we return None), but the record
+            # carries what killed the body.
+            attrs["error"] = True
+            attrs["exc_type"] = exc_type.__name__
         self._tracer._record(
             SpanRecord(
                 name=span.name,
@@ -87,7 +94,7 @@ class _SpanContext:
                 duration_us=(end - span._start) * 1e6,
                 depth=span._depth,
                 thread_id=threading.get_ident(),
-                attrs=dict(span.attrs),
+                attrs=attrs,
             )
         )
 

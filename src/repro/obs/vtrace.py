@@ -1,0 +1,502 @@
+"""Virtual-time request lifecycle tracing and time-series telemetry.
+
+The serving scheduler (:mod:`repro.serving.scheduler`) runs on an
+integer fabric-cycle clock, not host wall-clock, so the span tracer of
+:mod:`repro.obs.spans` cannot see inside a simulated run.  This module
+is the virtual-clock twin: the scheduler emits typed lifecycle events
+(:data:`EVENT_KINDS`) into a :class:`VTraceRecorder` and samples gauges
+into a :class:`VSampler` at a fixed cycle cadence, and the exporters
+here turn both into
+
+* a deterministic, schema-versioned JSONL event log
+  (:func:`vtrace_jsonl_lines`) — bit-identical across runs with the
+  same seed, because every timestamp is an integer cycle;
+* per-request Perfetto lifecycle tracks (:func:`request_track_events`)
+  that merge into the existing Chrome-trace exporter
+  (:func:`repro.obs.export.chrome_trace` via ``extra_events``) next to
+  the device lanes, all on one cycle->microsecond clock mapping;
+* a device-activity :class:`repro.hw.trace.Timeline`
+  (:func:`device_timeline`) reconstructed from the events, so the
+  accelerator process in the merged trace shows what the device was
+  doing (prefill vs decode iterations) while each request waited;
+* Perfetto counter tracks of the sampled series
+  (:meth:`VSampler.counter_tracks`).
+
+Clock-domain mapping: one fabric cycle at ``clock_mhz`` MHz is
+``1 / clock_mhz`` microseconds, the same scale the device lanes use —
+request tracks, counter series and engine lanes land on one time axis.
+
+Like the metrics registry and span tracer, the disabled defaults
+(:data:`NULL_VTRACE`, :data:`NULL_SAMPLER`) are shared no-ops: an
+uninstrumented serving run pays one ``enabled`` attribute check per
+hook and stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.hw.trace import Timeline
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "VEvent",
+    "VTraceRecorder",
+    "NullVTraceRecorder",
+    "NULL_VTRACE",
+    "TimeSeries",
+    "VSampler",
+    "NullVSampler",
+    "NULL_SAMPLER",
+    "rate_series",
+    "request_phases",
+    "request_track_events",
+    "device_timeline",
+    "vtrace_jsonl_lines",
+]
+
+#: Version of the event schema below.  Bump on any change to event
+#: kinds or their attribute contracts; the JSONL header carries it.
+EVENT_SCHEMA_VERSION = 1
+
+#: The typed lifecycle event taxonomy, in rough lifecycle order.
+#:
+#: - ``arrive``        — request entered the system (cycle = its true
+#:   arrival instant, ``ceil(arrival_s * clock_hz)``).
+#: - ``queue_wait``    — admission granted; ``wait_cycles`` attr holds
+#:   the time spent queued since arrival (or since preemption).
+#: - ``admit``         — worst-case K/V reservation taken.
+#: - ``prefill_start`` / ``prefill_end`` — the encoder prefill pass
+#:   (re-runs after preemption carry ``replay=True``).
+#: - ``decode_iter``   — one continuous-batching decode iteration;
+#:   attrs carry ``batch``, ``prefix_lengths`` and ``cycles``.
+#: - ``preempt``       — an in-flight request was evicted (rewind).
+#: - ``replay``        — one member replayed a previously-decoded step
+#:   inside a decode iteration.
+#: - ``complete``      — last token decoded; attrs carry the latency
+#:   account.
+#: - ``reject``        — admission-control rejection (a request whose
+#:   worst-case cache can never fit the budget, with
+#:   ``ServingConfig.reject_oversized``).
+#: - ``slo_alert``     — multi-window burn-rate alert from the SLO
+#:   monitor (:mod:`repro.serving.slo`), carried in the trace.
+EVENT_KINDS = (
+    "arrive",
+    "queue_wait",
+    "admit",
+    "prefill_start",
+    "prefill_end",
+    "decode_iter",
+    "preempt",
+    "replay",
+    "complete",
+    "reject",
+    "slo_alert",
+)
+
+_EVENT_KIND_SET = frozenset(EVENT_KINDS)
+
+
+@dataclass(frozen=True)
+class VEvent:
+    """One typed lifecycle event on the integer-cycle clock."""
+
+    cycle: int
+    kind: str
+    request_id: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+
+class VTraceRecorder:
+    """Collects :class:`VEvent` records in emission order.
+
+    Emission order is deterministic (the scheduler is a deterministic
+    event loop), so the recorded list — and every export derived from
+    it — is bit-identical across runs with the same seed.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: list[VEvent] = []
+
+    def emit(
+        self, kind: str, cycle: int, request_id: int | None = None, **attrs: object
+    ) -> None:
+        """Record one event; ``kind`` must come from :data:`EVENT_KINDS`."""
+        if kind not in _EVENT_KIND_SET:
+            raise ValueError(
+                f"unknown vtrace event kind '{kind}'; "
+                f"expected one of {EVENT_KINDS}"
+            )
+        if cycle < 0:
+            raise ValueError(f"event cycle must be non-negative, got {cycle}")
+        self._events.append(VEvent(int(cycle), kind, request_id, dict(attrs)))
+
+    @property
+    def events(self) -> list[VEvent]:
+        return list(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind (only kinds that occurred)."""
+        out: dict[str, int] = {}
+        for ev in self._events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+
+class NullVTraceRecorder(VTraceRecorder):
+    """The disabled default: one attribute check, no state."""
+
+    enabled = False
+
+    def emit(self, kind, cycle, request_id=None, **attrs):  # type: ignore[override]
+        pass
+
+
+NULL_VTRACE = NullVTraceRecorder()
+
+
+# ----------------------------------------------------------- time series
+class TimeSeries:
+    """A ring-buffered series of ``(cycle, value)`` samples.
+
+    Bounded so a long simulation cannot grow telemetry without limit;
+    ``dropped`` counts evicted samples so exporters can flag
+    truncation instead of silently presenting a partial series.
+    """
+
+    __slots__ = ("name", "capacity", "dropped", "_samples")
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("time-series capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.dropped = 0
+        self._samples: list[tuple[int, float]] = []
+
+    def append(self, cycle: int, value: float) -> None:
+        if len(self._samples) == self.capacity:
+            self._samples.pop(0)
+            self.dropped += 1
+        self._samples.append((int(cycle), float(value)))
+
+    @property
+    def samples(self) -> list[tuple[int, float]]:
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class VSampler:
+    """Samples named gauges into ring-buffered series at a fixed
+    cycle cadence.
+
+    The scheduler offers a sample at every event-loop turn; the sampler
+    records one per ``cadence_cycles``-aligned bucket (the first turn
+    at or past the bucket boundary wins), so the series cadence is
+    deterministic regardless of how unevenly virtual time advances.
+    """
+
+    enabled = True
+
+    def __init__(self, cadence_cycles: int = 50_000, capacity: int = 4096) -> None:
+        if cadence_cycles < 1:
+            raise ValueError("cadence_cycles must be >= 1")
+        self.cadence_cycles = int(cadence_cycles)
+        self.capacity = int(capacity)
+        self._series: dict[str, TimeSeries] = {}
+        self._next_due = 0
+
+    def sample(self, cycle: int, values: dict) -> bool:
+        """Offer one sample set; records and returns True when due."""
+        if cycle < self._next_due:
+            return False
+        for name, value in values.items():
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = TimeSeries(name, self.capacity)
+            series.append(cycle, float(value))
+        self._next_due = (cycle // self.cadence_cycles + 1) * self.cadence_cycles
+        return True
+
+    def series(self) -> dict[str, TimeSeries]:
+        return dict(self._series)
+
+    def get(self, name: str) -> TimeSeries | None:
+        return self._series.get(name)
+
+    def counter_tracks(self, prefix: str = "serving") -> dict[str, list[tuple[int, float]]]:
+        """Perfetto-ready counter series (feed to
+        :func:`repro.obs.export.chrome_trace` as ``counters``)."""
+        return {
+            f"{prefix}:{name}": ts.samples
+            for name, ts in sorted(self._series.items())
+        }
+
+
+class NullVSampler(VSampler):
+    """The disabled default: one attribute check, no state."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def sample(self, cycle, values):  # type: ignore[override]
+        return False
+
+
+NULL_SAMPLER = NullVSampler()
+
+
+def rate_series(series: TimeSeries) -> list[tuple[int, float]]:
+    """Per-cycle rate between consecutive samples of a *cumulative*
+    series (e.g. cumulative prefill cycles -> prefill busy fraction).
+
+    Each output point ``(cycle, rate)`` covers the window starting at
+    ``cycle`` and ending at the next sample.
+    """
+    out: list[tuple[int, float]] = []
+    prev: tuple[int, float] | None = None
+    for cycle, value in series.samples:
+        if prev is not None and cycle > prev[0]:
+            out.append((prev[0], (value - prev[1]) / (cycle - prev[0])))
+        prev = (cycle, value)
+    return out
+
+
+# ------------------------------------------------------- phase rebuilds
+#: Lifecycle phase names a request lane can be in.
+PHASE_NAMES = ("queued", "prefill", "decode", "preempted", "rejected")
+
+
+def _sorted_events(events: list[VEvent]) -> list[VEvent]:
+    """Events by (cycle, emission index) — a stable virtual-time order."""
+    return [ev for _, ev in sorted(enumerate(events), key=lambda t: (t[1].cycle, t[0]))]
+
+
+def request_phases(events: list[VEvent]) -> dict[int, list[tuple[str, int, int]]]:
+    """Rebuild per-request lifecycle phases from the event stream.
+
+    Returns ``request_id -> [(phase, start_cycle, end_cycle), ...]``
+    with phases from :data:`PHASE_NAMES`: ``queued`` (arrival or
+    post-preemption wait to prefill start), ``prefill``, ``decode``,
+    ``preempted`` (eviction to readmission prefill) and ``rejected``
+    (zero-length marker).  Any phase still open when the stream ends is
+    closed at the last observed cycle.
+    """
+    phases: dict[int, list[tuple[str, int, int]]] = {}
+    open_phase: dict[int, tuple[str, int]] = {}
+    last_cycle = 0
+
+    def close(rid: int, cycle: int) -> None:
+        started = open_phase.pop(rid, None)
+        if started is not None:
+            name, start = started
+            phases.setdefault(rid, []).append((name, start, cycle))
+
+    for ev in _sorted_events(events):
+        last_cycle = max(last_cycle, ev.cycle)
+        rid = ev.request_id
+        if rid is None:
+            continue
+        if ev.kind == "arrive":
+            open_phase[rid] = ("queued", ev.cycle)
+            phases.setdefault(rid, [])
+        elif ev.kind == "prefill_start":
+            close(rid, ev.cycle)
+            open_phase[rid] = ("prefill", ev.cycle)
+        elif ev.kind == "prefill_end":
+            close(rid, ev.cycle)
+            open_phase[rid] = ("decode", ev.cycle)
+        elif ev.kind == "preempt":
+            close(rid, ev.cycle)
+            open_phase[rid] = ("preempted", ev.cycle)
+        elif ev.kind == "complete":
+            close(rid, ev.cycle)
+        elif ev.kind == "reject":
+            close(rid, ev.cycle)
+            phases.setdefault(rid, []).append(("rejected", ev.cycle, ev.cycle))
+    for rid in sorted(open_phase):
+        close(rid, last_cycle)
+    return phases
+
+
+# ----------------------------------------------------- Perfetto export
+#: Process id of the serving-request lanes in the merged Chrome trace
+#: (1 = simulated accelerator, 2 = measured host — see obs.export).
+REQUEST_PID = 3
+
+#: Instant-marker kinds rendered on the request lanes.
+_INSTANT_KINDS = frozenset({"arrive", "preempt", "complete", "reject"})
+
+
+def request_track_events(
+    events: list[VEvent], clock_mhz: float = 300.0
+) -> list[dict]:
+    """Chrome-trace events: one lane per request, lifecycle phases as
+    duration slices plus instant markers, all scaled cycles -> µs.
+
+    Feed the result to :func:`repro.obs.export.chrome_trace` as
+    ``extra_events`` so the request lanes merge with the device lanes
+    (same ``clock_mhz``, hence the same time axis).  ``slo_alert``
+    events land on a dedicated ``slo`` lane.
+    """
+    if clock_mhz <= 0:
+        raise ValueError("clock_mhz must be positive")
+    scale = 1.0 / clock_mhz
+    ordered = _sorted_events(events)
+    rids = sorted({ev.request_id for ev in ordered if ev.request_id is not None})
+    tid_of = {rid: tid for tid, rid in enumerate(rids, start=1)}
+    alert_tid = len(rids) + 1
+    out: list[dict] = [
+        {
+            "ph": "M",
+            "pid": REQUEST_PID,
+            "name": "process_name",
+            "args": {"name": "serving requests (virtual)"},
+        }
+    ]
+    for rid, tid in tid_of.items():
+        out.append(
+            {
+                "ph": "M",
+                "pid": REQUEST_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"req {rid}"},
+            }
+        )
+        out.append(
+            {
+                "ph": "M",
+                "pid": REQUEST_PID,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+    for rid, spans in sorted(request_phases(events).items()):
+        for phase, start, end in spans:
+            if end <= start:
+                continue
+            out.append(
+                {
+                    "name": phase,
+                    "cat": "serving",
+                    "ph": "X",
+                    "pid": REQUEST_PID,
+                    "tid": tid_of[rid],
+                    "ts": start * scale,
+                    "dur": (end - start) * scale,
+                    "args": {"request_id": rid, "cycles": end - start},
+                }
+            )
+    have_alerts = False
+    for ev in ordered:
+        if ev.kind == "slo_alert":
+            have_alerts = True
+            out.append(
+                {
+                    "name": "slo_alert",
+                    "cat": "serving",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": REQUEST_PID,
+                    "tid": alert_tid,
+                    "ts": ev.cycle * scale,
+                    "args": dict(ev.attrs),
+                }
+            )
+        elif ev.kind in _INSTANT_KINDS and ev.request_id is not None:
+            args: dict = {"request_id": ev.request_id}
+            args.update(ev.attrs)
+            out.append(
+                {
+                    "name": ev.kind,
+                    "cat": "serving",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": REQUEST_PID,
+                    "tid": tid_of[ev.request_id],
+                    "ts": ev.cycle * scale,
+                    "args": args,
+                }
+            )
+    if have_alerts:
+        out.append(
+            {
+                "ph": "M",
+                "pid": REQUEST_PID,
+                "tid": alert_tid,
+                "name": "thread_name",
+                "args": {"name": "slo alerts"},
+            }
+        )
+    return out
+
+
+def device_timeline(events: list[VEvent]) -> Timeline:
+    """Reconstruct a device-activity :class:`~repro.hw.trace.Timeline`
+    from the event stream: a ``device.prefill`` lane with one interval
+    per prefill pass and a ``device.decode`` lane with one interval per
+    decode iteration.  Renders through the existing accelerator process
+    of :func:`repro.obs.export.chrome_trace`, so device lanes and
+    request lanes share one clock.
+    """
+    timeline = Timeline()
+    for ev in _sorted_events(events):
+        if ev.kind == "prefill_start":
+            cycles = int(ev.attrs.get("cycles", 0))
+            label = f"prefill:r{ev.request_id}"
+            if ev.attrs.get("replay"):
+                label += " (re-prefill)"
+            timeline.add(
+                "device.prefill", label, ev.cycle, ev.cycle + cycles, kind="compute"
+            )
+        elif ev.kind == "decode_iter":
+            cycles = int(ev.attrs.get("cycles", 0))
+            batch = ev.attrs.get("batch", 0)
+            timeline.add(
+                "device.decode",
+                f"decode[b{batch}]",
+                ev.cycle,
+                ev.cycle + cycles,
+                kind="compute",
+            )
+    return timeline
+
+
+# ------------------------------------------------------------ JSONL log
+def vtrace_jsonl_lines(
+    events: list[VEvent], metadata: dict | None = None
+) -> list[str]:
+    """The schema-versioned JSONL event log: one header line, then one
+    line per event in emission order.
+
+    Every field is an integer cycle, a string or a JSON scalar from the
+    event attrs — no wall-clock, no floats derived from host state — so
+    two runs with the same seed produce byte-identical logs.
+    """
+    header: dict = {
+        "type": "vtrace_header",
+        "schema": EVENT_SCHEMA_VERSION,
+        "events": len(events),
+        "clock_domain": "fabric_cycles",
+    }
+    if metadata:
+        header["metadata"] = metadata
+    lines = [json.dumps(header, sort_keys=True)]
+    for ev in events:
+        record: dict = {"type": "vtrace_event", "cycle": ev.cycle, "kind": ev.kind}
+        if ev.request_id is not None:
+            record["request_id"] = ev.request_id
+        if ev.attrs:
+            record["attrs"] = ev.attrs
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines

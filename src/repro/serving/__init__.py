@@ -3,8 +3,10 @@
 Virtual-time, request-level scheduling of the transformer ASR
 accelerator: open-loop arrivals (:mod:`repro.serving.arrival`),
 continuous batching with cache-pressure admission control and priority
-preemption (:mod:`repro.serving.scheduler`), and latency-vs-load
-sweeps with saturation attribution (:mod:`repro.serving.analysis`).
+preemption (:mod:`repro.serving.scheduler`), latency-vs-load sweeps
+with saturation attribution (:mod:`repro.serving.analysis`), and
+declarative latency SLOs with burn-rate alerting and per-violation
+drill-down (:mod:`repro.serving.slo`).
 """
 
 from repro.serving.arrival import (
@@ -34,7 +36,18 @@ from repro.serving.scheduler import (
     ModeledExecutor,
     ServingConfig,
     ServingResult,
+    meets_slo,
     simulate,
+)
+from repro.serving.slo import (
+    SloAlert,
+    SloObjective,
+    SloReport,
+    SloWindow,
+    ViolationAttribution,
+    evaluate_slo,
+    phase_stall_report,
+    render_slo_dashboard,
 )
 
 __all__ = [
@@ -52,7 +65,16 @@ __all__ = [
     "ModeledExecutor",
     "FunctionalExecutor",
     "ContinuousBatchingScheduler",
+    "meets_slo",
     "simulate",
+    "SloWindow",
+    "SloObjective",
+    "SloAlert",
+    "SloReport",
+    "ViolationAttribution",
+    "phase_stall_report",
+    "evaluate_slo",
+    "render_slo_dashboard",
     "LoadPoint",
     "ServingSweep",
     "sweep_offered_load",

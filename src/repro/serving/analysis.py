@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.hw.introspect import classify_stalls
 from repro.serving.arrival import make_arrival_model
 from repro.serving.request import synthesize_requests
 from repro.serving.scheduler import (
@@ -29,6 +28,7 @@ from repro.serving.scheduler import (
     ServingConfig,
     ServingResult,
 )
+from repro.serving.slo import phase_stall_report
 
 __all__ = [
     "LoadPoint",
@@ -195,18 +195,13 @@ def attribute_saturation(
         bottleneck = "decode_bound"
     out["bottleneck"] = bottleneck
 
-    # Micro: the stall taxonomy of the dominant phase's block program.
-    lm = ex.lm
-    s = sweep.config.s
-    if point.prefill_frac >= point.decode_frac:
-        program = lm.full_pass_program(s)
-        out["stall_program"] = f"full_pass(s={s})"
-    else:
-        t_repr = max(s // 2, 1)
-        program = lm.decode_step_program(t_repr, s)
-        out["stall_program"] = f"decode_step(t={t_repr}, s={s})"
-    report = classify_stalls(program, sweep.config.architecture)
-    report.verify_conservation()
+    # Micro: the stall taxonomy of the dominant phase's block program
+    # (same program/label contract as the per-violation SLO drill-down).
+    phase = "prefill" if point.prefill_frac >= point.decode_frac else "decode"
+    label, report = phase_stall_report(
+        ex.lm, phase, sweep.config.s, sweep.config.architecture
+    )
+    out["stall_program"] = label
     totals = report.totals(".psa")
     out["psa_dominant_cause"] = report.dominant_cause(".psa") or "none"
     out["psa_stall_cycles"] = {k: v for k, v in totals.items() if v > 0}

@@ -33,6 +33,10 @@ class RequestState(enum.Enum):
     DECODING = "decoding"
     PREEMPTED = "preempted"
     COMPLETED = "completed"
+    #: Admission control refused the request outright (its worst-case
+    #: cache can never fit the K/V budget; see
+    #: ``ServingConfig.reject_oversized``).
+    REJECTED = "rejected"
 
 
 @dataclass(frozen=True)

@@ -48,6 +48,7 @@ from repro.hw.kv_cache import modeled_resident_bytes
 from repro.hw.scheduler import Architecture
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
+from repro.obs.vtrace import NULL_SAMPLER, NULL_VTRACE, VSampler, VTraceRecorder
 from repro.serving.request import RequestRecord, RequestState, UtteranceRequest
 
 __all__ = [
@@ -56,8 +57,23 @@ __all__ = [
     "ModeledExecutor",
     "FunctionalExecutor",
     "ContinuousBatchingScheduler",
+    "meets_slo",
     "simulate",
 ]
+
+
+def meets_slo(latency_ms: float, slo_ms: float) -> bool:
+    """The SLO boundary, in one place.
+
+    The boundary is **closed**: a request whose latency lands exactly
+    on the objective counts as good (``latency_ms <= slo_ms``), the
+    convention of "complete *within* X ms".  Goodput accounting here
+    and attainment/burn accounting in :mod:`repro.serving.slo` both
+    route through this predicate so they can never disagree; the
+    choice is pinned by a regression test because an off-by-one here
+    silently shifts every goodput curve.
+    """
+    return latency_ms <= slo_ms
 
 
 @dataclass(frozen=True)
@@ -79,6 +95,10 @@ class ServingConfig:
     preemption: bool = True
     #: Latency SLO used for goodput accounting, virtual ms.
     slo_ms: float = 3000.0
+    #: Reject (rather than raise on) requests whose worst-case cache
+    #: can never fit ``kv_budget_bytes``; they complete the lifecycle
+    #: as ``RequestState.REJECTED`` with a ``reject`` trace event.
+    reject_oversized: bool = False
 
     def __post_init__(self) -> None:
         if self.s <= 0:
@@ -243,6 +263,7 @@ class ServingResult:
     peak_queue_depth: int
     peak_batch: int
     clock_hz: float
+    rejections: int = 0
     details: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -269,7 +290,9 @@ class ServingResult:
         d = self.duration_s
         if d <= 0:
             return 0.0
-        good = sum(1 for r in self.completed if r.e2e_ms <= self.config.slo_ms)
+        good = sum(
+            1 for r in self.completed if meets_slo(r.e2e_ms, self.config.slo_ms)
+        )
         return good / d
 
     def latency_quantile(self, q: float, which: str = "e2e") -> float:
@@ -296,9 +319,15 @@ class ContinuousBatchingScheduler:
         self,
         config: ServingConfig | None = None,
         executor: ModeledExecutor | None = None,
+        vtrace: VTraceRecorder | None = None,
+        sampler: VSampler | None = None,
     ) -> None:
         self.config = config or ServingConfig()
         self.executor = executor or ModeledExecutor(self.config)
+        #: Lifecycle event sink; the shared null recorder costs one
+        #: ``enabled`` check per hook and keeps the run bit-identical.
+        self.vtrace = vtrace or NULL_VTRACE
+        self.sampler = sampler or NULL_SAMPLER
         budget = self.config.kv_budget_bytes
         if budget is None:
             budget = self.config.max_batch * self.executor.resident_bytes(
@@ -315,16 +344,10 @@ class ContinuousBatchingScheduler:
     def run(self, requests: list[UtteranceRequest]) -> ServingResult:
         cfg = self.config
         ex = self.executor
+        vt = self.vtrace
+        sampler = self.sampler
         if not requests:
             raise ValueError("need at least one request")
-        worst = max(
-            ex.resident_bytes(r.decode_tokens) for r in requests
-        )
-        if worst > self.kv_budget_bytes:
-            raise ValueError(
-                f"kv_budget_bytes={self.kv_budget_bytes} cannot hold even one "
-                f"request's cache (needs {worst}); raise the budget"
-            )
         clock_hz = ex.clock_hz
         records = [RequestRecord(request=r) for r in sorted(
             requests, key=lambda r: (r.arrival_s, r.request_id)
@@ -332,13 +355,41 @@ class ContinuousBatchingScheduler:
         reg = obs_metrics.registry()
         tr = obs_spans.tracer()
 
-        pending = list(records)  # arrival order
+        rejections = 0
+        oversized = [
+            r for r in records
+            if ex.resident_bytes(r.request.decode_tokens) > self.kv_budget_bytes
+        ]
+        if oversized and not cfg.reject_oversized:
+            worst = max(
+                ex.resident_bytes(r.request.decode_tokens) for r in oversized
+            )
+            raise ValueError(
+                f"kv_budget_bytes={self.kv_budget_bytes} cannot hold even one "
+                f"request's cache (needs {worst}); raise the budget"
+            )
+        for record in oversized:
+            record.state = RequestState.REJECTED
+            rejections += 1
+            if vt.enabled:
+                vt.emit(
+                    "reject",
+                    math.ceil(record.request.arrival_s * clock_hz),
+                    record.request.request_id,
+                    needed_bytes=ex.resident_bytes(record.request.decode_tokens),
+                    kv_budget_bytes=self.kv_budget_bytes,
+                )
+
+        pending = [r for r in records if r.state is not RequestState.REJECTED]
         #: Admission pool: (priority, arrival_s, request_id) min-heap.
         queue: list[tuple[float, float, int, RequestRecord]] = []
         prefill_fifo: list[RequestRecord] = []
         active: list[_Active] = []
         now = 0  # device time, cycles
         reserved = 0  # K/V bytes reserved by admitted requests
+        #: Cycle each request last (re-)entered the admission pool —
+        #: arrival, or the preemption instant — for queue_wait events.
+        queued_since: dict[int, int] = {}
 
         prefills = decode_iterations = preemptions = replayed_steps = 0
         prefill_cycles_total = decode_cycles_total = replay_cycles_total = 0
@@ -398,6 +449,16 @@ class ContinuousBatchingScheduler:
                 push(victim.record)
                 preemptions += 1
                 reg.counter("repro.serving.preemptions").inc()
+                if vt.enabled:
+                    rid = victim.record.request.request_id
+                    queued_since[rid] = now
+                    vt.emit(
+                        "preempt",
+                        now,
+                        rid,
+                        evicted_steps=victim.t,
+                        by_request=record.request.request_id,
+                    )
             return bool(plan)
 
         while pending or queue or prefill_fifo or active:
@@ -407,6 +468,19 @@ class ContinuousBatchingScheduler:
                 record = pending.pop(0)
                 push(record)
                 reg.counter("repro.serving.requests").inc()
+                if vt.enabled:
+                    rid = record.request.request_id
+                    arrive_cycle = math.ceil(
+                        record.request.arrival_s * clock_hz
+                    )
+                    queued_since[rid] = arrive_cycle
+                    vt.emit(
+                        "arrive",
+                        arrive_cycle,
+                        rid,
+                        decode_tokens=record.request.decode_tokens,
+                        priority=record.request.priority,
+                    )
 
             # 2. admission at the step boundary: reserve worst-case K/V.
             while queue:
@@ -426,6 +500,21 @@ class ContinuousBatchingScheduler:
                 # be re-projected first.
                 head.state = RequestState.PREFILLING
                 prefill_fifo.append(head)
+                if vt.enabled:
+                    rid = head.request.request_id
+                    vt.emit(
+                        "queue_wait",
+                        now,
+                        rid,
+                        wait_cycles=now - queued_since.pop(rid, now),
+                    )
+                    vt.emit(
+                        "admit",
+                        now,
+                        rid,
+                        reserved_bytes=self._reservation(head),
+                        queue_depth=len(queue),
+                    )
 
             peak_queue = max(peak_queue, len(queue))
             reg.gauge("repro.serving.queue_depth").set(len(queue))
@@ -435,6 +524,14 @@ class ContinuousBatchingScheduler:
             if prefill_fifo:
                 record = prefill_fifo.pop(0)
                 cycles = ex.prefill_cycles(record)
+                if vt.enabled:
+                    vt.emit(
+                        "prefill_start",
+                        now,
+                        record.request.request_id,
+                        cycles=cycles,
+                        replay=bool(record.preemptions),
+                    )
                 now += cycles
                 prefills += 1
                 prefill_cycles_total += cycles
@@ -446,10 +543,35 @@ class ContinuousBatchingScheduler:
                 ex.open_session(record)
                 active.append(entry)
                 reg.counter("repro.serving.prefills").inc()
+                if vt.enabled:
+                    vt.emit(
+                        "prefill_end",
+                        now,
+                        record.request.request_id,
+                        replay=bool(record.preemptions),
+                    )
             elif active:
                 lengths = [a.t + 1 for a in active]
                 cycles = ex.iteration_cycles(lengths)
                 is_replay = [a.t < a.replay_until for a in active]
+                if vt.enabled:
+                    vt.emit(
+                        "decode_iter",
+                        now,
+                        None,
+                        cycles=cycles,
+                        batch=len(active),
+                        prefix_lengths=lengths,
+                    )
+                    for entry, replay in zip(active, is_replay):
+                        if replay:
+                            vt.emit(
+                                "replay",
+                                now,
+                                entry.record.request.request_id,
+                                cycles=cycles,
+                                step=entry.t,
+                            )
                 now += cycles
                 decode_iterations += 1
                 decode_cycles_total += cycles
@@ -496,6 +618,15 @@ class ContinuousBatchingScheduler:
                         priority=entry.record.request.priority,
                         preemptions=entry.record.preemptions,
                     )
+                    if vt.enabled:
+                        vt.emit(
+                            "complete",
+                            now,
+                            entry.record.request.request_id,
+                            e2e_ms=entry.record.e2e_ms,
+                            queue_ms=entry.record.queue_ms,
+                            preemptions=entry.record.preemptions,
+                        )
                 reg.counter("repro.serving.decode_iterations").inc()
                 reg.gauge("repro.serving.batch_size").set(len(active))
             elif pending:
@@ -514,6 +645,20 @@ class ContinuousBatchingScheduler:
             peak_kv = max(peak_kv, kv_now)
             peak_batch = max(peak_batch, len(active))
             reg.gauge("repro.serving.kv_resident_bytes").set(kv_now)
+            if sampler.enabled:
+                sampler.sample(now, {
+                    "batch_size": len(active),
+                    "queue_depth": len(queue),
+                    "kv_resident_bytes": kv_now,
+                    "kv_reserved_bytes": reserved,
+                    "kv_budget_bytes": self.kv_budget_bytes,
+                    # Cumulative device-cycle accounts; rate_series()
+                    # turns these into busy/idle fractions over time.
+                    "prefill_cycles": prefill_cycles_total,
+                    "decode_cycles": decode_cycles_total,
+                    "replay_cycles": replay_cycles_total,
+                    "idle_cycles": idle_cycles_total,
+                })
 
         return ServingResult(
             config=cfg,
@@ -531,6 +676,7 @@ class ContinuousBatchingScheduler:
             peak_queue_depth=peak_queue,
             peak_batch=peak_batch,
             clock_hz=clock_hz,
+            rejections=rejections,
             details={"kv_budget_bytes": float(self.kv_budget_bytes)},
         )
 
@@ -550,7 +696,11 @@ def simulate(
     requests: list[UtteranceRequest],
     config: ServingConfig | None = None,
     executor: ModeledExecutor | None = None,
+    vtrace: VTraceRecorder | None = None,
+    sampler: VSampler | None = None,
 ) -> ServingResult:
     """Convenience: run one trace through a fresh scheduler."""
     config = config or ServingConfig()
-    return ContinuousBatchingScheduler(config, executor).run(requests)
+    return ContinuousBatchingScheduler(config, executor, vtrace, sampler).run(
+        requests
+    )

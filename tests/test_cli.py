@@ -159,3 +159,93 @@ class TestBenchCli:
         assert "s = 19" in out
         assert "compute-bound" in out
         assert "MM6" in out
+
+
+class TestServingObservabilityCli:
+    def test_serve_sim_writes_trace_timeseries_and_slo_report(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        trace = tmp_path / "serving_trace.json"
+        series = tmp_path / "series.json"
+        slo = tmp_path / "slo.json"
+        assert main([
+            "serve-sim", "--loads", "1,4,8", "--requests", "8",
+            "--seed", "11",
+            "--trace", str(trace),
+            "--timeseries", str(series),
+            "--slo-report", str(slo),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "attainment" in stdout
+
+        # one merged Perfetto trace: device lanes + request lanes on a
+        # consistent clock
+        payload = json.loads(trace.read_text())
+        pids_by_name = {
+            e["args"]["name"]: e["pid"]
+            for e in payload["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert "accelerator (simulated)" in pids_by_name
+        assert "serving requests (virtual)" in pids_by_name
+        request_pid = pids_by_name["serving requests (virtual)"]
+        assert any(
+            e["ph"] == "X" and e["pid"] == request_pid
+            for e in payload["traceEvents"]
+        )
+        counters = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "C"
+        }
+        assert "serving:queue_depth" in counters
+        assert any(name.startswith("serving:stall_rate:") for name in counters)
+
+        # the JSONL event log rides next to the trace
+        events_path = trace.with_suffix(".events.jsonl")
+        lines = events_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "vtrace_header"
+        assert header["events"] == len(lines) - 1
+
+        ts = json.loads(series.read_text())
+        assert ts["cadence_cycles"] == 100_000
+        assert "batch_size" in ts["series"]
+
+        report = json.loads(slo.read_text())
+        assert 0.0 <= report["attainment"] <= 1.0
+        assert report["objective"]["latency_ms"] == 1500.0
+
+    def test_serve_sim_event_log_is_deterministic(self, capsys, tmp_path):
+        paths = []
+        for tag in ("a", "b"):
+            trace = tmp_path / f"trace_{tag}.json"
+            assert main([
+                "serve-sim", "--loads", "1,2,4", "--requests", "6",
+                "--seed", "7", "--trace", str(trace),
+            ]) == 0
+            paths.append(trace.with_suffix(".events.jsonl"))
+        capsys.readouterr()
+        assert paths[0].read_text() == paths[1].read_text()
+
+    def test_slo_command_json(self, capsys):
+        import json
+
+        assert main([
+            "slo", "--load", "8", "--requests", "8", "--seed", "11",
+            "--slo-ms", "1e9", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attainment"] == 1.0
+        assert payload["violations"] == []
+        assert payload["event_counts"]["complete"] == 8
+        assert payload["offered_rps"] == 8.0
+
+    def test_slo_command_dashboard_text(self, capsys):
+        rc = main([
+            "slo", "--load", "8", "--requests", "8", "--seed", "11",
+            "--slo-ms", "900", "--slo-target", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert "attainment" in out and "burn[" in out
+        assert rc in (0, 1)  # 1 when burn-rate alerts fired

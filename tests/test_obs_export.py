@@ -60,6 +60,11 @@ PINNED_METRIC_NAMES = frozenset({
     "repro.serving.kv_resident_bytes",
     "repro.serving.e2e_ms",
     "repro.serving.queue_ms",
+    "repro.serving.slo.attainment",
+    "repro.serving.slo.violations",
+    "repro.serving.slo.error_budget_consumed",
+    "repro.serving.slo.burn_rate",
+    "repro.serving.slo.alerts",
 })
 
 
@@ -103,6 +108,22 @@ class TestPrometheusText:
         reg = MetricsRegistry()
         reg.histogram("repro.e2e_ms").observe(1.0)
         assert METRIC_HELP["repro.e2e_ms"] in prometheus_text(reg)
+
+    def test_help_text_escaped_per_exposition_format(self, monkeypatch):
+        # A HELP string carrying a backslash or newline must render as
+        # \\ and \n (Prometheus exposition format), never break the line.
+        monkeypatch.setitem(
+            METRIC_HELP, "repro.asr.tokens", "line one\nback\\slash"
+        )
+        reg = MetricsRegistry()
+        reg.counter("repro.asr.tokens").inc()
+        text = prometheus_text(reg)
+        assert (
+            "# HELP repro_asr_tokens repro.asr.tokens line one\\nback\\\\slash"
+            in text
+        )
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert len(help_lines) == 1
 
     def test_deterministic_output(self):
         def build():
@@ -172,6 +193,27 @@ class TestChromeTrace:
         # cycle timestamps scale by the clock like duration events
         assert counters[1]["ts"] == pytest.approx(1.0)
         assert counters[1]["args"]["value"] == pytest.approx(1.0)
+
+    def test_extra_events_merged_verbatim(self):
+        lane = {
+            "name": "queued",
+            "ph": "X",
+            "pid": 3,
+            "tid": 1,
+            "ts": 0.0,
+            "dur": 5.0,
+            "args": {"request_id": 0},
+        }
+        trace = chrome_trace(self._timeline(), extra_events=[lane])
+        merged = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 3
+        ]
+        assert merged == [lane]
+        # device lanes are still present alongside
+        assert any(
+            e["ph"] == "X" and e["pid"] != 3 for e in trace["traceEvents"]
+        )
 
     def test_counter_tracks_without_timeline(self):
         trace = chrome_trace(counters={"bandwidth:hbm0": [(0, 0.5)]})

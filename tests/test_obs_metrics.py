@@ -201,6 +201,34 @@ class TestSpans:
             assert span.attrs == {}
         assert NULL_TRACER.records == []
 
+    def test_span_records_failure(self):
+        tr = Tracer()
+        with pytest.raises(KeyError):
+            with tr.span("will.fail", s=32):
+                raise KeyError("boom")
+        (rec,) = tr.records
+        assert rec.attrs["error"] is True
+        assert rec.attrs["exc_type"] == "KeyError"
+        assert rec.attrs["s"] == 32  # user attrs survive alongside
+
+    def test_span_success_has_no_error_attr(self):
+        tr = Tracer()
+        with tr.span("fine"):
+            pass
+        (rec,) = tr.records
+        assert "error" not in rec.attrs
+        assert "exc_type" not in rec.attrs
+
+    def test_null_tracer_failure_path(self):
+        # The exception still propagates and the shared null span stays
+        # stateless — no record, no attrs.
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("x"):
+                raise ValueError("boom")
+        assert NULL_TRACER.records == []
+        with NULL_TRACER.span("y") as span:
+            assert span.attrs == {}
+
 
 class TestTelemetrySession:
     def test_installs_and_restores_globals(self):

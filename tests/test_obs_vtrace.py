@@ -1,0 +1,193 @@
+"""Tests for the virtual-time tracing layer: recorder, sampler, phase
+rebuilds, Perfetto exports and the schema-versioned JSONL event log."""
+
+import json
+
+import pytest
+
+from repro.obs.vtrace import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    NULL_SAMPLER,
+    NULL_VTRACE,
+    TimeSeries,
+    VSampler,
+    VTraceRecorder,
+    device_timeline,
+    rate_series,
+    request_phases,
+    request_track_events,
+    vtrace_jsonl_lines,
+)
+
+
+def _lifecycle_events():
+    """One request's full lifecycle plus a preemption round trip."""
+    vt = VTraceRecorder()
+    vt.emit("arrive", 0, 0, decode_tokens=4, priority=0)
+    vt.emit("queue_wait", 10, 0, wait_cycles=10)
+    vt.emit("admit", 10, 0, reserved_bytes=128, queue_depth=0)
+    vt.emit("prefill_start", 10, 0, cycles=90, replay=False)
+    vt.emit("prefill_end", 100, 0, replay=False)
+    vt.emit("decode_iter", 100, None, cycles=50, batch=1, prefix_lengths=[1])
+    vt.emit("preempt", 150, 0, evicted_steps=1, by_request=1)
+    vt.emit("prefill_start", 200, 0, cycles=90, replay=True)
+    vt.emit("prefill_end", 290, 0, replay=True)
+    vt.emit("replay", 290, 0, cycles=50, step=0)
+    vt.emit("decode_iter", 290, None, cycles=50, batch=1, prefix_lengths=[1])
+    vt.emit("complete", 400, 0, e2e_ms=1.5)
+    return vt.events
+
+
+class TestRecorder:
+    def test_emission_order_and_counts(self):
+        vt = VTraceRecorder()
+        vt.emit("arrive", 5, 1)
+        vt.emit("arrive", 3, 2)
+        assert [e.cycle for e in vt.events] == [5, 3]  # emission order kept
+        assert vt.counts() == {"arrive": 2}
+
+    def test_rejects_unknown_kind_and_negative_cycle(self):
+        vt = VTraceRecorder()
+        with pytest.raises(ValueError, match="unknown vtrace event kind"):
+            vt.emit("teleport", 0, 1)
+        with pytest.raises(ValueError, match="non-negative"):
+            vt.emit("arrive", -1, 1)
+
+    def test_null_recorder_is_disabled_and_stateless(self):
+        assert NULL_VTRACE.enabled is False
+        NULL_VTRACE.emit("arrive", 0, 1)
+        assert NULL_VTRACE.events == []
+        assert NULL_VTRACE.counts() == {}
+
+    def test_events_are_copies(self):
+        vt = VTraceRecorder()
+        vt.emit("arrive", 0, 1)
+        vt.events.clear()
+        assert len(vt.events) == 1
+
+
+class TestTimeSeriesAndSampler:
+    def test_ring_buffer_drops_oldest(self):
+        ts = TimeSeries("x", capacity=3)
+        for i in range(5):
+            ts.append(i, float(i))
+        assert ts.samples == [(2, 2.0), (3, 3.0), (4, 4.0)]
+        assert ts.dropped == 2
+
+    def test_sampler_cadence_is_bucket_aligned(self):
+        sm = VSampler(cadence_cycles=100)
+        assert sm.sample(0, {"g": 1}) is True       # bucket [0, 100)
+        assert sm.sample(50, {"g": 2}) is False     # same bucket
+        assert sm.sample(130, {"g": 3}) is True     # bucket [100, 200)
+        assert sm.sample(199, {"g": 4}) is False
+        assert sm.sample(450, {"g": 5}) is True     # jumps are fine
+        assert sm.get("g").samples == [(0, 1.0), (130, 3.0), (450, 5.0)]
+
+    def test_counter_tracks_shape(self):
+        sm = VSampler(cadence_cycles=10)
+        sm.sample(0, {"queue_depth": 2, "batch_size": 1})
+        tracks = sm.counter_tracks()
+        assert set(tracks) == {"serving:queue_depth", "serving:batch_size"}
+        assert tracks["serving:queue_depth"] == [(0, 2.0)]
+
+    def test_null_sampler_is_disabled(self):
+        assert NULL_SAMPLER.enabled is False
+        assert NULL_SAMPLER.sample(0, {"g": 1}) is False
+        assert NULL_SAMPLER.series() == {}
+
+    def test_rate_series_from_cumulative(self):
+        ts = TimeSeries("cum")
+        ts.append(0, 0.0)
+        ts.append(100, 50.0)
+        ts.append(300, 150.0)
+        assert rate_series(ts) == [(0, 0.5), (100, 0.5)]
+
+
+class TestPhaseRebuild:
+    def test_full_lifecycle_phases(self):
+        phases = request_phases(_lifecycle_events())[0]
+        assert phases == [
+            ("queued", 0, 10),
+            ("prefill", 10, 100),
+            ("decode", 100, 150),
+            ("preempted", 150, 200),
+            ("prefill", 200, 290),
+            ("decode", 290, 400),
+        ]
+
+    def test_reject_is_zero_length_marker(self):
+        vt = VTraceRecorder()
+        vt.emit("arrive", 0, 3)
+        vt.emit("reject", 0, 3, needed_bytes=999)
+        phases = request_phases(vt.events)[3]
+        assert phases[-1] == ("rejected", 0, 0)
+        # no wall-clock time is attributed to a rejected request
+        assert all(end == start for _, start, end in phases)
+
+    def test_dangling_phase_closed_at_last_cycle(self):
+        vt = VTraceRecorder()
+        vt.emit("arrive", 0, 1)
+        vt.emit("decode_iter", 500, None, cycles=10, batch=1)
+        assert request_phases(vt.events)[1] == [("queued", 0, 500)]
+
+
+class TestPerfettoExport:
+    def test_request_tracks_scaled_and_named(self):
+        out = request_track_events(_lifecycle_events(), clock_mhz=100.0)
+        procs = [
+            e for e in out
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert procs[0]["args"]["name"] == "serving requests (virtual)"
+        slices = [e for e in out if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {
+            "queued", "prefill", "decode", "preempted"
+        }
+        queued = next(e for e in slices if e["name"] == "queued")
+        assert queued["ts"] == pytest.approx(0.0)
+        assert queued["dur"] == pytest.approx(0.1)  # 10 cycles @ 100 MHz
+        instants = {e["name"] for e in out if e["ph"] == "i"}
+        assert {"arrive", "preempt", "complete"} <= instants
+
+    def test_slo_alert_lane(self):
+        vt = VTraceRecorder()
+        vt.emit("arrive", 0, 0)
+        vt.emit("slo_alert", 123, None, burn_fast=8.0)
+        out = request_track_events(vt.events, clock_mhz=100.0)
+        alert = next(e for e in out if e.get("name") == "slo_alert" and e["ph"] == "i")
+        assert alert["args"] == {"burn_fast": 8.0}
+        lanes = [
+            e["args"]["name"] for e in out
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "slo alerts" in lanes
+
+    def test_device_timeline_reconstruction(self):
+        tl = device_timeline(_lifecycle_events())
+        assert set(tl.engines()) == {"device.prefill", "device.decode"}
+        prefills = tl.busy_intervals("device.prefill")
+        assert len(prefills) == 2
+        assert tl.makespan == 340  # last decode_iter at 290 + 50 cycles
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            request_track_events([], clock_mhz=0.0)
+
+
+class TestJsonlLog:
+    def test_header_schema_and_round_trip(self):
+        lines = vtrace_jsonl_lines(_lifecycle_events(), metadata={"seed": 1})
+        header = json.loads(lines[0])
+        assert header["type"] == "vtrace_header"
+        assert header["schema"] == EVENT_SCHEMA_VERSION
+        assert header["events"] == len(lines) - 1
+        assert header["metadata"] == {"seed": 1}
+        body = [json.loads(line) for line in lines[1:]]
+        assert all(rec["type"] == "vtrace_event" for rec in body)
+        assert all(rec["kind"] in EVENT_KINDS for rec in body)
+
+    def test_bit_identical_across_builds(self):
+        a = vtrace_jsonl_lines(_lifecycle_events())
+        b = vtrace_jsonl_lines(_lifecycle_events())
+        assert a == b

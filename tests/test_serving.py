@@ -494,3 +494,63 @@ class TestSweepAnalysis:
             sweep_offered_load([])
         with pytest.raises(ValueError, match="sorted ascending"):
             sweep_offered_load([2.0, 1.0])
+
+
+class TestVtraceInstrumentation:
+    """The tracing hooks must be free when disabled: a run with the
+    null recorder/sampler is bit-identical to an instrumented one."""
+
+    def _requests(self):
+        return synthesize_requests(
+            make_arrival_model("poisson", 8.0, seed=11), 12, seed=11
+        )
+
+    def test_disabled_run_is_bit_identical_to_traced_run(self, executor):
+        from repro.obs.vtrace import VSampler, VTraceRecorder
+
+        plain = ContinuousBatchingScheduler(_cfg(), executor).run(
+            self._requests()
+        )
+        traced = ContinuousBatchingScheduler(
+            _cfg(), executor,
+            vtrace=VTraceRecorder(), sampler=VSampler(cadence_cycles=50_000),
+        ).run(self._requests())
+        assert plain.device_end_cycles == traced.device_end_cycles
+        assert plain.preemptions == traced.preemptions
+        assert [r.e2e_ms for r in plain.completed] == [
+            r.e2e_ms for r in traced.completed
+        ]
+
+    def test_default_hooks_record_nothing(self, executor):
+        from repro.obs.vtrace import NULL_SAMPLER, NULL_VTRACE
+
+        sched = ContinuousBatchingScheduler(_cfg(), executor)
+        assert sched.vtrace is NULL_VTRACE
+        assert sched.sampler is NULL_SAMPLER
+        sched.run(self._requests())
+        assert NULL_VTRACE.events == []
+        assert NULL_SAMPLER.series() == {}
+
+    def test_traced_run_covers_lifecycle(self, executor):
+        from repro.obs.vtrace import VTraceRecorder
+
+        vt = VTraceRecorder()
+        result = ContinuousBatchingScheduler(
+            _cfg(), executor, vtrace=vt
+        ).run(self._requests())
+        counts = vt.counts()
+        assert counts["arrive"] == 12
+        assert counts["complete"] == len(result.completed) == 12
+        # preempted victims re-enter the queue and are admitted again
+        assert counts["admit"] == counts["queue_wait"]
+        assert counts["admit"] == 12 + counts.get("preempt", 0)
+        assert counts["prefill_start"] == counts["prefill_end"]
+        assert counts["prefill_start"] == result.prefills
+        assert counts["decode_iter"] == result.decode_iterations
+        # every event is causally ordered per request: arrive first
+        from repro.obs.vtrace import request_phases
+
+        for rid, phases in request_phases(vt.events).items():
+            assert phases[0][0] == "queued"
+            for (_, _, end), (_, start, _) in zip(phases, phases[1:]):
+                assert start == end
