@@ -335,6 +335,82 @@ def _run_serving_slo(params: Mapping[str, object], session) -> tuple[dict, dict]
     return cycles, info
 
 
+def _run_serving_costs(params: Mapping[str, object], session) -> tuple[dict, dict]:
+    """Per-tenant cost attribution run: the ledger's exactly-conserved
+    integer totals, gated to the cycle.  Every gated quantity derives
+    from the integer-cycle event stream through largest-remainder
+    apportionment, so a change to the split rule, the tenant stream,
+    the scheduler's emission, or the conservation arithmetic shows up
+    as a bench diff — and the conservation/rollup identities are gated
+    as explicit 0/1 metrics so they can never silently regress."""
+    from repro.obs.vtrace import VTraceRecorder
+    from repro.serving import (
+        ContinuousBatchingScheduler,
+        ServingConfig,
+        build_cost_ledger,
+        estimate_capacity,
+        make_arrival_model,
+        synthesize_requests,
+    )
+
+    load = float(params.get("load_rps", 8.0))
+    num_requests = int(params.get("num_requests", 16))
+    seed = int(params.get("seed", 11))
+    config = ServingConfig(
+        s=int(params.get("s", 32)),
+        architecture=str(params.get("arch", "A3")),
+        max_batch=int(params.get("max_batch", 4)),
+        slo_ms=float(params.get("slo_ms", 1500.0)),
+    )
+    arrival = make_arrival_model(
+        str(params.get("arrival", "poisson")), load, seed=seed
+    )
+    requests = synthesize_requests(
+        arrival,
+        num_requests,
+        seed=seed,
+        tenant_classes=int(params.get("tenant_classes", 2)),
+    )
+    recorder = VTraceRecorder()
+    result = ContinuousBatchingScheduler(config, vtrace=recorder).run(requests)
+    ledger = build_cost_ledger(result, recorder.events)
+    ledger.verify_conservation()
+    totals = ledger.totals()
+
+    cycles: dict[str, float] = {
+        "makespan_cycles": float(totals["makespan_cycles"]),
+        "attributed_cycles": float(totals["attributed_cycles"]),
+        "unattributed_cycles": float(totals["unattributed_cycles"]),
+        "replay_cycles": float(totals["replay_cycles"]),
+        "hbm_load_bytes": float(totals["hbm_load_bytes"]),
+        "conservation_exact": float(
+            totals["attributed_cycles"] + totals["unattributed_cycles"]
+            == totals["makespan_cycles"]
+        ),
+    }
+    tenants = ledger.per_tenant()
+    for tc in tenants:
+        cycles[f"tenant{tc.tenant}_cycles"] = float(tc.attributed_cycles)
+        cycles[f"tenant{tc.tenant}_hbm_bytes"] = float(tc.hbm_load_bytes)
+        cycles[f"tenant{tc.tenant}_requests"] = float(tc.requests)
+    cycles["tenant_rollup_exact"] = float(
+        sum(tc.attributed_cycles for tc in tenants)
+        == totals["attributed_cycles"]
+        and sum(tc.hbm_load_bytes for tc in tenants)
+        == totals["hbm_load_bytes"]
+    )
+    capacity = estimate_capacity(
+        ledger, float(params.get("target_rps", 100.0))
+    )
+    info = {
+        "jain_index": ledger.jain_fairness(),
+        "cycles_per_request": capacity.cycles_per_request,
+        "utterances_per_s_per_card": capacity.utterances_per_s_per_card,
+        "cards_at_target": float(capacity.cards_needed),
+    }
+    return cycles, info
+
+
 def _run_a4_optimized(params: Mapping[str, object], session) -> tuple[dict, dict]:
     """The A4 pass-pipeline synthesis: exact A3 vs A4 cycles plus the
     PSA stall attribution the win comes out of.  ``synthesize_a4`` is
@@ -443,6 +519,7 @@ RUNNERS: dict[str, Callable[[Mapping[str, object], object], tuple[dict, dict]]] 
     "streaming": _run_streaming,
     "serving_load": _run_serving_load,
     "serving_slo": _run_serving_slo,
+    "serving_costs": _run_serving_costs,
     "a4_optimized": _run_a4_optimized,
     "batched_serving": _run_batched_serving,
 }
@@ -507,6 +584,20 @@ def default_scenarios(quick: bool = False, repeats: int = 3) -> list[Scenario]:
                     "max_batch": 4,
                     "slo_ms": 1500.0,
                     "target": 0.9,
+                    "seed": 11,
+                },
+                repeats=repeats,
+            ),
+            Scenario(
+                "serving_costs_2tenants",
+                "serving_costs",
+                {
+                    "arrival": "poisson",
+                    "load_rps": 8.0,
+                    "num_requests": 16,
+                    "max_batch": 4,
+                    "slo_ms": 1500.0,
+                    "tenant_classes": 2,
                     "seed": 11,
                 },
                 repeats=repeats,

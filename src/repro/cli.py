@@ -368,6 +368,7 @@ def _write_serving_artifacts(args, result, recorder, sampler, report) -> None:
     import pathlib
 
     from repro import obs
+    from repro.obs.costs import cost_flow_events
     from repro.obs.vtrace import (
         device_timeline,
         request_track_events,
@@ -387,15 +388,18 @@ def _write_serving_artifacts(args, result, recorder, sampler, report) -> None:
         trace_path.parent.mkdir(parents=True, exist_ok=True)
         counters = sampler.counter_tracks()
         counters.update(_serving_stall_rate_tracks(result, sampler))
+        # Request lifecycle lanes plus cost flow arrows: each arrow
+        # binds a request's lane to the device-lane slice it paid for,
+        # so an SLO violation drills down to the charged device work.
+        extra = request_track_events(recorder.events, clock_mhz=clock_mhz)
+        extra.extend(cost_flow_events(recorder.events, clock_mhz=clock_mhz))
         trace_path.write_text(
             obs.chrome_trace_json(
                 device_timeline(recorder.events),
                 clock_mhz=clock_mhz,
                 metadata=meta,
                 counters=counters,
-                extra_events=request_track_events(
-                    recorder.events, clock_mhz=clock_mhz
-                ),
+                extra_events=extra,
             )
         )
         events_path = trace_path.with_suffix(".events.jsonl")
@@ -528,6 +532,51 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         + ", ".join(f"{kind}={counts[kind]}" for kind in sorted(counts))
     )
     return 0 if not report.alerts else 1
+
+
+def _cmd_costs(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.obs.vtrace import VTraceRecorder
+    from repro.serving import (
+        ContinuousBatchingScheduler,
+        ServingConfig,
+        build_cost_ledger,
+        estimate_capacity,
+        make_arrival_model,
+        render_cost_dashboard,
+        synthesize_requests,
+    )
+
+    config = ServingConfig(
+        s=args.seq,
+        architecture=args.arch,
+        max_batch=args.max_batch,
+        kv_budget_bytes=args.kv_budget_bytes,
+        slo_ms=args.slo_ms,
+    )
+    arrival = make_arrival_model(args.arrival, args.load, seed=args.seed)
+    requests = synthesize_requests(
+        arrival, args.requests, seed=args.seed, tenant_classes=args.tenants
+    )
+    recorder = VTraceRecorder()
+    result = ContinuousBatchingScheduler(config, vtrace=recorder).run(requests)
+    ledger = build_cost_ledger(result, recorder.events)
+    capacity = estimate_capacity(ledger, args.target_rps, args.utilization_cap)
+    if args.json:
+        payload = ledger.as_dict()
+        payload["offered_rps"] = args.load
+        payload["capacity"] = dataclasses.asdict(capacity)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"serving cost attribution: {args.arrival} arrivals at "
+        f"{args.load:g} req/s, {args.requests} requests across "
+        f"{args.tenants} tenant(s), arch {config.architecture}, "
+        f"batch<={config.max_batch}"
+    )
+    print(render_cost_dashboard(ledger, capacity, by_tenant=args.by_tenant))
+    return 0
 
 
 def _cmd_bench_report(args: argparse.Namespace) -> int:
@@ -873,6 +922,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the SLO report + event counts as JSON")
     p.set_defaults(func=_cmd_slo)
+
+    p = sub.add_parser(
+        "costs",
+        help="per-request/per-tenant cost attribution: exact cycle "
+             "shares, HBM bytes, KV residency, fairness readouts, and "
+             "the capacity extrapolation (cards for a target load)",
+    )
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "diurnal"])
+    p.add_argument("--load", type=float, default=8.0,
+                   help="offered load, requests/s")
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--tenants", type=int, default=2,
+                   help="tenant classes in the synthesized mix")
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--kv-budget-bytes", type=int, default=None)
+    p.add_argument("--slo-ms", type=float, default=1500.0,
+                   help="latency SLO for goodput accounting (virtual ms)")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--target-rps", type=float, default=100.0,
+                   help="target offered load for the capacity "
+                        "extrapolation (utterances/s fleet-wide)")
+    p.add_argument("--utilization-cap", type=float, default=0.7,
+                   help="per-card utilization headroom in (0,1]")
+    p.add_argument("--by-tenant", action="store_true",
+                   help="include the per-tenant breakdown and fairness "
+                        "readouts in the dashboard")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full ledger (per-request, per-tenant, "
+                        "fairness, capacity) as JSON")
+    p.set_defaults(func=_cmd_costs)
 
     p = sub.add_parser("inventory", help="Table 4.1 weight inventory")
     p.set_defaults(func=_cmd_inventory)

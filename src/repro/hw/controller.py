@@ -322,6 +322,41 @@ class LatencyModel:
         t_in, t_out = self.io_transfer_cycles(1)
         return result.total_cycles + (t_in + t_out) * len(lengths)
 
+    def per_member_cycle_shares(
+        self,
+        prefix_lengths: Sequence[int],
+        s: int,
+        architecture: Architecture | str = Architecture.A3,
+        share_weights: bool = True,
+    ) -> list[int]:
+        """Exact per-member attribution of one decode iteration's
+        cycles — the companion of :meth:`decode_iteration_cycles`.
+
+        The scheduled iteration total charges the whole shared weight
+        stream to member 0's blocks (an artifact of how the shared
+        chain is built, not a statement of who owes what), so any
+        per-request cost readout needs this split instead: each member
+        is weighted by its stand-alone step cost
+        (:meth:`decode_step_cycles` at its prefix length) and the total
+        divides by largest-remainder integer apportionment
+        (:func:`repro.obs.costs.largest_remainder_split`).  The shares
+        sum *exactly* to ``decode_iteration_cycles(...)`` — no float
+        drift — and with ``share_weights`` each member's share is
+        strictly below its solo cost: the amortization win, per member.
+        """
+        # Local import: the hw layer stays importable without obs; the
+        # split helper lives there because the serving ledger is its
+        # main consumer.
+        from repro.obs.costs import largest_remainder_split
+
+        lengths = [int(t) for t in prefix_lengths]
+        total = self.decode_iteration_cycles(
+            lengths, s, architecture, share_weights=share_weights
+        )
+        arch = Architecture(architecture)
+        weights = [self.decode_step_cycles(t, s, arch) for t in lengths]
+        return largest_remainder_split(total, weights)
+
     def autoregressive_report(
         self,
         num_tokens: int,

@@ -33,7 +33,23 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.obs import export
-from repro.obs.export import chrome_trace, chrome_trace_json, jsonl_lines, prometheus_text
+from repro.obs.costs import (
+    CostLedger,
+    RequestCost,
+    TenantCost,
+    cost_flow_events,
+    jain_index,
+    largest_remainder_split,
+)
+from repro.obs.export import (
+    ACCEL_PID,
+    HOST_PID,
+    chrome_trace,
+    chrome_trace_json,
+    engine_lane_tids,
+    jsonl_lines,
+    prometheus_text,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     METRIC_HELP,
@@ -70,6 +86,7 @@ from repro.obs.vtrace import (
     VTraceRecorder,
     device_timeline,
     rate_series,
+    request_lane_tids,
     request_phases,
     request_track_events,
     vtrace_jsonl_lines,
@@ -96,10 +113,19 @@ __all__ = [
     "set_tracer",
     "export",
     "prometheus_text",
+    "ACCEL_PID",
+    "HOST_PID",
+    "engine_lane_tids",
     "chrome_trace",
     "chrome_trace_json",
     "jsonl_lines",
     "record_program_metrics",
+    "CostLedger",
+    "RequestCost",
+    "TenantCost",
+    "largest_remainder_split",
+    "jain_index",
+    "cost_flow_events",
     "EVENT_SCHEMA_VERSION",
     "EVENT_KINDS",
     "VEvent",
@@ -112,6 +138,7 @@ __all__ = [
     "NULL_SAMPLER",
     "rate_series",
     "request_phases",
+    "request_lane_tids",
     "request_track_events",
     "device_timeline",
     "vtrace_jsonl_lines",

@@ -30,6 +30,9 @@ from repro.obs.metrics import METRIC_HELP, Histogram, MetricsRegistry
 __all__ = [
     "prometheus_name",
     "prometheus_text",
+    "ACCEL_PID",
+    "HOST_PID",
+    "engine_lane_tids",
     "chrome_trace",
     "chrome_trace_json",
     "jsonl_lines",
@@ -106,8 +109,16 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
 
 # ---------------------------------------------------------- Chrome trace
-_ACCEL_PID = 1
-_HOST_PID = 2
+#: Process ids of the merged trace: 1 = simulated accelerator (engine
+#: lanes + counters), 2 = measured host (Python spans).  Public so
+#: cross-layer events built elsewhere (e.g. the cost-attribution flow
+#: arrows of :func:`repro.obs.costs.cost_flow_events`) can target the
+#: same processes; pid 3 is the serving-request process
+#: (:data:`repro.obs.vtrace.REQUEST_PID`).
+ACCEL_PID = 1
+HOST_PID = 2
+_ACCEL_PID = ACCEL_PID
+_HOST_PID = HOST_PID
 
 
 def _engine_sort_key(engine: str) -> tuple:
@@ -117,6 +128,16 @@ def _engine_sort_key(engine: str) -> tuple:
         if engine.startswith(prefix):
             return (rank, engine)
     return (len(order), engine)
+
+
+def engine_lane_tids(engines: Iterable[str]) -> dict[str, int]:
+    """The accelerator-process lane (thread) id of every engine:
+    engines in :func:`_engine_sort_key` order, numbered from 1 — the
+    exact assignment :func:`chrome_trace` renders, shared so events
+    built outside it (flow arrows, annotations) bind to the same
+    lanes."""
+    ordered = sorted(set(engines), key=_engine_sort_key)
+    return {engine: tid for tid, engine in enumerate(ordered, start=1)}
 
 
 def chrome_trace(
@@ -162,8 +183,7 @@ def chrome_trace(
 
     if timeline is not None and timeline.events:
         meta_event(_ACCEL_PID, None, "process_name", "accelerator (simulated)")
-        engines = sorted(timeline.engines(), key=_engine_sort_key)
-        tid_of = {engine: tid for tid, engine in enumerate(engines, start=1)}
+        tid_of = engine_lane_tids(timeline.engines())
         for engine, tid in tid_of.items():
             meta_event(_ACCEL_PID, tid, "thread_name", engine, sort=tid)
         # One fabric cycle at clock_mhz MHz is (1 / clock_mhz) µs.

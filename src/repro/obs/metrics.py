@@ -104,6 +104,13 @@ METRIC_HELP = {
     "repro.serving.slo.error_budget_consumed": "Fraction of the SLO error budget consumed by the run",
     "repro.serving.slo.burn_rate": "Error-budget burn rate over the trailing window (label: window)",
     "repro.serving.slo.alerts": "Multi-window burn-rate alerts fired (rising edges)",
+    # ---- serving cost attribution (repro.serving.cost.*)
+    "repro.serving.cost.attributed_cycles": "Device cycles attributed to requests by the cost ledger (label: tenant)",
+    "repro.serving.cost.unattributed_cycles": "Device cycles no request paid for (idle between arrivals)",
+    "repro.serving.cost.hbm_bytes": "HBM weight-stream bytes attributed by the cost ledger (label: tenant)",
+    "repro.serving.cost.kv_byte_cycles": "KV-cache residency integral attributed by the cost ledger, byte-cycles (label: tenant)",
+    "repro.serving.cost.requests": "Requests accounted by the cost ledger (label: tenant)",
+    "repro.serving.cost.jain_index": "Jain fairness index over per-tenant attributed cycles",
     # ---- decoding (repro.decoding.*)
     "repro.decoding.beam.hypotheses_expanded": "Beam hypotheses expanded (step-function calls)",
     "repro.decoding.beam.early_stops": "Beam searches ended by the early-stop bound",

@@ -52,6 +52,7 @@ __all__ = [
     "NULL_SAMPLER",
     "rate_series",
     "request_phases",
+    "request_lane_tids",
     "request_track_events",
     "device_timeline",
     "vtrace_jsonl_lines",
@@ -59,7 +60,16 @@ __all__ = [
 
 #: Version of the event schema below.  Bump on any change to event
 #: kinds or their attribute contracts; the JSONL header carries it.
-EVENT_SCHEMA_VERSION = 1
+#:
+#: Migration v1 -> v2: events gained an optional top-level ``tenant``
+#: field (the owning tenant of per-request events, for cost
+#: attribution), and ``decode_iter`` attrs gained ``request_ids`` /
+#: ``tenants`` lists naming the batch members that shared the
+#: iteration.  Both are additive: a v1 log is a valid v2 log with no
+#: tenant information (``tenant`` absent means unknown; producers
+#: default requests to tenant 0), and v1 readers that ignore unknown
+#: fields parse v2 logs unchanged.
+EVENT_SCHEMA_VERSION = 2
 
 #: The typed lifecycle event taxonomy, in rough lifecycle order.
 #:
@@ -106,6 +116,9 @@ class VEvent:
     cycle: int
     kind: str
     request_id: int | None = None
+    #: Owning tenant of a per-request event (``None`` when unknown or
+    #: not applicable, e.g. ``decode_iter`` / ``slo_alert``).
+    tenant: int | None = None
     attrs: dict = field(default_factory=dict)
 
 
@@ -123,7 +136,12 @@ class VTraceRecorder:
         self._events: list[VEvent] = []
 
     def emit(
-        self, kind: str, cycle: int, request_id: int | None = None, **attrs: object
+        self,
+        kind: str,
+        cycle: int,
+        request_id: int | None = None,
+        tenant: int | None = None,
+        **attrs: object,
     ) -> None:
         """Record one event; ``kind`` must come from :data:`EVENT_KINDS`."""
         if kind not in _EVENT_KIND_SET:
@@ -133,7 +151,9 @@ class VTraceRecorder:
             )
         if cycle < 0:
             raise ValueError(f"event cycle must be non-negative, got {cycle}")
-        self._events.append(VEvent(int(cycle), kind, request_id, dict(attrs)))
+        self._events.append(
+            VEvent(int(cycle), kind, request_id, tenant, dict(attrs))
+        )
 
     @property
     def events(self) -> list[VEvent]:
@@ -152,7 +172,7 @@ class NullVTraceRecorder(VTraceRecorder):
 
     enabled = False
 
-    def emit(self, kind, cycle, request_id=None, **attrs):  # type: ignore[override]
+    def emit(self, kind, cycle, request_id=None, tenant=None, **attrs):  # type: ignore[override]
         pass
 
 
@@ -259,7 +279,12 @@ def rate_series(series: TimeSeries) -> list[tuple[int, float]]:
     series (e.g. cumulative prefill cycles -> prefill busy fraction).
 
     Each output point ``(cycle, rate)`` covers the window starting at
-    ``cycle`` and ending at the next sample.
+    ``cycle`` and ending at the next sample.  Degenerate inputs yield
+    no windows rather than failing: an empty or single-sample series
+    returns ``[]``, and a sample at the *same* cycle as its
+    predecessor is folded into the next window (the later value wins
+    as the window's endpoint — a zero-width window has no defined
+    rate, so none is emitted).
     """
     out: list[tuple[int, float]] = []
     prev: tuple[int, float] | None = None
@@ -336,6 +361,16 @@ REQUEST_PID = 3
 _INSTANT_KINDS = frozenset({"arrive", "preempt", "complete", "reject"})
 
 
+def request_lane_tids(events: list[VEvent]) -> dict[int, int]:
+    """The pid-3 lane (thread) id of every request seen in the stream:
+    sorted request ids, numbered from 1.  One source of truth shared by
+    :func:`request_track_events` and the cost flow events
+    (:func:`repro.obs.costs.cost_flow_events`), so cross-layer arrows
+    always bind to the right lane."""
+    rids = sorted({ev.request_id for ev in events if ev.request_id is not None})
+    return {rid: tid for tid, rid in enumerate(rids, start=1)}
+
+
 def request_track_events(
     events: list[VEvent], clock_mhz: float = 300.0
 ) -> list[dict]:
@@ -351,9 +386,13 @@ def request_track_events(
         raise ValueError("clock_mhz must be positive")
     scale = 1.0 / clock_mhz
     ordered = _sorted_events(events)
-    rids = sorted({ev.request_id for ev in ordered if ev.request_id is not None})
-    tid_of = {rid: tid for tid, rid in enumerate(rids, start=1)}
-    alert_tid = len(rids) + 1
+    tid_of = request_lane_tids(events)
+    tenant_of = {
+        ev.request_id: ev.tenant
+        for ev in ordered
+        if ev.request_id is not None and ev.tenant is not None
+    }
+    alert_tid = len(tid_of) + 1
     out: list[dict] = [
         {
             "ph": "M",
@@ -363,13 +402,16 @@ def request_track_events(
         }
     ]
     for rid, tid in tid_of.items():
+        lane = f"req {rid}"
+        if rid in tenant_of:
+            lane += f" (tenant {tenant_of[rid]})"
         out.append(
             {
                 "ph": "M",
                 "pid": REQUEST_PID,
                 "tid": tid,
                 "name": "thread_name",
-                "args": {"name": f"req {rid}"},
+                "args": {"name": lane},
             }
         )
         out.append(
@@ -496,6 +538,8 @@ def vtrace_jsonl_lines(
         record: dict = {"type": "vtrace_event", "cycle": ev.cycle, "kind": ev.kind}
         if ev.request_id is not None:
             record["request_id"] = ev.request_id
+        if ev.tenant is not None:
+            record["tenant"] = ev.tenant
         if ev.attrs:
             record["attrs"] = ev.attrs
         lines.append(json.dumps(record, sort_keys=True))

@@ -6,9 +6,18 @@ continuous batching with cache-pressure admission control and priority
 preemption (:mod:`repro.serving.scheduler`), latency-vs-load sweeps
 with saturation attribution (:mod:`repro.serving.analysis`), and
 declarative latency SLOs with burn-rate alerting and per-violation
-drill-down (:mod:`repro.serving.slo`).
+drill-down (:mod:`repro.serving.slo`), and exact per-request /
+per-tenant cost attribution with capacity extrapolation
+(:mod:`repro.serving.accounting`).
 """
 
+from repro.serving.accounting import (
+    CapacityEstimate,
+    build_cost_ledger,
+    estimate_capacity,
+    record_cost_metrics,
+    render_cost_dashboard,
+)
 from repro.serving.arrival import (
     ArrivalModel,
     BurstyArrivals,
@@ -81,4 +90,9 @@ __all__ = [
     "find_saturation",
     "attribute_saturation",
     "render_sweep",
+    "CapacityEstimate",
+    "build_cost_ledger",
+    "estimate_capacity",
+    "record_cost_metrics",
+    "render_cost_dashboard",
 ]

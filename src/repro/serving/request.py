@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.serving.arrival import ArrivalModel
 
@@ -50,12 +51,19 @@ class UtteranceRequest:
     decode_tokens: int
     #: Lower is more important; preemption evicts the highest value.
     priority: int = 0
+    #: Owning tenant for cost attribution and fairness accounting
+    #: (:mod:`repro.serving.accounting`).  Purely an accounting label:
+    #: scheduling never looks at it, so tenanted and untenanted runs
+    #: are cycle-identical.
+    tenant: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError("arrival_s must be non-negative")
         if self.decode_tokens <= 0:
             raise ValueError("decode_tokens must be positive")
+        if self.tenant < 0:
+            raise ValueError("tenant must be non-negative")
 
 
 @dataclass
@@ -102,24 +110,49 @@ def synthesize_requests(
     max_tokens: int = 16,
     priority_classes: int = 2,
     seed: int = 0,
+    tenant_classes: int = 1,
+    tenant_weights: Sequence[float] | None = None,
 ) -> list[UtteranceRequest]:
     """A deterministic request trace: arrival times from the arrival
     model, token budgets and priorities from a separate seeded stream
-    (``random.Random`` for cross-platform bit-stability)."""
+    (``random.Random`` for cross-platform bit-stability).
+
+    ``tenant_classes`` > 1 assigns each request a tenant id drawn from
+    its *own* seeded stream, optionally weighted by ``tenant_weights``
+    (a skewed mix makes the fairness readouts interesting).  The
+    tenant stream is independent of the token/priority stream, so the
+    default single-tenant trace is byte-identical to what earlier
+    revisions produced — tenanting never moves a pinned cycle count.
+    """
     if num_requests <= 0:
         raise ValueError("num_requests must be positive")
     if not 0 < min_tokens <= max_tokens:
         raise ValueError("need 0 < min_tokens <= max_tokens")
     if priority_classes < 1:
         raise ValueError("priority_classes must be >= 1")
+    if tenant_classes < 1:
+        raise ValueError("tenant_classes must be >= 1")
+    if tenant_weights is not None:
+        if len(tenant_weights) != tenant_classes:
+            raise ValueError("tenant_weights must have one entry per class")
+        if any(w < 0 for w in tenant_weights) or sum(tenant_weights) <= 0:
+            raise ValueError("tenant_weights must be non-negative, sum > 0")
     rng = random.Random(seed ^ 0x5EEDED)
+    trng = random.Random(seed ^ 0x7E7A47)
     times = arrival.times(num_requests)
+    if tenant_classes == 1:
+        tenants = [0] * num_requests
+    else:
+        tenants = trng.choices(
+            range(tenant_classes), weights=tenant_weights, k=num_requests
+        )
     return [
         UtteranceRequest(
             request_id=i,
             arrival_s=t,
             decode_tokens=rng.randint(min_tokens, max_tokens),
             priority=rng.randrange(priority_classes),
+            tenant=tenants[i],
         )
         for i, t in enumerate(times)
     ]

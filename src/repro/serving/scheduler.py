@@ -376,6 +376,7 @@ class ContinuousBatchingScheduler:
                     "reject",
                     math.ceil(record.request.arrival_s * clock_hz),
                     record.request.request_id,
+                    tenant=record.request.tenant,
                     needed_bytes=ex.resident_bytes(record.request.decode_tokens),
                     kv_budget_bytes=self.kv_budget_bytes,
                 )
@@ -456,6 +457,7 @@ class ContinuousBatchingScheduler:
                         "preempt",
                         now,
                         rid,
+                        tenant=victim.record.request.tenant,
                         evicted_steps=victim.t,
                         by_request=record.request.request_id,
                     )
@@ -478,6 +480,7 @@ class ContinuousBatchingScheduler:
                         "arrive",
                         arrive_cycle,
                         rid,
+                        tenant=record.request.tenant,
                         decode_tokens=record.request.decode_tokens,
                         priority=record.request.priority,
                     )
@@ -506,12 +509,14 @@ class ContinuousBatchingScheduler:
                         "queue_wait",
                         now,
                         rid,
+                        tenant=head.request.tenant,
                         wait_cycles=now - queued_since.pop(rid, now),
                     )
                     vt.emit(
                         "admit",
                         now,
                         rid,
+                        tenant=head.request.tenant,
                         reserved_bytes=self._reservation(head),
                         queue_depth=len(queue),
                     )
@@ -529,6 +534,7 @@ class ContinuousBatchingScheduler:
                         "prefill_start",
                         now,
                         record.request.request_id,
+                        tenant=record.request.tenant,
                         cycles=cycles,
                         replay=bool(record.preemptions),
                     )
@@ -548,6 +554,7 @@ class ContinuousBatchingScheduler:
                         "prefill_end",
                         now,
                         record.request.request_id,
+                        tenant=record.request.tenant,
                         replay=bool(record.preemptions),
                     )
             elif active:
@@ -555,6 +562,9 @@ class ContinuousBatchingScheduler:
                 cycles = ex.iteration_cycles(lengths)
                 is_replay = [a.t < a.replay_until for a in active]
                 if vt.enabled:
+                    # Batch membership rides on the iteration event so
+                    # the cost ledger can apportion the shared cycles
+                    # to exactly the members that ran (schema v2).
                     vt.emit(
                         "decode_iter",
                         now,
@@ -562,6 +572,10 @@ class ContinuousBatchingScheduler:
                         cycles=cycles,
                         batch=len(active),
                         prefix_lengths=lengths,
+                        request_ids=[
+                            a.record.request.request_id for a in active
+                        ],
+                        tenants=[a.record.request.tenant for a in active],
                     )
                     for entry, replay in zip(active, is_replay):
                         if replay:
@@ -569,6 +583,7 @@ class ContinuousBatchingScheduler:
                                 "replay",
                                 now,
                                 entry.record.request.request_id,
+                                tenant=entry.record.request.tenant,
                                 cycles=cycles,
                                 step=entry.t,
                             )
@@ -623,6 +638,7 @@ class ContinuousBatchingScheduler:
                             "complete",
                             now,
                             entry.record.request.request_id,
+                            tenant=entry.record.request.tenant,
                             e2e_ms=entry.record.e2e_ms,
                             queue_ms=entry.record.queue_ms,
                             preemptions=entry.record.preemptions,

@@ -249,3 +249,95 @@ class TestServingObservabilityCli:
         out = capsys.readouterr().out
         assert "attainment" in out and "burn[" in out
         assert rc in (0, 1)  # 1 when burn-rate alerts fired
+
+    def test_serve_sim_trace_contains_cost_flow_events(
+        self, capsys, tmp_path
+    ):
+        """Acceptance criterion: the merged Perfetto trace carries flow
+        arrows from at least one request lane to the device-lane slices
+        it paid for."""
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main([
+            "serve-sim", "--loads", "1,4,8", "--requests", "6",
+            "--seed", "11", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        starts = [e for e in events if e.get("ph") == "s"]
+        finishes = [e for e in events if e.get("ph") == "f"]
+        assert starts and finishes
+        pids_by_name = {
+            e["args"]["name"]: e["pid"]
+            for e in events if e.get("name") == "process_name"
+        }
+        request_pid = pids_by_name["serving requests (virtual)"]
+        accel_pid = pids_by_name["accelerator (simulated)"]
+        flow = starts[0]
+        assert flow["pid"] == request_pid
+        mate = next(e for e in finishes if e["id"] == flow["id"])
+        assert mate["pid"] == accel_pid
+        assert mate["bp"] == "e"
+        # the arrow endpoints land inside real slices on both lanes
+        def covered(pid, tid, ts):
+            return any(
+                e["ph"] == "X" and e["pid"] == pid and e["tid"] == tid
+                and e["ts"] <= ts <= e["ts"] + e["dur"]
+                for e in events
+            )
+        assert covered(flow["pid"], flow["tid"], flow["ts"])
+        assert covered(mate["pid"], mate["tid"], mate["ts"])
+
+    def test_costs_command_json_conserves(self, capsys):
+        import json
+
+        assert main([
+            "costs", "--load", "8", "--requests", "10", "--seed", "11",
+            "--tenants", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        totals = payload["totals"]
+        assert (
+            totals["attributed_cycles"] + totals["unattributed_cycles"]
+            == totals["makespan_cycles"]
+        )
+        assert payload["offered_rps"] == 8.0
+        assert payload["capacity"]["cards_needed"] >= 1
+        # per-tenant rows reproduce the global totals exactly
+        assert sum(t["attributed_cycles"] for t in payload["tenants"]) == (
+            totals["attributed_cycles"]
+        )
+        assert sum(t["hbm_load_bytes"] for t in payload["tenants"]) == (
+            totals["hbm_load_bytes"]
+        )
+        assert sum(t["requests"] for t in payload["tenants"]) == len(
+            payload["requests"]
+        )
+
+    def test_costs_command_by_tenant_dashboard(self, capsys):
+        assert main([
+            "costs", "--load", "8", "--requests", "10", "--seed", "11",
+            "--tenants", "2", "--by-tenant",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cost attribution (exact integer conservation)" in out
+        assert "jain fairness index" in out
+        assert "capacity extrapolation" in out
+        assert "dominant resource" in out
+
+    def test_costs_single_tenant_still_conserves(self, capsys):
+        import json
+
+        assert main([
+            "costs", "--load", "4", "--requests", "6", "--seed", "3",
+            "--tenants", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        totals = payload["totals"]
+        assert (
+            totals["attributed_cycles"] + totals["unattributed_cycles"]
+            == totals["makespan_cycles"]
+        )
+        assert [t["tenant"] for t in payload["tenants"]] == [0]

@@ -92,6 +92,52 @@ class TestLatencyModel:
         assert lm0.latency_ms(32, "A3") < LatencyModel().latency_ms(32, "A3")
 
 
+class TestPerMemberCycleShares:
+    """Per-member attribution of a batched decode iteration
+    (`per_member_cycle_shares`, the cost-ledger companion of
+    `decode_iteration_cycles`)."""
+
+    LENGTHS = [3, 4, 5, 6]
+
+    def test_shares_sum_exactly_to_iteration_total(self, lm):
+        for share in (True, False):
+            shares = lm.per_member_cycle_shares(
+                self.LENGTHS, 32, share_weights=share
+            )
+            total = lm.decode_iteration_cycles(
+                self.LENGTHS, 32, share_weights=share
+            )
+            assert len(shares) == len(self.LENGTHS)
+            assert sum(shares) == total  # exact integers, no drift
+
+    def test_amortization_holds_per_member(self, lm):
+        """shared_i < unshared_i <= solo_i for EVERY member, not just in
+        aggregate — the whole point of splitting the shared stream."""
+        shared = lm.per_member_cycle_shares(self.LENGTHS, 32)
+        unshared = lm.per_member_cycle_shares(
+            self.LENGTHS, 32, share_weights=False
+        )
+        solo = [lm.decode_iteration_cycles([t], 32) for t in self.LENGTHS]
+        for sh, un, so in zip(shared, unshared, solo):
+            assert sh < un <= so
+
+    def test_single_member_gets_whole_iteration(self, lm):
+        shares = lm.per_member_cycle_shares([7], 32)
+        assert shares == [lm.decode_iteration_cycles([7], 32)]
+
+    def test_longer_prefix_pays_more(self, lm):
+        shares = lm.per_member_cycle_shares(self.LENGTHS, 32)
+        assert shares == sorted(shares)
+        assert shares[-1] > shares[0]
+
+    def test_architectures_agree_on_exactness(self, lm):
+        for arch in (Architecture.A1, Architecture.A2, Architecture.A3):
+            shares = lm.per_member_cycle_shares(self.LENGTHS, 32, arch)
+            assert sum(shares) == lm.decode_iteration_cycles(
+                self.LENGTHS, 32, arch
+            )
+
+
 class TestFunctionalController:
     def test_functional_cycles_match_latency_model(
         self, small_params, rng

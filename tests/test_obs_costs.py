@@ -1,0 +1,232 @@
+"""Tests for the cost-attribution primitives: the largest-remainder
+split, the fairness index, the ledger rollups, and the Perfetto flow
+events that tie request lanes to device slices."""
+
+import pytest
+
+from repro.obs.costs import (
+    CostLedger,
+    RequestCost,
+    cost_flow_events,
+    jain_index,
+    largest_remainder_split,
+)
+from repro.obs.export import ACCEL_PID
+from repro.obs.vtrace import REQUEST_PID, VTraceRecorder
+
+
+class TestLargestRemainderSplit:
+    def test_shares_sum_exactly(self):
+        for total in (0, 1, 7, 10, 999, 10**12 + 7):
+            for weights in ([1], [1, 1, 1], [3, 3, 1], [5, 2, 9, 4]):
+                shares = largest_remainder_split(total, weights)
+                assert sum(shares) == total
+                assert all(s >= 0 for s in shares)
+
+    def test_known_splits(self):
+        assert largest_remainder_split(10, [1, 1, 1]) == [4, 3, 3]
+        assert largest_remainder_split(7, [3, 3, 1]) == [3, 3, 1]
+        assert largest_remainder_split(100, [1, 3]) == [25, 75]
+
+    def test_ties_go_to_lowest_index(self):
+        # equal weights, one leftover unit -> first member gets it
+        assert largest_remainder_split(5, [1, 1]) == [3, 2]
+
+    def test_all_zero_weights_degrade_to_equal_split(self):
+        assert largest_remainder_split(9, [0, 0, 0]) == [3, 3, 3]
+        assert largest_remainder_split(10, [0, 0, 0]) == [4, 3, 3]
+
+    def test_proportionality(self):
+        shares = largest_remainder_split(1000, [1, 9])
+        assert shares == [100, 900]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            largest_remainder_split(-1, [1])
+        with pytest.raises(ValueError, match="non-empty"):
+            largest_remainder_split(5, [])
+        with pytest.raises(ValueError, match="non-negative"):
+            largest_remainder_split(5, [1, -1])
+
+    def test_deterministic(self):
+        args = (12345, [7, 11, 13, 17])
+        assert largest_remainder_split(*args) == largest_remainder_split(*args)
+
+
+class TestJainIndex:
+    def test_even_split_is_one(self):
+        assert jain_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_holder_is_one_over_n(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_vacuously_fair(self):
+        assert jain_index([0, 0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1, -1])
+
+
+def _ledger():
+    """Two tenants, three requests, hand-built for exact arithmetic."""
+    r0 = RequestCost(request_id=0, tenant=0, prefill_cycles=100,
+                     decode_cycles=50, hbm_load_bytes=1000,
+                     kv_byte_cycles=400, completed=True, good=True)
+    r1 = RequestCost(request_id=1, tenant=0, prefill_cycles=60,
+                     decode_cycles=40, replay_cycles=10, queue_cycles=5,
+                     hbm_load_bytes=600, kv_byte_cycles=300,
+                     preemptions=1, completed=True, good=False)
+    r2 = RequestCost(request_id=2, tenant=1, prefill_cycles=80,
+                     decode_cycles=20, hbm_load_bytes=500,
+                     kv_byte_cycles=100, completed=True, good=True)
+    return CostLedger(requests=[r0, r1, r2], makespan_cycles=400,
+                      unattributed_cycles=50, clock_hz=300e6)
+
+
+class TestCostLedger:
+    def test_conservation_holds(self):
+        led = _ledger()
+        assert led.attributed_cycles == 350
+        led.verify_conservation()  # no raise
+
+    def test_conservation_violation_reports_offset(self):
+        led = _ledger()
+        led.unattributed_cycles = 60  # 350 + 60 != 400
+        with pytest.raises(ValueError, match=r"off by 10"):
+            led.verify_conservation()
+
+    def test_request_lookup(self):
+        led = _ledger()
+        assert led.request(1).replay_cycles == 10
+        with pytest.raises(KeyError):
+            led.request(99)
+
+    def test_totals_are_exact_integers(self):
+        t = _ledger().totals()
+        assert t["attributed_cycles"] == 350
+        assert t["prefill_cycles"] == 240
+        assert t["decode_cycles"] == 110
+        assert t["replay_cycles"] == 10
+        assert t["hbm_load_bytes"] == 2100
+        assert all(isinstance(v, int) for v in t.values())
+
+    def test_per_tenant_rollup_sums_to_global(self):
+        led = _ledger()
+        tenants = led.per_tenant()
+        assert [tc.tenant for tc in tenants] == [0, 1]
+        assert sum(tc.attributed_cycles for tc in tenants) == 350
+        assert sum(tc.hbm_load_bytes for tc in tenants) == 2100
+        assert sum(tc.kv_byte_cycles for tc in tenants) == 800
+        assert sum(tc.requests for tc in tenants) == 3
+        t0 = tenants[0]
+        assert (t0.requests, t0.completed, t0.good) == (2, 2, 1)
+        assert t0.attributed_cycles == 250
+
+    def test_goodput_shares(self):
+        shares = _ledger().goodput_shares()
+        assert shares == {0: 0.5, 1: 0.5}
+
+    def test_dominant_resource_shares(self):
+        drf = _ledger().dominant_resource_shares()
+        # tenant 0 dominates kv residency: 700/800
+        assert drf[0]["resource"] == "kv_byte_cycles"
+        assert drf[0]["share"] == pytest.approx(700 / 800)
+        assert 0.0 < drf[1]["share"] < drf[0]["share"]
+
+    def test_jain_fairness(self):
+        # per-tenant attributed cycles: 250 vs 100
+        expected = jain_index([250, 100])
+        assert _ledger().jain_fairness() == pytest.approx(expected)
+
+    def test_as_dict_round_trips_rows(self):
+        d = _ledger().as_dict()
+        assert len(d["requests"]) == 3
+        assert len(d["tenants"]) == 2
+        assert d["totals"]["makespan_cycles"] == 400
+        assert d["fairness"]["jain_index"] == pytest.approx(
+            _ledger().jain_fairness()
+        )
+        # tenant rows reproduce global totals
+        assert sum(t["attributed_cycles"] for t in d["tenants"]) == (
+            d["totals"]["attributed_cycles"]
+        )
+
+
+def _flow_source_events():
+    """Two requests sharing decode iterations (schema v2 attrs)."""
+    vt = VTraceRecorder()
+    for rid in (0, 1):
+        vt.emit("arrive", 0, rid, tenant=rid)
+        vt.emit("admit", 0, rid, tenant=rid)
+    vt.emit("prefill_start", 0, 0, tenant=0, cycles=90, replay=False)
+    vt.emit("prefill_end", 90, 0, tenant=0, replay=False)
+    vt.emit("prefill_start", 90, 1, tenant=1, cycles=90, replay=False)
+    vt.emit("prefill_end", 180, 1, tenant=1, replay=False)
+    for i in range(4):
+        vt.emit("decode_iter", 180 + 50 * i, None, cycles=50, batch=2,
+                prefix_lengths=[i + 1, i + 1], request_ids=[0, 1],
+                tenants=[0, 1])
+    vt.emit("complete", 380, 0, tenant=0, e2e_ms=1.0)
+    vt.emit("complete", 380, 1, tenant=1, e2e_ms=1.0)
+    return vt.events
+
+
+class TestCostFlowEvents:
+    def test_start_finish_pairs_share_id_and_name(self):
+        flows = cost_flow_events(_flow_source_events(), clock_mhz=100.0)
+        starts = [e for e in flows if e["ph"] == "s"]
+        finishes = [e for e in flows if e["ph"] == "f"]
+        assert len(starts) == len(finishes) > 0
+        by_id = {}
+        for e in flows:
+            by_id.setdefault(e["id"], []).append(e)
+        for pair in by_id.values():
+            assert len(pair) == 2
+            s, f = sorted(pair, key=lambda e: e["ph"], reverse=True)
+            assert (s["ph"], f["ph"]) == ("s", "f")
+            assert s["name"] == f["name"]
+            assert s["ts"] == f["ts"]
+
+    def test_pids_bind_request_lane_to_device_lane(self):
+        flows = cost_flow_events(_flow_source_events(), clock_mhz=100.0)
+        assert all(e["pid"] == REQUEST_PID for e in flows if e["ph"] == "s")
+        assert all(e["pid"] == ACCEL_PID for e in flows if e["ph"] == "f")
+        # finish side uses enclosing-slice binding
+        assert all(e["bp"] == "e" for e in flows if e["ph"] == "f")
+
+    def test_decode_flows_capped_per_request(self):
+        flows = cost_flow_events(
+            _flow_source_events(), clock_mhz=100.0, max_decode_flows=2
+        )
+        decode_starts = [
+            e for e in flows if e["ph"] == "s" and ":decode" in e["name"]
+        ]
+        # 2 requests x cap 2, despite 4 shared iterations
+        assert len(decode_starts) == 4
+        prefill_starts = [
+            e for e in flows if e["ph"] == "s" and ":prefill" in e["name"]
+        ]
+        assert len(prefill_starts) == 2
+
+    def test_timestamps_scaled_by_clock(self):
+        flows = cost_flow_events(_flow_source_events(), clock_mhz=100.0)
+        first_prefill = next(
+            e for e in flows if e["name"] == "cost:r1:prefill"
+        )
+        assert first_prefill["ts"] == pytest.approx(0.9)  # 90 cyc @ 100 MHz
+
+    def test_schema_v1_stream_yields_prefill_flows_only(self):
+        vt = VTraceRecorder()
+        vt.emit("arrive", 0, 0)
+        vt.emit("prefill_start", 0, 0, cycles=90, replay=False)
+        vt.emit("prefill_end", 90, 0, replay=False)
+        vt.emit("decode_iter", 90, None, cycles=50, batch=1)  # no request_ids
+        flows = cost_flow_events(vt.events, clock_mhz=100.0)
+        assert all(":prefill" in e["name"] for e in flows)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            cost_flow_events(_flow_source_events(), clock_mhz=0.0)

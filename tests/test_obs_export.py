@@ -65,6 +65,12 @@ PINNED_METRIC_NAMES = frozenset({
     "repro.serving.slo.error_budget_consumed",
     "repro.serving.slo.burn_rate",
     "repro.serving.slo.alerts",
+    "repro.serving.cost.attributed_cycles",
+    "repro.serving.cost.unattributed_cycles",
+    "repro.serving.cost.hbm_bytes",
+    "repro.serving.cost.kv_byte_cycles",
+    "repro.serving.cost.requests",
+    "repro.serving.cost.jain_index",
 })
 
 

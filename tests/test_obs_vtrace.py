@@ -15,6 +15,7 @@ from repro.obs.vtrace import (
     VTraceRecorder,
     device_timeline,
     rate_series,
+    request_lane_tids,
     request_phases,
     request_track_events,
     vtrace_jsonl_lines,
@@ -103,6 +104,30 @@ class TestTimeSeriesAndSampler:
         ts.append(300, 150.0)
         assert rate_series(ts) == [(0, 0.5), (100, 0.5)]
 
+    def test_rate_series_empty_and_single_sample(self):
+        empty = TimeSeries("cum")
+        assert rate_series(empty) == []
+        single = TimeSeries("cum")
+        single.append(50, 7.0)
+        assert rate_series(single) == []  # one sample defines no window
+
+    def test_rate_series_duplicate_cycle_folds_into_next_window(self):
+        ts = TimeSeries("cum")
+        ts.append(0, 0.0)
+        ts.append(100, 40.0)
+        ts.append(100, 60.0)  # same cycle: no zero-width window emitted
+        ts.append(200, 160.0)
+        # the duplicate becomes the next window's starting value (60),
+        # so [100, 200) rates (160-60)/100
+        assert rate_series(ts) == [(0, 0.4), (100, 1.0)]
+
+    def test_rate_series_all_duplicates_yield_nothing(self):
+        ts = TimeSeries("cum")
+        ts.append(10, 1.0)
+        ts.append(10, 2.0)
+        ts.append(10, 3.0)
+        assert rate_series(ts) == []
+
 
 class TestPhaseRebuild:
     def test_full_lifecycle_phases(self):
@@ -130,6 +155,29 @@ class TestPhaseRebuild:
         vt.emit("arrive", 0, 1)
         vt.emit("decode_iter", 500, None, cycles=10, batch=1)
         assert request_phases(vt.events)[1] == [("queued", 0, 500)]
+
+    def test_stream_ending_mid_preemption(self):
+        """A request evicted and never readmitted before the stream
+        ends: the open `preempted` phase closes at the last observed
+        cycle instead of dangling."""
+        vt = VTraceRecorder()
+        vt.emit("arrive", 0, 0)
+        vt.emit("admit", 0, 0)
+        vt.emit("prefill_start", 0, 0, cycles=100, replay=False)
+        vt.emit("prefill_end", 100, 0, replay=False)
+        vt.emit("decode_iter", 100, None, cycles=50, batch=1,
+                prefix_lengths=[1])
+        vt.emit("preempt", 150, 0, evicted_steps=1, by_request=1)
+        # another request's work moves the clock past the eviction
+        vt.emit("decode_iter", 250, None, cycles=50, batch=1,
+                prefix_lengths=[1])
+        phases = request_phases(vt.events)[0]
+        assert phases == [
+            ("queued", 0, 0),
+            ("prefill", 0, 100),
+            ("decode", 100, 150),
+            ("preempted", 150, 250),
+        ]
 
 
 class TestPerfettoExport:
@@ -174,6 +222,33 @@ class TestPerfettoExport:
         with pytest.raises(ValueError):
             request_track_events([], clock_mhz=0.0)
 
+    def test_request_lane_tids_are_stable_and_shared(self):
+        vt = VTraceRecorder()
+        vt.emit("arrive", 5, 7)
+        vt.emit("arrive", 0, 2)
+        vt.emit("decode_iter", 10, None, cycles=1, batch=1)
+        # sorted request ids, numbered from 1; rid-less events ignored
+        assert request_lane_tids(vt.events) == {2: 1, 7: 2}
+        out = request_track_events(vt.events, clock_mhz=100.0)
+        lanes = {
+            e["args"]["name"]: e["tid"] for e in out
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert lanes["req 2"] == 1
+        assert lanes["req 7"] == 2
+
+    def test_tenant_shown_in_lane_name(self):
+        vt = VTraceRecorder()
+        vt.emit("arrive", 0, 0, tenant=3)
+        vt.emit("arrive", 0, 1)  # tenant unknown -> plain lane name
+        out = request_track_events(vt.events, clock_mhz=100.0)
+        lanes = {
+            e["args"]["name"] for e in out
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "req 0 (tenant 3)" in lanes
+        assert "req 1" in lanes
+
 
 class TestJsonlLog:
     def test_header_schema_and_round_trip(self):
@@ -191,3 +266,23 @@ class TestJsonlLog:
         a = vtrace_jsonl_lines(_lifecycle_events())
         b = vtrace_jsonl_lines(_lifecycle_events())
         assert a == b
+
+    def test_schema_v2_tenant_field(self):
+        """Schema 2: events carry `tenant` when known, omit it when
+        not — v1 logs therefore parse unchanged as v2."""
+        assert EVENT_SCHEMA_VERSION == 2
+        vt = VTraceRecorder()
+        vt.emit("arrive", 0, 0, tenant=1)
+        vt.emit("arrive", 0, 1)
+        lines = vtrace_jsonl_lines(vt.events)
+        with_tenant, without = (json.loads(l) for l in lines[1:])
+        assert with_tenant["tenant"] == 1
+        assert "tenant" not in without
+
+    def test_schema_v2_decode_iter_membership(self):
+        vt = VTraceRecorder()
+        vt.emit("decode_iter", 10, None, cycles=5, batch=2,
+                prefix_lengths=[1, 2], request_ids=[0, 1], tenants=[0, 1])
+        rec = json.loads(vtrace_jsonl_lines(vt.events)[1])
+        assert rec["attrs"]["request_ids"] == [0, 1]
+        assert rec["attrs"]["tenants"] == [0, 1]

@@ -115,6 +115,41 @@ class TestSynthesizeRequests:
         assert all(r.priority in (0, 1) for r in a)
         assert any(r.priority == 1 for r in a)
 
+    def test_default_tenant_is_zero(self):
+        arrival = PoissonArrivals(2.0, seed=5)
+        reqs = synthesize_requests(arrival, 10, seed=5)
+        assert all(r.tenant == 0 for r in reqs)
+        assert UtteranceRequest(0, 0.0, 4).tenant == 0
+
+    def test_tenant_mix_deterministic_and_spread(self):
+        arrival = PoissonArrivals(2.0, seed=5)
+        a = synthesize_requests(arrival, 30, seed=5, tenant_classes=3)
+        b = synthesize_requests(arrival, 30, seed=5, tenant_classes=3)
+        assert a == b
+        tenants = {r.tenant for r in a}
+        assert tenants <= {0, 1, 2}
+        assert len(tenants) > 1
+
+    def test_tenant_weights_skew_the_mix(self):
+        arrival = PoissonArrivals(2.0, seed=5)
+        reqs = synthesize_requests(
+            arrival, 40, seed=5, tenant_classes=2, tenant_weights=[9.0, 1.0]
+        )
+        heavy = sum(1 for r in reqs if r.tenant == 0)
+        assert heavy > len(reqs) // 2
+
+    def test_tenant_draws_do_not_perturb_existing_streams(self):
+        """The tenant mix comes from a separate RNG stream: token and
+        priority draws are bit-identical with and without tenants, so
+        every pre-existing pinned cycle count is safe."""
+        arrival = PoissonArrivals(2.0, seed=5)
+        plain = synthesize_requests(arrival, 20, seed=5)
+        mixed = synthesize_requests(arrival, 20, seed=5, tenant_classes=4)
+        for p, m in zip(plain, mixed):
+            assert p.decode_tokens == m.decode_tokens
+            assert p.priority == m.priority
+            assert p.arrival_s == m.arrival_s
+
     def test_validation(self):
         arrival = PoissonArrivals(1.0)
         with pytest.raises(ValueError):
@@ -122,9 +157,16 @@ class TestSynthesizeRequests:
         with pytest.raises(ValueError):
             synthesize_requests(arrival, 2, min_tokens=8, max_tokens=4)
         with pytest.raises(ValueError):
+            synthesize_requests(arrival, 2, tenant_classes=0)
+        with pytest.raises(ValueError):
+            synthesize_requests(arrival, 2, tenant_classes=2,
+                                tenant_weights=[1.0])
+        with pytest.raises(ValueError):
             UtteranceRequest(0, -1.0, 4)
         with pytest.raises(ValueError):
             UtteranceRequest(0, 0.0, 0)
+        with pytest.raises(ValueError):
+            UtteranceRequest(0, 0.0, 4, tenant=-1)
 
 
 class TestSchedulerBasics:
@@ -243,6 +285,33 @@ class TestCachePressureAdmission:
         ]
         result = simulate(reqs, _cfg(), executor)
         assert result.peak_batch == 2
+
+    def test_decode_iter_events_carry_batch_membership(self, executor):
+        """Event schema v2: every decode_iter event names its batch
+        members and their tenants, in batch order — what the cost
+        ledger apportions by."""
+        from repro.obs.vtrace import VTraceRecorder
+
+        reqs = [
+            UtteranceRequest(0, 0.0, 6, tenant=1),
+            UtteranceRequest(1, 0.0, 6, tenant=0),
+        ]
+        vt = VTraceRecorder()
+        simulate(reqs, _cfg(), executor, vtrace=vt)
+        iters = [e for e in vt.events if e.kind == "decode_iter"]
+        assert iters
+        for ev in iters:
+            rids = ev.attrs["request_ids"]
+            tenants = ev.attrs["tenants"]
+            assert len(rids) == len(tenants) == ev.attrs["batch"]
+            assert len(rids) == len(ev.attrs["prefix_lengths"])
+            assert set(rids) <= {0, 1}
+            assert tenants == [1 if r == 0 else 0 for r in rids]
+        # per-request lifecycle events carry the tenant label too
+        completes = [e for e in vt.events if e.kind == "complete"]
+        assert {(e.request_id, e.tenant) for e in completes} == {
+            (0, 1), (1, 0)
+        }
 
     def test_kv_gauge_tracks_modeled_bytes(self, executor):
         reqs = [UtteranceRequest(0, 0.0, 6)]
