@@ -31,6 +31,15 @@ from repro.bench.attribution import (
     build_attribution_report,
 )
 from repro.bench.compare import ComparisonReport, Finding, compare_snapshots
+from repro.bench.delta import (
+    MetricDelta,
+    ScenarioDelta,
+    SnapshotDelta,
+    attribution_lines,
+    diff_profile_dicts,
+    diff_snapshots,
+    render_snapshot_delta,
+)
 from repro.bench.scenarios import (
     Scenario,
     ScenarioResult,
@@ -66,6 +75,13 @@ __all__ = [
     "ComparisonReport",
     "Finding",
     "compare_snapshots",
+    "MetricDelta",
+    "ScenarioDelta",
+    "SnapshotDelta",
+    "diff_snapshots",
+    "diff_profile_dicts",
+    "attribution_lines",
+    "render_snapshot_delta",
     "AttributionReport",
     "BlockAttribution",
     "MatmulRoofline",

@@ -88,6 +88,38 @@ class ComparisonReport:
         return "\n".join(lines)
 
 
+def _attach_attribution(
+    report: ComparisonReport,
+    scenario: str,
+    base_scenario: Mapping[str, object],
+    cur_scenario: Mapping[str, object],
+) -> None:
+    """When a scenario's exact cycle gate failed and both snapshots
+    embedded its run profile, append the differential-profiler verdict:
+    the makespan delta and the top (block, engine, cause) triples the
+    cycles moved on, so the failure self-explains."""
+    base_prof = base_scenario.get("profile")
+    cur_prof = cur_scenario.get("profile")
+    if not base_prof or not cur_prof:
+        return
+    from repro.bench.delta import attribution_lines, diff_profile_dicts
+
+    try:
+        waterfall = diff_profile_dicts(base_prof, cur_prof)
+    except ValueError as exc:
+        report.add("info", scenario, "attribution",
+                   f"embedded profiles not diffable: {exc}")
+        return
+    if waterfall.is_zero:
+        report.add("info", scenario, "attribution",
+                   "embedded profiles are cycle-identical (the drifted "
+                   "metric is outside the traced schedule)")
+        return
+    report.add("info", scenario, "attribution",
+               "cycle delta attribution: "
+               + "; ".join(attribution_lines(waterfall)))
+
+
 def _compare_cycles(
     report: ComparisonReport,
     scenario: str,
@@ -202,11 +234,16 @@ def compare_snapshots(
                        "new scenario (not in baseline); refresh the baseline "
                        "to start gating it")
             continue
+        failures_before = len(report.failures)
         _compare_cycles(
             report, name,
             b_scenarios[name].get("cycles", {}),
             c_scenarios[name].get("cycles", {}),
         )
+        if len(report.failures) > failures_before:
+            _attach_attribution(
+                report, name, b_scenarios[name], c_scenarios[name]
+            )
         _compare_wall(
             report, name,
             b_scenarios[name].get("wall", {}),

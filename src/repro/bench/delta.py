@@ -1,0 +1,186 @@
+"""Offline differential profiling over bench artifacts.
+
+The live engine (:mod:`repro.obs.diffprof`) diffs two traced program
+executions; this module diffs the *recorded* forms the repo already
+ships around: two schema-versioned ``BENCH_<n>.json`` snapshots, or
+the embedded :class:`repro.obs.diffprof.RunProfile` payloads scenario
+runners attach to them.  It also builds the attribution text the
+comparator (:mod:`repro.bench.compare`) appends to exact-gate cycle
+failures, so a red CI gate names the (block, engine, cause) triples
+the cycles moved on instead of just the metric that drifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.snapshot import SNAPSHOT_SCHEMA
+from repro.obs.diffprof import DeltaWaterfall, RunProfile, diff_profiles
+
+__all__ = [
+    "MetricDelta",
+    "ScenarioDelta",
+    "SnapshotDelta",
+    "diff_snapshots",
+    "diff_profile_dicts",
+    "attribution_lines",
+    "render_snapshot_delta",
+]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One cycle metric that moved between two snapshots."""
+
+    metric: str
+    base: float
+    cand: float
+
+    @property
+    def delta(self) -> float:
+        return self.cand - self.base
+
+
+@dataclass
+class ScenarioDelta:
+    """One scenario's delta: changed metrics plus, when both snapshots
+    embedded a run profile, the full conservation-checked waterfall."""
+
+    name: str
+    metrics: list[MetricDelta] = field(default_factory=list)
+    waterfall: DeltaWaterfall | None = None
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.metrics) or (
+            self.waterfall is not None and not self.waterfall.is_zero
+        )
+
+
+@dataclass
+class SnapshotDelta:
+    """The full diff of two bench snapshots."""
+
+    scenarios: dict[str, ScenarioDelta] = field(default_factory=dict)
+    only_base: list[str] = field(default_factory=list)
+    only_cand: list[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.only_base or self.only_cand) or any(
+            sc.changed for sc in self.scenarios.values()
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "only_base": list(self.only_base),
+            "only_cand": list(self.only_cand),
+            "scenarios": {
+                name: {
+                    "metrics": [
+                        {"metric": m.metric, "base": m.base,
+                         "cand": m.cand, "delta": m.delta}
+                        for m in sc.metrics
+                    ],
+                    "waterfall": (
+                        sc.waterfall.as_dict() if sc.waterfall else None
+                    ),
+                }
+                for name, sc in sorted(self.scenarios.items())
+                if sc.changed
+            },
+        }
+
+
+def diff_profile_dicts(base: dict, cand: dict) -> DeltaWaterfall:
+    """Diff two serialized run profiles (snapshot ``profile`` sections
+    or ``runprofile.json`` artifacts)."""
+    return diff_profiles(RunProfile.from_dict(base), RunProfile.from_dict(cand))
+
+
+def diff_snapshots(baseline: dict, current: dict) -> SnapshotDelta:
+    """Diff two ``BENCH_<n>.json`` snapshots: exact cycle-metric deltas
+    per scenario, upgraded to a full delta waterfall wherever both
+    snapshots embedded the scenario's run profile."""
+    for which, snap in (("baseline", baseline), ("current", current)):
+        schema = snap.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"{which} snapshot schema '{schema}' is not "
+                f"'{SNAPSHOT_SCHEMA}'"
+            )
+    b_scenarios = baseline.get("scenarios", {})
+    c_scenarios = current.get("scenarios", {})
+    out = SnapshotDelta(
+        only_base=sorted(set(b_scenarios) - set(c_scenarios)),
+        only_cand=sorted(set(c_scenarios) - set(b_scenarios)),
+    )
+    for name in sorted(set(b_scenarios) & set(c_scenarios)):
+        b, c = b_scenarios[name], c_scenarios[name]
+        sc = ScenarioDelta(name=name)
+        b_cycles, c_cycles = b.get("cycles", {}), c.get("cycles", {})
+        for metric in sorted(set(b_cycles) | set(c_cycles)):
+            bv = float(b_cycles.get(metric, 0.0))
+            cv = float(c_cycles.get(metric, 0.0))
+            if bv != cv:
+                sc.metrics.append(MetricDelta(metric, bv, cv))
+        b_prof, c_prof = b.get("profile"), c.get("profile")
+        if b_prof and c_prof:
+            sc.waterfall = diff_profile_dicts(b_prof, c_prof)
+        out.scenarios[name] = sc
+    return out
+
+
+def attribution_lines(
+    waterfall: DeltaWaterfall, top: int = 3
+) -> list[str]:
+    """The comparator's failure attachment: the top (block, engine,
+    cause) triples of a waterfall, formatted one per line."""
+    lines = [
+        f"Δmakespan {waterfall.makespan_delta:+,} cycles "
+        f"({waterfall.base_makespan:,} -> {waterfall.cand_makespan:,})"
+    ]
+    for leaf in waterfall.top_leaves(top):
+        lines.append(
+            f"({leaf.block or '-'}, {leaf.engine}, {leaf.cause}) "
+            f"{leaf.delta:+,}"
+        )
+    moved_blocks = sorted(
+        waterfall.block_work.items(), key=lambda kv: -abs(sum(kv[1].values()))
+    )[:top]
+    for label, w in moved_blocks:
+        parts = ", ".join(f"{k} {v:+,}" for k, v in sorted(w.items()))
+        lines.append(f"unit {label}: {parts}")
+    return lines
+
+
+def render_snapshot_delta(delta: SnapshotDelta, top: int = 5) -> str:
+    """Text report of a snapshot diff."""
+    from repro.analysis.report import format_table
+    from repro.obs.diffprof import render_waterfall
+
+    lines: list[str] = []
+    if delta.only_base:
+        lines.append("scenarios only in baseline: " + ", ".join(delta.only_base))
+    if delta.only_cand:
+        lines.append("scenarios only in current:  " + ", ".join(delta.only_cand))
+    changed = {n: sc for n, sc in delta.scenarios.items() if sc.changed}
+    if not changed and not delta.only_base and not delta.only_cand:
+        return "no cycle-metric differences between the snapshots"
+    for name, sc in sorted(changed.items()):
+        lines.append("")
+        lines.append(f"== {name} ==")
+        if sc.metrics:
+            rows = [
+                [m.metric, f"{m.base:g}", f"{m.cand:g}", f"{m.delta:+g}"]
+                for m in sc.metrics
+            ]
+            lines.append(format_table(
+                ["cycle metric", "baseline", "current", "Δ"], rows
+            ))
+        if sc.waterfall is not None and not sc.waterfall.is_zero:
+            lines.append("")
+            lines.append(render_waterfall(sc.waterfall, top=top))
+        elif sc.waterfall is not None:
+            lines.append("embedded profiles are cycle-identical")
+    return "\n".join(lines).lstrip("\n")

@@ -69,17 +69,27 @@ class ScenarioResult:
     cycles: dict[str, float]
     #: Informational metrics (recorded, never gated).
     info: dict[str, float]
+    #: Optional serialized :class:`repro.obs.diffprof.RunProfile` of
+    #: the scenario's traced program — embedded in the snapshot so a
+    #: later exact-gate failure can be *attributed* (which blocks,
+    #: engines and stall causes the cycles moved on), not just flagged.
+    profile: dict | None = None
 
 
 # --------------------------------------------------------------- runners
-def _run_arch_sweep(params: Mapping[str, object], session) -> tuple[dict, dict]:
+def _run_arch_sweep(
+    params: Mapping[str, object], session
+) -> tuple[dict, dict, dict]:
     """One (architecture, s) cell of the Table 5.1 sweep: the data-free
-    cycle model's end-to-end latency report."""
+    cycle model's end-to-end latency report, plus the run profile of
+    the scheduled pass so a later cycle drift is attributable."""
     from repro.hw.controller import LatencyModel
+    from repro.obs.diffprof import profile_run
 
     s = int(params.get("s", 32))
     arch = str(params.get("arch", "A3"))
-    report = LatencyModel().latency_report(s, arch)
+    lm = LatencyModel()
+    report = lm.latency_report(s, arch)
     cycles = {
         "total_cycles": float(report.total_cycles),
         "schedule_cycles": float(report.schedule_cycles),
@@ -91,15 +101,21 @@ def _run_arch_sweep(params: Mapping[str, object], session) -> tuple[dict, dict]:
         ),
     }
     info = {"latency_ms": report.latency_ms}
-    return cycles, info
+    profile = profile_run(
+        lm.full_pass_program(s), arch, label=f"{arch} s={s}"
+    ).as_dict()
+    return cycles, info, profile
 
 
-def _run_encoder_prefill(params: Mapping[str, object], session) -> tuple[dict, dict]:
+def _run_encoder_prefill(
+    params: Mapping[str, object], session
+) -> tuple[dict, dict, dict]:
     """Trace-executor probe of the full prefill pass: where the cycles
     go per engine under one architecture."""
     from repro import obs
     from repro.hw.controller import LatencyModel
     from repro.hw.program import program_load_bytes
+    from repro.obs.diffprof import profile_run
 
     s = int(params.get("s", 32))
     arch = str(params.get("arch", "A3"))
@@ -135,7 +151,8 @@ def _run_encoder_prefill(params: Mapping[str, object], session) -> tuple[dict, d
     for cause, total in sorted(stall_by_cause.items()):
         cycles[f"stall_{cause}_cycles"] = total
     info = {"psa_occupancy": session.metrics.value("repro.hw.psa.occupancy")}
-    return cycles, info
+    profile = profile_run(program, arch, label=f"{arch} s={s}").as_dict()
+    return cycles, info, profile
 
 
 def _run_kv_decode(params: Mapping[str, object], session) -> tuple[dict, dict]:
@@ -510,8 +527,11 @@ def _run_batched_serving(params: Mapping[str, object], session) -> tuple[dict, d
     return cycles, info
 
 
-#: kind -> runner(params, telemetry session) -> (cycles, info).
-RUNNERS: dict[str, Callable[[Mapping[str, object], object], tuple[dict, dict]]] = {
+#: kind -> runner(params, telemetry session) -> (cycles, info) or
+#: (cycles, info, profile) — the optional third element is a
+#: serialized :class:`repro.obs.diffprof.RunProfile` embedded in the
+#: snapshot for differential attribution of exact-gate failures.
+RUNNERS: dict[str, Callable[[Mapping[str, object], object], tuple]] = {
     "arch_sweep": _run_arch_sweep,
     "encoder_prefill": _run_encoder_prefill,
     "kv_decode": _run_kv_decode,
@@ -619,13 +639,15 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     samples: list[float] = []
     cycles: dict[str, float] | None = None
     info: dict[str, float] = {}
+    profile: dict | None = None
+    seen_profile = False
     for _ in range(scenario.repeats):
         with obs.telemetry() as session:
             start = time.perf_counter()
-            run_cycles, run_info = RUNNERS[scenario.kind](
-                scenario.params, session
-            )
+            out = RUNNERS[scenario.kind](scenario.params, session)
             samples.append((time.perf_counter() - start) * 1e3)
+        run_cycles, run_info = out[0], out[1]
+        run_profile = out[2] if len(out) > 2 else None
         if cycles is not None and run_cycles != cycles:
             changed = sorted(
                 k for k in set(cycles) | set(run_cycles)
@@ -635,8 +657,18 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
                 f"scenario '{scenario.name}' produced nondeterministic "
                 f"cycle metrics across repeats: {changed}"
             )
+        # The embedded run profile rides the same determinism contract
+        # as the cycle metrics: it feeds the exact-delta attribution,
+        # so a repeat-to-repeat wobble must fail loudly here.
+        if seen_profile and run_profile != profile:
+            raise RuntimeError(
+                f"scenario '{scenario.name}' produced a nondeterministic "
+                f"run profile across repeats"
+            )
         cycles = run_cycles
         info = run_info
+        profile = run_profile
+        seen_profile = True
     assert cycles is not None
     return ScenarioResult(
         name=scenario.name,
@@ -645,6 +677,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         wall=WallStats.from_samples(samples),
         cycles=cycles,
         info=info,
+        profile=profile,
     )
 
 

@@ -109,13 +109,21 @@ def build_snapshot(
     scenarios = {}
     for name in sorted(results):
         r = results[name]
-        scenarios[name] = {
+        entry = {
             "kind": r.kind,
             "params": dict(r.params),
             "wall": r.wall.as_dict(),
             "cycles": {k: r.cycles[k] for k in sorted(r.cycles)},
             "info": {k: r.info[k] for k in sorted(r.info)},
         }
+        # Scenario runners may attach a serialized run profile
+        # (repro.obs.diffprof.RunProfile); the comparator uses it to
+        # attribute exact-gate failures.  Additive — older snapshots
+        # without it still compare cleanly.
+        profile = getattr(r, "profile", None)
+        if profile:
+            entry["profile"] = profile
+        scenarios[name] = entry
     return {
         "schema": SNAPSHOT_SCHEMA,
         "created_unix": time.time(),

@@ -12,7 +12,12 @@
     repro-asr metrics   [--words N] [--seed N] [--beam K] [--arch A3]
     repro-asr bench run     [--out DIR] [--repeats K] [--quick]
     repro-asr bench compare BASELINE CURRENT [--wall-tol F] [--fail-on-wall]
+                            [--artifact-hint PATH]
     repro-asr bench report  [--seq 32] [--arch A3]
+    repro-asr diff      [--base A3] [--cand A4] [--seq 32] [--top N]
+                        [--json] [--out PATH] [--trace PATH]
+                        [--snapshots BASE CURRENT] [--profiles BASE CAND]
+                        [--serve --cand-arch A2 --cand-max-batch B ...]
     repro-asr serve-sim [--arrival poisson] [--loads 0.5,2,8] [--requests N]
                         [--max-batch B] [--kv-budget-bytes N] [--slo-ms F]
                         [--json PATH] [--trace PATH] [--timeseries PATH]
@@ -29,6 +34,11 @@ is the performance-trajectory harness: ``run`` writes a
 schema-versioned ``BENCH_<n>.json`` snapshot, ``compare`` gates it
 against a baseline (exact-match on cycle counts, noise-aware on
 wall-clock), ``report`` prints the bottleneck attribution.
+``diff`` is the differential profiler: it compares any two runs — two
+live architectures (A4 is the optimizer's synthesized schedule), two
+saved ``runprofile.json`` artifacts, two bench snapshots with embedded
+profiles, or two serving variants (``--serve``) — and prints a delta
+waterfall whose leaves sum *exactly* to the makespan delta.
 ``serve-sim`` sweeps the multi-tenant serving simulator over offered
 loads and reports p50/p95/p99 latency, goodput and the saturation
 bottleneck; with ``--trace/--timeseries/--slo-report`` it re-runs the
@@ -222,11 +232,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             session.metrics, session.spans.records
         ))
     )
+    # Exact-integer run profile of the accelerator's block program —
+    # the offline input of `repro-asr diff --profiles A B`.
+    from repro.obs.diffprof import profile_run
+
+    program = pipeline.accelerator.program()
+    prof = profile_run(
+        program,
+        args.arch,
+        label=f"{args.arch} s={program.meta.get('s')} seed={args.seed}",
+    )
+    profile_path = out / "runprofile.json"
+    profile_path.write_text(json.dumps(prof.as_dict(), indent=2) + "\n")
     print(f"recognized: {result.text!r}  "
           f"(s={result.sequence_length}, e2e {result.e2e_ms:.1f} ms)")
     print(f"chrome trace: {trace_path}  (open in https://ui.perfetto.dev)")
     print(f"prometheus:   {prom_path}")
     print(f"jsonl:        {jsonl_path}")
+    print(f"run profile:  {profile_path}  (diff with `repro-asr diff "
+          f"--profiles A B`)")
     return 0
 
 
@@ -291,6 +315,9 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     print(f"baseline: {args.baseline}")
     print(f"current:  {current}")
     print(report.format())
+    if not report.passed and args.artifact_hint:
+        print(f"differential waterfall artifact: {args.artifact_hint} "
+              f"(per-(block, engine, cause) attribution of the drift)")
     return 0 if report.passed else 1
 
 
@@ -579,6 +606,206 @@ def _cmd_costs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _diff_live_profile(spec: str, s: int):
+    """Resolve an architecture spec to ``(RunProfile, Timeline)``.
+
+    A1/A2/A3 trace the full-pass block program under that architecture;
+    A4 is the optimizer's synthesized schedule (``synthesize_a4``)
+    traced under A3 — the pass-transformed program, not a different
+    fabric.
+    """
+    from repro.hw.program import trace_program_with_schedule
+    from repro.obs.diffprof import profile_run
+
+    lm = LatencyModel()
+    overhead = lm.calibration.block_overhead_cycles
+    if spec == "A4":
+        from repro.hw.dse import synthesize_a4
+
+        program, arch = synthesize_a4(s=s, architecture="A3").program, "A3"
+    else:
+        program, arch = lm.full_pass_program(s), spec
+    timeline, sched = trace_program_with_schedule(program, arch, overhead)
+    profile = profile_run(
+        program, arch, overhead, label=f"{spec} s={s}",
+        timeline=timeline, sched=sched,
+    )
+    return profile, timeline
+
+
+def _cmd_diff_serve(args: argparse.Namespace) -> int:
+    from repro.obs.diffprof import diff_tenant_costs
+    from repro.serving import (
+        ServingConfig,
+        build_cost_ledger,
+        diff_sweeps,
+        render_sweep_delta,
+        sweep_offered_load,
+    )
+
+    loads = sorted(float(x) for x in args.loads.split(","))
+    if len(loads) < 3:
+        print("error: need at least 3 offered loads for a sweep")
+        return 2
+    base_config = ServingConfig(
+        s=args.seq, architecture=args.arch, max_batch=args.max_batch,
+        slo_ms=args.slo_ms,
+    )
+    cand_config = ServingConfig(
+        s=args.seq,
+        architecture=args.cand_arch or args.arch,
+        max_batch=args.cand_max_batch or args.max_batch,
+        slo_ms=args.slo_ms,
+    )
+    base_sweep, cand_sweep = (
+        sweep_offered_load(
+            loads, num_requests=args.requests, arrival_kind=args.arrival,
+            config=config, seed=args.seed,
+        )
+        for config in (base_config, cand_config)
+    )
+    try:
+        delta = diff_sweeps(base_sweep, cand_sweep)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(render_sweep_delta(delta))
+    print()
+
+    # SLO attainment and per-tenant cost deltas from an instrumented
+    # re-run of each variant at the heaviest offered load — that is
+    # where queueing, preemption, and SLO misses actually diverge.
+    sides = []
+    for config in (base_config, cand_config):
+        result, recorder, _, slo_report = _instrumented_serving_run(
+            config, args.arrival, loads[-1], args.requests, args.seed,
+            args.sample_cycles, args.slo_target,
+        )
+        sides.append((slo_report, build_cost_ledger(result, recorder.events)))
+    (base_slo, base_ledger), (cand_slo, cand_ledger) = sides
+    costs = diff_tenant_costs(base_ledger, cand_ledger)
+    d_att = cand_slo.attainment - base_slo.attainment
+    totals = costs["totals"]
+    print(f"instrumented deltas at {loads[-1]:g} req/s (cand - base):")
+    print(f"  SLO attainment : {base_slo.attainment:.1%} -> "
+          f"{cand_slo.attainment:.1%} ({d_att:+.1%})")
+    print(f"  device cycles  : {totals['makespan_cycles']:+,} "
+          f"(attributed {totals['attributed_cycles']:+,})")
+    print(f"  HBM load bytes : {totals['hbm_load_bytes']:+,}")
+    rows = [
+        [tenant, f"{t['requests']:+d}", f"{t['good']:+d}",
+         f"{t['attributed_cycles']:+,}", f"{t['hbm_load_bytes']:+,}"]
+        for tenant, t in sorted(costs["tenants"].items())
+    ]
+    if rows:
+        print(format_table(
+            ["tenant", "Δreq", "Δgood", "Δcycles", "Δhbm bytes"], rows
+        ))
+    payload = {
+        "sweep": delta.as_dict(),
+        "heaviest_load_rps": loads[-1],
+        "slo_attainment": {
+            "base": base_slo.attainment,
+            "cand": cand_slo.attainment,
+            "delta": d_att,
+        },
+        "costs": costs,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    if args.out:
+        import pathlib
+
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro import obs
+    from repro.obs.diffprof import (
+        delta_counter_tracks,
+        diff_profiles,
+        load_profile,
+        render_waterfall,
+    )
+
+    if args.serve:
+        return _cmd_diff_serve(args)
+    if args.snapshots:
+        from repro.bench import (
+            diff_snapshots,
+            load_snapshot,
+            render_snapshot_delta,
+        )
+
+        try:
+            delta = diff_snapshots(
+                load_snapshot(args.snapshots[0]),
+                load_snapshot(args.snapshots[1]),
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+        if args.json:
+            print(json.dumps(delta.as_dict(), indent=2))
+        else:
+            print(render_snapshot_delta(delta, top=args.top))
+        if args.out:
+            out = pathlib.Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(delta.as_dict(), indent=2) + "\n")
+            print(f"wrote {out}")
+        return 0
+
+    timelines = None
+    if args.profiles:
+        try:
+            base_prof = load_profile(args.profiles[0])
+            cand_prof = load_profile(args.profiles[1])
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+    else:
+        base_prof, base_tl = _diff_live_profile(args.base, args.seq)
+        cand_prof, cand_tl = _diff_live_profile(args.cand, args.seq)
+        timelines = (base_tl, cand_tl)
+    waterfall = diff_profiles(base_prof, cand_prof)
+    if args.json:
+        print(json.dumps(waterfall.as_dict(), indent=2))
+    else:
+        print(render_waterfall(waterfall, top=args.top))
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(waterfall.as_dict(), indent=2) + "\n")
+        print(f"wrote {out}")
+    if args.trace:
+        if timelines is None:
+            print("error: --trace needs a live diff (--base/--cand); "
+                  "saved profiles carry no timeline")
+            return 2
+        trace_path = pathlib.Path(args.trace)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(
+            obs.chrome_trace_json(
+                clock_mhz=HardwareConfig().clock_mhz,
+                metadata={
+                    "base": base_prof.label,
+                    "cand": cand_prof.label,
+                    "makespan_delta_cycles": waterfall.makespan_delta,
+                },
+                counters=delta_counter_tracks(*timelines),
+            )
+        )
+        print(f"delta trace: {trace_path}  (open in https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_bench_report(args: argparse.Namespace) -> int:
     from repro.bench import build_attribution_report
 
@@ -850,6 +1077,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fractional wall-clock drift considered meaningful")
     b.add_argument("--fail-on-wall", action="store_true",
                    help="escalate wall-clock regressions to failures")
+    b.add_argument("--artifact-hint", default=None, metavar="PATH",
+                   help="on failure, point the reader at the differential "
+                        "waterfall artifact explaining the drift (CI wires "
+                        "this to the uploaded diff JSON)")
     b.set_defaults(func=_cmd_bench_compare)
 
     b = bench_sub.add_parser(
@@ -858,6 +1089,60 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--seq", type=int, default=32)
     b.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"])
     b.set_defaults(func=_cmd_bench_report)
+
+    p = sub.add_parser(
+        "diff",
+        help="differential profiler: conservation-checked cycle-delta "
+             "waterfall between two runs (live A1-A4, saved profiles, "
+             "bench snapshots, or serving variants)",
+    )
+    p.add_argument("--base", default="A3", choices=["A1", "A2", "A3", "A4"],
+                   help="baseline run for a live diff (A4 = the "
+                        "optimizer's synthesized schedule over A3)")
+    p.add_argument("--cand", default="A4", choices=["A1", "A2", "A3", "A4"],
+                   help="candidate run for a live diff")
+    p.add_argument("--seq", type=int, default=32)
+    p.add_argument("--top", type=int, default=8,
+                   help="leaves/rows shown per waterfall table")
+    p.add_argument("--snapshots", nargs=2, metavar=("BASE", "CURRENT"),
+                   default=None,
+                   help="diff two BENCH_<n>.json snapshots instead "
+                        "(waterfalls where both embed run profiles)")
+    p.add_argument("--profiles", nargs=2, metavar=("BASE", "CAND"),
+                   default=None,
+                   help="diff two saved runprofile.json artifacts (or "
+                        "`repro-asr profile` output directories)")
+    p.add_argument("--serve", action="store_true",
+                   help="diff two serving variants: sweep deltas, knee "
+                        "movement, SLO attainment and per-tenant costs")
+    p.add_argument("--json", action="store_true",
+                   help="emit the delta as JSON instead of tables")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the delta JSON to this path (the CI "
+                        "waterfall artifact)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write Perfetto delta counter tracks "
+                        "(candidate-minus-base utilization per engine; "
+                        "live diffs only)")
+    p.add_argument("--arch", default="A3", choices=["A1", "A2", "A3"],
+                   help="base serving architecture (--serve)")
+    p.add_argument("--cand-arch", default=None, choices=["A1", "A2", "A3"],
+                   help="candidate serving architecture (--serve; "
+                        "defaults to --arch)")
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--cand-max-batch", type=int, default=None,
+                   help="candidate decode-batch width (--serve; defaults "
+                        "to --max-batch)")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty", "diurnal"])
+    p.add_argument("--loads", default="0.5,2,8",
+                   help="comma-separated offered loads for --serve (>=3)")
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--slo-ms", type=float, default=1500.0)
+    p.add_argument("--slo-target", type=float, default=0.95)
+    p.add_argument("--sample-cycles", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=_cmd_diff)
 
     p = sub.add_parser(
         "serve-sim",

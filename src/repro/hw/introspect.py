@@ -90,12 +90,21 @@ _WAIT_CAUSES = STALL_CAUSES[:-1]
 
 @dataclass(frozen=True)
 class StallInterval:
-    """One labelled idle interval [start, end) on one engine lane."""
+    """One labelled idle interval [start, end) on one engine lane.
+
+    ``block`` names the work unit whose causal segment the interval
+    fell in (a :class:`repro.hw.program.UnitSpan` label — one block
+    under A3, a fused merge group under A1/A2), empty for the
+    ``no_work`` drain tail.  It is what lets the differential profiler
+    (:mod:`repro.obs.diffprof`) attribute a cycle delta to a
+    (block, engine, cause) triple instead of just (engine, cause).
+    """
 
     engine: str
     start: float
     end: float
     cause: str
+    block: str = ""
 
     @property
     def cycles(self) -> float:
@@ -219,7 +228,7 @@ def _load_wait_cause(unit: UnitSpan, spans: Sequence[UnitSpan]) -> str:
 
 def _causal_segments(
     spans: Sequence[UnitSpan],
-) -> list[tuple[float, float, str]]:
+) -> list[tuple[float, float, str, str]]:
     """Partition [0, last compute end) into causally-labelled segments.
 
     The block-schedule compute chain is strictly serial, so global time
@@ -227,20 +236,24 @@ def _causal_segments(
     wait on producers → ``dependency``), the host dispatch overhead
     serialized after each unit (``overhead``), and the exposed gaps
     before a unit starts, bound by its weight load (``load_starved`` or
-    ``channel_contention``).
+    ``channel_contention``).  Each segment carries the label of the
+    unit it belongs to.
     """
-    segments: list[tuple[float, float, str]] = []
+    segments: list[tuple[float, float, str, str]] = []
     prev_end = 0.0
     for unit in spans:
         if unit.compute_start > prev_end:
             segments.append(
-                (prev_end, unit.compute_start, _load_wait_cause(unit, spans))
+                (prev_end, unit.compute_start,
+                 _load_wait_cause(unit, spans), unit.label)
             )
         ops_end = unit.compute_start + unit.compute_span
         if ops_end > unit.compute_start:
-            segments.append((unit.compute_start, ops_end, "dependency"))
+            segments.append(
+                (unit.compute_start, ops_end, "dependency", unit.label)
+            )
         if unit.compute_end > ops_end:
-            segments.append((ops_end, unit.compute_end, "overhead"))
+            segments.append((ops_end, unit.compute_end, "overhead", unit.label))
         prev_end = unit.compute_end
     return segments
 
@@ -281,11 +294,11 @@ def classify_stalls(
         lane_end = busy_ivs[-1][1] if busy_ivs else 0.0
         stalls = {cause: 0.0 for cause in _WAIT_CAUSES}
         for g0, g1 in timeline.idle_gaps(engine):
-            for s0, s1, cause in segments:
+            for s0, s1, cause, block in segments:
                 lo, hi = max(g0, s0), min(g1, s1)
                 if hi > lo:
                     stalls[cause] += hi - lo
-                    intervals.append(StallInterval(engine, lo, hi, cause))
+                    intervals.append(StallInterval(engine, lo, hi, cause, block))
                 if s0 >= g1:
                     break
         no_work = makespan - lane_end
@@ -534,14 +547,18 @@ def utilization_counters(
     timeline: Timeline,
     bucket_cycles: float | None = None,
     engines: Sequence[str] | None = None,
+    span: float | None = None,
 ) -> dict[str, list[tuple[float, float]]]:
     """Time-bucketed busy fraction per engine lane.
 
     Returns ``engine -> [(bucket_start_cycle, busy_fraction), ...]``
-    covering [0, makespan).  ``bucket_cycles`` defaults to 1/64 of the
-    makespan.
+    covering [0, span).  ``bucket_cycles`` defaults to 1/64 of the
+    span; ``span`` defaults to the timeline's makespan.  Passing an
+    explicit ``span`` (and ``engines``) puts two different timelines on
+    the same bucket grid — what the differential profiler needs to
+    subtract one run's utilization from another's sample-for-sample.
     """
-    span = timeline.makespan
+    span = timeline.makespan if span is None else float(span)
     if span <= 0:
         return {}
     if bucket_cycles is None:

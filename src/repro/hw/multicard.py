@@ -77,13 +77,25 @@ def scaling_sweep(
     architecture: Architecture | str = Architecture.A3,
     host_pcie_gbps: float | None = None,
 ) -> list[MultiCardPoint]:
-    """Throughput across fleet sizes."""
+    """Throughput across fleet sizes.
+
+    The sweep is validated up front: an empty ``card_counts`` or a
+    non-positive fleet size is a caller bug, and surfacing it before
+    any card is modeled beats a partial result or a confusing error
+    from deep inside the throughput math.
+    """
+    counts = tuple(card_counts)
+    if not counts:
+        raise ValueError("card_counts must not be empty")
+    bad = [n for n in counts if n < 1]
+    if bad:
+        raise ValueError(f"card_counts must all be >= 1, got {bad}")
     lm = latency_model or LatencyModel()
     return [
         multicard_throughput(
             n, lm, s=s, architecture=architecture, host_pcie_gbps=host_pcie_gbps
         )
-        for n in card_counts
+        for n in counts
     ]
 
 
@@ -100,6 +112,8 @@ def saturation_point(
     fixed, the host link is shared), so the knee is found by bisection
     rather than a linear scan over thousands of candidate fleets.
     """
+    if max_cards < 1:
+        raise ValueError("max_cards must be >= 1")
     lm = latency_model or LatencyModel()
 
     def bound(n: int) -> bool:

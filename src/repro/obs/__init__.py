@@ -63,6 +63,20 @@ from repro.obs.metrics import (
     registry,
     set_registry,
 )
+from repro.obs.diffprof import (
+    PROFILE_SCHEMA,
+    DeltaLeaf,
+    DeltaWaterfall,
+    LaneDelta,
+    LaneProfile,
+    RunProfile,
+    delta_counter_tracks,
+    diff_profiles,
+    diff_tenant_costs,
+    load_profile,
+    profile_run,
+    render_waterfall,
+)
 from repro.obs.probe import record_program_metrics
 from repro.obs.spans import (
     NULL_TRACER,
@@ -120,6 +134,18 @@ __all__ = [
     "chrome_trace_json",
     "jsonl_lines",
     "record_program_metrics",
+    "PROFILE_SCHEMA",
+    "LaneProfile",
+    "RunProfile",
+    "profile_run",
+    "load_profile",
+    "DeltaLeaf",
+    "LaneDelta",
+    "DeltaWaterfall",
+    "diff_profiles",
+    "delta_counter_tracks",
+    "diff_tenant_costs",
+    "render_waterfall",
     "CostLedger",
     "RequestCost",
     "TenantCost",

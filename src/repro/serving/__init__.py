@@ -28,9 +28,12 @@ from repro.serving.arrival import (
 from repro.serving.analysis import (
     LoadPoint,
     ServingSweep,
+    SweepDelta,
     attribute_saturation,
+    diff_sweeps,
     find_saturation,
     render_sweep,
+    render_sweep_delta,
     sweep_offered_load,
 )
 from repro.serving.request import (
@@ -88,6 +91,9 @@ __all__ = [
     "ServingSweep",
     "sweep_offered_load",
     "find_saturation",
+    "SweepDelta",
+    "diff_sweeps",
+    "render_sweep_delta",
     "attribute_saturation",
     "render_sweep",
     "CapacityEstimate",

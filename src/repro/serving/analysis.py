@@ -37,6 +37,9 @@ __all__ = [
     "find_saturation",
     "attribute_saturation",
     "render_sweep",
+    "SweepDelta",
+    "diff_sweeps",
+    "render_sweep_delta",
 ]
 
 
@@ -206,6 +209,122 @@ def attribute_saturation(
     out["psa_dominant_cause"] = report.dominant_cause(".psa") or "none"
     out["psa_stall_cycles"] = {k: v for k, v in totals.items() if v > 0}
     return out
+
+
+@dataclass
+class SweepDelta:
+    """The serving-side differential profile: two sweeps over the same
+    offered-load ladder, compared point-for-point.
+
+    ``points`` carries, per offered load, the candidate-minus-base
+    deltas of the latency quantiles, goodput, and the exact integer
+    device-cycle counters.  The knee movement comes straight from
+    :func:`find_saturation` on each side; ``None`` means that side
+    never saturated within the swept ladder.
+    """
+
+    base_desc: str
+    cand_desc: str
+    points: list[dict]
+    base_saturation_rps: float | None
+    cand_saturation_rps: float | None
+    base_bottleneck: str
+    cand_bottleneck: str
+
+    @property
+    def knee_moved(self) -> bool:
+        return self.base_saturation_rps != self.cand_saturation_rps
+
+    def as_dict(self) -> dict:
+        return {
+            "base": self.base_desc,
+            "cand": self.cand_desc,
+            "points": list(self.points),
+            "saturation_rps": {
+                "base": self.base_saturation_rps,
+                "cand": self.cand_saturation_rps,
+            },
+            "bottleneck": {
+                "base": self.base_bottleneck,
+                "cand": self.cand_bottleneck,
+            },
+        }
+
+
+def _describe(sweep: ServingSweep) -> str:
+    cfg = sweep.config
+    return (f"{cfg.architecture} s={cfg.s} batch<={cfg.max_batch} "
+            f"slo={cfg.slo_ms:g}ms ({sweep.arrival_kind})")
+
+
+def diff_sweeps(base: ServingSweep, cand: ServingSweep) -> SweepDelta:
+    """Compare two sweeps point-for-point.
+
+    Both sweeps must cover the same offered-load ladder (otherwise the
+    per-point deltas would compare different traffic) — a mismatch is a
+    usage error and raises ``ValueError``.
+    """
+    base_loads = [p.offered_rps for p in base.points]
+    cand_loads = [p.offered_rps for p in cand.points]
+    if base_loads != cand_loads:
+        raise ValueError(
+            f"sweeps cover different offered-load ladders: "
+            f"{base_loads} vs {cand_loads}"
+        )
+    points = []
+    for a, b in zip(base.points, cand.points):
+        points.append({
+            "offered_rps": a.offered_rps,
+            "d_p50_ms": b.p50_ms - a.p50_ms,
+            "d_p95_ms": b.p95_ms - a.p95_ms,
+            "d_p99_ms": b.p99_ms - a.p99_ms,
+            "d_goodput_rps": b.goodput_rps - a.goodput_rps,
+            "d_completed": b.completed - a.completed,
+            "d_device_cycles": b.device_cycles - a.device_cycles,
+            "d_preemptions": b.preemptions - a.preemptions,
+            "d_replayed_steps": b.replayed_steps - a.replayed_steps,
+            "d_peak_kv_bytes": b.peak_kv_bytes - a.peak_kv_bytes,
+        })
+    base_knee = find_saturation(base.points)
+    cand_knee = find_saturation(cand.points)
+    return SweepDelta(
+        base_desc=_describe(base),
+        cand_desc=_describe(cand),
+        points=points,
+        base_saturation_rps=base_knee.offered_rps if base_knee else None,
+        cand_saturation_rps=cand_knee.offered_rps if cand_knee else None,
+        base_bottleneck=str(base.attribution.get("bottleneck", "?")),
+        cand_bottleneck=str(cand.attribution.get("bottleneck", "?")),
+    )
+
+
+def render_sweep_delta(delta: SweepDelta) -> str:
+    """Fixed-width table of per-load deltas plus the knee verdict."""
+    lines = [
+        f"serving diff: {delta.base_desc}  ->  {delta.cand_desc}",
+        f"{'offered':>9} {'Δp50 ms':>10} {'Δp95 ms':>10} {'Δp99 ms':>10} "
+        f"{'Δgoodput':>10} {'Δcycles':>14} {'Δpreempt':>9}",
+    ]
+    for p in delta.points:
+        lines.append(
+            f"{p['offered_rps']:>9.3f} {p['d_p50_ms']:>+10.1f} "
+            f"{p['d_p95_ms']:>+10.1f} {p['d_p99_ms']:>+10.1f} "
+            f"{p['d_goodput_rps']:>+10.3f} {p['d_device_cycles']:>+14,d} "
+            f"{p['d_preemptions']:>+9d}"
+        )
+
+    def _knee(rps: float | None) -> str:
+        return f"{rps:g} req/s" if rps is not None else "none (in ladder)"
+
+    lines.append(
+        f"saturation knee: {_knee(delta.base_saturation_rps)} -> "
+        f"{_knee(delta.cand_saturation_rps)}"
+        + ("  [moved]" if delta.knee_moved else "  [unchanged]")
+    )
+    lines.append(
+        f"bottleneck: {delta.base_bottleneck} -> {delta.cand_bottleneck}"
+    )
+    return "\n".join(lines)
 
 
 def render_sweep(sweep: ServingSweep) -> str:

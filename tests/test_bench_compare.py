@@ -261,3 +261,100 @@ class TestReportRendering:
         assert report.passed
         report.add("fail", "s", "m", "f")
         assert not report.passed
+
+
+class TestFailureAttribution:
+    """A failed exact cycle gate self-explains when both snapshots
+    embed the scenario's run profile: the comparator attaches the top
+    (block, engine, cause) triples the cycles moved on."""
+
+    @staticmethod
+    def _with_profile(snap, makespan, busy, stall):
+        from repro.obs.diffprof import PROFILE_SCHEMA
+
+        scenario = next(iter(snap["scenarios"].values()))
+        scenario["profile"] = {
+            "schema": PROFILE_SCHEMA,
+            "label": "seed",
+            "architecture": "A3",
+            "makespan_cycles": makespan,
+            "lanes": {
+                "mha.psa0": {
+                    "busy": busy,
+                    "stalls": {"load_starved": {"enc1": stall}},
+                    "no_work": makespan - busy - stall,
+                }
+            },
+            "block_work": {"enc1": {"load": 10, "compute": busy}},
+            "channel_bytes": {"0": 1024},
+            "meta": {},
+        }
+        return snap
+
+    def test_seeded_failure_names_the_moved_triples(self):
+        baseline = self._with_profile(
+            make_snapshot({"total_cycles": 100.0}), 100, busy=60, stall=30
+        )
+        current = self._with_profile(
+            make_snapshot({"total_cycles": 90.0}), 90, busy=55, stall=25
+        )
+        report = compare_snapshots(baseline, current)
+        assert not report.passed
+        (attribution,) = [
+            f for f in report.findings if f.metric == "attribution"
+        ]
+        assert attribution.severity == "info"
+        assert "cycle delta attribution" in attribution.message
+        assert "Δmakespan -10 cycles" in attribution.message
+        assert "(enc1, mha.psa0, load_starved) -5" in attribution.message
+        assert "attribution" in report.format()
+
+    def test_no_profiles_no_attribution(self):
+        report = compare_snapshots(
+            make_snapshot({"total_cycles": 100.0}),
+            make_snapshot({"total_cycles": 90.0}),
+        )
+        assert not report.passed
+        assert not [f for f in report.findings if f.metric == "attribution"]
+
+    def test_identical_profiles_noted_when_other_metric_drifts(self):
+        baseline = self._with_profile(
+            make_snapshot({"total_cycles": 100.0, "flops": 5.0}),
+            100, busy=60, stall=30,
+        )
+        current = self._with_profile(
+            make_snapshot({"total_cycles": 100.0, "flops": 6.0}),
+            100, busy=60, stall=30,
+        )
+        report = compare_snapshots(baseline, current)
+        assert not report.passed
+        (attribution,) = [
+            f for f in report.findings if f.metric == "attribution"
+        ]
+        assert "cycle-identical" in attribution.message
+
+    def test_undiffable_profiles_degrade_to_info(self):
+        baseline = self._with_profile(
+            make_snapshot({"total_cycles": 100.0}), 100, busy=60, stall=30
+        )
+        current = self._with_profile(
+            make_snapshot({"total_cycles": 90.0}), 90, busy=55, stall=25
+        )
+        next(iter(current["scenarios"].values()))["profile"]["schema"] = "bad"
+        report = compare_snapshots(baseline, current)
+        assert not report.passed  # the gate itself still fails
+        (attribution,) = [
+            f for f in report.findings if f.metric == "attribution"
+        ]
+        assert "not diffable" in attribution.message
+
+    def test_passing_compare_never_attaches_attribution(self):
+        baseline = self._with_profile(
+            make_snapshot({"total_cycles": 100.0}), 100, busy=60, stall=30
+        )
+        current = self._with_profile(
+            make_snapshot({"total_cycles": 100.0}), 90, busy=55, stall=25
+        )
+        report = compare_snapshots(baseline, current)
+        assert report.passed
+        assert not [f for f in report.findings if f.metric == "attribution"]

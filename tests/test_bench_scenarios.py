@@ -95,6 +95,36 @@ class TestScenarioRunner:
         with pytest.raises(ValueError, match="unique"):
             run_suite([dup, dup])
 
+    def test_traced_runners_embed_a_conservative_profile(self):
+        from repro.obs.diffprof import RunProfile
+
+        result = run_scenario(
+            Scenario("s", "arch_sweep", {"arch": "A3", "s": 8}, repeats=2)
+        )
+        prof = RunProfile.from_dict(result.profile)  # verifies conservation
+        # The profile captures the scheduled pass; total_cycles adds
+        # the host IO transfers on top of it.
+        assert prof.makespan == result.cycles["schedule_cycles"]
+        assert prof.makespan < result.cycles["total_cycles"]
+        assert prof.architecture == "A3"
+
+    def test_untraced_runners_carry_no_profile(self):
+        result = run_scenario(
+            Scenario("d", "kv_decode", {"num_tokens": 3, "s": 8})
+        )
+        assert result.profile is None
+
+    def test_nondeterministic_profile_is_rejected(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(params, session):
+            calls["n"] += 1
+            return {"cycles": 1.0}, {}, {"wobble": calls["n"]}
+
+        monkeypatch.setitem(scenarios_mod.RUNNERS, "flaky", flaky)
+        with pytest.raises(RuntimeError, match="nondeterministic run profile"):
+            run_scenario(Scenario("f", "flaky", repeats=2))
+
 
 class TestSnapshotRoundTrip:
     def test_quick_suite_snapshot_roundtrip(self, tmp_path):
@@ -108,6 +138,16 @@ class TestSnapshotRoundTrip:
         assert loaded["scenarios"].keys() == snapshot["scenarios"].keys()
         # A snapshot always passes against itself.
         assert compare_snapshots(loaded, snapshot).passed
+        # Traced scenarios embed their run profile; the self-diff of
+        # the round-tripped snapshot is empty.
+        from repro.bench.delta import diff_snapshots
+
+        embedded = [
+            name for name, sc in loaded["scenarios"].items()
+            if "profile" in sc
+        ]
+        assert embedded  # the quick suite traces the arch sweep
+        assert not diff_snapshots(loaded, snapshot).changed
 
     def test_snapshot_numbering_monotonic(self, tmp_path):
         (tmp_path / "BENCH_3.json").write_text("{}")

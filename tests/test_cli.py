@@ -96,6 +96,13 @@ class TestCli:
         ):
             assert expected in prom
         assert (out_dir / "events.jsonl").read_text().strip()
+        # The exact-integer run profile rides along for `repro-asr diff`.
+        from repro.obs.diffprof import RunProfile
+
+        profile = RunProfile.from_dict(
+            json.loads((out_dir / "runprofile.json").read_text())
+        )
+        assert profile.makespan > 0
 
     def test_metrics_exposition(self, capsys):
         assert main(["metrics", "--words", "1", "--seed", "3"]) == 0
@@ -159,6 +166,171 @@ class TestBenchCli:
         assert "s = 19" in out
         assert "compute-bound" in out
         assert "MM6" in out
+
+
+def _diff_profile_dict(makespan, busy, stall, label="p"):
+    from repro.obs.diffprof import PROFILE_SCHEMA
+
+    return {
+        "schema": PROFILE_SCHEMA,
+        "label": label,
+        "architecture": "A3",
+        "makespan_cycles": makespan,
+        "lanes": {
+            "mha.psa0": {
+                "busy": busy,
+                "stalls": {"load_starved": {"enc1": stall}},
+                "no_work": makespan - busy - stall,
+            }
+        },
+        "block_work": {"enc1": {"load": 10, "compute": busy}},
+        "channel_bytes": {"0": 1024},
+        "meta": {},
+    }
+
+
+class TestDiffCli:
+    def test_live_diff_writes_waterfall_and_delta_trace(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        out = tmp_path / "waterfall.json"
+        trace = tmp_path / "delta_trace.json"
+        assert main([
+            "diff", "--base", "A1", "--cand", "A3", "--seq", "8",
+            "--top", "3", "--out", str(out), "--trace", str(trace),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "differential profile: A1 s=8 -> A3 s=8" in stdout
+        assert "conservation" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["makespan_delta"] < 0  # A3 is strictly faster
+        assert payload["cand"]["makespan_cycles"] - payload["base"][
+            "makespan_cycles"
+        ] == payload["makespan_delta"]
+        counters = {
+            e["name"]
+            for e in json.loads(trace.read_text())["traceEvents"]
+            if e.get("ph") == "C"
+        }
+        assert any(n.startswith("delta:utilization:") for n in counters)
+        assert any(n.startswith("delta:bandwidth:hbm") for n in counters)
+
+    def test_saved_profiles_diff_offline(self, capsys, tmp_path):
+        import json
+
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        for d, makespan in ((a, 100), (b, 90)):
+            d.mkdir()
+            (d / "runprofile.json").write_text(json.dumps(
+                _diff_profile_dict(makespan, busy=60, stall=makespan - 70)
+            ))
+        assert main(["diff", "--profiles", str(a), str(b), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["makespan_delta"] == -10
+        # Offline profiles carry no timeline: --trace is a usage error.
+        assert main([
+            "diff", "--profiles", str(a), str(b),
+            "--trace", str(tmp_path / "t.json"),
+        ]) == 2
+
+    def test_missing_profile_is_usage_error(self, capsys, tmp_path):
+        assert main([
+            "diff", "--profiles", str(tmp_path / "x"), str(tmp_path / "y"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_snapshot_diff_mode(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.snapshot import SNAPSHOT_SCHEMA
+
+        def snap(path, cycles, makespan):
+            path.write_text(json.dumps({
+                "schema": SNAPSHOT_SCHEMA,
+                "created_unix": 0.0, "env": {}, "config": {},
+                "scenarios": {
+                    "scn": {
+                        "kind": "arch_sweep", "params": {}, "wall": {},
+                        "cycles": cycles,
+                        "profile": _diff_profile_dict(
+                            makespan, busy=60, stall=makespan - 70
+                        ),
+                    }
+                },
+            }))
+            return path
+
+        base = snap(tmp_path / "b.json", {"total": 100.0}, 100)
+        cand = snap(tmp_path / "c.json", {"total": 90.0}, 90)
+        assert main(["diff", "--snapshots", str(base), str(cand)]) == 0
+        stdout = capsys.readouterr().out
+        assert "== scn ==" in stdout
+        assert "differential profile" in stdout
+        assert main(["diff", "--snapshots", str(base), str(base)]) == 0
+        assert "no cycle-metric differences" in capsys.readouterr().out
+
+    def test_compare_failure_attributes_and_hints_artifact(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.bench.snapshot import SNAPSHOT_SCHEMA
+
+        def snap(path, total, makespan, stall):
+            path.write_text(json.dumps({
+                "schema": SNAPSHOT_SCHEMA,
+                "created_unix": 0.0, "env": {}, "config": {},
+                "scenarios": {
+                    "scn": {
+                        "kind": "arch_sweep", "params": {},
+                        "wall": {"median_ms": 1.0, "spread_ms": 0.1},
+                        "cycles": {"total_cycles": total},
+                        "profile": _diff_profile_dict(
+                            makespan, busy=60, stall=stall
+                        ),
+                    }
+                },
+            }))
+            return path
+
+        baseline = snap(tmp_path / "base.json", 100.0, 100, 30)
+        current = snap(tmp_path / "cur.json", 90.0, 90, 20)
+        assert main([
+            "bench", "compare", str(baseline), str(current),
+            "--artifact-hint", "profile_out/diff_waterfall.json",
+        ]) == 1
+        stdout = capsys.readouterr().out
+        assert "cycle delta attribution" in stdout
+        assert "(enc1, mha.psa0, load_starved) -10" in stdout
+        assert (
+            "differential waterfall artifact: "
+            "profile_out/diff_waterfall.json" in stdout
+        )
+
+    def test_serve_diff_reports_knee_slo_and_tenant_deltas(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        out = tmp_path / "serve_delta.json"
+        assert main([
+            "diff", "--serve", "--loads", "1,4,8", "--requests", "6",
+            "--cand-max-batch", "2", "--out", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "serving diff:" in stdout
+        assert "saturation knee:" in stdout
+        assert "SLO attainment" in stdout
+        payload = json.loads(out.read_text())
+        totals = payload["costs"]["totals"]
+        assert (
+            totals["attributed_cycles"] + totals["unattributed_cycles"]
+            == totals["makespan_cycles"]
+        )
+        assert payload["sweep"]["points"][0]["offered_rps"] == 1.0
 
 
 class TestServingObservabilityCli:

@@ -69,3 +69,22 @@ class TestMultiCard:
                 assert not multicard_throughput(
                     knee - 1, lm, host_pcie_gbps=gbps
                 ).pcie_bound
+
+    def test_scaling_sweep_rejects_bad_inputs(self, lm):
+        """The sweep validates up front: empty ladders and non-positive
+        fleet sizes are caller bugs, not partial results."""
+        with pytest.raises(ValueError, match="must not be empty"):
+            scaling_sweep(card_counts=(), latency_model=lm)
+        with pytest.raises(ValueError, match=r"\[0\]"):
+            scaling_sweep(card_counts=(1, 0, 4), latency_model=lm)
+        with pytest.raises(ValueError, match=r"\[-2\]"):
+            scaling_sweep(card_counts=(-2, 4), latency_model=lm)
+        # Generators are materialized once, then validated.
+        points = scaling_sweep(card_counts=iter((1, 2)), latency_model=lm)
+        assert [p.num_cards for p in points] == [1, 2]
+
+    def test_saturation_point_rejects_nonpositive_max_cards(self, lm):
+        with pytest.raises(ValueError, match="max_cards"):
+            saturation_point(lm, max_cards=0)
+        with pytest.raises(ValueError, match="max_cards"):
+            saturation_point(lm, max_cards=-8)

@@ -131,6 +131,25 @@ class TestPrometheusText:
         help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
         assert len(help_lines) == 1
 
+    def test_label_values_escaped_per_exposition_format(self):
+        # Label values escape backslash, double-quote, and newline —
+        # in that order, so the backslashes introduced by the quote and
+        # newline escapes are not themselves re-escaped.  A raw quote
+        # or newline in a label value would corrupt the whole scrape.
+        reg = MetricsRegistry()
+        reg.gauge(
+            "repro.hw.hbm.bytes", channel='a\\b"c\nd'
+        ).set(1)
+        text = prometheus_text(reg)
+        assert 'channel="a\\\\b\\"c\\nd"' in text
+        # The sample must still be a single well-formed line.
+        sample_lines = [
+            l for l in text.splitlines()
+            if l.startswith("repro_hw_hbm_bytes{")
+        ]
+        assert len(sample_lines) == 1
+        assert sample_lines[0].endswith(" 1")
+
     def test_deterministic_output(self):
         def build():
             reg = MetricsRegistry()

@@ -24,9 +24,11 @@ from repro.serving import (
     RequestState,
     ServingConfig,
     UtteranceRequest,
+    diff_sweeps,
     find_saturation,
     make_arrival_model,
     render_sweep,
+    render_sweep_delta,
     simulate,
     sweep_offered_load,
     synthesize_requests,
@@ -563,6 +565,68 @@ class TestSweepAnalysis:
             sweep_offered_load([])
         with pytest.raises(ValueError, match="sorted ascending"):
             sweep_offered_load([2.0, 1.0])
+
+
+class TestSweepDelta:
+    """Serving-side differential profile: two sweeps over the same
+    offered-load ladder, diffed point-for-point."""
+
+    @pytest.fixture(scope="class")
+    def base_sweep(self, executor):
+        return sweep_offered_load(
+            [0.5, 2.0, 8.0], num_requests=8,
+            config=_cfg(slo_ms=1500.0), seed=11, executor=executor,
+        )
+
+    @pytest.fixture(scope="class")
+    def cand_sweep(self):
+        return sweep_offered_load(
+            [0.5, 2.0, 8.0], num_requests=8,
+            config=_cfg(slo_ms=1500.0, max_batch=2), seed=11,
+        )
+
+    def test_self_diff_is_zero_everywhere(self, base_sweep):
+        delta = diff_sweeps(base_sweep, base_sweep)
+        assert not delta.knee_moved
+        for p in delta.points:
+            assert all(v == 0 for k, v in p.items() if k != "offered_rps")
+
+    def test_point_deltas_are_exact_differences(self, base_sweep, cand_sweep):
+        delta = diff_sweeps(base_sweep, cand_sweep)
+        assert [p["offered_rps"] for p in delta.points] == [0.5, 2.0, 8.0]
+        for p, a, b in zip(delta.points, base_sweep.points, cand_sweep.points):
+            assert p["d_device_cycles"] == b.device_cycles - a.device_cycles
+            assert p["d_p95_ms"] == b.p95_ms - a.p95_ms
+            assert p["d_goodput_rps"] == b.goodput_rps - a.goodput_rps
+
+    def test_knee_comes_from_find_saturation(self, base_sweep, cand_sweep):
+        delta = diff_sweeps(base_sweep, cand_sweep)
+        base_knee = find_saturation(base_sweep.points)
+        assert delta.base_saturation_rps == (
+            base_knee.offered_rps if base_knee else None
+        )
+        assert delta.knee_moved == (
+            delta.base_saturation_rps != delta.cand_saturation_rps
+        )
+
+    def test_mismatched_ladders_raise(self, base_sweep):
+        other = sweep_offered_load(
+            [0.5, 2.0, 4.0], num_requests=4, config=_cfg(slo_ms=1500.0),
+            seed=11,
+        )
+        with pytest.raises(ValueError, match="different offered-load"):
+            diff_sweeps(base_sweep, other)
+
+    def test_render_and_as_dict(self, base_sweep, cand_sweep):
+        delta = diff_sweeps(base_sweep, cand_sweep)
+        text = render_sweep_delta(delta)
+        assert "serving diff:" in text
+        assert "saturation knee:" in text
+        assert "bottleneck:" in text
+        payload = delta.as_dict()
+        assert set(payload) == {
+            "base", "cand", "points", "saturation_rps", "bottleneck",
+        }
 
 
 class TestVtraceInstrumentation:
